@@ -1,0 +1,318 @@
+(* sso — command-line driver for the sparse semi-oblivious routing library.
+
+   Subcommands:
+     gen     generate a graph and print it in the edge-list format
+     info    print statistics of a graph
+     route   build a sampled path system and route a demand through it
+     attack  run the Section-8 adversary on C(n,k)
+
+   Examples:
+     sso gen --kind hypercube --size 4 > cube.g
+     sso info cube.g
+     sso route cube.g --base valiant --alpha 3 --demand permutation --seed 7
+     sso attack --leaves 12 --middles 6 --alpha 2 *)
+
+module Rng = Sso_prng.Rng
+module Graph = Sso_graph.Graph
+module Gen = Sso_graph.Gen
+module Gio = Sso_graph.Gio
+module Shortest = Sso_graph.Shortest
+module Demand = Sso_demand.Demand
+module Oblivious = Sso_oblivious.Oblivious
+module Valiant = Sso_oblivious.Valiant
+module Deterministic = Sso_oblivious.Deterministic
+module Ksp = Sso_oblivious.Ksp
+module Racke = Sso_oblivious.Racke
+module Sampler = Sso_core.Sampler
+module Path_system = Sso_core.Path_system
+module Semi_oblivious = Sso_core.Semi_oblivious
+module Lower_bound = Sso_core.Lower_bound
+
+open Cmdliner
+
+(* ---- shared argument parsers ---- *)
+
+let seed_arg =
+  let doc = "PRNG seed; every run is deterministic given the seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let read_graph path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Gio.of_string text
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let kind_arg =
+    let doc =
+      "Topology: hypercube, grid, torus, cycle, path, complete, expander, \
+       two-cliques, abilene, c-gadget."
+    in
+    Arg.(value & opt string "grid" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let size_arg =
+    let doc =
+      "Primary size (hypercube dimension; side for grid/torus; vertex count \
+       otherwise)."
+    in
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"N" ~doc)
+  in
+  let aux_arg =
+    let doc = "Secondary size (middles for c-gadget, degree for expander)." in
+    Arg.(value & opt int 3 & info [ "aux" ] ~docv:"K" ~doc)
+  in
+  let run kind size aux seed =
+    let rng = Rng.create seed in
+    let g =
+      match kind with
+      | "hypercube" -> Gen.hypercube size
+      | "grid" -> Gen.grid size size
+      | "torus" -> Gen.torus size size
+      | "cycle" -> Gen.cycle size
+      | "path" -> Gen.path_graph size
+      | "complete" -> Gen.complete size
+      | "expander" -> Gen.random_regular rng size aux
+      | "two-cliques" -> Gen.two_cliques size
+      | "abilene" -> fst (Gen.abilene ())
+      | "c-gadget" -> (Gen.c_graph size aux).Gen.c_graph
+      | other -> failwith (Printf.sprintf "unknown topology %S" other)
+    in
+    print_string (Gio.to_string g)
+  in
+  let doc = "generate a graph and print it as an edge list" in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ kind_arg $ size_arg $ aux_arg $ seed_arg)
+
+(* ---- info ---- *)
+
+let graph_pos =
+  let doc = "Graph file in the edge-list format produced by $(b,sso gen)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+
+let info_cmd =
+  let run path =
+    let g = read_graph path in
+    Printf.printf "vertices   %d\n" (Graph.n g);
+    Printf.printf "edges      %d\n" (Graph.m g);
+    Printf.printf "max degree %d\n" (Graph.max_degree g);
+    Printf.printf "connected  %b\n" (Graph.is_connected g);
+    if Graph.is_connected g then Printf.printf "diameter   %d\n" (Shortest.diameter g);
+    Printf.printf "capacity   %g\n" (Graph.total_capacity g)
+  in
+  let doc = "print statistics of a graph" in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ graph_pos)
+
+(* ---- route ---- *)
+
+let route_cmd =
+  let base_arg =
+    let doc = "Base oblivious routing: racke, valiant, ksp, shortest, ecube." in
+    Arg.(value & opt string "racke" & info [ "base" ] ~docv:"BASE" ~doc)
+  in
+  let alpha_arg =
+    let doc = "Paths sampled per pair (the paper's α); 0 = use the full support." in
+    Arg.(value & opt int 4 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+  in
+  let cut_arg =
+    let doc = "Sample α + cut_G(s,t) paths instead of α (Definition 5.2)." in
+    Arg.(value & flag & info [ "with-cut" ] ~doc)
+  in
+  let demand_arg =
+    let doc =
+      "Demand workload: permutation, pairs:N, gravity:TOTAL, all-to-all, or \
+       file:PATH (one 's t amount' line per pair)."
+    in
+    Arg.(value & opt string "permutation" & info [ "demand" ] ~docv:"DEMAND" ~doc)
+  in
+  let solver_arg =
+    let doc =
+      "Stage-4 solver: mwu[:ITERS] (default), gk[:EPS] (Garg-Konemann), or \
+       lp (exact, small instances)."
+    in
+    Arg.(value & opt string "mwu" & info [ "solver" ] ~docv:"SOLVER" ~doc)
+  in
+  let run path base alpha with_cut demand_spec solver_spec seed =
+    let g = read_graph path in
+    let rng = Rng.create seed in
+    let base_routing =
+      match base with
+      | "racke" -> Racke.routing (Rng.split rng) g
+      | "valiant" -> Valiant.routing g
+      | "ksp" -> Ksp.routing ~k:(max 4 alpha) g
+      | "shortest" -> Deterministic.shortest_path g
+      | "ecube" -> Deterministic.ecube g
+      | other -> failwith (Printf.sprintf "unknown base routing %S" other)
+    in
+    let system =
+      if alpha = 0 then Path_system.of_oblivious_support base_routing
+      else if with_cut then Sampler.alpha_cut_sample (Rng.split rng) base_routing ~alpha
+      else Sampler.alpha_sample (Rng.split rng) base_routing ~alpha
+    in
+    let demand =
+      match String.split_on_char ':' demand_spec with
+      | [ "permutation" ] -> Demand.random_permutation (Rng.split rng) (Graph.n g)
+      | [ "pairs"; count ] ->
+          Demand.random_pairs (Rng.split rng) ~n:(Graph.n g) ~pairs:(int_of_string count)
+      | [ "gravity"; total ] ->
+          Demand.gravity (Rng.split rng) ~n:(Graph.n g) ~total:(float_of_string total)
+      | [ "all-to-all" ] -> Demand.all_to_all (Graph.n g)
+      | [ "file"; path ] ->
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          Demand.of_string text
+      | _ -> failwith (Printf.sprintf "unknown demand spec %S" demand_spec)
+    in
+    let solver =
+      match String.split_on_char ':' solver_spec with
+      | [ "lp" ] -> Semi_oblivious.Lp
+      | [ "mwu" ] -> Semi_oblivious.default_solver
+      | [ "mwu"; iters ] -> Semi_oblivious.Mwu (int_of_string iters)
+      | [ "gk" ] -> Semi_oblivious.Gk 0.1
+      | [ "gk"; eps ] -> Semi_oblivious.Gk (float_of_string eps)
+      | _ -> failwith (Printf.sprintf "unknown solver %S" solver_spec)
+    in
+    let congestion = Semi_oblivious.congestion ~solver g system demand in
+    let opt = Semi_oblivious.opt g demand in
+    let oblivious_congestion = Oblivious.congestion base_routing demand in
+    Printf.printf "demand size           %.0f (%d pairs)\n" (Demand.siz demand)
+      (Demand.support_size demand);
+    Printf.printf "system sparsity       %d\n"
+      (Path_system.sparsity_on system (Demand.support demand));
+    Printf.printf "semi-oblivious cong   %.4f\n" congestion;
+    Printf.printf "base oblivious cong   %.4f\n" oblivious_congestion;
+    Printf.printf "offline optimum (est) %.4f\n" opt;
+    Printf.printf "competitive ratio     %.3f\n" (congestion /. opt)
+  in
+  let doc = "sample a path system from an oblivious routing and route a demand" in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(
+      const run $ graph_pos $ base_arg $ alpha_arg $ cut_arg $ demand_arg
+      $ solver_arg $ seed_arg)
+
+(* ---- attack ---- *)
+
+let attack_cmd =
+  let leaves_arg =
+    let doc = "Leaves per star in C(n,k)." in
+    Arg.(value & opt int 12 & info [ "leaves" ] ~docv:"N" ~doc)
+  in
+  let middles_arg =
+    let doc = "Middle vertices in C(n,k)." in
+    Arg.(value & opt int 6 & info [ "middles" ] ~docv:"K" ~doc)
+  in
+  let alpha_arg =
+    let doc = "Sparsity of the sampled system under attack." in
+    Arg.(value & opt int 2 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+  in
+  let run leaves middles alpha seed =
+    let c = Gen.c_graph leaves middles in
+    let rng = Rng.create seed in
+    let base = Ksp.routing ~k:(2 * middles) c.Gen.c_graph in
+    let system = Sampler.alpha_sample rng base ~alpha in
+    let attack = Lower_bound.attack c system in
+    let measured =
+      Semi_oblivious.congestion ~solver:Semi_oblivious.Lp c.Gen.c_graph system
+        attack.Lower_bound.demand
+    in
+    Printf.printf "gadget C(%d,%d), alpha = %d\n" leaves middles alpha;
+    Printf.printf "bottleneck S'        {%s}\n"
+      (String.concat "," (List.map string_of_int attack.Lower_bound.bottleneck));
+    Printf.printf "matched pairs        %d\n" attack.Lower_bound.pairs_matched;
+    Printf.printf "certified bound      %.3f\n" attack.Lower_bound.predicted_congestion;
+    Printf.printf "measured congestion  %.3f\n" measured;
+    Printf.printf "offline optimum      1.000\n"
+  in
+  let doc = "run the Section-8 lower-bound adversary on C(n,k)" in
+  Cmd.v (Cmd.info "attack" ~doc)
+    Term.(const run $ leaves_arg $ middles_arg $ alpha_arg $ seed_arg)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let module Simulator = Sso_sim.Simulator in
+  let alpha_arg =
+    let doc = "Paths sampled per pair." in
+    Arg.(value & opt int 4 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+  in
+  let packets_arg =
+    let doc = "Number of random unit packets to inject." in
+    Arg.(value & opt int 16 & info [ "packets" ] ~docv:"N" ~doc)
+  in
+  let run path alpha packets seed =
+    let g = read_graph path in
+    let rng = Rng.create seed in
+    let base = Racke.routing (Rng.split rng) g in
+    let system = Sampler.alpha_sample (Rng.split rng) base ~alpha in
+    let demand =
+      Demand.random_pairs (Rng.split rng) ~n:(Graph.n g)
+        ~pairs:(min packets (Graph.n g * (Graph.n g - 1)))
+    in
+    let assignment, congestion =
+      Sso_core.Integral.congestion_upper (Rng.split rng) g system demand
+    in
+    let report name discipline =
+      let stats = Simulator.run ~discipline g assignment in
+      Printf.printf "%-18s makespan %4d  max queue %4d  waits %5d\n" name
+        stats.Simulator.makespan stats.Simulator.max_queue stats.Simulator.total_waits
+    in
+    Printf.printf "packets %d  integral congestion %.0f  lower bound %d steps\n\n"
+      (Demand.support_size demand) congestion
+      (Simulator.lower_bound g assignment);
+    report "fifo" Simulator.Fifo;
+    report "random-rank" (Simulator.Random_rank (Rng.split rng));
+    report "longest-remaining" Simulator.Longest_remaining
+  in
+  let doc = "route packets semi-obliviously and simulate their delivery" in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ graph_pos $ alpha_arg $ packets_arg $ seed_arg)
+
+(* ---- theory ---- *)
+
+let theory_cmd =
+  let module Theory = Sso_core.Theory in
+  let n_arg =
+    let doc = "Number of vertices." in
+    Arg.(value & opt int 1024 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let m_arg =
+    let doc = "Number of edges (defaults to 4n)." in
+    Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M" ~doc)
+  in
+  let run n m =
+    let m = match m with Some m -> m | None -> 4 * n in
+    Printf.printf "paper bounds for n = %d, m = %d\n\n" n m;
+    Printf.printf "Theorem 2.3 sparsity  (log n/log log n)   %d paths/pair\n"
+      (Theory.theorem_2_3_sparsity ~n);
+    Printf.printf "Theorem 2.3 competitiveness shape         %.1f\n"
+      (Theory.theorem_2_3_competitiveness ~n);
+    Printf.printf "\n%5s | %16s %16s %10s\n" "alpha" "Thm 2.5 upper"
+      "Cor 8.3 lower" "gadget k";
+    List.iter
+      (fun alpha ->
+        Printf.printf "%5d | %16.2f %16.2f %10d\n" alpha
+          (Theory.theorem_2_5_competitiveness ~n ~alpha)
+          (Theory.lower_bound_cor_8_3 ~n ~alpha)
+          (Theory.lower_bound_gadget_k ~n ~alpha))
+      [ 1; 2; 3; 4; 6; 8 ];
+    Printf.printf "\nLemma 5.6 failure prob (h=1, |supp|=1)    %.3g\n"
+      (Theory.weak_route_failure_probability ~m ~supp:1 ~h:1);
+    Printf.printf "Cor 5.7 union-bound failure (h=1)         %.3g\n"
+      (Theory.union_bound_failure ~m ~h:1);
+    Printf.printf "Lemma 6.3 rounding slack (+3 ln m)        %.2f\n"
+      (Theory.rounding_bound ~m ~frac_congestion:0.0)
+  in
+  let doc = "print the paper's closed-form bounds for given parameters" in
+  Cmd.v (Cmd.info "theory" ~doc) Term.(const run $ n_arg $ m_arg)
+
+let () =
+  let doc = "sparse semi-oblivious routing toolkit" in
+  let info = Cmd.info "sso" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; info_cmd; route_cmd; attack_cmd; simulate_cmd; theory_cmd ]))

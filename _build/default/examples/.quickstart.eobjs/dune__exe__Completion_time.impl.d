@@ -1,0 +1,1 @@
+examples/completion_time.ml: List Printf Sso_core Sso_demand Sso_flow Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+examples/completion_time.mli:

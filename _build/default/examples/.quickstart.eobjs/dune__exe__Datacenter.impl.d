@@ -1,0 +1,1 @@
+examples/datacenter.ml: Array Float List Printf Sso_core Sso_demand Sso_graph Sso_oblivious Sso_prng Sso_stats

@@ -1,0 +1,1 @@
+examples/failure_robustness.ml: Array List Printf Sso_core Sso_demand Sso_graph Sso_oblivious Sso_prng String

@@ -1,0 +1,1 @@
+examples/hypercube_deterministic.ml: Float List Printf Sso_core Sso_demand Sso_graph Sso_oblivious Sso_prng

@@ -1,0 +1,1 @@
+examples/lower_bound_adversary.ml: List Printf Sso_core Sso_demand Sso_graph Sso_oblivious Sso_prng String

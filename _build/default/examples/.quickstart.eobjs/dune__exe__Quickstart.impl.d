@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Sso_core Sso_demand Sso_graph Sso_oblivious Sso_prng

@@ -1,0 +1,1 @@
+examples/traffic_engineering.ml: Array List Printf Sso_core Sso_demand Sso_graph Sso_oblivious Sso_prng Sso_stats String

@@ -1,0 +1,57 @@
+(* Quickstart: the whole pipeline on a small grid.
+
+   1. Build a graph.
+   2. Build a competitive oblivious routing R (Räcke-style).
+   3. Stage 2: sample an α-sparse path system P from R (the paper's
+      construction, Definition 5.2).
+   4. Stage 3: a demand arrives.
+   5. Stage 4: adapt the sending rates on P to the demand.
+   6. Stage 5: compare against the offline optimum.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Rng = Sso_prng.Rng
+module Gen = Sso_graph.Gen
+module Graph = Sso_graph.Graph
+module Demand = Sso_demand.Demand
+module Racke = Sso_oblivious.Racke
+module Oblivious = Sso_oblivious.Oblivious
+module Sampler = Sso_core.Sampler
+module Path_system = Sso_core.Path_system
+module Semi_oblivious = Sso_core.Semi_oblivious
+
+let () =
+  let rng = Rng.create 1 in
+  (* 1. A 5x5 grid network. *)
+  let g = Gen.grid 5 5 in
+  Printf.printf "graph: 5x5 grid (n=%d, m=%d)\n" (Graph.n g) (Graph.m g);
+
+  (* 2. The base oblivious routing. *)
+  let base = Racke.routing (Rng.split rng) g in
+  Printf.printf "base oblivious routing: %s\n" (Oblivious.name base);
+
+  (* 3. Sample α = 4 candidate paths per pair — before seeing any demand. *)
+  let alpha = 4 in
+  let system = Sampler.alpha_sample (Rng.split rng) base ~alpha in
+  Printf.printf "sampled an alpha=%d path system\n" alpha;
+
+  (* 4. Demand is revealed: a random permutation. *)
+  let demand = Demand.random_permutation (Rng.split rng) (Graph.n g) in
+  Printf.printf "demand: random permutation, %d packets\n"
+    (Demand.support_size demand);
+
+  (* 5. Stage 4: optimal rates on the candidate paths. *)
+  let _, congestion = Semi_oblivious.route g system demand in
+  Printf.printf "semi-oblivious congestion cong_R(P,d) = %.3f\n" congestion;
+
+  (* 6. Compare against the offline optimum and the base routing. *)
+  let opt = Semi_oblivious.opt g demand in
+  let oblivious_cong = Oblivious.congestion base demand in
+  Printf.printf "offline optimum ~ %.3f  |  full oblivious routing %.3f\n" opt
+    oblivious_cong;
+  Printf.printf "competitive ratio of the sparse system: %.2f\n"
+    (congestion /. opt);
+  Printf.printf
+    "(only %d paths per pair were installed, vs %d in the full routing)\n"
+    (Path_system.sparsity_on system (Demand.support demand))
+    (Oblivious.support_sparsity base (Demand.support demand))

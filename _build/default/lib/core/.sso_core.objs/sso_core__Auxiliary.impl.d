@@ -1,0 +1,1 @@
+lib/core/auxiliary.ml: Array Hashtbl List Path_system Sampler Sso_demand Sso_graph Sso_oblivious Sso_prng

@@ -1,0 +1,1 @@
+lib/core/auxiliary.mli: Path_system Sso_demand Sso_graph Sso_oblivious Sso_prng

@@ -1,0 +1,1 @@
+lib/core/certified.ml: List Process Special Sso_demand Sso_flow Sso_graph

@@ -1,0 +1,1 @@
+lib/core/completion.ml: List Path_system Sampler Semi_oblivious Sso_demand Sso_flow Sso_graph Sso_oblivious Sso_prng

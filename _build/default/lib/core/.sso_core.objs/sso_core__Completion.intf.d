@@ -1,0 +1,1 @@
+lib/core/completion.mli: Path_system Semi_oblivious Sso_demand Sso_flow Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+lib/core/integral.ml: Array Float List Path_system Semi_oblivious Sso_demand Sso_flow Sso_graph

@@ -1,0 +1,1 @@
+lib/core/lower_bound.mli: Path_system Semi_oblivious Sso_demand Sso_graph

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: List Path_system Semi_oblivious Sso_demand Sso_flow Sso_graph

@@ -1,0 +1,1 @@
+lib/core/path_system.ml: Hashtbl List Set Sso_flow Sso_graph Sso_oblivious

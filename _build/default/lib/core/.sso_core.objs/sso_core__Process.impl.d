@@ -1,0 +1,1 @@
+lib/core/process.ml: Array Float List Path_system Sso_demand Sso_flow Sso_graph

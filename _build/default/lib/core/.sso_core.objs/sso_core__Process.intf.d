@@ -1,0 +1,1 @@
+lib/core/process.mli: Path_system Sso_demand Sso_flow Sso_graph

@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Float List Path_system Semi_oblivious Sso_demand Sso_flow Sso_graph

@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Path_system Semi_oblivious Sso_demand Sso_graph

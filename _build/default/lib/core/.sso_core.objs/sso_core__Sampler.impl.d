@@ -1,0 +1,1 @@
+lib/core/sampler.ml: Path_system Set Sso_graph Sso_oblivious Sso_prng

@@ -1,0 +1,1 @@
+lib/core/sampler.mli: Path_system Sso_graph Sso_oblivious Sso_prng

@@ -1,0 +1,1 @@
+lib/core/semi_oblivious.mli: Path_system Sso_demand Sso_flow Sso_graph Sso_oblivious

@@ -1,0 +1,1 @@
+lib/core/special.ml: Float Hashtbl List Sampler Sso_demand Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+lib/core/special.mli: Sso_demand Sso_graph Sso_prng

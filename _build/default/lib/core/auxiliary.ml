@@ -1,0 +1,86 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Demand = Sso_demand.Demand
+module Oblivious = Sso_oblivious.Oblivious
+module Rng = Sso_prng.Rng
+
+type t = {
+  base : Graph.t;
+  expanded : Graph.t;
+  pair_terminals : (int * int, int * int) Hashtbl.t;
+  terminal_pair : (int * int, int * int) Hashtbl.t; (* (v1,v2) -> (s,t) *)
+  entry_edge : (int * int, int * int) Hashtbl.t; (* pair -> (edge v1-s, edge t-v2) *)
+}
+
+let expand base ~pairs =
+  let pairs = List.sort_uniq compare pairs in
+  List.iter
+    (fun (s, t) ->
+      if s = t then invalid_arg "Auxiliary.expand: diagonal pair";
+      if s < 0 || t < 0 || s >= Graph.n base || t >= Graph.n base then
+        invalid_arg "Auxiliary.expand: vertex out of range")
+    pairs;
+  let n = Graph.n base in
+  let total = n + (2 * List.length pairs) in
+  let b = Graph.Builder.create total in
+  Graph.fold_edges (fun _ u v cap () -> ignore (Graph.Builder.add_edge ~cap b u v)) base ();
+  let pair_terminals = Hashtbl.create 64 in
+  let terminal_pair = Hashtbl.create 64 in
+  let entry_edge = Hashtbl.create 64 in
+  List.iteri
+    (fun i (s, t) ->
+      let v1 = n + (2 * i) and v2 = n + (2 * i) + 1 in
+      let e1 = Graph.Builder.add_edge b v1 s in
+      let e2 = Graph.Builder.add_edge b t v2 in
+      Hashtbl.replace pair_terminals (s, t) (v1, v2);
+      Hashtbl.replace terminal_pair (v1, v2) (s, t);
+      Hashtbl.replace entry_edge (s, t) (e1, e2))
+    pairs;
+  { base; expanded = Graph.Builder.build b; pair_terminals; terminal_pair; entry_edge }
+
+let graph t = t.expanded
+
+let terminals t s u = Hashtbl.find t.pair_terminals (s, u)
+
+let lift_path t (s, u) (p : Path.t) =
+  let e1, e2 = Hashtbl.find t.entry_edge (s, u) in
+  let v1, v2 = Hashtbl.find t.pair_terminals (s, u) in
+  Path.of_edges t.expanded ~src:v1 ~dst:v2
+    (Array.concat [ [| e1 |]; p.Path.edges; [| e2 |] ])
+
+let lift_oblivious t obl =
+  let n = Graph.n t.base in
+  Oblivious.make ~name:(Oblivious.name obl ^ "+aux") t.expanded (fun a b ->
+      if a < n && b < n then Oblivious.distribution obl a b
+      else
+        match Hashtbl.find_opt t.terminal_pair (a, b) with
+        | Some (s, u) ->
+            List.map (fun (w, p) -> (w, lift_path t (s, u) p)) (Oblivious.distribution obl s u)
+        | None -> invalid_arg "Auxiliary.lift_oblivious: unsupported terminal pair")
+
+let lift_demand t d =
+  Demand.of_list
+    (Demand.fold
+       (fun s u amount acc ->
+         let v1, v2 = terminals t s u in
+         (v1, v2, amount) :: acc)
+       d [])
+
+let project_path t (s, u) (p : Path.t) =
+  let hops = Path.hops p in
+  if hops < 2 then invalid_arg "Auxiliary.project_path: terminal path too short";
+  let inner = Array.sub p.Path.edges 1 (hops - 2) in
+  Path.of_edges t.base ~src:s ~dst:u inner
+
+let project_system t ps =
+  Path_system.of_generator (fun s u ->
+      match Hashtbl.find_opt t.pair_terminals (s, u) with
+      | None -> []
+      | Some (v1, v2) ->
+          List.map (fun p -> project_path t (s, u) p) (Path_system.paths ps v1 v2))
+
+let alpha_sample_via_expansion rng t obl ~alpha =
+  if alpha < 2 then invalid_arg "Auxiliary.alpha_sample_via_expansion: alpha must be >= 2";
+  let lifted = lift_oblivious t obl in
+  let sample = Sampler.alpha_cut_sample rng lifted ~alpha:(alpha - 1) in
+  project_system t sample

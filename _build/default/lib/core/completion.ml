@@ -1,0 +1,72 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Shortest = Sso_graph.Shortest
+module Demand = Sso_demand.Demand
+module Routing = Sso_flow.Routing
+module Hop_constrained = Sso_oblivious.Hop_constrained
+module Rng = Sso_prng.Rng
+
+let ladder_hops g =
+  let diameter = max 1 (Shortest.diameter g) in
+  let rec build h acc = if h >= diameter then List.rev (diameter :: acc) else build (h * 2) (h :: acc) in
+  build 1 []
+
+let ladder_system ?stretch ?paths_per_pair rng g ~alpha =
+  let rungs = ladder_hops g in
+  let systems =
+    List.map
+      (fun h ->
+        let obl = Hop_constrained.routing ?stretch ?paths_per_pair ~max_hops:h g in
+        (* A rung's routing may not reach every pair within its budget;
+           treat unreachable pairs as contributing no candidates. *)
+        let sample = Sampler.alpha_sample (Rng.split rng) obl ~alpha in
+        Path_system.of_generator (fun s t ->
+            try Path_system.paths sample s t with Invalid_argument _ -> []))
+      rungs
+  in
+  match systems with
+  | [] -> assert false (* ladder_hops is never empty *)
+  | first :: rest -> List.fold_left Path_system.union first rest
+
+let completion_time g r d = Routing.congestion g r d +. float_of_int (Routing.dilation r d)
+
+let route ?solver g ps demand =
+  if Demand.support_size demand = 0 then (Routing.make [], 0.0, 0)
+  else begin
+    (* Hop thresholds worth trying: the distinct candidate path lengths. *)
+    let thresholds =
+      Demand.fold
+        (fun s t _ acc ->
+          List.fold_left
+            (fun acc p -> List.cons (Path.hops p) acc)
+            acc (Path_system.paths ps s t))
+        demand []
+      |> List.sort_uniq compare
+    in
+    (* A threshold is feasible only if every demanded pair retains a
+       candidate. *)
+    let feasible h =
+      Demand.fold
+        (fun s t _ acc ->
+          acc && List.exists (fun p -> Path.hops p <= h) (Path_system.paths ps s t))
+        demand true
+    in
+    let candidates_at h = Path_system.restrict_hops ~max_hops:h ps in
+    let best =
+      List.fold_left
+        (fun acc h ->
+          if not (feasible h) then acc
+          else begin
+            let routing, cong = Semi_oblivious.route ?solver g (candidates_at h) demand in
+            let dil = Routing.dilation routing demand in
+            let value = cong +. float_of_int dil in
+            match acc with
+            | Some (bv, _, _, _) when bv <= value -> acc
+            | _ -> Some (value, routing, cong, dil)
+          end)
+        None thresholds
+    in
+    match best with
+    | None -> invalid_arg "Completion.route: no feasible hop threshold (missing candidates)"
+    | Some (_, routing, cong, dil) -> (routing, cong, dil)
+  end

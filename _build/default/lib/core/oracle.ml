@@ -1,0 +1,31 @@
+module Graph = Sso_graph.Graph
+module Demand = Sso_demand.Demand
+module Routing = Sso_flow.Routing
+module Min_congestion = Sso_flow.Min_congestion
+
+let top_paths routing ~alpha =
+  if alpha <= 0 then invalid_arg "Oracle.top_paths: alpha must be positive";
+  Path_system.of_pairs
+    (List.map
+       (fun (s, t) ->
+         let dist = Routing.distribution routing s t in
+         let sorted = List.sort (fun (a, _) (b, _) -> compare b a) dist in
+         let rec take k = function
+           | (_, p) :: rest when k > 0 -> p :: take (k - 1) rest
+           | _ -> []
+         in
+         ((s, t), take alpha sorted))
+       (Routing.pairs routing))
+
+let demand_aware_system ?(solver = Semi_oblivious.default_solver) g demand ~alpha =
+  let routing =
+    match solver with
+    | Semi_oblivious.Lp ->
+        (* The edge LP has no path decomposition; use a high-iteration MWU
+           instead, which is path-based by construction. *)
+        fst (Min_congestion.mwu_unrestricted ~iters:800 g demand)
+    | Semi_oblivious.Mwu iters -> fst (Min_congestion.mwu_unrestricted ~iters g demand)
+    | Semi_oblivious.Gk epsilon ->
+        fst (Sso_flow.Concurrent_flow.unrestricted ~epsilon g demand)
+  in
+  top_paths routing ~alpha

@@ -1,0 +1,75 @@
+module Path = Sso_graph.Path
+module Routing = Sso_flow.Routing
+module Oblivious = Sso_oblivious.Oblivious
+
+type t = {
+  generate : int -> int -> Path.t list;
+  cache : (int * int, Path.t list) Hashtbl.t;
+}
+
+let validate s t paths =
+  let module PS = Set.Make (Path) in
+  let set =
+    List.fold_left
+      (fun acc (p : Path.t) ->
+        if p.Path.src <> s || p.Path.dst <> t then
+          invalid_arg "Path_system: path endpoints do not match pair";
+        if PS.mem p acc then invalid_arg "Path_system: duplicate path in candidate set";
+        PS.add p acc)
+      PS.empty paths
+  in
+  ignore set;
+  paths
+
+let of_pairs entries =
+  let cache = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun ((s, t), paths) ->
+      if Hashtbl.mem cache (s, t) then invalid_arg "Path_system.of_pairs: duplicate pair";
+      Hashtbl.replace cache (s, t) (validate s t paths))
+    entries;
+  { generate = (fun _ _ -> []); cache }
+
+let of_generator generate = { generate; cache = Hashtbl.create 64 }
+
+let paths ps s t =
+  match Hashtbl.find_opt ps.cache (s, t) with
+  | Some paths -> paths
+  | None ->
+      let result = validate s t (ps.generate s t) in
+      Hashtbl.replace ps.cache (s, t) result;
+      result
+
+let known_pairs ps =
+  List.sort compare (Hashtbl.fold (fun pair _ acc -> pair :: acc) ps.cache [])
+
+let sparsity_on ps pair_list =
+  List.fold_left (fun acc (s, t) -> max acc (List.length (paths ps s t))) 0 pair_list
+
+let is_alpha_sparse ps ~alpha pair_list = sparsity_on ps pair_list <= alpha
+
+let union a b =
+  of_generator (fun s t ->
+      let module PS = Set.Make (Path) in
+      PS.elements (PS.union (PS.of_list (paths a s t)) (PS.of_list (paths b s t))))
+
+let restrict_hops ~max_hops ps =
+  of_generator (fun s t ->
+      List.filter (fun p -> Path.hops p <= max_hops) (paths ps s t))
+
+let filter_paths keep ps =
+  of_generator (fun s t -> List.filter keep (paths ps s t))
+
+let without_edge e ps = filter_paths (fun p -> not (Path.mem_edge p e)) ps
+
+let of_routing_support r =
+  of_pairs
+    (List.map
+       (fun (s, t) -> ((s, t), List.map snd (Routing.distribution r s t)))
+       (Routing.pairs r))
+
+let of_oblivious_support obl =
+  of_generator (fun s t -> List.map snd (Oblivious.distribution obl s t))
+
+let to_candidates ps pair_list =
+  List.map (fun (s, t) -> ((s, t), paths ps s t)) (List.sort_uniq compare pair_list)

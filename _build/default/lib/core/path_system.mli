@@ -1,0 +1,60 @@
+(** Path systems (Definition 2.1) — the semi-oblivious routing object.
+
+    A path system associates to each ordered vertex pair [(s,t)] a set
+    [P(s,t)] of simple (s,t)-paths, fixed before any demand is revealed
+    (Stage 2 of the pipeline in Section 2.1).  It is [α]-sparse when every
+    [|P(s,t)| ≤ α].
+
+    Pair sets can be quadratically large while experiments only ever query
+    the pairs in some demand's support, so a system may be backed by a lazy
+    generator (memoized, so repeated queries see the same sample — this
+    is what makes lazy α-sampling equivalent to sampling everything
+    upfront: per-pair samples are independent). *)
+
+type t
+
+val of_pairs : ((int * int) * Sso_graph.Path.t list) list -> t
+(** Eager construction.  Paths must match their pair's endpoints and be
+    deduplicated ([Invalid_argument] otherwise); pairs must be distinct. *)
+
+val of_generator : (int -> int -> Sso_graph.Path.t list) -> t
+(** Lazy construction; the generator is consulted once per pair and must
+    return valid deduplicated paths.  Validation happens at query time. *)
+
+val paths : t -> int -> int -> Sso_graph.Path.t list
+(** [P(s,t)]; [[]] when the system offers no paths for the pair. *)
+
+val known_pairs : t -> (int * int) list
+(** Pairs materialized so far (all pairs for an eager system). *)
+
+val sparsity_on : t -> (int * int) list -> int
+(** [max |P(s,t)|] over the given pairs. *)
+
+val is_alpha_sparse : t -> alpha:int -> (int * int) list -> bool
+
+val union : t -> t -> t
+(** Pointwise union of candidate sets (used by the completion-time ladder
+    of Lemma 2.8, which unions one sample per hop scale). *)
+
+val restrict_hops : max_hops:int -> t -> t
+(** Drop candidate paths longer than [max_hops] (used when optimizing
+    congestion + dilation). *)
+
+val filter_paths : (Sso_graph.Path.t -> bool) -> t -> t
+(** Keep only candidates satisfying the predicate. *)
+
+val without_edge : int -> t -> t
+(** Drop every candidate crossing the given edge — the failure model of
+    the robustness experiments: when a link dies, the installed paths
+    through it die with it and Stage 4 re-optimizes over the survivors. *)
+
+val of_routing_support : Sso_flow.Routing.t -> t
+(** [supp(R)] as a path system. *)
+
+val of_oblivious_support : Sso_oblivious.Oblivious.t -> t
+(** The (lazily queried) full support of an oblivious routing — the
+    "dense" system the paper's sparse samples are measured against. *)
+
+val to_candidates : t -> (int * int) list -> Sso_flow.Min_congestion.candidates
+(** Materialize candidate lists for the given pairs (input to the Stage-4
+    solvers). *)

@@ -1,0 +1,64 @@
+module Graph = Sso_graph.Graph
+module Demand = Sso_demand.Demand
+module Min_congestion = Sso_flow.Min_congestion
+
+type report = {
+  failed_edge : int;
+  survivable : bool;
+  achieved : float;
+  post_opt : float;
+  ratio : float;
+}
+
+let single_failures ?(solver = Semi_oblivious.default_solver) g ps demand =
+  let iters =
+    match solver with
+    | Semi_oblivious.Mwu i -> i
+    | Semi_oblivious.Lp | Semi_oblivious.Gk _ -> 300
+  in
+  List.init (Graph.m g) (fun e ->
+      let survivors = Path_system.without_edge e ps in
+      let candidates_remain =
+        List.for_all
+          (fun (s, t) -> Path_system.paths survivors s t <> [])
+          (Demand.support demand)
+      in
+      match Min_congestion.mwu_unrestricted_avoiding ~iters ~avoid:(fun e' -> e' = e) g demand with
+      | None ->
+          (* The network itself cannot survive this failure: not the path
+             system's fault. *)
+          { failed_edge = e; survivable = false; achieved = infinity; post_opt = infinity; ratio = infinity }
+      | Some (_, post_opt) ->
+          let post_opt =
+            Float.max post_opt
+              (Min_congestion.lower_bound_sparse_cut g demand)
+          in
+          if not candidates_remain then
+            { failed_edge = e; survivable = false; achieved = infinity; post_opt; ratio = infinity }
+          else begin
+            let achieved = Semi_oblivious.congestion ~solver g survivors demand in
+            { failed_edge = e; survivable = true; achieved; post_opt; ratio = achieved /. post_opt }
+          end)
+
+type summary = {
+  edges_tested : int;
+  unsurvivable : int;
+  mean_ratio : float;
+  worst_ratio : float;
+}
+
+let summary reports =
+  let network_survivable =
+    List.filter (fun r -> Float.is_finite r.post_opt) reports
+  in
+  let survivable = List.filter (fun r -> r.survivable) network_survivable in
+  let ratios = List.map (fun r -> r.ratio) survivable in
+  let count = List.length ratios in
+  {
+    edges_tested = List.length reports;
+    unsurvivable = List.length network_survivable - count;
+    mean_ratio =
+      (if count = 0 then nan
+       else List.fold_left ( +. ) 0.0 ratios /. float_of_int count);
+    worst_ratio = List.fold_left Float.max 0.0 ratios;
+  }

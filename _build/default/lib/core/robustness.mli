@@ -1,0 +1,37 @@
+(** Failure robustness of semi-oblivious path systems.
+
+    The paper's traffic-engineering motivation (Section 1, citing SMORE
+    [KYY+18]) is that semi-oblivious routing is {e robust}: when a link
+    fails, the diverse pre-installed candidate paths let Stage 4 steer
+    around the failure immediately, without installing new state.  This
+    module evaluates that: for each single-edge failure it drops the dead
+    candidates ({!Path_system.without_edge}), re-optimizes rates on the
+    survivors, and compares against the optimum of the damaged network. *)
+
+type report = {
+  failed_edge : int;
+  survivable : bool;
+      (** Every demanded pair kept at least one candidate and the damaged
+          network can still connect it. *)
+  achieved : float;  (** Stage-4 congestion on surviving candidates. *)
+  post_opt : float;  (** Optimum congestion on the damaged network. *)
+  ratio : float;  (** [achieved / post_opt]; [infinity] if unsurvivable. *)
+}
+
+val single_failures :
+  ?solver:Semi_oblivious.solver ->
+  Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t -> report list
+(** One report per edge of the graph.  Edges whose failure disconnects a
+    demanded pair in the graph itself are reported with
+    [survivable = false] and are excluded from {!summary}. *)
+
+type summary = {
+  edges_tested : int;
+  unsurvivable : int;
+      (** Failures the candidate set could not absorb even though the
+          damaged network still connects every pair. *)
+  mean_ratio : float;  (** Over survivable failures. *)
+  worst_ratio : float;
+}
+
+val summary : report list -> summary

@@ -1,0 +1,24 @@
+module Path = Sso_graph.Path
+module Maxflow = Sso_graph.Maxflow
+module Oblivious = Sso_oblivious.Oblivious
+module Rng = Sso_prng.Rng
+
+module PS = Set.Make (Path)
+
+let draw rng obl count s t =
+  let rec go k acc =
+    if k = 0 then PS.elements acc
+    else go (k - 1) (PS.add (Oblivious.sample rng obl s t) acc)
+  in
+  go count PS.empty
+
+let alpha_sample rng obl ~alpha =
+  if alpha <= 0 then invalid_arg "Sampler.alpha_sample: alpha must be positive";
+  Path_system.of_generator (fun s t -> draw rng obl alpha s t)
+
+let cnt g ~alpha s t = alpha + Maxflow.cut g s t
+
+let alpha_cut_sample rng obl ~alpha =
+  if alpha <= 0 then invalid_arg "Sampler.alpha_cut_sample: alpha must be positive";
+  let g = Oblivious.graph obl in
+  Path_system.of_generator (fun s t -> draw rng obl (cnt g ~alpha s t) s t)

@@ -1,0 +1,28 @@
+(** Samples of an oblivious routing (Definition 5.2) — the paper's
+    construction.
+
+    An [α]-sample draws, for every vertex pair, [α] paths with replacement
+    from the oblivious distribution [R(s,t)] and keeps the set of drawn
+    paths.  An [(α + cut_G)]-sample draws [α + cut_G(s,t)] paths instead
+    (the extra [cut_G(s,t)] paths are what makes fractional competitiveness
+    on arbitrary demands possible — Section 2.1's two-clique example shows
+    [α] alone cannot suffice).
+
+    Sampling is lazy per pair and memoized, which has the same joint
+    distribution as sampling all pairs upfront because per-pair draws are
+    independent; the returned systems are therefore faithful Stage-2
+    objects. *)
+
+val alpha_sample :
+  Sso_prng.Rng.t -> Sso_oblivious.Oblivious.t -> alpha:int -> Path_system.t
+(** [alpha_sample rng r ~alpha]: [|P(s,t)| ≤ α] for every pair, with paths
+    from [supp(R(s,t))]. *)
+
+val alpha_cut_sample :
+  Sso_prng.Rng.t -> Sso_oblivious.Oblivious.t -> alpha:int -> Path_system.t
+(** [(α + cut_G)]-sample; computes [cut_G(s,t)] by max-flow per pair
+    (memoized with the sample). *)
+
+val cnt : Sso_graph.Graph.t -> alpha:int -> int -> int -> int
+(** [cnt g ~alpha s t = α + cut_G(s,t)] — the paper's [cnt_G] sample-count
+    function. *)

@@ -1,0 +1,50 @@
+module Graph = Sso_graph.Graph
+module Demand = Sso_demand.Demand
+module Routing = Sso_flow.Routing
+module Min_congestion = Sso_flow.Min_congestion
+module Oblivious = Sso_oblivious.Oblivious
+
+type solver = Lp | Mwu of int | Gk of float
+
+let default_solver = Mwu 300
+
+let route ?(solver = default_solver) g ps demand =
+  let cands = Path_system.to_candidates ps (Demand.support demand) in
+  match solver with
+  | Lp -> Min_congestion.lp_on_paths g cands demand
+  | Mwu iters -> Min_congestion.mwu_on_paths ~iters g cands demand
+  | Gk epsilon -> Sso_flow.Concurrent_flow.on_paths ~epsilon g cands demand
+
+let congestion ?solver g ps demand = snd (route ?solver g ps demand)
+
+let opt ?(solver = default_solver) g demand =
+  match solver with
+  | Lp -> Min_congestion.lp_unrestricted g demand
+  | Mwu iters ->
+      let _, value = Min_congestion.mwu_unrestricted ~iters g demand in
+      (* MWU overestimates the optimum; clamp from below with the certified
+         bound so ratios do not inflate. *)
+      Float.max value (Min_congestion.lower_bound_sparse_cut g demand)
+  | Gk epsilon ->
+      let _, value = Sso_flow.Concurrent_flow.unrestricted ~epsilon g demand in
+      Float.max value (Min_congestion.lower_bound_sparse_cut g demand)
+
+let competitive_ratio ?solver g ps demand =
+  if Demand.support_size demand = 0 then 1.0
+  else begin
+    let achieved = congestion ?solver g ps demand in
+    let baseline = opt ?solver g demand in
+    if baseline <= 0.0 then infinity else achieved /. baseline
+  end
+
+let competitive_with ?solver obl ps demand =
+  if Demand.support_size demand = 0 then 1.0
+  else begin
+    let g = Oblivious.graph obl in
+    let achieved = congestion ?solver g ps demand in
+    let base = Oblivious.congestion obl demand in
+    if base <= 0.0 then infinity else achieved /. base
+  end
+
+let worst_ratio ?solver g ps demands =
+  List.fold_left (fun acc d -> Float.max acc (competitive_ratio ?solver g ps d)) 0.0 demands

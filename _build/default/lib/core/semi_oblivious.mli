@@ -1,0 +1,56 @@
+(** Semi-oblivious routing evaluation (Definition 5.1 and Stage 4/5 of the
+    pipeline in Section 2.1).
+
+    Once the demand is revealed, the router may choose rates on the
+    candidate paths with full global knowledge; [cong_ℝ(P,d)] is the
+    minimum congestion over routings supported on the path system.  The
+    competitive ratio divides it by the offline optimum [opt_{G,ℝ}(d)]
+    (Stage 5), and "competitiveness with R" divides it by [cong(R,d)]
+    (the form Theorem 5.3 is stated in). *)
+
+type solver =
+  | Lp  (** Exact simplex (small instances). *)
+  | Mwu of int  (** Multiplicative weights with the given iteration count. *)
+  | Gk of float  (** Garg–Könemann with the given ε ∈ (0,1). *)
+
+val default_solver : solver
+(** [Mwu 300]. *)
+
+val route :
+  ?solver:solver ->
+  Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t ->
+  Sso_flow.Routing.t * float
+(** Stage 4: the adaptive min-congestion routing of [d] on [P] and its
+    congestion [cong_ℝ(P,d)] (exact for [Lp], near-optimal for [Mwu]).
+    @raise Invalid_argument if some demanded pair has no candidates. *)
+
+val congestion :
+  ?solver:solver ->
+  Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t -> float
+(** [cong_ℝ(P,d)]. *)
+
+val opt :
+  ?solver:solver -> Sso_graph.Graph.t -> Sso_demand.Demand.t -> float
+(** Offline optimum [opt_{G,ℝ}(d)] (Dijkstra-oracle MWU by default; exact
+    edge-LP when [solver = Lp]). *)
+
+val competitive_ratio :
+  ?solver:solver ->
+  Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t -> float
+(** [cong_ℝ(P,d) / opt_{G,ℝ}(d)] (Stage 5); [1] for empty demands.  When
+    the MWU optimum estimate falls below the certified lower bound of
+    {!Sso_flow.Min_congestion.lower_bound_sparse_cut}, the bound is used
+    instead, so the reported ratio never exaggerates the system's
+    quality. *)
+
+val competitive_with :
+  ?solver:solver ->
+  Sso_oblivious.Oblivious.t -> Path_system.t -> Sso_demand.Demand.t -> float
+(** [cong_ℝ(P,d) / cong(R,d)] — competitiveness relative to the base
+    oblivious routing (Definition 5.1's "C-competitive with R"). *)
+
+val worst_ratio :
+  ?solver:solver ->
+  Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t list -> float
+(** Max competitive ratio over a set of demands — the empirical analogue of
+    "C-competitive on D". *)

@@ -1,0 +1,1 @@
+lib/demand/demand.ml: Array Buffer Float Format Fun Hashtbl List Map Printf Sso_graph Sso_prng String

@@ -1,0 +1,1 @@
+lib/demand/demand.mli: Format Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+lib/demand/workload.ml: Demand Float Hashtbl List Sso_prng

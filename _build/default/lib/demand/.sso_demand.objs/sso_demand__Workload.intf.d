@@ -1,0 +1,1 @@
+lib/demand/workload.mli: Demand Sso_prng

@@ -1,0 +1,54 @@
+module Rng = Sso_prng.Rng
+
+type t = Demand.t list
+
+let diurnal rng ~n ~epochs ~peak_total =
+  if epochs <= 0 then invalid_arg "Workload.diurnal: epochs must be positive";
+  if peak_total <= 0.0 then invalid_arg "Workload.diurnal: peak_total must be positive";
+  List.init epochs (fun i ->
+      let phase = 2.0 *. Float.pi *. float_of_int i /. float_of_int epochs in
+      (* Sinusoid between 0.25 and 1.0 of the peak. *)
+      let level = 0.625 +. (0.375 *. Float.sin (phase -. (Float.pi /. 2.0))) in
+      Demand.gravity rng ~n ~total:(peak_total *. level))
+
+let random_walk rng ~n ~epochs ~pairs ~churn =
+  if epochs <= 0 then invalid_arg "Workload.random_walk: epochs must be positive";
+  if not (churn >= 0.0 && churn <= 1.0) then
+    invalid_arg "Workload.random_walk: churn must lie in [0,1]";
+  if pairs <= 0 || pairs > n * (n - 1) / 2 then
+    invalid_arg "Workload.random_walk: pairs out of range";
+  let fresh_pair active =
+    let rec draw () =
+      let s = Rng.int rng n and t = Rng.int rng n in
+      if s <> t && not (Hashtbl.mem active (s, t)) then (s, t) else draw ()
+    in
+    draw ()
+  in
+  let active = Hashtbl.create pairs in
+  for _ = 1 to pairs do
+    let p = fresh_pair active in
+    Hashtbl.replace active p ()
+  done;
+  List.init epochs (fun _ ->
+      (* Churn: resample a fraction of the active pairs. *)
+      let current = Hashtbl.fold (fun p () acc -> p :: acc) active [] in
+      List.iter
+        (fun p ->
+          if Rng.float rng < churn then begin
+            Hashtbl.remove active p;
+            let q = fresh_pair active in
+            Hashtbl.replace active q ()
+          end)
+        current;
+      Demand.of_list (Hashtbl.fold (fun (s, t) () acc -> (s, t, 1.0) :: acc) active []))
+
+let hotspot_sweep ~n = List.init n (fun target -> Demand.hotspot ~n ~target)
+
+let peak = function
+  | [] -> Demand.empty
+  | first :: rest ->
+      List.fold_left
+        (fun best d -> if Demand.siz d > Demand.siz best then d else best)
+        first rest
+
+let total_epochs = List.length

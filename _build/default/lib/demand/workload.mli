@@ -1,0 +1,31 @@
+(** Time-varying demand sequences.
+
+    Semi-oblivious traffic engineering installs paths once and re-optimizes
+    rates every few minutes against fresh traffic snapshots [KYY+18].  A
+    workload is the sequence of such snapshots; the over-time experiments
+    check that one fixed sampled path system serves every epoch of a
+    realistic day. *)
+
+type t = Demand.t list
+(** Epochs in order. *)
+
+val diurnal :
+  Sso_prng.Rng.t -> n:int -> epochs:int -> peak_total:float -> t
+(** Gravity matrices whose total volume follows a sinusoidal day profile
+    (trough = 25% of [peak_total]) with fresh per-epoch activity noise —
+    the standard WAN diurnal model. *)
+
+val random_walk :
+  Sso_prng.Rng.t -> n:int -> epochs:int -> pairs:int -> churn:float -> t
+(** Unit-demand pair sets evolving by churn: each epoch, every active pair
+    is resampled with probability [churn ∈ [0,1]].  Models flow arrivals
+    and departures. *)
+
+val hotspot_sweep : n:int -> t
+(** One epoch per vertex, each an all-to-one incast on that vertex — the
+    adversarial sweep where every vertex takes a turn being popular. *)
+
+val peak : t -> Demand.t
+(** The epoch with the largest [siz] (empty demand for an empty list). *)
+
+val total_epochs : t -> int

@@ -1,0 +1,1 @@
+lib/flow/concurrent_flow.ml: Array Float Hashtbl List Map Routing Sso_demand Sso_graph

@@ -1,0 +1,1 @@
+lib/flow/concurrent_flow.mli: Min_congestion Routing Sso_demand Sso_graph

@@ -1,0 +1,1 @@
+lib/flow/min_congestion.ml: Array Float Fun Hashtbl List Map Routing Sso_demand Sso_graph Sso_lp

@@ -1,0 +1,1 @@
+lib/flow/min_congestion.mli: Routing Sso_demand Sso_graph

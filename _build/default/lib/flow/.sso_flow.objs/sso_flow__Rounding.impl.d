@@ -1,0 +1,1 @@
+lib/flow/rounding.ml: Array Float Fun List Routing Sso_demand Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+lib/flow/rounding.mli: Routing Sso_demand Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+lib/flow/routing.ml: Array Float List Map Sso_demand Sso_graph Sso_prng

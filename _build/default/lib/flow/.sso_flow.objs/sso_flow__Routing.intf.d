@@ -1,0 +1,1 @@
+lib/flow/routing.mli: Map Sso_demand Sso_graph Sso_prng

@@ -1,0 +1,109 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Shortest = Sso_graph.Shortest
+module Demand = Sso_demand.Demand
+
+module Path_map = Map.Make (Path)
+
+(* Garg–Könemann phases: edge lengths start at δ/cap and are multiplied by
+   (1 + ε·f/cap) whenever f flow crosses the edge.  A phase pushes each
+   commodity's full demand (in bottleneck-sized chunks); phases repeat
+   until the total "length volume" D = Σ l_e·cap_e reaches 1.  The
+   accumulated per-pair flows, re-normalized to distributions, form the
+   output routing. *)
+
+let solve ?(epsilon = 0.1) g ~oracle demand =
+  if not (epsilon > 0.0 && epsilon < 1.0) then
+    invalid_arg "Concurrent_flow: epsilon must lie in (0,1)";
+  if Demand.support_size demand = 0 then (Routing.make [], 0.0)
+  else begin
+    let m = Graph.m g in
+    let mf = float_of_int (max 2 m) in
+    let delta = (1.0 +. epsilon) /. Float.pow ((1.0 +. epsilon) *. mf) (1.0 /. epsilon) in
+    let length = Array.make m 0.0 in
+    Array.iteri (fun e _ -> length.(e) <- delta /. Graph.cap g e) length;
+    let volume () =
+      let d = ref 0.0 in
+      for e = 0 to m - 1 do
+        d := !d +. (length.(e) *. Graph.cap g e)
+      done;
+      !d
+    in
+    let commodities = Demand.support demand in
+    let flows = Hashtbl.create (List.length commodities) in
+    let record pair p amount =
+      let cur = try Hashtbl.find flows pair with Not_found -> Path_map.empty in
+      let cur =
+        Path_map.update p
+          (function None -> Some amount | Some a -> Some (a +. amount))
+          cur
+      in
+      Hashtbl.replace flows pair cur
+    in
+    let weight e = length.(e) in
+    (* Feasibility probe: every commodity must have at least one path. *)
+    List.iter
+      (fun (s, t) ->
+        match oracle ~weight s t with
+        | Some _ -> ()
+        | None -> invalid_arg "Concurrent_flow: demanded pair has no route")
+      commodities;
+    (* Guard against pathological parameter combinations. *)
+    let max_phases = 100_000 in
+    let phases = ref 0 in
+    while volume () < 1.0 && !phases < max_phases do
+      incr phases;
+      List.iter
+        (fun (s, t) ->
+          let remaining = ref (Demand.get demand s t) in
+          while !remaining > 1e-12 && volume () < 1.0 do
+            match oracle ~weight s t with
+            | None -> remaining := 0.0
+            | Some (p : Path.t) ->
+                let bottleneck =
+                  Array.fold_left
+                    (fun acc e -> Float.min acc (Graph.cap g e))
+                    infinity p.Path.edges
+                in
+                let amount = Float.min !remaining bottleneck in
+                record (s, t) p amount;
+                Array.iter
+                  (fun e ->
+                    length.(e) <-
+                      length.(e) *. (1.0 +. (epsilon *. amount /. Graph.cap g e)))
+                  p.Path.edges;
+                remaining := !remaining -. amount
+          done)
+        commodities
+    done;
+    if !phases >= max_phases then failwith "Concurrent_flow: phase budget exceeded";
+    let routing =
+      Routing.make
+        (List.map
+           (fun pair ->
+             let dist = Hashtbl.find flows pair in
+             (pair, Path_map.fold (fun p a acc -> (a, p) :: acc) dist []))
+           commodities)
+    in
+    (routing, Routing.congestion g routing demand)
+  end
+
+let candidates_oracle cands ~weight s t =
+  match List.assoc_opt (s, t) cands with
+  | None | Some [] -> None
+  | Some (first :: rest) ->
+      let score p = Path.weight weight p in
+      let _, best =
+        List.fold_left
+          (fun (bw, bp) p ->
+            let w = score p in
+            if w < bw then (w, p) else (bw, bp))
+          (score first, first) rest
+      in
+      Some best
+
+let on_paths ?epsilon g cands demand =
+  solve ?epsilon g ~oracle:(candidates_oracle cands) demand
+
+let unrestricted ?epsilon g demand =
+  solve ?epsilon g ~oracle:(fun ~weight s t -> Shortest.dijkstra_path g ~weight s t) demand

@@ -1,0 +1,340 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Shortest = Sso_graph.Shortest
+module Maxflow = Sso_graph.Maxflow
+module Demand = Sso_demand.Demand
+module Simplex = Sso_lp.Simplex
+
+type candidates = ((int * int) * Path.t list) list
+
+let candidates_for cands s t =
+  match List.assoc_opt (s, t) cands with Some ps -> ps | None -> []
+
+(* ---------- Exact LP on a candidate path system ---------- *)
+
+let lp_on_paths g cands demand =
+  if Demand.support_size demand = 0 then (Routing.make [], 0.0)
+  else begin
+    (* Variables: one absolute flow per (pair, candidate path), plus the
+       congestion bound z as the last variable. *)
+    let entries =
+      Demand.fold
+        (fun s t amount acc ->
+          match candidates_for cands s t with
+          | [] -> invalid_arg "Min_congestion.lp_on_paths: demanded pair has no candidates"
+          | ps -> ((s, t), amount, ps) :: acc)
+        demand []
+    in
+    let num_paths =
+      List.fold_left (fun acc (_, _, ps) -> acc + List.length ps) 0 entries
+    in
+    let z = num_paths in
+    (* Assign variable indices. *)
+    let indexed =
+      let next = ref 0 in
+      List.map
+        (fun (pair, amount, ps) ->
+          let vars =
+            List.map
+              (fun p ->
+                let v = !next in
+                incr next;
+                (v, p))
+              ps
+          in
+          (pair, amount, vars))
+        entries
+    in
+    (* Demand satisfaction: sum of a pair's path flows = demand. *)
+    let demand_rows =
+      List.map
+        (fun (_, amount, vars) ->
+          {
+            Simplex.coeffs = List.map (fun (v, _) -> (v, 1.0)) vars;
+            relation = Simplex.Eq;
+            rhs = amount;
+          })
+        indexed
+    in
+    (* Capacity rows: per edge, total flow ≤ cap · z. *)
+    let per_edge = Hashtbl.create 64 in
+    List.iter
+      (fun (_, _, vars) ->
+        List.iter
+          (fun (v, (p : Path.t)) ->
+            Array.iter
+              (fun e ->
+                let cur = try Hashtbl.find per_edge e with Not_found -> [] in
+                Hashtbl.replace per_edge e ((v, 1.0) :: cur))
+              p.Path.edges)
+          vars)
+      indexed;
+    let capacity_rows =
+      Hashtbl.fold
+        (fun e coeffs acc ->
+          {
+            Simplex.coeffs = (z, -.Graph.cap g e) :: coeffs;
+            relation = Simplex.Le;
+            rhs = 0.0;
+          }
+          :: acc)
+        per_edge []
+    in
+    let problem =
+      {
+        Simplex.num_vars = num_paths + 1;
+        objective = [ (z, 1.0) ];
+        constraints = demand_rows @ capacity_rows;
+      }
+    in
+    match Simplex.solve problem with
+    | Simplex.Infeasible | Simplex.Unbounded ->
+        failwith "Min_congestion.lp_on_paths: LP should always be feasible and bounded"
+    | Simplex.Optimal { objective; solution } ->
+        let routing =
+          Routing.make
+            (List.map
+               (fun (pair, _, vars) ->
+                 (* Simplex solutions can carry -1e-15-scale noise. *)
+                 (pair, List.map (fun (v, p) -> (Float.max 0.0 solution.(v), p)) vars))
+               indexed)
+        in
+        (routing, Float.max 0.0 objective)
+  end
+
+(* ---------- Multiplicative weights ----------
+
+   Zero-sum game view: the adversary maintains a distribution over edges
+   (implicitly, via exponential weights on cumulative normalized loads);
+   the router best-responds by sending each commodity along its cheapest
+   admissible path under those weights; the average of the best responses
+   converges to the min-congestion routing at rate O(width·√(ln m / T)). *)
+
+module Path_map = Map.Make (Path)
+
+let mwu_generic ?(iters = 300) ?warm g ~oracle demand =
+  if iters <= 0 then invalid_arg "Min_congestion: iters must be positive";
+  if Demand.support_size demand = 0 then Some (Routing.make [], 0.0)
+  else begin
+    let m = Graph.m g in
+    let support = Demand.support demand in
+    (* Feasibility probe with uniform weights; also yields the width
+       normalizer U (congestion of the probe routing). *)
+    let probe_weight e = 1.0 /. Graph.cap g e in
+    let probe =
+      List.map (fun (s, t) -> ((s, t), oracle ~weight:probe_weight s t)) support
+    in
+    if List.exists (fun (_, p) -> p = None) probe then None
+    else begin
+      let loads = Array.make m 0.0 in
+      List.iter
+        (fun ((s, t), p) ->
+          match p with
+          | Some (p : Path.t) ->
+              Array.iter
+                (fun e -> loads.(e) <- loads.(e) +. Demand.get demand s t)
+                p.Path.edges
+          | None -> assert false)
+        probe;
+      let u_norm = ref 1e-12 in
+      Array.iteri
+        (fun e load ->
+          let c = load /. Graph.cap g e in
+          if c > !u_norm then u_norm := c)
+        loads;
+      let u_norm = !u_norm in
+      let eta = Float.sqrt (4.0 *. Float.log (float_of_int (max 2 m)) /. float_of_int iters) in
+      let cum = Array.make m 0.0 in
+      let counts = Hashtbl.create (List.length support) in
+      (* Warm start: treat a previous routing as [weight] already-played
+         rounds — seed both the play counts (so the average is anchored)
+         and the cumulative loads (so the adversary remembers). *)
+      (match warm with
+      | None -> ()
+      | Some (previous, weight) ->
+          if weight <= 0 then invalid_arg "Min_congestion: warm-start weight must be positive";
+          let wf = float_of_int weight in
+          List.iter
+            (fun (s, t) ->
+              match Routing.distribution previous s t with
+              | [] -> ()
+              | dist ->
+                  let entry =
+                    List.fold_left
+                      (fun acc (w, p) ->
+                        Path_map.update p
+                          (function
+                            | None -> Some (w *. wf) | Some c -> Some (c +. (w *. wf)))
+                          acc)
+                      Path_map.empty dist
+                  in
+                  Hashtbl.replace counts (s, t) entry;
+                  List.iter
+                    (fun (w, (p : Path.t)) ->
+                      Array.iter
+                        (fun e ->
+                          cum.(e) <-
+                            cum.(e)
+                            +. (wf *. w *. Demand.get demand s t /. (Graph.cap g e *. u_norm)))
+                        p.Path.edges)
+                    dist)
+            support);
+      let record pair p =
+        let cur = try Hashtbl.find counts pair with Not_found -> Path_map.empty in
+        let cur =
+          Path_map.update p (function None -> Some 1.0 | Some c -> Some (c +. 1.0)) cur
+        in
+        Hashtbl.replace counts pair cur
+      in
+      for _ = 1 to iters do
+        let max_cum = Array.fold_left Float.max neg_infinity cum in
+        let weight e = Float.exp (eta *. (cum.(e) -. max_cum)) /. Graph.cap g e in
+        let round_loads = Array.make m 0.0 in
+        List.iter
+          (fun (s, t) ->
+            match oracle ~weight s t with
+            | None -> assert false (* probed feasible above *)
+            | Some p ->
+                record (s, t) p;
+                Array.iter
+                  (fun e -> round_loads.(e) <- round_loads.(e) +. Demand.get demand s t)
+                  p.Path.edges)
+          support;
+        Array.iteri
+          (fun e load -> cum.(e) <- cum.(e) +. (load /. (Graph.cap g e *. u_norm)))
+          round_loads
+      done;
+      let routing =
+        Routing.make
+          (List.map
+             (fun (s, t) ->
+               let dist = Hashtbl.find counts (s, t) in
+               ((s, t), Path_map.fold (fun p c acc -> (c, p) :: acc) dist []))
+             support)
+      in
+      Some (routing, Routing.congestion g routing demand)
+    end
+  end
+
+let cheapest_candidate cands ~weight s t =
+  match candidates_for cands s t with
+  | [] -> None
+  | first :: rest ->
+      let score p = Path.weight weight p in
+      let best =
+        List.fold_left
+          (fun (bw, bp) p ->
+            let w = score p in
+            if w < bw then (w, p) else (bw, bp))
+          (score first, first) rest
+      in
+      Some (snd best)
+
+let mwu_on_paths ?iters g cands demand =
+  match mwu_generic ?iters g ~oracle:(cheapest_candidate cands) demand with
+  | Some result -> result
+  | None -> invalid_arg "Min_congestion.mwu_on_paths: demanded pair has no candidates"
+
+let mwu_on_paths_warm ?iters ~warm ~warm_weight g cands demand =
+  match
+    mwu_generic ?iters ~warm:(warm, warm_weight) g ~oracle:(cheapest_candidate cands) demand
+  with
+  | Some result -> result
+  | None -> invalid_arg "Min_congestion.mwu_on_paths_warm: demanded pair has no candidates"
+
+let mwu_unrestricted ?iters g demand =
+  let oracle ~weight s t = Shortest.dijkstra_path g ~weight s t in
+  match mwu_generic ?iters g ~oracle demand with
+  | Some result -> result
+  | None -> invalid_arg "Min_congestion.mwu_unrestricted: graph is disconnected"
+
+let mwu_unrestricted_avoiding ?iters ~avoid g demand =
+  let oracle ~weight s t =
+    let masked e = if avoid e then infinity else weight e in
+    Shortest.dijkstra_path g ~weight:masked s t
+  in
+  mwu_generic ?iters g ~oracle demand
+
+let mwu_hop_limited ?iters ~max_hops g demand =
+  let oracle ~weight s t = Shortest.hop_limited_path g ~weight ~max_hops s t in
+  mwu_generic ?iters g ~oracle demand
+
+(* ---------- Exact unrestricted LP (edge formulation) ---------- *)
+
+let lp_unrestricted g demand =
+  if Demand.support_size demand = 0 then 0.0
+  else begin
+    let n = Graph.n g and m = Graph.m g in
+    let commodities = Demand.support demand in
+    let k = List.length commodities in
+    (* Variables: for commodity i and edge e, flow in the u→v direction is
+       var (i·2m + 2e) and v→u is var (i·2m + 2e + 1); z is the last. *)
+    let z = k * 2 * m in
+    let var i e dir = (i * 2 * m) + (2 * e) + dir in
+    let conservation =
+      List.concat
+        (List.mapi
+           (fun i (s, t) ->
+             let amount = Demand.get demand s t in
+             List.filter_map
+               (fun v ->
+                 let coeffs = ref [] in
+                 Array.iter
+                   (fun (e, _) ->
+                     let u, _ = Graph.endpoints g e in
+                     (* u→v direction leaves u and enters the other end. *)
+                     let dir_out = if v = u then 0 else 1 in
+                     coeffs := (var i e dir_out, 1.0) :: (var i e (1 - dir_out), -1.0) :: !coeffs)
+                   (Graph.adj g v);
+                 let rhs = if v = s then amount else if v = t then -.amount else 0.0 in
+                 if !coeffs = [] && rhs = 0.0 then None
+                 else Some { Simplex.coeffs = !coeffs; relation = Simplex.Eq; rhs })
+               (List.init n Fun.id))
+           commodities)
+    in
+    let capacity =
+      List.init m (fun e ->
+          let coeffs =
+            List.concat
+              (List.mapi (fun i _ -> [ (var i e 0, 1.0); (var i e 1, 1.0) ]) commodities)
+          in
+          {
+            Simplex.coeffs = (z, -.Graph.cap g e) :: coeffs;
+            relation = Simplex.Le;
+            rhs = 0.0;
+          })
+    in
+    let problem =
+      {
+        Simplex.num_vars = z + 1;
+        objective = [ (z, 1.0) ];
+        constraints = conservation @ capacity;
+      }
+    in
+    match Simplex.solve problem with
+    | Simplex.Optimal { objective; _ } -> Float.max 0.0 objective
+    | Simplex.Infeasible | Simplex.Unbounded ->
+        failwith "Min_congestion.lp_unrestricted: LP should be feasible and bounded"
+  end
+
+(* ---------- Certified lower bounds ---------- *)
+
+let lower_bound_sparse_cut g demand =
+  let per_pair =
+    Demand.fold
+      (fun s t amount acc ->
+        let cutcap = Maxflow.max_flow g s t in
+        if cutcap > 0.0 then Float.max acc (amount /. cutcap) else acc)
+      demand 0.0
+  in
+  (* Volume bound: every unit of (s,t) demand occupies at least hop(s,t)
+     units of capacity, and total capacity is finite. *)
+  let volume =
+    Demand.fold
+      (fun s t amount acc ->
+        match Shortest.bfs_dist g s with
+        | dist when dist.(t) <> max_int -> acc +. (amount *. float_of_int dist.(t))
+        | _ -> acc)
+      demand 0.0
+  in
+  Float.max per_pair (volume /. Graph.total_capacity g)

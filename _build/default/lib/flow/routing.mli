@@ -1,0 +1,65 @@
+(** Routings: per-pair distributions over paths (Section 4 of the paper).
+
+    A routing [R] assigns to each vertex pair [(s,t)] in its domain a
+    probability distribution [R(s,t)] over simple (s,t)-paths.  Routing a
+    demand [d] places weight [d(s,t) · P(R(s,t) = p)] on each path, and the
+    congestion of an edge is the total weight crossing it divided by its
+    capacity (with unit capacities this is the paper's path count). *)
+
+module Pair_map : Map.S with type key = int * int
+
+type t
+(** Immutable routing. *)
+
+val make : ((int * int) * (float * Sso_graph.Path.t) list) list -> t
+(** Build from per-pair weighted path lists.  Weights must be non-negative
+    with a positive sum per pair; they are normalized to a distribution.
+    Paths must connect the pair's endpoints.  Duplicate paths within a pair
+    are merged.  @raise Invalid_argument on violations. *)
+
+val singleton_paths : ((int * int) * Sso_graph.Path.t) list -> t
+(** Deterministic routing: one path per pair. *)
+
+val distribution : t -> int -> int -> (float * Sso_graph.Path.t) list
+(** The distribution for a pair; [[]] if the pair is absent. *)
+
+val pairs : t -> (int * int) list
+
+val covers : t -> Sso_demand.Demand.t -> bool
+(** Does the routing define a distribution for every pair in the demand's
+    support? *)
+
+val support_sparsity : t -> int
+(** Maximum support size over pairs — the sparsity of [supp(R)] as a path
+    system. *)
+
+val edge_loads : Sso_graph.Graph.t -> t -> Sso_demand.Demand.t -> float array
+(** Absolute load (not divided by capacity) per edge id when routing the
+    demand.  @raise Invalid_argument if some demanded pair is missing. *)
+
+val congestion : Sso_graph.Graph.t -> t -> Sso_demand.Demand.t -> float
+(** [cong(R,d) = max_e load_e / cap_e]; [0] for the empty demand. *)
+
+val edge_congestion : Sso_graph.Graph.t -> t -> Sso_demand.Demand.t -> int -> float
+(** Congestion of one edge. *)
+
+val dilation : t -> Sso_demand.Demand.t -> int
+(** [dil(R,d)]: maximum hop count over paths with positive weight used by
+    pairs in the demand's support; [0] for the empty demand. *)
+
+val is_integral_on : t -> Sso_demand.Demand.t -> bool
+(** Is [d(s,t) · P(R(s,t) = p)] a whole number for all [s, t, p]? *)
+
+val restrict : t -> (int * int) list -> t
+(** Keep only the listed pairs. *)
+
+val merge_convex :
+  Sso_demand.Demand.t * t -> Sso_demand.Demand.t * t -> t
+(** Demand-weighted combination (Lemma 5.15): the routing that, for each
+    pair, mixes the two distributions proportionally to the two demands.
+    Pairs present in only one argument keep that argument's distribution.
+    Its congestion on [d1 + d2] is at most [cong(R1,d1) + cong(R2,d2)]. *)
+
+val sample_path : Sso_prng.Rng.t -> t -> int -> int -> Sso_graph.Path.t
+(** Draw a path from [R(s,t)].  @raise Invalid_argument if the pair is
+    absent. *)

@@ -1,0 +1,1 @@
+lib/graph/bridges.ml: Array Graph List

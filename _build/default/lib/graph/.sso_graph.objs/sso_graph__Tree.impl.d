@@ -1,0 +1,1 @@
+lib/graph/tree.ml: Array Graph List Path Queue Seq Sso_prng

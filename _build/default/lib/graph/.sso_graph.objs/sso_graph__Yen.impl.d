@@ -1,0 +1,1 @@
+lib/graph/yen.ml: Array Graph Hashtbl List Path Set Shortest

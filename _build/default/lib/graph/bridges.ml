@@ -1,0 +1,52 @@
+(* Iterative Tarjan low-link.  We track the edge id used to enter each
+   vertex so that one parallel edge does not shield itself, while other
+   parallel copies (different ids) correctly cancel bridgeness. *)
+
+let find g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let timer = ref 0 in
+  let bridges = ref [] in
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      (* Stack frames: (vertex, entering edge id, next adjacency index). *)
+      let stack = ref [ (root, -1, ref 0) ] in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, enter_edge, next) :: rest ->
+            let adj = Graph.adj g v in
+            if !next < Array.length adj then begin
+              let e, w = adj.(!next) in
+              incr next;
+              if e <> enter_edge then begin
+                if disc.(w) < 0 then begin
+                  disc.(w) <- !timer;
+                  low.(w) <- !timer;
+                  incr timer;
+                  stack := (w, e, ref 0) :: !stack
+                end
+                else low.(v) <- min low.(v) disc.(w)
+              end
+            end
+            else begin
+              (* Retire v; propagate low-link to its parent. *)
+              stack := rest;
+              match rest with
+              | (parent, _, _) :: _ when enter_edge >= 0 ->
+                  low.(parent) <- min low.(parent) low.(v);
+                  if low.(v) > disc.(parent) then bridges := enter_edge :: !bridges
+              | _ -> ()
+            end
+      done
+    end
+  done;
+  List.sort compare !bridges
+
+let is_bridge g e = List.mem e (find g)
+
+let count g = List.length (find g)

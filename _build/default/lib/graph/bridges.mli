@@ -1,0 +1,16 @@
+(** Bridge (cut-edge) detection.
+
+    A bridge is an edge whose removal disconnects its endpoints.  The
+    robustness experiments use bridges to separate "the network cannot
+    survive this failure" from "the candidate set failed to cover it", and
+    the lower-bound family graph [G(n)] is glued from gadgets precisely by
+    bridges.  Tarjan low-link DFS, O(n + m); parallel edges are never
+    bridges. *)
+
+val find : Graph.t -> int list
+(** Edge ids of all bridges, ascending. *)
+
+val is_bridge : Graph.t -> int -> bool
+(** O(n + m) per query; use {!find} for many queries. *)
+
+val count : Graph.t -> int

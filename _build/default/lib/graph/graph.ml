@@ -1,0 +1,100 @@
+type edge = { id : int; u : int; v : int; cap : float }
+
+type t = { n : int; edges : edge array; adj : (int * int) array array }
+
+module Builder = struct
+  type t = { bn : int; mutable rev_edges : edge list; mutable count : int }
+
+  let create n =
+    if n <= 0 then invalid_arg "Graph.Builder.create: need at least one vertex";
+    { bn = n; rev_edges = []; count = 0 }
+
+  let add_edge ?(cap = 1.0) b u v =
+    if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+      invalid_arg "Graph.Builder.add_edge: vertex out of range";
+    if u = v then invalid_arg "Graph.Builder.add_edge: self-loop";
+    if not (cap > 0.0) then invalid_arg "Graph.Builder.add_edge: capacity must be positive";
+    let id = b.count in
+    let u, v = if u <= v then (u, v) else (v, u) in
+    b.rev_edges <- { id; u; v; cap } :: b.rev_edges;
+    b.count <- id + 1;
+    id
+
+  let build b =
+    let edges = Array.of_list (List.rev b.rev_edges) in
+    let deg = Array.make b.bn 0 in
+    Array.iter
+      (fun e ->
+        deg.(e.u) <- deg.(e.u) + 1;
+        deg.(e.v) <- deg.(e.v) + 1)
+      edges;
+    let adj = Array.init b.bn (fun v -> Array.make deg.(v) (-1, -1)) in
+    let fill = Array.make b.bn 0 in
+    Array.iter
+      (fun e ->
+        adj.(e.u).(fill.(e.u)) <- (e.id, e.v);
+        fill.(e.u) <- fill.(e.u) + 1;
+        adj.(e.v).(fill.(e.v)) <- (e.id, e.u);
+        fill.(e.v) <- fill.(e.v) + 1)
+      edges;
+    { n = b.bn; edges; adj }
+end
+
+let n g = g.n
+
+let m g = Array.length g.edges
+
+let edge g id =
+  if id < 0 || id >= Array.length g.edges then invalid_arg "Graph.edge: id out of range";
+  g.edges.(id)
+
+let edges g = g.edges
+
+let cap g id = (edge g id).cap
+
+let endpoints g id =
+  let e = edge g id in
+  (e.u, e.v)
+
+let other_end g id v =
+  let e = edge g id in
+  if e.u = v then e.v
+  else if e.v = v then e.u
+  else invalid_arg "Graph.other_end: vertex is not an endpoint"
+
+let adj g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.adj: vertex out of range";
+  g.adj.(v)
+
+let degree g v = Array.length (adj g v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let is_connected g =
+  let seen = Array.make g.n false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  seen.(0) <- true;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (_, w) ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          incr count;
+          Queue.add w queue
+        end)
+      g.adj.(v)
+  done;
+  !count = g.n
+
+let fold_edges f g init =
+  Array.fold_left (fun acc e -> f e.id e.u e.v e.cap acc) init g.edges
+
+let total_capacity g = Array.fold_left (fun acc e -> acc +. e.cap) 0.0 g.edges

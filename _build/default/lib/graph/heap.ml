@@ -1,0 +1,60 @@
+type 'a t = { mutable keys : float array; mutable data : 'a option array; mutable size : int }
+
+let create () = { keys = Array.make 16 0.0; data = Array.make 16 None; size = 0 }
+
+let is_empty h = h.size = 0
+
+let size h = h.size
+
+let grow h =
+  let cap = Array.length h.keys in
+  let keys = Array.make (2 * cap) 0.0 in
+  let data = Array.make (2 * cap) None in
+  Array.blit h.keys 0 keys 0 cap;
+  Array.blit h.data 0 data 0 cap;
+  h.keys <- keys;
+  h.data <- data
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let d = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- d
+
+let push h key value =
+  if h.size = Array.length h.keys then grow h;
+  h.keys.(h.size) <- key;
+  h.data.(h.size) <- Some value;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) in
+    let value = match h.data.(0) with Some v -> v | None -> assert false in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    Some (key, value)
+  end

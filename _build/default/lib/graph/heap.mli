@@ -1,0 +1,17 @@
+(** Minimal binary min-heap with float keys and polymorphic payloads.
+
+    Used by Dijkstra and Yen's algorithm.  Decrease-key is handled by lazy
+    deletion: callers insert duplicates and skip stale pops. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key entry. *)

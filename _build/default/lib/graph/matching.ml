@@ -1,0 +1,65 @@
+let maximum ~left ~right adjf =
+  let adj = Array.init left adjf in
+  let match_l = Array.make left (-1) in
+  let match_r = Array.make right (-1) in
+  let dist = Array.make left max_int in
+  let bfs () =
+    let queue = Queue.create () in
+    let found = ref false in
+    for l = 0 to left - 1 do
+      if match_l.(l) < 0 then begin
+        dist.(l) <- 0;
+        Queue.add l queue
+      end
+      else dist.(l) <- max_int
+    done;
+    while not (Queue.is_empty queue) do
+      let l = Queue.pop queue in
+      List.iter
+        (fun r ->
+          match match_r.(r) with
+          | -1 -> found := true
+          | l' ->
+              if dist.(l') = max_int then begin
+                dist.(l') <- dist.(l) + 1;
+                Queue.add l' queue
+              end)
+        adj.(l)
+    done;
+    !found
+  in
+  let rec dfs l =
+    let ok =
+      List.exists
+        (fun r ->
+          let usable =
+            match match_r.(r) with
+            | -1 -> true
+            | l' -> dist.(l') = dist.(l) + 1 && dfs l'
+          in
+          if usable then begin
+            match_l.(l) <- r;
+            match_r.(r) <- l
+          end;
+          usable)
+        adj.(l)
+    in
+    if not ok then dist.(l) <- max_int;
+    ok
+  in
+  let continue = ref true in
+  while !continue do
+    if bfs () then begin
+      let advanced = ref false in
+      for l = 0 to left - 1 do
+        if match_l.(l) < 0 && dfs l then advanced := true
+      done;
+      if not !advanced then continue := false
+    end
+    else continue := false
+  done;
+  let pairs = ref [] in
+  for l = left - 1 downto 0 do
+    if match_l.(l) >= 0 then pairs := (l, match_l.(l)) :: !pairs
+  done;
+  Array.of_list !pairs

@@ -1,0 +1,13 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    The lower-bound adversary of Section 8 needs, after the double
+    pigeonhole, a perfect matching between [k] left-star leaves and [k]
+    right-star leaves whose candidate sets all hit the same α-subset [S'];
+    Hall's criterion guarantees it exists and this module finds it. *)
+
+val maximum :
+  left:int -> right:int -> (int -> int list) -> (int * int) array
+(** [maximum ~left ~right adj] computes a maximum matching in the bipartite
+    graph with left vertices [0..left-1], right vertices [0..right-1], and
+    [adj l] listing the right neighbours of left vertex [l].  Returns the
+    matched pairs [(l, r)].  O(E·√V). *)

@@ -1,0 +1,139 @@
+(* Dinic on a residual digraph.  Arcs are stored in flat arrays; arc [2k]
+   and [2k+1] are the two directions of undirected edge [k] when built with
+   [digraph_of], and in general [a lxor 1] is the reverse of arc [a]. *)
+
+type net = {
+  nv : int;
+  head : int array; (* arc -> head vertex *)
+  residual : float array; (* arc -> remaining capacity *)
+  out : int array array; (* vertex -> arcs leaving it *)
+  origin : int array; (* arc -> originating undirected edge id *)
+}
+
+let build g capf =
+  let m = Graph.m g in
+  let head = Array.make (2 * m) 0 in
+  let residual = Array.make (2 * m) 0.0 in
+  let origin = Array.make (2 * m) 0 in
+  let deg = Array.make (Graph.n g) 0 in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      head.(2 * e.id) <- e.v;
+      head.((2 * e.id) + 1) <- e.u;
+      residual.(2 * e.id) <- capf e;
+      residual.((2 * e.id) + 1) <- capf e;
+      origin.(2 * e.id) <- e.id;
+      origin.((2 * e.id) + 1) <- e.id;
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    (Graph.edges g);
+  let out = Array.init (Graph.n g) (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make (Graph.n g) 0 in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      out.(e.u).(fill.(e.u)) <- 2 * e.id;
+      fill.(e.u) <- fill.(e.u) + 1;
+      out.(e.v).(fill.(e.v)) <- (2 * e.id) + 1;
+      fill.(e.v) <- fill.(e.v) + 1)
+    (Graph.edges g);
+  { nv = Graph.n g; head; residual; out; origin }
+
+let eps = 1e-9
+
+let bfs_levels net s t =
+  let level = Array.make net.nv (-1) in
+  level.(s) <- 0;
+  let queue = Queue.create () in
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun a ->
+        let w = net.head.(a) in
+        if net.residual.(a) > eps && level.(w) < 0 then begin
+          level.(w) <- level.(v) + 1;
+          Queue.add w queue
+        end)
+      net.out.(v)
+  done;
+  if level.(t) < 0 then None else Some level
+
+let rec dfs_push net level iter t v limit =
+  if v = t then limit
+  else begin
+    let pushed = ref 0.0 in
+    let arcs = net.out.(v) in
+    let narcs = Array.length arcs in
+    while iter.(v) < narcs && limit -. !pushed > eps do
+      let a = arcs.(iter.(v)) in
+      let w = net.head.(a) in
+      if net.residual.(a) > eps && level.(w) = level.(v) + 1 then begin
+        let amount =
+          dfs_push net level iter t w (min (limit -. !pushed) net.residual.(a))
+        in
+        if amount > eps then begin
+          net.residual.(a) <- net.residual.(a) -. amount;
+          net.residual.(a lxor 1) <- net.residual.(a lxor 1) +. amount;
+          pushed := !pushed +. amount
+        end
+        else iter.(v) <- iter.(v) + 1
+      end
+      else iter.(v) <- iter.(v) + 1
+    done;
+    !pushed
+  end
+
+let run net s t =
+  let total = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    match bfs_levels net s t with
+    | None -> continue := false
+    | Some level ->
+        let iter = Array.make net.nv 0 in
+        let pushed = ref (dfs_push net level iter t s infinity) in
+        while !pushed > eps do
+          total := !total +. !pushed;
+          pushed := dfs_push net level iter t s infinity
+        done
+  done;
+  !total
+
+let max_flow g s t =
+  if s = t then 0.0
+  else
+    let net = build g (fun e -> e.Graph.cap) in
+    run net s t
+
+let cut g s t =
+  if s = t then 0
+  else
+    let net = build g (fun _ -> 1.0) in
+    let value = run net s t in
+    int_of_float (Float.round value)
+
+let min_cut_edges g s t =
+  if s = t then []
+  else begin
+    let net = build g (fun _ -> 1.0) in
+    let _ = run net s t in
+    (* Source side = vertices reachable in the residual graph. *)
+    let reach = Array.make net.nv false in
+    reach.(s) <- true;
+    let queue = Queue.create () in
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun a ->
+          let w = net.head.(a) in
+          if net.residual.(a) > eps && not reach.(w) then begin
+            reach.(w) <- true;
+            Queue.add w queue
+          end)
+        net.out.(v)
+    done;
+    Graph.fold_edges
+      (fun id u v _ acc -> if reach.(u) <> reach.(v) then id :: acc else acc)
+      g []
+  end

@@ -1,0 +1,117 @@
+type t = { src : int; dst : int; edges : int array }
+
+let trivial v = { src = v; dst = v; edges = [||] }
+
+let of_edges g ~src ~dst edge_ids =
+  let cur = ref src in
+  Array.iter
+    (fun e ->
+      let u, v = Graph.endpoints g e in
+      if u = !cur then cur := v
+      else if v = !cur then cur := u
+      else invalid_arg "Path.of_edges: edges do not form a walk")
+    edge_ids;
+  if !cur <> dst then invalid_arg "Path.of_edges: walk does not end at dst";
+  { src; dst; edges = edge_ids }
+
+let min_edge_between g u v =
+  let best = ref (-1) in
+  Array.iter
+    (fun (e, w) -> if w = v && (!best < 0 || e < !best) then best := e)
+    (Graph.adj g u);
+  if !best < 0 then invalid_arg "Path.of_vertices: missing edge between consecutive vertices";
+  !best
+
+let of_vertices g = function
+  | [] -> invalid_arg "Path.of_vertices: empty vertex list"
+  | [ v ] -> trivial v
+  | first :: _ as vs ->
+      let rec collect acc = function
+        | u :: (v :: _ as rest) -> collect (min_edge_between g u v :: acc) rest
+        | [ last ] -> (last, List.rev acc)
+        | [] -> assert false
+      in
+      let last, edge_list = collect [] vs in
+      { src = first; dst = last; edges = Array.of_list edge_list }
+
+let hops p = Array.length p.edges
+
+let vertices g p =
+  let out = Array.make (hops p + 1) p.src in
+  let cur = ref p.src in
+  Array.iteri
+    (fun i e ->
+      cur := Graph.other_end g e !cur;
+      out.(i + 1) <- !cur)
+    p.edges;
+  out
+
+let mem_edge p id = Array.exists (fun e -> e = id) p.edges
+
+let is_simple g p =
+  let vs = vertices g p in
+  let seen = Hashtbl.create (Array.length vs) in
+  Array.for_all
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    vs
+
+let simplify g p =
+  (* Walk the path, and when a vertex repeats drop the loop between the two
+     occurrences.  A single left-to-right pass with a last-seen index table
+     suffices because excising a loop never creates an earlier repeat. *)
+  let vs = vertices g p in
+  let len = Array.length vs in
+  let keep_edges = ref [] in
+  let last_seen = Hashtbl.create len in
+  (* [keep_edges] holds (vertex-index, edge) pairs of the retained prefix in
+     reverse; on a repeat of vertex v we pop edges back to v's occurrence. *)
+  Hashtbl.add last_seen vs.(0) 0;
+  let depth = ref 0 in
+  for i = 1 to len - 1 do
+    let v = vs.(i) in
+    (match Hashtbl.find_opt last_seen v with
+    | Some d ->
+        (* Pop retained edges until depth d, removing vertices from the
+           table as they leave the retained prefix. *)
+        while !depth > d do
+          match !keep_edges with
+          | (u, _) :: rest ->
+              Hashtbl.remove last_seen u;
+              keep_edges := rest;
+              decr depth
+          | [] -> assert false
+        done
+    | None ->
+        keep_edges := (v, p.edges.(i - 1)) :: !keep_edges;
+        incr depth;
+        Hashtbl.replace last_seen v !depth)
+  done;
+  let edge_list = List.rev_map snd !keep_edges in
+  { src = p.src; dst = p.dst; edges = Array.of_list edge_list }
+
+let concat g p q =
+  if p.dst <> q.src then invalid_arg "Path.concat: endpoints do not meet";
+  simplify g { src = p.src; dst = q.dst; edges = Array.append p.edges q.edges }
+
+let reverse p =
+  let n = Array.length p.edges in
+  { src = p.dst; dst = p.src; edges = Array.init n (fun i -> p.edges.(n - 1 - i)) }
+
+let equal p q = p.src = q.src && p.dst = q.dst && p.edges = q.edges
+
+let compare p q =
+  match compare p.src q.src with
+  | 0 -> ( match compare p.dst q.dst with 0 -> compare p.edges q.edges | c -> c)
+  | c -> c
+
+let weight w p = Array.fold_left (fun acc e -> acc +. w e) 0.0 p.edges
+
+let pp g fmt p =
+  let vs = vertices g p in
+  Format.pp_print_string fmt
+    (String.concat "-" (Array.to_list (Array.map string_of_int vs)))

@@ -1,0 +1,62 @@
+(** Paths in a graph.
+
+    A path records its source, destination and the sequence of edge ids it
+    traverses, in order.  Because graphs are multigraphs, the edge sequence
+    (not the vertex sequence) is the canonical representation: two paths on
+    the same vertices through different parallel edges are distinct, and
+    congestion is attributed to specific edge ids.
+
+    The paper works with simple paths; {!simplify} converts any walk into a
+    simple path with the same endpoints by excising loops, and constructors
+    in this repository only hand out simple paths. *)
+
+type t = private { src : int; dst : int; edges : int array }
+
+val trivial : int -> t
+(** [trivial v] is the empty path from [v] to itself (used for [s = t]
+    pairs; it crosses no edges). *)
+
+val of_edges : Graph.t -> src:int -> dst:int -> int array -> t
+(** Validate an edge sequence as a walk from [src] to [dst] and build the
+    path.  @raise Invalid_argument if consecutive edges do not share the
+    expected endpoints. *)
+
+val of_vertices : Graph.t -> int list -> t
+(** Build a path from a vertex sequence, selecting for each hop an arbitrary
+    minimum-id edge between the consecutive vertices.
+    @raise Invalid_argument if some hop has no edge. *)
+
+val hops : t -> int
+(** Number of edges ([hop(p)] in the paper). *)
+
+val vertices : Graph.t -> t -> int array
+(** The vertex sequence [src, ..., dst] (length [hops + 1]). *)
+
+val mem_edge : t -> int -> bool
+(** Does the path cross edge [id]?  O(hops). *)
+
+val is_simple : Graph.t -> t -> bool
+(** No repeated vertex. *)
+
+val simplify : Graph.t -> t -> t
+(** Excise loops so that the result is simple; endpoints are preserved and
+    the edge set of the result is a subset of the input's. *)
+
+val concat : Graph.t -> t -> t -> t
+(** [concat g p q] joins [p] ([s → x]) and [q] ([x → t]) into a walk
+    [s → t] and {!simplify}s it.  @raise Invalid_argument if
+    [p.dst <> q.src]. *)
+
+val reverse : t -> t
+(** The same edges traversed backwards. *)
+
+val equal : t -> t -> bool
+(** Structural equality on (src, dst, edge sequence). *)
+
+val compare : t -> t -> int
+
+val weight : (int -> float) -> t -> float
+(** Sum of a per-edge weight function over the path's edges. *)
+
+val pp : Graph.t -> Format.formatter -> t -> unit
+(** Prints the vertex sequence, e.g. ["0-3-7"]. *)

@@ -1,0 +1,160 @@
+let bfs_dist g src =
+  let dist = Array.make (Graph.n g) max_int in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (_, w) ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+      (Graph.adj g v)
+  done;
+  dist
+
+let bfs_path g src dst =
+  if src = dst then Some (Path.trivial src)
+  else begin
+    let pred = Array.make (Graph.n g) (-1) in
+    let seen = Array.make (Graph.n g) false in
+    seen.(src) <- true;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun (e, w) ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            pred.(w) <- e;
+            if w = dst then found := true;
+            Queue.add w queue
+          end)
+        (Graph.adj g v)
+    done;
+    if not !found then None
+    else begin
+      let rec collect v acc =
+        if v = src then acc
+        else
+          let e = pred.(v) in
+          collect (Graph.other_end g e v) (e :: acc)
+      in
+      let edge_ids = Array.of_list (collect dst []) in
+      Some (Path.of_edges g ~src ~dst edge_ids)
+    end
+  end
+
+let dijkstra g ~weight src =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          Array.iter
+            (fun (e, w) ->
+              if not settled.(w) then begin
+                let we = weight e in
+                if we < 0.0 then invalid_arg "Shortest.dijkstra: negative edge weight";
+                let nd = d +. we in
+                if nd < dist.(w) then begin
+                  dist.(w) <- nd;
+                  pred.(w) <- e;
+                  Heap.push heap nd w
+                end
+              end)
+            (Graph.adj g v)
+        end;
+        loop ()
+  in
+  loop ();
+  (dist, pred)
+
+let path_of_pred g ~src ~dst pred =
+  if src = dst then Some (Path.trivial src)
+  else if pred.(dst) < 0 then None
+  else begin
+    let rec collect v acc =
+      if v = src then acc
+      else
+        let e = pred.(v) in
+        collect (Graph.other_end g e v) (e :: acc)
+    in
+    let edge_ids = Array.of_list (collect dst []) in
+    Some (Path.of_edges g ~src ~dst edge_ids)
+  end
+
+let dijkstra_path g ~weight src dst =
+  let _, pred = dijkstra g ~weight src in
+  path_of_pred g ~src ~dst pred
+
+let hop_limited_path g ~weight ~max_hops src dst =
+  if src = dst then Some (Path.trivial src)
+  else if max_hops <= 0 then None
+  else begin
+    let n = Graph.n g in
+    (* dist.(k).(v) = min weight of a walk src→v with at most k hops.  The
+       per-level predecessor edge makes reconstruction hop-bounded even in
+       the presence of zero-weight edges (a flat pred array could cycle). *)
+    let dist = Array.make_matrix (max_hops + 1) n infinity in
+    let pred = Array.make_matrix (max_hops + 1) n (-1) in
+    dist.(0).(src) <- 0.0;
+    for k = 1 to max_hops do
+      Array.blit dist.(k - 1) 0 dist.(k) 0 n;
+      Array.iter
+        (fun (e : Graph.edge) ->
+          let we = weight e.id in
+          if we < 0.0 then invalid_arg "Shortest.hop_limited_path: negative edge weight";
+          if dist.(k - 1).(e.u) +. we < dist.(k).(e.v) then begin
+            dist.(k).(e.v) <- dist.(k - 1).(e.u) +. we;
+            pred.(k).(e.v) <- e.id
+          end;
+          if dist.(k - 1).(e.v) +. we < dist.(k).(e.u) then begin
+            dist.(k).(e.u) <- dist.(k - 1).(e.v) +. we;
+            pred.(k).(e.u) <- e.id
+          end)
+        (Graph.edges g)
+    done;
+    if dist.(max_hops).(dst) = infinity then None
+    else begin
+      (* Walk levels downward: a [-1] predecessor means the value was
+         carried over from the previous level. *)
+      let rec collect v k acc =
+        if v = src && dist.(k).(v) = 0.0 && pred.(k).(v) = -1 then acc
+        else if pred.(k).(v) = -1 then collect v (k - 1) acc
+        else
+          let e = pred.(k).(v) in
+          collect (Graph.other_end g e v) (k - 1) (e :: acc)
+      in
+      let edge_ids = Array.of_list (collect dst max_hops []) in
+      let walk = Path.of_edges g ~src ~dst edge_ids in
+      Some (Path.simplify g walk)
+    end
+  end
+
+let eccentricity g v =
+  Array.fold_left
+    (fun acc d -> if d <> max_int && d > acc then d else acc)
+    0 (bfs_dist g v)
+
+let diameter g =
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let e = eccentricity g v in
+    if e > !best then best := e
+  done;
+  !best
+
+let all_pairs_hops g = Array.init (Graph.n g) (fun s -> bfs_dist g s)

@@ -1,0 +1,38 @@
+(** Shortest-path computations: BFS, Dijkstra, and hop-limited variants.
+
+    Dijkstra takes an arbitrary non-negative per-edge weight function, which
+    is how the MWU flow solvers and the Räcke construction re-weight the
+    graph between iterations without rebuilding it. *)
+
+val bfs_dist : Graph.t -> int -> int array
+(** Hop distances from a source; [max_int] for unreachable vertices. *)
+
+val bfs_path : Graph.t -> int -> int -> Path.t option
+(** A minimum-hop path, if the destination is reachable. *)
+
+val dijkstra : Graph.t -> weight:(int -> float) -> int -> float array * int array
+(** [dijkstra g ~weight src] returns [(dist, pred_edge)] where
+    [pred_edge.(v)] is the edge id entering [v] on a shortest path tree
+    ([-1] at the source and unreachable vertices), and [dist.(v)] is
+    [infinity] when unreachable.  [weight e] must be non-negative. *)
+
+val dijkstra_path : Graph.t -> weight:(int -> float) -> int -> int -> Path.t option
+(** A minimum-weight path between two vertices. *)
+
+val hop_limited_path :
+  Graph.t -> weight:(int -> float) -> max_hops:int -> int -> int -> Path.t option
+(** Minimum-weight walk using at most [max_hops] edges, simplified into a
+    simple path (whose weight is then at most the walk's).  Bellman–Ford
+    style dynamic program over hop counts, O(max_hops · m).  Returns [None]
+    when no walk within the hop budget exists. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Maximum hop distance from a vertex to any reachable vertex. *)
+
+val diameter : Graph.t -> int
+(** Maximum eccentricity over all vertices (hop metric).  O(n·m). *)
+
+val all_pairs_hops : Graph.t -> int array array
+(** [all_pairs_hops g] runs BFS from every vertex; row [s] is
+    [bfs_dist g s].  O(n·m) and O(n²) memory — intended for the moderate
+    graph sizes used in experiments. *)

@@ -1,0 +1,89 @@
+module Rng = Sso_prng.Rng
+
+type t = { root : int; parent_edge : int array }
+
+let bfs_tree g root =
+  let n = Graph.n g in
+  let parent_edge = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(root) <- true;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let visited = ref 1 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (e, w) ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          parent_edge.(w) <- e;
+          incr visited;
+          Queue.add w queue
+        end)
+      (Graph.adj g v)
+  done;
+  if !visited <> n then invalid_arg "Tree.bfs_tree: graph is disconnected";
+  { root; parent_edge }
+
+let wilson rng g =
+  let n = Graph.n g in
+  if not (Graph.is_connected g) then invalid_arg "Tree.wilson: graph is disconnected";
+  let root = Rng.int rng n in
+  let in_tree = Array.make n false in
+  in_tree.(root) <- true;
+  let parent_edge = Array.make n (-1) in
+  (* Per-vertex next step of the current walk (loop erasure happens by
+     overwriting: only the last exit of each vertex survives). *)
+  let next_edge = Array.make n (-1) in
+  for start = 0 to n - 1 do
+    if not in_tree.(start) then begin
+      (* Random walk from [start] until the tree is hit. *)
+      let v = ref start in
+      while not in_tree.(!v) do
+        let e, w = Rng.choose rng (Graph.adj g !v) in
+        next_edge.(!v) <- e;
+        v := w
+      done;
+      (* Retrace the loop-erased walk and attach it. *)
+      let v = ref start in
+      while not in_tree.(!v) do
+        let e = next_edge.(!v) in
+        parent_edge.(!v) <- e;
+        in_tree.(!v) <- true;
+        v := Graph.other_end g e !v
+      done
+    end
+  done;
+  { root; parent_edge }
+
+let edges t =
+  Array.to_list (Array.of_seq (Seq.filter (fun e -> e >= 0) (Array.to_seq t.parent_edge)))
+
+let depth g t v =
+  let rec go v acc =
+    if t.parent_edge.(v) < 0 then acc
+    else go (Graph.other_end g t.parent_edge.(v) v) (acc + 1)
+  in
+  go v 0
+
+let path g t s dst =
+  if s = dst then Path.trivial s
+  else begin
+    (* Collect edges up to the root from both ends, then let simplify
+       excise the shared root segment. *)
+    let to_root v =
+      let rec go v acc =
+        if t.parent_edge.(v) < 0 then List.rev acc
+        else
+          let e = t.parent_edge.(v) in
+          go (Graph.other_end g e v) (e :: acc)
+      in
+      go v []
+    in
+    let up = to_root s in
+    let down = List.rev (to_root dst) in
+    let walk =
+      Path.of_edges g ~src:s ~dst (Array.of_list (up @ down))
+    in
+    Path.simplify g walk
+  end

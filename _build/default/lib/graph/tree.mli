@@ -1,0 +1,30 @@
+(** Spanning trees: construction and tree routing.
+
+    Routing every pair along a single spanning tree is the simplest
+    oblivious routing on a general graph (and, through better trees,
+    the backbone of Räcke's construction).  We provide BFS trees, uniform
+    random spanning trees via Wilson's loop-erased-random-walk algorithm,
+    and the unique tree path between two vertices — used by the
+    tree-routing baselines and the base-quality ablation experiment. *)
+
+type t = private { root : int; parent_edge : int array }
+(** Rooted spanning tree: [parent_edge.(v)] is the edge towards the root
+    ([-1] at the root itself). *)
+
+val bfs_tree : Graph.t -> int -> t
+(** Shortest-path (hop) tree rooted at the given vertex.
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val wilson : Sso_prng.Rng.t -> Graph.t -> t
+(** A uniformly random spanning tree (Wilson 1996: loop-erased random
+    walks from each vertex to the growing tree), rooted at a random
+    vertex.  @raise Invalid_argument if the graph is disconnected. *)
+
+val edges : t -> int list
+(** The n-1 tree edge ids. *)
+
+val path : Graph.t -> t -> int -> int -> Path.t
+(** The unique tree path between two vertices (simple by construction). *)
+
+val depth : Graph.t -> t -> int -> int
+(** Hop distance to the root along the tree. *)

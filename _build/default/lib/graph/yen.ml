@@ -1,0 +1,82 @@
+module PathSet = Set.Make (Path)
+
+let k_shortest g ~weight ~k s t =
+  if k <= 0 then []
+  else if s = t then [ Path.trivial s ]
+  else begin
+    (* Dijkstra that ignores banned edges and banned vertices.  Banning is
+       expressed through the weight function (infinity = unusable). *)
+    let masked_path banned_edges banned_vertices src =
+      let wf e =
+        if Hashtbl.mem banned_edges e then infinity
+        else
+          let u, v = Graph.endpoints g e in
+          if
+            (Hashtbl.mem banned_vertices u && u <> src)
+            || (Hashtbl.mem banned_vertices v && v <> src)
+          then infinity
+          else weight e
+      in
+      match Shortest.dijkstra_path g ~weight:wf src t with
+      | Some p when Path.weight wf p < infinity -> Some p
+      | _ -> None
+    in
+    let no_ban = Hashtbl.create 1 in
+    match masked_path no_ban no_ban s with
+    | None -> []
+    | Some first ->
+        let accepted = ref [ first ] in
+        let accepted_set = ref (PathSet.singleton first) in
+        let candidates = ref PathSet.empty in
+        let continue = ref true in
+        while List.length !accepted < k && !continue do
+          let prev = List.hd !accepted in
+          let prev_vertices = Path.vertices g prev in
+          (* Spur from every prefix of the most recently accepted path. *)
+          for i = 0 to Path.hops prev - 1 do
+            let spur = prev_vertices.(i) in
+            let root_edges = Array.sub prev.Path.edges 0 i in
+            let banned_edges = Hashtbl.create 8 in
+            let banned_vertices = Hashtbl.create 8 in
+            (* Ban the next edge of every accepted path sharing this root. *)
+            List.iter
+              (fun (p : Path.t) ->
+                if
+                  Path.hops p > i
+                  && Array.sub p.Path.edges 0 i = root_edges
+                then Hashtbl.replace banned_edges p.Path.edges.(i) ())
+              !accepted;
+            (* Ban root vertices (except the spur) to keep paths simple. *)
+            for j = 0 to i - 1 do
+              Hashtbl.replace banned_vertices prev_vertices.(j) ()
+            done;
+            match masked_path banned_edges banned_vertices spur with
+            | None -> ()
+            | Some spur_path ->
+                let candidate =
+                  Path.of_edges g ~src:s ~dst:t
+                    (Array.append root_edges spur_path.Path.edges)
+                in
+                if
+                  Path.is_simple g candidate
+                  && (not (PathSet.mem candidate !accepted_set))
+                then candidates := PathSet.add candidate !candidates
+          done;
+          (* Accept the lightest remaining candidate. *)
+          let best = ref None in
+          PathSet.iter
+            (fun p ->
+              let w = Path.weight weight p in
+              match !best with
+              | Some (bw, _) when bw <= w -> ()
+              | _ -> best := Some (w, p))
+            !candidates;
+          match !best with
+          | None -> continue := false
+          | Some (_, p) ->
+              candidates := PathSet.remove p !candidates;
+              accepted := p :: !accepted;
+              accepted_set := PathSet.add p !accepted_set
+        done;
+        List.rev !accepted
+  end

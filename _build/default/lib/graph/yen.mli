@@ -1,0 +1,13 @@
+(** Yen's algorithm for the k shortest loopless paths.
+
+    Used by the KSP-spread oblivious baseline (traditional traffic
+    engineering spreads load over the k shortest paths) and by the
+    hop-constrained routing's path diversification. *)
+
+val k_shortest :
+  Graph.t -> weight:(int -> float) -> k:int -> int -> int -> Path.t list
+(** [k_shortest g ~weight ~k s t] returns up to [k] distinct simple paths
+    from [s] to [t] in non-decreasing weight order (fewer if the graph does
+    not contain [k] simple paths).  [weight e] must be non-negative; edges
+    can be soft-deleted by giving them weight [infinity].  For [s = t] the
+    single trivial path is returned. *)

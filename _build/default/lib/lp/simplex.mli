@@ -1,0 +1,36 @@
+(** Dense two-phase primal simplex.
+
+    This is the exact solver behind the min-congestion routing LPs
+    (Stage 4 of the semi-oblivious pipeline and the offline optimum on
+    small instances).  Problems are given in the standard form
+
+    {v minimize c·x  subject to  A_i · x (≤|=|≥) b_i,  x ≥ 0 v}
+
+    The implementation is a textbook tableau method with Bland's
+    anti-cycling rule and a small numerical tolerance; it targets the
+    modest problem sizes arising in experiments (hundreds of variables),
+    not industrial scale.  The approximate MWU solver in [lib/flow] covers
+    large instances and is cross-validated against this one in tests. *)
+
+type relation = Le | Eq | Ge
+
+type constr = { coeffs : (int * float) list; relation : relation; rhs : float }
+(** Sparse row: [coeffs] lists [(variable index, coefficient)]. *)
+
+type problem = { num_vars : int; objective : (int * float) list; constraints : constr list }
+(** Minimize [objective · x] over [x ≥ 0] subject to [constraints].
+    Variable indices must lie in [0 .. num_vars-1]. *)
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_pivots:int -> problem -> outcome
+(** Solve the problem.  [max_pivots] (default [200_000]) bounds total pivot
+    steps across both phases; exceeding it raises [Failure], which on these
+    problem sizes indicates a bug rather than a hard instance. *)
+
+val maximize : ?max_pivots:int -> problem -> outcome
+(** Convenience wrapper: maximize instead of minimize (the reported
+    objective is the maximized value). *)

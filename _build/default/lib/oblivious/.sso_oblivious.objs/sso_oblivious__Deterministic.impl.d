@@ -1,0 +1,1 @@
+lib/oblivious/deterministic.ml: List Oblivious Sso_graph Valiant

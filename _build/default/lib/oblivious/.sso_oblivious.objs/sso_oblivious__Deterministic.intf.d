@@ -1,0 +1,1 @@
+lib/oblivious/deterministic.mli: Oblivious Sso_graph

@@ -1,0 +1,1 @@
+lib/oblivious/frt.ml: Array Float Hashtbl List Sso_graph Sso_prng

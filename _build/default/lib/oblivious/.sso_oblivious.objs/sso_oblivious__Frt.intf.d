@@ -1,0 +1,1 @@
+lib/oblivious/frt.mli: Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+lib/oblivious/hop_constrained.ml: Array List Oblivious Printf Sso_graph

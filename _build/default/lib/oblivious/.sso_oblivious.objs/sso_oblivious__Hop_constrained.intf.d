@@ -1,0 +1,1 @@
+lib/oblivious/hop_constrained.mli: Oblivious Sso_graph

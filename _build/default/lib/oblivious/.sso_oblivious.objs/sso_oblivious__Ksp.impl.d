@@ -1,0 +1,1 @@
+lib/oblivious/ksp.ml: List Oblivious Printf Sso_graph

@@ -1,0 +1,1 @@
+lib/oblivious/ksp.mli: Oblivious Sso_graph

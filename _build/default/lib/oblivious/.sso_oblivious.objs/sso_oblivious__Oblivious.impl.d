@@ -1,0 +1,1 @@
+lib/oblivious/oblivious.ml: Array Hashtbl List Printf Sso_demand Sso_flow Sso_graph Sso_prng

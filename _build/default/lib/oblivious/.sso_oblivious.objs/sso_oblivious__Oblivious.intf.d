@@ -1,0 +1,1 @@
+lib/oblivious/oblivious.mli: Sso_demand Sso_flow Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+lib/oblivious/racke.ml: Array Float Frt List Oblivious Sso_graph Sso_prng

@@ -1,0 +1,1 @@
+lib/oblivious/racke.mli: Frt Oblivious Sso_graph Sso_prng

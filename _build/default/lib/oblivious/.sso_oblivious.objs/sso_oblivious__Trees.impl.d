@@ -1,0 +1,1 @@
+lib/oblivious/trees.ml: List Oblivious Printf Sso_graph

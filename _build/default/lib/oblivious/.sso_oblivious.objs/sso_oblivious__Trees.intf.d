@@ -1,0 +1,1 @@
+lib/oblivious/trees.mli: Oblivious Sso_graph Sso_prng

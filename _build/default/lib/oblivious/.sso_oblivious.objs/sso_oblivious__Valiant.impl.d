@@ -1,0 +1,1 @@
+lib/oblivious/valiant.ml: List Oblivious Sso_graph

@@ -1,0 +1,1 @@
+lib/oblivious/valiant.mli: Oblivious Sso_graph

@@ -1,0 +1,33 @@
+module Graph = Sso_graph.Graph
+module Shortest = Sso_graph.Shortest
+
+let ecube g =
+  let generate s t = [ (1.0, Valiant.bitfix_path g s t) ] in
+  Oblivious.make ~name:"ecube" g generate
+
+let shortest_path g =
+  let generate s t =
+    match Shortest.bfs_path g s t with
+    | Some p -> [ (1.0, p) ]
+    | None -> invalid_arg "Deterministic.shortest_path: disconnected pair"
+  in
+  Oblivious.make ~name:"shortest-path" g generate
+
+let xy_grid ~cols g =
+  if cols <= 0 || Graph.n g mod cols <> 0 then
+    invalid_arg "Deterministic.xy_grid: vertex count must be a multiple of cols";
+  let generate s t =
+    let sr = s / cols and sc = s mod cols in
+    let tr = t / cols and tc = t mod cols in
+    let row_walk =
+      List.init (abs (tc - sc) + 1) (fun i ->
+          (sr * cols) + sc + if tc >= sc then i else -i)
+    in
+    let col_walk =
+      List.init (abs (tr - sr)) (fun i ->
+          let step = i + 1 in
+          (((if tr >= sr then sr + step else sr - step) * cols) + tc))
+    in
+    [ (1.0, Sso_graph.Path.of_vertices g (row_walk @ col_walk)) ]
+  in
+  Oblivious.make ~name:"xy-grid" g generate

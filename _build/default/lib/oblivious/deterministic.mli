@@ -1,0 +1,22 @@
+(** Deterministic (1-sparse) oblivious routings — the baselines the paper's
+    lower-bound discussion contrasts against.
+
+    A deterministic oblivious routing assigns a single fixed path per pair.
+    [KKT91]: on the hypercube any such routing suffers congestion
+    [Ω(√n / Δ)] on some permutation; {!ecube} realizes the classical
+    dimension-order routing that exhibits this on bit-reversal and
+    transpose demands (experiment E4). *)
+
+val ecube : Sso_graph.Graph.t -> Oblivious.t
+(** Dimension-order (bit-fixing) routing on a hypercube: the unique greedy
+    path correcting address bits from lowest to highest. *)
+
+val shortest_path : Sso_graph.Graph.t -> Oblivious.t
+(** BFS shortest-path routing on any graph (ties broken by vertex order) —
+    the generic deterministic baseline. *)
+
+val xy_grid : cols:int -> Sso_graph.Graph.t -> Oblivious.t
+(** Dimension-order ("XY") routing on a grid built by
+    {!Sso_graph.Gen.grid}: first walk along the row to the target column,
+    then along the column — the mesh analogue of e-cube, and the routing
+    against which [HKL07] proved the grid semi-oblivious lower bound. *)

@@ -1,0 +1,142 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Shortest = Sso_graph.Shortest
+module Rng = Sso_prng.Rng
+
+type t = {
+  graph : Graph.t;
+  levels : int;
+  chain : int array array; (* chain.(v).(i) = center of v's level-i cluster *)
+  cluster_id : int array array; (* cluster_id.(v).(i): equal iff same cluster *)
+  sp_pred : (int, int array) Hashtbl.t; (* Dijkstra predecessor trees per hub *)
+  length : int -> float;
+}
+
+let min_length = 1e-9
+
+let build rng g ~length =
+  let n = Graph.n g in
+  let clamped e = Float.max min_length (length e) in
+  (* All-pairs distances under the clamped metric. *)
+  let dist = Array.init n (fun v -> fst (Shortest.dijkstra g ~weight:clamped v)) in
+  let delta_min = ref infinity and delta_max = ref 0.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        if dist.(u).(v) < !delta_min then delta_min := dist.(u).(v);
+        if dist.(u).(v) > !delta_max then delta_max := dist.(u).(v)
+      end
+    done
+  done;
+  if not (Float.is_finite !delta_max) then invalid_arg "Frt.build: graph is disconnected";
+  let scale = !delta_min in
+  let normalized u v = dist.(u).(v) /. scale in
+  let diameter = !delta_max /. scale in
+  (* Radii: r_i = beta · 2^{i-1} with beta in [1,2).  r_0 < 1 keeps level-0
+     clusters singletons; levels grows until the radius covers the
+     diameter. *)
+  let beta = 1.0 +. Rng.float rng in
+  let levels =
+    let rec go i r = if r >= diameter then i else go (i + 1) (r *. 2.0) in
+    go 1 beta
+  in
+  let pi = Rng.permutation rng n in
+  let chain = Array.init n (fun v -> Array.make (levels + 1) v) in
+  let cluster_id = Array.init n (fun v -> Array.make (levels + 1) v) in
+  (* Top level: everything in one cluster centered at the first center in
+     permutation order. *)
+  let next_id = ref n in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let top_id = fresh () in
+  for v = 0 to n - 1 do
+    chain.(v).(levels) <- pi.(0);
+    cluster_id.(v).(levels) <- top_id
+  done;
+  (* Refine level by level.  At level i the radius is beta·2^{i-1}; each
+     vertex joins the first permutation center within that radius, and two
+     vertices share a level-i cluster iff they share the level-(i+1)
+     cluster and the same chosen center. *)
+  for i = levels - 1 downto 1 do
+    let radius = beta *. Float.pow 2.0 (float_of_int (i - 1)) in
+    let ids = Hashtbl.create 64 in
+    for v = 0 to n - 1 do
+      let center =
+        let rec first j =
+          if j >= n then v (* unreachable: v itself is within any radius *)
+          else if normalized pi.(j) v <= radius then pi.(j)
+          else first (j + 1)
+        in
+        first 0
+      in
+      chain.(v).(i) <- center;
+      let key = (cluster_id.(v).(i + 1), center) in
+      let id =
+        match Hashtbl.find_opt ids key with
+        | Some id -> id
+        | None ->
+            let id = fresh () in
+            Hashtbl.add ids key id;
+            id
+      in
+      cluster_id.(v).(i) <- id
+    done
+  done;
+  (* Level 0 stays singleton: chain.(v).(0) = v, cluster_id.(v).(0) = v. *)
+  { graph = g; levels; chain; cluster_id; sp_pred = Hashtbl.create 64; length = clamped }
+
+let levels t = t.levels
+
+let cluster_center t v level =
+  if level < 0 || level > t.levels then invalid_arg "Frt.cluster_center: bad level";
+  t.chain.(v).(level)
+
+let pred_tree t hub =
+  match Hashtbl.find_opt t.sp_pred hub with
+  | Some pred -> pred
+  | None ->
+      let _, pred = Shortest.dijkstra t.graph ~weight:t.length hub in
+      Hashtbl.replace t.sp_pred hub pred;
+      pred
+
+let hub_path t hub v =
+  (* Path hub → v along the memoized shortest-path tree rooted at hub. *)
+  if hub = v then Path.trivial v
+  else begin
+    let pred = pred_tree t hub in
+    let rec collect u acc =
+      if u = hub then acc
+      else
+        let e = pred.(u) in
+        collect (Graph.other_end t.graph e u) (e :: acc)
+    in
+    Path.of_edges t.graph ~src:hub ~dst:v (Array.of_list (collect v []))
+  end
+
+(* Shortest path a → b, memoized through b's shortest-path tree (higher
+   level centers repeat across pairs, so rooting at them shares work). *)
+let center_to_center t a b = Path.reverse (hub_path t b a)
+
+let route t s t_ =
+  if s = t_ then Path.trivial s
+  else begin
+    (* Lowest level at which s and t share a cluster; vertices in a shared
+       cluster also share its center, so the up- and down-chains meet. *)
+    let rec meet i =
+      if t.cluster_id.(s).(i) = t.cluster_id.(t_).(i) then i else meet (i + 1)
+    in
+    let j = meet 0 in
+    let up = List.init j (fun i -> center_to_center t t.chain.(s).(i) t.chain.(s).(i + 1)) in
+    let down =
+      List.init j (fun i ->
+          let lvl = j - i in
+          center_to_center t t.chain.(t_).(lvl) t.chain.(t_).(lvl - 1))
+    in
+    let full =
+      List.fold_left (fun acc p -> Path.concat t.graph acc p) (Path.trivial s) (up @ down)
+    in
+    Path.simplify t.graph full
+  end

@@ -1,0 +1,28 @@
+(** FRT random hierarchical decompositions (tree embeddings).
+
+    Fakcharoenphol–Rao–Talwar metric embeddings: a random laminar family of
+    clusters with geometrically shrinking radii, built from a random vertex
+    permutation and a random radius scale.  Every tree maps back into the
+    graph by routing each tree edge along a shortest path between cluster
+    centers, so a tree induces a deterministic path per vertex pair; a
+    distribution over trees induces an oblivious routing.  This is the
+    building block of the Räcke-style construction in {!Racke}. *)
+
+type t
+(** One sampled decomposition tree over a graph. *)
+
+val build : Sso_prng.Rng.t -> Sso_graph.Graph.t -> length:(int -> float) -> t
+(** Sample a decomposition w.r.t. the shortest-path metric induced by the
+    per-edge [length] function (values are clamped below by a tiny positive
+    constant, so zero lengths are safe).  Runs [n] Dijkstras. *)
+
+val levels : t -> int
+(** Height of the decomposition (Θ(log (diameter/min-distance))). *)
+
+val route : t -> int -> int -> Sso_graph.Path.t
+(** The unique tree path between two vertices, mapped into the graph
+    (concatenated center-to-center shortest paths, simplified). *)
+
+val cluster_center : t -> int -> int -> int
+(** [cluster_center t v level] is the center of the cluster containing [v]
+    at [level] (level 0 clusters are singletons centered at [v]). *)

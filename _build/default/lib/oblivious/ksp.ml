@@ -1,0 +1,9 @@
+module Yen = Sso_graph.Yen
+
+let routing ?(weight = fun _ -> 1.0) ~k g =
+  if k <= 0 then invalid_arg "Ksp.routing: k must be positive";
+  let generate s t =
+    let paths = Yen.k_shortest g ~weight ~k s t in
+    List.map (fun p -> (1.0, p)) paths
+  in
+  Oblivious.make ~name:(Printf.sprintf "ksp-%d" k) g generate

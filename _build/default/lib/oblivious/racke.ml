@@ -1,0 +1,39 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Rng = Sso_prng.Rng
+
+let tree_loads g tree =
+  let loads = Array.make (Graph.m g) 0.0 in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let p = Frt.route tree e.u e.v in
+      Array.iter (fun e' -> loads.(e') <- loads.(e') +. e.cap) p.Path.edges)
+    (Graph.edges g);
+  Array.mapi (fun e load -> load /. Graph.cap g e) loads
+
+let default_trees g =
+  let n = Graph.n g in
+  let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) ((v + 1) / 2) in
+  (2 * log2 0 n) + 4
+
+let routing rng ?trees g =
+  let count = match trees with Some c -> c | None -> default_trees g in
+  if count <= 0 then invalid_arg "Racke.routing: need at least one tree";
+  let m = Graph.m g in
+  let cum = Array.make m 0.0 in
+  (* Exponential penalties, normalized for stability; eta balances greed
+     against diversity across the fixed number of rounds. *)
+  let eta = 1.0 in
+  let forest =
+    List.init count (fun _ ->
+        let max_cum = Array.fold_left Float.max 0.0 cum in
+        let length e = Float.exp (eta *. (cum.(e) -. max_cum)) /. Graph.cap g e in
+        let tree = Frt.build rng g ~length in
+        let loads = tree_loads g tree in
+        let peak = Array.fold_left Float.max 1e-12 loads in
+        Array.iteri (fun e load -> cum.(e) <- cum.(e) +. (load /. peak)) loads;
+        tree)
+  in
+  let weight = 1.0 /. float_of_int count in
+  let generate s t = List.map (fun tree -> (weight, Frt.route tree s t)) forest in
+  Oblivious.make ~name:"racke" g generate

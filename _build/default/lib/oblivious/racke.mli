@@ -1,0 +1,25 @@
+(** Räcke-style oblivious routing via multiplicative weights over FRT
+    trees.
+
+    [Räc08] proves every graph admits an O(log n)-competitive oblivious
+    routing and reduces its construction to distance-preserving tree
+    embeddings.  We implement the practical form of that reduction (the one
+    SMORE [KYY+18] ships): iteratively sample FRT trees, where each round's
+    edge lengths exponentially penalize edges the earlier trees overloaded
+    (load measured by routing every edge's capacity through the tree), and
+    take the uniform mixture of the sampled trees as the routing.
+
+    This is the substitution documented in DESIGN.md §3: the object has the
+    same shape as Räcke's (a distribution over decomposition trees) and is
+    empirically polylog-competitive on our testbed, which suffices because
+    Theorem 5.3 is stated relative to the base routing [R]. *)
+
+val routing : Sso_prng.Rng.t -> ?trees:int -> Sso_graph.Graph.t -> Oblivious.t
+(** Build the routing from [trees] sampled decompositions (default
+    [2·⌈log₂ n⌉ + 4]).  Construction cost: [trees] FRT builds plus one
+    capacity-routing pass per tree. *)
+
+val tree_loads : Sso_graph.Graph.t -> Frt.t -> float array
+(** Relative load per edge when each graph edge routes its capacity along
+    the tree path between its endpoints — the penalty signal of the MWU
+    loop, exposed for tests and diagnostics. *)

@@ -1,0 +1,69 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomized constructions in this repository (α-samples, Valiant's
+    trick, FRT embeddings, randomized rounding, workload generators) draw
+    from this module so that every experiment is reproducible from a single
+    integer seed.
+
+    The generator is xoshiro256** seeded through splitmix64, a standard
+    high-quality non-cryptographic combination.  States are mutable; use
+    {!split} to derive an independent stream (e.g. one per trial). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator deterministically from [seed]. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t].  Splitting then using both streams never repeats draws. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future draws as [t]). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniform bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive and
+    fit in 62 bits.  Uses rejection sampling, hence exactly uniform. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53 bits of precision. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [\[0, n)]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on [||]. *)
+
+val discrete : t -> float array -> int
+(** [discrete t w] samples index [i] with probability [w.(i) / sum w] by
+    linear scan.  Weights must be non-negative with a positive sum. *)
+
+module Alias : sig
+  (** Walker alias tables: O(n) preprocessing, O(1) sampling from a fixed
+      discrete distribution.  Used when sampling many paths from the same
+      oblivious-routing distribution. *)
+
+  type table
+
+  val make : float array -> table
+  (** Build a table from non-negative weights with positive sum. *)
+
+  val sample : t -> table -> int
+  (** Draw an index distributed proportionally to the weights. *)
+
+  val size : table -> int
+  (** Number of outcomes. *)
+end

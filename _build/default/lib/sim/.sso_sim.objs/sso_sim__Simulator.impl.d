@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Float Hashtbl List Sso_graph Sso_prng

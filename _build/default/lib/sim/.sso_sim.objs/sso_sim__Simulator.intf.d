@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Sso_flow Sso_graph Sso_prng

@@ -1,0 +1,234 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Rng = Sso_prng.Rng
+
+type discipline = Fifo | Random_rank of Rng.t | Longest_remaining
+
+type stats = { makespan : int; delivered : int; max_queue : int; total_waits : int }
+
+type packet = {
+  id : int;
+  path : Path.t;
+  hops : int array; (* edge ids in travel order *)
+  verts : int array; (* vertices visited, length hops+1 *)
+  mutable at : int; (* index into verts: current position *)
+  rank : float; (* priority for Random_rank *)
+}
+
+let congestion_and_dilation g packets =
+  let loads = Array.make (Graph.m g) 0 in
+  let dil = ref 0 in
+  List.iter
+    (fun p ->
+      dil := max !dil (Array.length p.hops);
+      Array.iter (fun e -> loads.(e) <- loads.(e) + 1) p.hops)
+    packets;
+  let cong = Array.fold_left max 0 loads in
+  (cong, !dil)
+
+let build_packets g rng_opt assignment =
+  let next_id = ref 0 in
+  let packets = ref [] in
+  Array.iter
+    (fun ((_ : int * int), paths) ->
+      Array.iter
+        (fun (p : Path.t) ->
+          let rank = match rng_opt with Some rng -> Rng.float rng | None -> 0.0 in
+          packets :=
+            {
+              id = !next_id;
+              path = p;
+              hops = p.Path.edges;
+              verts = Path.vertices g p;
+              at = 0;
+              rank;
+            }
+            :: !packets;
+          incr next_id)
+        paths)
+    assignment;
+  List.rev !packets
+
+let lower_bound g assignment =
+  let packets = build_packets g None assignment in
+  let cong, dil = congestion_and_dilation g packets in
+  max cong dil
+
+let upper_bound_cd g assignment =
+  let packets = build_packets g None assignment in
+  let cong, dil = congestion_and_dilation g packets in
+  (cong * dil) + dil
+
+let run ?(discipline = Fifo) ?max_steps g assignment =
+  let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
+  let packets = build_packets g rng_opt assignment in
+  let cong, dil = congestion_and_dilation g packets in
+  let budget =
+    match max_steps with
+    | Some b -> b
+    | None -> 64 * ((cong * dil) + cong + dil + 1)
+  in
+  let active = List.filter (fun p -> Array.length p.hops > 0) packets in
+  let compare_priority a b =
+    match discipline with
+    | Fifo -> compare a.id b.id
+    | Random_rank _ -> compare (b.rank, b.id) (a.rank, a.id)
+    | Longest_remaining ->
+        let ra = Array.length a.hops - a.at and rb = Array.length b.hops - b.at in
+        compare (rb, a.id) (ra, b.id)
+  in
+  let remaining = ref active in
+  let time = ref 0 in
+  let max_queue = ref 0 in
+  let total_waits = ref 0 in
+  while !remaining <> [] do
+    if !time >= budget then failwith "Simulator.run: step budget exceeded (bug?)";
+    incr time;
+    (* Group waiting packets by (next edge, direction). *)
+    let queues = Hashtbl.create 64 in
+    List.iter
+      (fun p ->
+        let e = p.hops.(p.at) in
+        let from_v = p.verts.(p.at) in
+        let key = (e, from_v) in
+        let q = try Hashtbl.find queues key with Not_found -> [] in
+        Hashtbl.replace queues key (p :: q))
+      !remaining;
+    Hashtbl.iter
+      (fun (e, _) queue ->
+        let width = max 1 (int_of_float (Float.floor (Graph.cap g e))) in
+        let sorted = List.sort compare_priority queue in
+        let queue_len = List.length sorted in
+        if queue_len > !max_queue then max_queue := queue_len;
+        List.iteri
+          (fun i p ->
+            if i < width then p.at <- p.at + 1 else incr total_waits)
+          sorted)
+      queues;
+    remaining := List.filter (fun p -> p.at < Array.length p.hops) !remaining
+  done;
+  { makespan = !time; delivered = List.length packets; max_queue = !max_queue; total_waits = !total_waits }
+
+type timed_packet = { pair : int * int; route : Path.t; release : int }
+
+type load_stats = {
+  finish_time : int;
+  packets : int;
+  mean_latency : float;
+  p99_latency : float;
+  mean_queueing : float;
+  peak_queue : int;
+}
+
+type flight = {
+  fp : packet;
+  freleased : int;
+  mutable farrived : int; (* -1 while in flight *)
+}
+
+let run_timed ?(discipline = Fifo) ?max_steps g timed =
+  List.iter
+    (fun { release; _ } ->
+      if release < 0 then invalid_arg "Simulator.run_timed: negative release time")
+    timed;
+  let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
+  let flights =
+    List.mapi
+      (fun id { pair = _; route; release } ->
+        let rank = match rng_opt with Some rng -> Rng.float rng | None -> 0.0 in
+        {
+          fp =
+            {
+              id;
+              path = route;
+              hops = route.Path.edges;
+              verts = Path.vertices g route;
+              at = 0;
+              rank;
+            };
+          freleased = release;
+          farrived = (if Array.length route.Path.edges = 0 then release else -1);
+        })
+      timed
+  in
+  let total_hops =
+    List.fold_left (fun acc f -> acc + Array.length f.fp.hops) 0 flights
+  in
+  let last_release = List.fold_left (fun acc f -> max acc f.freleased) 0 flights in
+  let budget =
+    match max_steps with
+    | Some b -> b
+    | None -> last_release + (8 * (total_hops + 1)) + 64
+  in
+  let compare_priority a b =
+    match discipline with
+    | Fifo -> compare (a.freleased, a.fp.id) (b.freleased, b.fp.id)
+    | Random_rank _ -> compare (b.fp.rank, b.fp.id) (a.fp.rank, a.fp.id)
+    | Longest_remaining ->
+        let ra = Array.length a.fp.hops - a.fp.at
+        and rb = Array.length b.fp.hops - b.fp.at in
+        compare (rb, a.fp.id) (ra, b.fp.id)
+  in
+  let time = ref 0 in
+  let peak_queue = ref 0 in
+  let remaining = ref (List.filter (fun f -> f.farrived < 0) flights) in
+  while !remaining <> [] do
+    if !time >= budget then failwith "Simulator.run_timed: step budget exceeded (bug?)";
+    incr time;
+    let queues = Hashtbl.create 64 in
+    List.iter
+      (fun f ->
+        if f.freleased < !time then begin
+          let e = f.fp.hops.(f.fp.at) in
+          let from_v = f.fp.verts.(f.fp.at) in
+          let key = (e, from_v) in
+          let q = try Hashtbl.find queues key with Not_found -> [] in
+          Hashtbl.replace queues key (f :: q)
+        end)
+      !remaining;
+    Hashtbl.iter
+      (fun (e, _) queue ->
+        let width = max 1 (int_of_float (Float.floor (Graph.cap g e))) in
+        let sorted = List.sort compare_priority queue in
+        let len = List.length sorted in
+        if len > !peak_queue then peak_queue := len;
+        List.iteri
+          (fun i f ->
+            if i < width then begin
+              f.fp.at <- f.fp.at + 1;
+              if f.fp.at >= Array.length f.fp.hops then f.farrived <- !time
+            end)
+          sorted)
+      queues;
+    remaining := List.filter (fun f -> f.farrived < 0) !remaining
+  done;
+  let latencies =
+    List.map (fun f -> float_of_int (f.farrived - f.freleased)) flights
+  in
+  let queueing =
+    List.map
+      (fun f -> float_of_int (f.farrived - f.freleased - Array.length f.fp.hops))
+      flights
+  in
+  let mean xs =
+    match xs with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let p99 xs =
+    match xs with
+    | [] -> 0.0
+    | _ ->
+        let arr = Array.of_list xs in
+        Array.sort compare arr;
+        let n = Array.length arr in
+        arr.(min (n - 1) (max 0 (int_of_float (Float.ceil (0.99 *. float_of_int n)) - 1)))
+  in
+  {
+    finish_time = List.fold_left (fun acc f -> max acc f.farrived) 0 flights;
+    packets = List.length flights;
+    mean_latency = mean latencies;
+    p99_latency = p99 latencies;
+    mean_queueing = mean queueing;
+    peak_queue = !peak_queue;
+  }

@@ -1,0 +1,81 @@
+(** Store-and-forward packet simulation.
+
+    The paper's completion-time objective (Section 7) rests on the classic
+    scheduling fact [LMR94]: packets routed on fixed paths with congestion
+    [c] and dilation [d] can all be delivered in [O(c + d)] synchronous
+    steps.  This module makes that operational: it simulates the
+    packet-by-packet delivery of an integral path assignment and reports
+    the actual makespan, so experiments can check that minimizing
+    congestion + dilation really minimizes delivery time — the reason the
+    objective matters to traffic engineering [KYY+18].
+
+    Model: time proceeds in synchronous steps.  Each packet occupies a
+    vertex and follows its preassigned path.  In one step an edge transmits
+    at most [⌊cap⌋] packets (at least 1) {e per direction}.  Contending
+    packets are ordered by the queue discipline. *)
+
+type discipline =
+  | Fifo  (** Earlier-injected packet first (ties by packet id). *)
+  | Random_rank of Sso_prng.Rng.t
+      (** Each packet draws one random rank at injection; highest rank
+          first at every edge — the random-delay scheme behind the
+          O(c + d) bound of [LMR94]. *)
+  | Longest_remaining
+      (** Most hops still to travel first — a practical heuristic. *)
+
+type stats = {
+  makespan : int;  (** Steps until the last packet arrived. *)
+  delivered : int;  (** Packets delivered (all of them on success). *)
+  max_queue : int;
+      (** Largest number of packets simultaneously waiting to cross one
+          (edge, direction). *)
+  total_waits : int;
+      (** Total packet-steps spent waiting (0 for uncontended traffic). *)
+}
+
+val run :
+  ?discipline:discipline ->
+  ?max_steps:int ->
+  Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> stats
+(** Simulate the assignment to completion.  Packets with empty paths
+    ([s = t]) are delivered at time 0.  [max_steps] (default
+    [64 · (c·d + c + d + 1)], far above any schedule this model admits)
+    guards against bugs — exceeding it raises [Failure].
+    [discipline] defaults to {!Fifo}. *)
+
+val lower_bound : Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> int
+(** [max(dilation, ⌈max-edge congestion⌉)] — no schedule can beat it. *)
+
+val upper_bound_cd : Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> int
+(** The trivial schedule bound [c·d + d]: every packet waits at most [c-1]
+    steps per hop. *)
+
+(** {1 Timed injection}
+
+    The one-shot model above measures makespan; traffic engineering also
+    cares about per-packet {e latency} under sustained load.  A timed run
+    injects each packet at its release step and reports latency
+    statistics (arrival − release − hops = queueing delay). *)
+
+type timed_packet = {
+  pair : int * int;
+  route : Sso_graph.Path.t;
+  release : int;  (** First step at which the packet may move (≥ 0). *)
+}
+
+type load_stats = {
+  finish_time : int;  (** Step at which the last packet arrived. *)
+  packets : int;
+  mean_latency : float;  (** Mean (arrival − release). *)
+  p99_latency : float;
+  mean_queueing : float;  (** Mean (latency − hops): pure waiting. *)
+  peak_queue : int;
+}
+
+val run_timed :
+  ?discipline:discipline ->
+  ?max_steps:int ->
+  Sso_graph.Graph.t -> timed_packet list -> load_stats
+(** Simulate to completion.  [max_steps] defaults to a generous bound
+    derived from total load and path lengths; exceeding it raises
+    [Failure]. *)

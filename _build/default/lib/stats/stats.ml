@@ -1,0 +1,58 @@
+let chernoff_upper_mult ~mu ~delta =
+  if delta < 2.0 then invalid_arg "Stats.chernoff_upper_mult: requires delta >= 2";
+  if mu < 0.0 then invalid_arg "Stats.chernoff_upper_mult: mean must be non-negative";
+  Float.exp (-0.25 *. delta *. mu *. Float.log delta)
+
+let chernoff_upper_add ~mu ~delta =
+  if delta <= 0.0 then invalid_arg "Stats.chernoff_upper_add: requires delta > 0";
+  if mu < 0.0 then invalid_arg "Stats.chernoff_upper_add: mean must be non-negative";
+  Float.exp (-.(delta *. delta *. mu) /. (2.0 +. delta))
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  if Array.length xs < 2 then 0.0
+  else begin
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (Array.length xs)
+  end
+
+let stddev xs = Float.sqrt (variance xs)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let median xs = percentile xs 50.0
+
+let max_value xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max_value: empty array";
+  Array.fold_left Float.max neg_infinity xs
+
+let min_value xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_value: empty array";
+  Array.fold_left Float.min infinity xs
+
+let empirical_tail xs threshold =
+  if Array.length xs = 0 then invalid_arg "Stats.empirical_tail: empty array";
+  let hits = Array.fold_left (fun acc x -> if x >= threshold then acc + 1 else acc) 0 xs in
+  float_of_int hits /. float_of_int (Array.length xs)
+
+let geometric_mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geometric_mean: empty array";
+  let log_sum =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: samples must be positive";
+        acc +. Float.log x)
+      0.0 xs
+  in
+  Float.exp (log_sum /. float_of_int (Array.length xs))

@@ -1,0 +1,37 @@
+(** Concentration bounds (Appendix B) and summary statistics.
+
+    The Chernoff forms below are exactly the two the paper invokes for
+    negatively-associated 0/1 sums (Lemmas B.5 and B.6); the test suite
+    checks empirical tails of the α-sampling process against them, which
+    is the finite-n analogue of the negative-association argument in
+    Lemma 5.14. *)
+
+val chernoff_upper_mult : mu:float -> delta:float -> float
+(** Lemma B.5: [P(X ≥ δμ) ≤ exp(-δμ·ln(δ)/4)] for [δ ≥ 2]. *)
+
+val chernoff_upper_add : mu:float -> delta:float -> float
+(** Lemma B.6: [P(X ≥ (1+δ)μ) ≤ exp(-δ²μ/(2+δ))] for [δ > 0]. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Population variance; 0 for arrays with < 2 elements. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p ∈ [0,100]]; nearest-rank on a sorted copy.
+    @raise Invalid_argument on empty input or out-of-range [p]. *)
+
+val median : float array -> float
+
+val max_value : float array -> float
+
+val min_value : float array -> float
+
+val empirical_tail : float array -> float -> float
+(** Fraction of samples ≥ the threshold. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive samples.  @raise Invalid_argument if any
+    sample is ≤ 0 or the array is empty. *)

@@ -1,0 +1,1 @@
+test/test_demand.ml: Alcotest Float List QCheck QCheck_alcotest Sso_demand Sso_graph Sso_prng

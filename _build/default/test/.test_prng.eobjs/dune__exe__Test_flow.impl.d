@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Sso_demand Sso_flow Sso_graph Sso_prng

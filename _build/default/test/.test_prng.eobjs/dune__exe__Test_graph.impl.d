@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Fun List QCheck QCheck_alcotest Set Sso_graph Sso_prng

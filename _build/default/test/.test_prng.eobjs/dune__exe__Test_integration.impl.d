@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float List Printf Sso_core Sso_demand Sso_flow Sso_graph Sso_oblivious Sso_prng Sso_sim

@@ -1,0 +1,1 @@
+test/test_oblivious.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Sso_demand Sso_flow Sso_graph Sso_oblivious Sso_prng

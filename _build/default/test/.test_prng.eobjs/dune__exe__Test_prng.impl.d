@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Gen List Printf QCheck QCheck_alcotest Sso_prng

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Sso_core Sso_demand Sso_flow Sso_graph Sso_oblivious Sso_prng Sso_sim

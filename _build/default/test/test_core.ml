@@ -1,0 +1,1176 @@
+(* Tests for the paper's core: path systems, α-samples, semi-oblivious
+   evaluation, integral routing, the Lemma 5.6 process, completion time,
+   the special-demand reduction, and the Section 8 lower-bound adversary. *)
+
+module Rng = Sso_prng.Rng
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Gen = Sso_graph.Gen
+module Maxflow = Sso_graph.Maxflow
+module Demand = Sso_demand.Demand
+module Routing = Sso_flow.Routing
+module Oblivious = Sso_oblivious.Oblivious
+module Valiant = Sso_oblivious.Valiant
+module Deterministic = Sso_oblivious.Deterministic
+module Ksp = Sso_oblivious.Ksp
+module Racke = Sso_oblivious.Racke
+module Path_system = Sso_core.Path_system
+module Sampler = Sso_core.Sampler
+module Semi_oblivious = Sso_core.Semi_oblivious
+module Integral = Sso_core.Integral
+module Process = Sso_core.Process
+module Completion = Sso_core.Completion
+module Lower_bound = Sso_core.Lower_bound
+module Special = Sso_core.Special
+
+let all_pairs n =
+  List.concat_map
+    (fun s -> List.filter_map (fun t -> if s = t then None else Some (s, t)) (List.init n Fun.id))
+    (List.init n Fun.id)
+
+(* Path systems *)
+
+let test_path_system_of_pairs () =
+  let g = Gen.cycle 4 in
+  let p = Path.of_vertices g [ 0; 1; 2 ] in
+  let q = Path.of_vertices g [ 0; 3; 2 ] in
+  let ps = Path_system.of_pairs [ ((0, 2), [ p; q ]) ] in
+  Alcotest.(check int) "two candidates" 2 (List.length (Path_system.paths ps 0 2));
+  Alcotest.(check int) "no candidates elsewhere" 0 (List.length (Path_system.paths ps 1 3));
+  Alcotest.(check int) "sparsity" 2 (Path_system.sparsity_on ps [ (0, 2); (1, 3) ]);
+  Alcotest.(check bool) "2-sparse" true (Path_system.is_alpha_sparse ps ~alpha:2 [ (0, 2) ]);
+  Alcotest.(check bool) "not 1-sparse" false (Path_system.is_alpha_sparse ps ~alpha:1 [ (0, 2) ])
+
+let test_path_system_validates () =
+  let g = Gen.cycle 4 in
+  let p = Path.of_vertices g [ 0; 1; 2 ] in
+  Alcotest.check_raises "endpoint mismatch"
+    (Invalid_argument "Path_system: path endpoints do not match pair") (fun () ->
+      ignore (Path_system.of_pairs [ ((1, 2), [ p ]) ]));
+  Alcotest.check_raises "duplicate path"
+    (Invalid_argument "Path_system: duplicate path in candidate set") (fun () ->
+      ignore (Path_system.of_pairs [ ((0, 2), [ p; p ]) ]))
+
+let test_path_system_generator_memoizes () =
+  let g = Gen.cycle 4 in
+  let calls = ref 0 in
+  let ps =
+    Path_system.of_generator (fun s t ->
+        incr calls;
+        match Sso_graph.Shortest.bfs_path g s t with Some p -> [ p ] | None -> [])
+  in
+  ignore (Path_system.paths ps 0 2);
+  ignore (Path_system.paths ps 0 2);
+  Alcotest.(check int) "one call" 1 !calls;
+  Alcotest.(check (list (pair int int))) "known pairs" [ (0, 2) ] (Path_system.known_pairs ps)
+
+let test_path_system_union () =
+  let g = Gen.cycle 4 in
+  let p = Path.of_vertices g [ 0; 1; 2 ] in
+  let q = Path.of_vertices g [ 0; 3; 2 ] in
+  let a = Path_system.of_pairs [ ((0, 2), [ p ]) ] in
+  let b = Path_system.of_pairs [ ((0, 2), [ q; p ]) ] in
+  let u = Path_system.union a b in
+  Alcotest.(check int) "union dedupes" 2 (List.length (Path_system.paths u 0 2))
+
+let test_path_system_restrict_hops () =
+  let g = Gen.multi_path [ 1; 3 ] in
+  let direct = Path.of_vertices g [ 0; 1 ] in
+  let detour = Path.of_vertices g [ 0; 2; 3; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ direct; detour ]) ] in
+  let short = Path_system.restrict_hops ~max_hops:1 ps in
+  Alcotest.(check int) "only the direct edge" 1 (List.length (Path_system.paths short 0 1))
+
+let test_of_oblivious_support () =
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:3 g in
+  let ps = Path_system.of_oblivious_support obl in
+  Alcotest.(check int) "matches distribution" 3 (List.length (Path_system.paths ps 0 8))
+
+(* Sampler *)
+
+let test_alpha_sample_sparsity () =
+  let g = Gen.hypercube 4 in
+  let obl = Valiant.routing g in
+  let rng = Rng.create 3 in
+  let ps = Sampler.alpha_sample rng obl ~alpha:3 in
+  let pairs = all_pairs (Graph.n g) in
+  Alcotest.(check bool) "3-sparse" true (Path_system.is_alpha_sparse ps ~alpha:3 pairs)
+
+let test_alpha_sample_from_support () =
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:4 g in
+  let rng = Rng.create 5 in
+  let ps = Sampler.alpha_sample rng obl ~alpha:2 in
+  let support = List.map snd (Oblivious.distribution obl 0 8) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "sampled from support" true (List.exists (Path.equal p) support))
+    (Path_system.paths ps 0 8)
+
+let test_alpha_sample_deterministic_base () =
+  (* Sampling from a 1-support routing always yields that single path. *)
+  let g = Gen.grid 3 3 in
+  let obl = Deterministic.shortest_path g in
+  let rng = Rng.create 7 in
+  let ps = Sampler.alpha_sample rng obl ~alpha:5 in
+  Alcotest.(check int) "single path" 1 (List.length (Path_system.paths ps 0 8))
+
+let test_cnt_and_cut_sample () =
+  let g = Gen.cycle 6 in
+  Alcotest.(check int) "cnt = alpha + cut" (3 + 2) (Sampler.cnt g ~alpha:3 0 3);
+  let obl = Ksp.routing ~k:8 g in
+  let rng = Rng.create 9 in
+  let ps = Sampler.alpha_cut_sample rng obl ~alpha:3 in
+  (* Cycle pairs have cut 2 but only 2 simple paths exist, so the set has
+     at most 2 distinct paths — and at most α+cut by definition. *)
+  Alcotest.(check bool) "within bound" true (List.length (Path_system.paths ps 0 3) <= 5)
+
+let test_sample_reproducible () =
+  let g = Gen.hypercube 4 in
+  let obl = Valiant.routing g in
+  let ps1 = Sampler.alpha_sample (Rng.create 42) (Valiant.routing g) ~alpha:3 in
+  let ps2 = Sampler.alpha_sample (Rng.create 42) obl ~alpha:3 in
+  let paths1 = Path_system.paths ps1 0 15 and paths2 = Path_system.paths ps2 0 15 in
+  Alcotest.(check bool) "same seed, same sample" true
+    (List.for_all2 Path.equal paths1 paths2)
+
+(* Semi-oblivious evaluation *)
+
+let test_route_adapts_to_demand () =
+  (* Candidates: both square routes.  Stage 4 splits; a fixed single path
+     could not. *)
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let b = Path.of_vertices g [ 0; 3; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let d = Demand.single_pair 0 1 2.0 in
+  let _, cong = Semi_oblivious.route ~solver:Semi_oblivious.Lp g ps d in
+  Alcotest.(check (float 1e-6)) "splits perfectly" 1.0 cong
+
+let test_gk_solver_variant () =
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let b = Path.of_vertices g [ 0; 3; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let d = Demand.single_pair 0 1 2.0 in
+  let cong = Semi_oblivious.congestion ~solver:(Semi_oblivious.Gk 0.05) g ps d in
+  Alcotest.(check bool) (Printf.sprintf "gk near 1 (%.3f)" cong) true (cong <= 1.1);
+  let opt = Semi_oblivious.opt ~solver:(Semi_oblivious.Gk 0.05) g d in
+  Alcotest.(check bool) "gk opt sane" true (opt >= 1.0 -. 1e-6 && opt <= 1.1)
+
+let test_congestion_solvers_agree () =
+  let rng = Rng.create 11 in
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:3 g in
+  let ps = Sampler.alpha_sample rng obl ~alpha:3 in
+  let d = Demand.random_pairs rng ~n:9 ~pairs:4 in
+  let lp = Semi_oblivious.congestion ~solver:Semi_oblivious.Lp g ps d in
+  let mwu = Semi_oblivious.congestion ~solver:(Semi_oblivious.Mwu 600) g ps d in
+  Alcotest.(check bool)
+    (Printf.sprintf "lp %.3f vs mwu %.3f" lp mwu)
+    true
+    (mwu >= lp -. 1e-6 && mwu <= (lp *. 1.2) +. 0.05)
+
+let test_full_support_is_1_competitive_with_base () =
+  (* Using the oblivious routing's entire support can only do better than
+     the oblivious routing itself. *)
+  let rng = Rng.create 13 in
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:3 g in
+  let ps = Path_system.of_oblivious_support obl in
+  let d = Demand.random_pairs rng ~n:9 ~pairs:5 in
+  let ratio = Semi_oblivious.competitive_with ~solver:Semi_oblivious.Lp obl ps d in
+  Alcotest.(check bool) "at most 1" true (ratio <= 1.0 +. 1e-6)
+
+let test_competitive_ratio_at_least_one_with_lp () =
+  let rng = Rng.create 17 in
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:2 g in
+  let ps = Sampler.alpha_sample rng obl ~alpha:2 in
+  let d = Demand.random_pairs rng ~n:9 ~pairs:4 in
+  let ratio = Semi_oblivious.competitive_ratio ~solver:Semi_oblivious.Lp g ps d in
+  Alcotest.(check bool) "restricted ≥ unrestricted" true (ratio >= 1.0 -. 1e-6)
+
+let test_empty_demand_ratio () =
+  let g = Gen.cycle 4 in
+  let ps = Path_system.of_pairs [] in
+  Alcotest.(check (float 1e-9)) "empty demand" 1.0
+    (Semi_oblivious.competitive_ratio g ps Demand.empty)
+
+let test_worst_ratio () =
+  let rng = Rng.create 19 in
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:3 g in
+  let ps = Path_system.of_oblivious_support obl in
+  let demands = List.init 3 (fun _ -> Demand.random_pairs rng ~n:9 ~pairs:3) in
+  let worst = Semi_oblivious.worst_ratio ~solver:Semi_oblivious.Lp g ps demands in
+  let each =
+    List.map (fun d -> Semi_oblivious.competitive_ratio ~solver:Semi_oblivious.Lp g ps d) demands
+  in
+  Alcotest.(check (float 1e-9)) "max of singles" (List.fold_left Float.max 0.0 each) worst
+
+(* Theorem 2.3 at test scale: a Θ(log n)-sample of Valiant routes random
+   permutations on the hypercube with small competitive ratio. *)
+let test_log_sample_competitive_on_hypercube () =
+  let dim = 5 in
+  let g = Gen.hypercube dim in
+  let obl = Valiant.routing g in
+  let rng = Rng.create 23 in
+  let ps = Sampler.alpha_sample rng obl ~alpha:dim in
+  let worst = ref 0.0 in
+  for _ = 1 to 3 do
+    let d = Demand.random_permutation rng (Graph.n g) in
+    let ratio = Semi_oblivious.competitive_ratio ~solver:(Semi_oblivious.Mwu 200) g ps d in
+    worst := Float.max !worst ratio
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "polylog-ish ratio %.2f" !worst)
+    true (!worst <= 8.0)
+
+(* Theorem 2.5 shape at test scale: more sampled paths → no worse
+   worst-case congestion on a fixed demand set. *)
+let test_sparsity_monotonicity () =
+  let g = Gen.hypercube 4 in
+  let obl = Valiant.routing g in
+  let demand = Demand.bit_reversal 4 in
+  let cong_at alpha =
+    let rng = Rng.create 100 in
+    let ps = Sampler.alpha_sample rng obl ~alpha in
+    Semi_oblivious.congestion ~solver:(Semi_oblivious.Mwu 200) g ps demand
+  in
+  let c1 = cong_at 1 and c4 = cong_at 4 and c8 = cong_at 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "c1=%.2f c4=%.2f c8=%.2f" c1 c4 c8)
+    true
+    (c4 <= c1 +. 0.3 && c8 <= c4 +. 0.3)
+
+(* Integral routing *)
+
+let test_integral_upper_is_integral () =
+  let rng = Rng.create 29 in
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:3 g in
+  let ps = Sampler.alpha_sample rng obl ~alpha:3 in
+  let d = Demand.random_pairs rng ~n:9 ~pairs:4 in
+  let assignment, cong = Integral.congestion_upper ~solver:Semi_oblivious.Lp rng g ps d in
+  Alcotest.(check bool) "congestion positive" true (cong >= 1.0 -. 1e-9);
+  let routing = Sso_flow.Rounding.to_routing assignment in
+  Alcotest.(check bool) "integral" true (Routing.is_integral_on routing d)
+
+let test_integral_upper_vs_brute_force () =
+  let rng = Rng.create 31 in
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:2 g in
+  let ps = Sampler.alpha_sample rng obl ~alpha:2 in
+  let d = Demand.random_pairs rng ~n:9 ~pairs:4 in
+  let exact = Integral.brute_force g ps d in
+  let _, upper = Integral.congestion_upper ~solver:Semi_oblivious.Lp ~tries:20 rng g ps d in
+  Alcotest.(check bool)
+    (Printf.sprintf "upper %.2f ≥ exact %.2f" upper exact)
+    true (upper >= exact -. 1e-9);
+  (* Rounding + local search should be close to exact at this scale. *)
+  Alcotest.(check bool) "close to exact" true (upper <= (2.0 *. exact) +. 3.0)
+
+let test_brute_force_known () =
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let b = Path.of_vertices g [ 0; 3; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  (* One packet: congestion 1 regardless. *)
+  Alcotest.(check (float 1e-9)) "single packet" 1.0
+    (Integral.brute_force g ps (Demand.single_pair 0 1 1.0))
+
+let test_brute_force_forced_collision () =
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ a ]) ] in
+  Alcotest.check_raises "rejects non-01"
+    (Invalid_argument "Integral.brute_force: demand must be a {0,1}-demand") (fun () ->
+      ignore (Integral.brute_force g ps (Demand.single_pair 0 1 2.0)))
+
+let test_integral_rounding_bound_cor64 () =
+  (* Corollary 6.4: cong_Z(P,d) ≤ 2·cong_R(P,d) + 3 ln m. *)
+  let rng = Rng.create 37 in
+  let g = Gen.hypercube 4 in
+  let obl = Valiant.routing g in
+  let ps = Sampler.alpha_sample rng obl ~alpha:4 in
+  let d = Demand.random_permutation rng (Graph.n g) in
+  let frac = Semi_oblivious.congestion ~solver:(Semi_oblivious.Mwu 300) g ps d in
+  let _, integral = Integral.congestion_upper ~tries:20 rng g ps d in
+  let bound = (2.0 *. frac) +. (3.0 *. Float.log (float_of_int (Graph.m g))) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cor 6.4 (%.2f ≤ %.2f)" integral bound)
+    true (integral <= bound +. 1e-6)
+
+(* The Lemma 5.6 dynamic process *)
+
+let test_weak_route_survives_on_good_sample () =
+  (* Hypercube, α = dim sample of Valiant, permutation demand, generous
+     allowance: at least half the demand must survive (whp). *)
+  let dim = 5 in
+  let g = Gen.hypercube dim in
+  let obl = Valiant.routing g in
+  let rng = Rng.create 41 in
+  let ps = Sampler.alpha_sample rng obl ~alpha:(2 * dim) in
+  let d = Demand.random_permutation rng (Graph.n g) in
+  let outcome = Process.weak_route ~gamma:8.0 g ps d in
+  Alcotest.(check bool)
+    (Printf.sprintf "survived %.2f" outcome.Process.survived_fraction)
+    true
+    (outcome.Process.survived_fraction >= 0.5);
+  match outcome.Process.kept_routing with
+  | None -> Alcotest.fail "expected a routing"
+  | Some r ->
+      Alcotest.(check bool) "kept congestion within gamma" true
+        (Routing.congestion g r outcome.Process.kept_demand <= 8.0 +. 1e-9)
+
+let test_weak_route_deletes_under_tight_gamma () =
+  (* With allowance below 1 and a single forced path, the process must
+     delete everything. *)
+  let g = Gen.path_graph 3 in
+  let p = Path.of_vertices g [ 0; 1; 2 ] in
+  let ps = Path_system.of_pairs [ ((0, 2), [ p ]) ] in
+  let d = Demand.single_pair 0 2 2.0 in
+  let outcome = Process.weak_route ~gamma:1.0 g ps d in
+  Alcotest.(check (float 1e-9)) "all deleted" 0.0 outcome.Process.survived_fraction;
+  Alcotest.(check bool) "deletions recorded" true (outcome.Process.deletions <> [])
+
+let test_weak_route_keeps_everything_when_loose () =
+  let g = Gen.path_graph 3 in
+  let p = Path.of_vertices g [ 0; 1; 2 ] in
+  let ps = Path_system.of_pairs [ ((0, 2), [ p ]) ] in
+  let d = Demand.single_pair 0 2 2.0 in
+  let outcome = Process.weak_route ~gamma:5.0 g ps d in
+  Alcotest.(check (float 1e-9)) "everything survives" 1.0 outcome.Process.survived_fraction;
+  Alcotest.(check (list (pair int (float 1e-9)))) "no deletions" [] outcome.Process.deletions
+
+let test_route_by_halving_routes_everything () =
+  let dim = 4 in
+  let g = Gen.hypercube dim in
+  let obl = Valiant.routing g in
+  let rng = Rng.create 43 in
+  let ps = Sampler.alpha_sample rng obl ~alpha:(2 * dim) in
+  let d = Demand.random_permutation rng (Graph.n g) in
+  let routing, cong = Process.route_by_halving ~gamma:6.0 g ps d in
+  Alcotest.(check bool) "covers demand" true (Routing.covers routing d);
+  (* Lemma 5.8 shape: O(gamma log m). *)
+  let bound = 4.0 *. 6.0 *. Float.log (float_of_int (Graph.m g)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "halving congestion %.2f ≤ %.2f" cong bound)
+    true (cong <= bound)
+
+(* Completion time *)
+
+let test_completion_route_prefers_balanced_tradeoff () =
+  (* multi_path [1;8;8;8]: min-congestion spreads over the 8-hop detours
+     (dilation 8); min-completion for a small demand keeps短 paths. *)
+  let g = Gen.multi_path [ 1; 8; 8; 8 ] in
+  let direct = Path.of_vertices g [ 0; 1 ] in
+  let detours =
+    List.init 3 (fun i ->
+        let base = 2 + (i * 7) in
+        Path.of_vertices g ((0 :: List.init 7 (fun j -> base + j)) @ [ 1 ]))
+  in
+  let ps = Path_system.of_pairs [ ((0, 1), direct :: detours) ] in
+  let d = Demand.single_pair 0 1 2.0 in
+  let _, cong, dil = Completion.route ~solver:Semi_oblivious.Lp g ps d in
+  let value = cong +. float_of_int dil in
+  (* Using only the direct edge: cong 2, dil 1 → 3.  Spreading over all
+     four: cong 0.5, dil 8 → 8.5.  The router must find value ≤ 3. *)
+  Alcotest.(check bool) (Printf.sprintf "value %.2f" value) true (value <= 3.0 +. 1e-6)
+
+let test_completion_time_of_routing () =
+  let g = Gen.path_graph 3 in
+  let p = Path.of_vertices g [ 0; 1; 2 ] in
+  let r = Routing.singleton_paths [ ((0, 2), p) ] in
+  let d = Demand.single_pair 0 2 3.0 in
+  Alcotest.(check (float 1e-9)) "cong + dil" 5.0 (Completion.completion_time g r d)
+
+let test_ladder_hops_cover_diameter () =
+  let g = Gen.grid 4 4 in
+  let hops = Completion.ladder_hops g in
+  Alcotest.(check bool) "starts at 1" true (List.hd hops = 1);
+  Alcotest.(check bool) "covers diameter" true
+    (List.exists (fun h -> h >= Sso_graph.Shortest.diameter g) hops)
+
+let test_ladder_system_feasible () =
+  let rng = Rng.create 47 in
+  let g = Gen.grid 3 3 in
+  let ps = Completion.ladder_system rng g ~alpha:2 in
+  let d = Demand.of_list [ (0, 8, 1.0); (2, 6, 1.0) ] in
+  let _, cong, dil = Completion.route ~solver:(Semi_oblivious.Mwu 150) g ps d in
+  Alcotest.(check bool) "feasible" true (cong > 0.0 && dil > 0)
+
+(* Special demands and bucketing *)
+
+let test_special_of_support () =
+  let g = Gen.cycle 6 in
+  let d = Special.special_of_support g ~alpha:3 [ (0, 3); (1, 4) ] in
+  Alcotest.(check bool) "is special" true (Demand.is_special g ~alpha:3 d);
+  Alcotest.(check (float 1e-9)) "value alpha+cut" 5.0 (Demand.get d 0 3)
+
+let test_buckets_partition () =
+  let g = Gen.cycle 6 in
+  let d = Demand.of_list [ (0, 3, 0.5); (1, 4, 7.0); (2, 5, 40.0) ] in
+  let buckets = Special.buckets g ~alpha:2 d in
+  let total = List.fold_left (fun acc (_, b) -> Demand.add acc b) Demand.empty buckets in
+  Alcotest.(check bool) "buckets sum to demand" true (Demand.equal total d);
+  (* Within a bucket, ratios are within a factor 2. *)
+  List.iter
+    (fun (_, b) ->
+      let ratios =
+        Demand.fold (fun s t v acc -> (v /. float_of_int (Sampler.cnt g ~alpha:2 s t)) :: acc) b []
+      in
+      match ratios with
+      | [] -> ()
+      | r0 :: rest ->
+          let lo = List.fold_left Float.min r0 rest in
+          let hi = List.fold_left Float.max r0 rest in
+          Alcotest.(check bool) "dyadic width" true (hi < (2.0 *. lo) +. 1e-9))
+    buckets
+
+let test_random_special () =
+  let rng = Rng.create 53 in
+  let g = Gen.grid 3 3 in
+  let d = Special.random_special rng g ~alpha:2 ~pairs:5 in
+  Alcotest.(check int) "pairs" 5 (Demand.support_size d);
+  Alcotest.(check bool) "special" true (Demand.is_special g ~alpha:2 d)
+
+(* Lower bound adversary (Section 8) *)
+
+let test_middles_hit () =
+  let c = Gen.c_graph 4 3 in
+  let g = c.Gen.c_graph in
+  let s = c.Gen.c_leaves1.(0) and t = c.Gen.c_leaves2.(0) in
+  let mid = c.Gen.c_middles.(1) in
+  let p =
+    Path.of_vertices g [ s; c.Gen.c_center1; mid; c.Gen.c_center2; t ]
+  in
+  Alcotest.(check (list int)) "hits the middle" [ mid ] (Lower_bound.middles_hit c p)
+
+let test_attack_on_1_sparse () =
+  (* A deterministic (1-sparse) system on C(n,k) must funnel many pairs
+     through one middle: predicted congestion ≥ k with opt 1. *)
+  let n = 9 and k = 3 in
+  let c = Gen.c_graph n k in
+  let obl = Deterministic.shortest_path c.Gen.c_graph in
+  let ps = Sso_core.Path_system.of_oblivious_support obl in
+  let attack = Lower_bound.attack c ps in
+  Alcotest.(check bool) "permutation demand" true (Demand.is_permutation attack.Lower_bound.demand);
+  Alcotest.(check bool)
+    (Printf.sprintf "predicted %.2f ≥ k" attack.Lower_bound.predicted_congestion)
+    true
+    (attack.Lower_bound.predicted_congestion >= float_of_int k -. 1e-9);
+  let measured = Lower_bound.verify ~solver:Semi_oblivious.Lp c ps attack in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.2f ≥ predicted %.2f" measured
+       attack.Lower_bound.predicted_congestion)
+    true
+    (measured >= attack.Lower_bound.predicted_congestion -. 1e-6)
+
+let test_attack_weaker_on_sparse_samples () =
+  (* α-samples with larger α leave the adversary a smaller certified bound:
+     score k/α decreases.  Check predicted bound for α = k is ≤ k/1. *)
+  let n = 16 and k = 4 in
+  let c = Gen.c_graph n k in
+  let g = c.Gen.c_graph in
+  let obl = Ksp.routing ~k:8 g in
+  let rng = Rng.create 59 in
+  let ps1 = Sampler.alpha_sample (Rng.split rng) obl ~alpha:1 in
+  let ps4 = Sampler.alpha_sample (Rng.split rng) obl ~alpha:4 in
+  let a1 = Lower_bound.attack c ps1 in
+  let a4 = Lower_bound.attack c ps4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sparser is more attackable (%.2f ≥ %.2f)"
+       a1.Lower_bound.predicted_congestion a4.Lower_bound.predicted_congestion)
+    true
+    (a1.Lower_bound.predicted_congestion >= a4.Lower_bound.predicted_congestion -. 1e-9)
+
+let test_attack_verified_measured_bound () =
+  let n = 9 and k = 3 in
+  let c = Gen.c_graph n k in
+  let g = c.Gen.c_graph in
+  let obl = Ksp.routing ~k:6 g in
+  let rng = Rng.create 61 in
+  let ps = Sampler.alpha_sample rng obl ~alpha:2 in
+  let attack = Lower_bound.attack c ps in
+  let measured = Lower_bound.verify ~solver:Semi_oblivious.Lp c ps attack in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.3f ≥ predicted %.3f" measured
+       attack.Lower_bound.predicted_congestion)
+    true
+    (measured >= attack.Lower_bound.predicted_congestion -. 1e-6)
+
+(* Extra coverage *)
+
+let test_sampler_respects_base_distribution () =
+  (* Sampling α=1 from a uniform 2-path routing must pick each path about
+     half the time across independent samples. *)
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let obl = Ksp.routing ~k:2 g in
+  let trials = 2000 in
+  let hits = ref 0 in
+  for seed = 1 to trials do
+    let ps = Sampler.alpha_sample (Rng.create seed) obl ~alpha:1 in
+    match Path_system.paths ps 0 1 with
+    | [ p ] -> if Path.equal p a then incr hits
+    | _ -> Alcotest.fail "expected exactly one path"
+  done;
+  let frac = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "near half (%.3f)" frac)
+    true
+    (Float.abs (frac -. 0.5) < 0.05)
+
+let test_sampler_dedupes_with_replacement () =
+  (* With α much larger than the support, the sample set size caps at the
+     support size. *)
+  let g = Gen.multi_path [ 2; 2 ] in
+  let obl = Ksp.routing ~k:2 g in
+  let ps = Sampler.alpha_sample (Rng.create 3) obl ~alpha:50 in
+  Alcotest.(check int) "capped at support" 2 (List.length (Path_system.paths ps 0 1))
+
+let test_completion_ladder_geometric () =
+  let g = Gen.grid 5 5 in
+  let hops = Completion.ladder_hops g in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "at most doubling" true (b <= 2 * a + 1);
+        Alcotest.(check bool) "strictly increasing" true (b > a);
+        check rest
+    | _ -> ()
+  in
+  check hops;
+  Alcotest.(check bool) "O(log diam) rungs" true (List.length hops <= 6)
+
+let test_lower_bound_middles_hit_empty_for_inner_path () =
+  let c = Gen.c_graph 4 3 in
+  let g = c.Gen.c_graph in
+  let p = Path.of_vertices g [ c.Gen.c_leaves1.(0); c.Gen.c_center1; c.Gen.c_leaves1.(1) ] in
+  Alcotest.(check (list int)) "no middles on a same-star path" []
+    (Lower_bound.middles_hit c p)
+
+let test_semi_oblivious_opt_lp_exact () =
+  let g = Gen.multi_path [ 2; 2 ] in
+  let d = Demand.single_pair 0 1 2.0 in
+  Alcotest.(check (float 1e-6)) "exact optimum" 1.0
+    (Semi_oblivious.opt ~solver:Semi_oblivious.Lp g d)
+
+let test_worst_ratio_empty () =
+  let g = Gen.cycle 4 in
+  let ps = Path_system.of_pairs [] in
+  Alcotest.(check (float 1e-9)) "no demands" 0.0 (Semi_oblivious.worst_ratio g ps [])
+
+let test_process_deterministic () =
+  (* The dynamic process has no internal randomness: same inputs, same
+     outcome. *)
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:3 g in
+  let ps = Sampler.alpha_sample (Rng.create 7) obl ~alpha:3 in
+  let d = Demand.random_pairs (Rng.create 8) ~n:9 ~pairs:4 in
+  let o1 = Process.weak_route ~gamma:1.5 g ps d in
+  let o2 = Process.weak_route ~gamma:1.5 g ps d in
+  Alcotest.(check (float 1e-12)) "same survival" o1.Process.survived_fraction
+    o2.Process.survived_fraction;
+  Alcotest.(check int) "same deletions" (List.length o1.Process.deletions)
+    (List.length o2.Process.deletions)
+
+let test_certified_bucket_count_logarithmic () =
+  (* Ratios spanning R octaves produce at most R+2 buckets. *)
+  let g = Gen.cycle 8 in
+  let d =
+    Demand.of_list [ (0, 4, 1.0); (1, 5, 4.0); (2, 6, 16.0); (3, 7, 64.0) ]
+  in
+  let count = Sso_core.Certified.bucket_count ~alpha:2 g d in
+  Alcotest.(check bool) (Printf.sprintf "buckets %d" count) true (count <= 8);
+  Alcotest.(check bool) "at least distinct octaves" true (count >= 4)
+
+(* Certified pipeline (Theorem 5.3 constructive) *)
+
+module Certified = Sso_core.Certified
+
+let test_certified_routes_permutation () =
+  let dim = 5 in
+  let g = Gen.hypercube dim in
+  let obl = Valiant.routing g in
+  let rng = Rng.create 97 in
+  let ps = Sampler.alpha_cut_sample rng obl ~alpha:(2 * dim) in
+  let d = Demand.random_permutation rng (Graph.n g) in
+  let routing, cong = Certified.route ~gamma:60.0 ~alpha:(2 * dim) g ps d in
+  Alcotest.(check bool) "covers" true (Routing.covers routing d);
+  (* Solver-free pipeline should land within a moderate factor of the
+     solver-based Stage 4. *)
+  let solver_cong = Semi_oblivious.congestion ~solver:(Semi_oblivious.Mwu 200) g ps d in
+  Alcotest.(check bool)
+    (Printf.sprintf "certified %.2f within 30x of solver %.2f" cong solver_cong)
+    true
+    (cong <= 30.0 *. solver_cong +. 1.0)
+
+let test_certified_arbitrary_demand () =
+  (* Mixed magnitudes exercise the bucketing. *)
+  let g = Gen.grid 4 4 in
+  let obl = Ksp.routing ~k:4 g in
+  let rng = Rng.create 101 in
+  let ps = Sampler.alpha_cut_sample rng obl ~alpha:3 in
+  let d = Demand.of_list [ (0, 15, 0.3); (3, 12, 4.0); (5, 10, 17.0) ] in
+  Alcotest.(check bool) "several buckets" true (Certified.bucket_count ~alpha:3 g d >= 2);
+  let routing, cong = Certified.route ~gamma:40.0 ~alpha:3 g ps d in
+  Alcotest.(check bool) "covers" true (Routing.covers routing d);
+  Alcotest.(check bool) "finite congestion" true (Float.is_finite cong && cong > 0.0)
+
+let test_certified_empty () =
+  let g = Gen.grid 3 3 in
+  let ps = Path_system.of_pairs [] in
+  let _, cong = Certified.route ~gamma:10.0 ~alpha:2 g ps Demand.empty in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 cong
+
+let test_certified_single_bucket_for_uniform () =
+  let g = Gen.cycle 6 in
+  (* All ratios equal → exactly one bucket. *)
+  let d = Special.special_of_support g ~alpha:2 [ (0, 3); (1, 4) ] in
+  Alcotest.(check int) "one bucket" 1 (Certified.bucket_count ~alpha:2 g d)
+
+(* Theory: closed-form bound calculators *)
+
+module Theory = Sso_core.Theory
+
+let test_theory_sample_competitiveness_monotone () =
+  (* More paths → better guarantee; more edges → worse. *)
+  let c2 = Theory.sample_competitiveness ~m:100 ~alpha:2 ~h:1 in
+  let c8 = Theory.sample_competitiveness ~m:100 ~alpha:8 ~h:1 in
+  Alcotest.(check bool) "decreasing in alpha" true (c8 < c2);
+  let c_small = Theory.sample_competitiveness ~m:10 ~alpha:4 ~h:1 in
+  let c_big = Theory.sample_competitiveness ~m:1000 ~alpha:4 ~h:1 in
+  Alcotest.(check bool) "increasing in m" true (c_big > c_small)
+
+let test_theory_failure_probabilities () =
+  let p1 = Theory.weak_route_failure_probability ~m:100 ~supp:1 ~h:1 in
+  Alcotest.(check (float 1e-12)) "m^-(h+3)" 1e-8 p1;
+  let p5 = Theory.weak_route_failure_probability ~m:100 ~supp:5 ~h:1 in
+  Alcotest.(check bool) "exponential in support" true (p5 < p1 *. p1);
+  Alcotest.(check (float 1e-12)) "union bound" 0.01 (Theory.union_bound_failure ~m:100 ~h:1)
+
+let test_theory_bad_patterns () =
+  (* Lemma 5.13: log10 count = (4D/alpha) log10 m. *)
+  Alcotest.(check (float 1e-9)) "log10 formula" 16.0
+    (Theory.log10_bad_pattern_count ~m:100 ~d_size:10.0 ~alpha:5);
+  Alcotest.(check (float 1e-3)) "small case exact" 100.0
+    (Theory.bad_pattern_count_bound ~m:10 ~d_size:2.0 ~alpha:4)
+
+let test_theory_rounding_matches_lemma () =
+  Alcotest.(check (float 1e-9)) "2c + 3 ln m"
+    ((2.0 *. 1.5) +. (3.0 *. Float.log 64.0))
+    (Theory.rounding_bound ~m:64 ~frac_congestion:1.5)
+
+let test_theory_sparsity_shape () =
+  (* log n / log log n is sublogarithmic but unbounded. *)
+  let s16 = Theory.theorem_2_3_sparsity ~n:16 in
+  let s65536 = Theory.theorem_2_3_sparsity ~n:65536 in
+  Alcotest.(check int) "n=16" 2 s16;
+  Alcotest.(check int) "n=65536" 4 s65536;
+  Alcotest.(check bool) "grows" true (s65536 > s16);
+  Alcotest.(check bool) "below log n" true (s65536 <= 16)
+
+let test_theory_trade_off_consistency () =
+  (* The Thm 2.5 upper shape must dominate the Cor 8.3 lower shape. *)
+  List.iter
+    (fun (n, alpha) ->
+      let upper = Theory.theorem_2_5_competitiveness ~n ~alpha in
+      let lower = Theory.lower_bound_cor_8_3 ~n ~alpha in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d a=%d: %.2f >= %.2f" n alpha upper lower)
+        true (upper >= lower))
+    [ (64, 1); (64, 2); (1024, 3); (4096, 4) ]
+
+let test_theory_gadget_k () =
+  Alcotest.(check int) "sqrt" 8 (Theory.lower_bound_gadget_k ~n:64 ~alpha:1);
+  Alcotest.(check int) "fourth root" 2 (Theory.lower_bound_gadget_k ~n:64 ~alpha:2);
+  Alcotest.(check int) "floors to 1" 1 (Theory.lower_bound_gadget_k ~n:4 ~alpha:4)
+
+let test_theory_kkt91 () =
+  (* Hypercube: sqrt(n)/log n — the E4 scale. *)
+  Alcotest.(check (float 1e-9)) "d=8 cube" (16.0 /. 8.0)
+    (Theory.kkt91_bound ~n:256 ~max_degree:8)
+
+let test_theory_validates_input () =
+  Alcotest.(check bool) "rejects zero" true
+    (try
+       ignore (Theory.sample_competitiveness ~m:0 ~alpha:1 ~h:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_robustness_agrees_with_bridges () =
+  (* Failures the network itself cannot survive are exactly the bridges
+     separating some demanded pair. *)
+  let gg = Gen.c_graph 4 2 in
+  let g = gg.Gen.c_graph in
+  let s = gg.Gen.c_leaves1.(0) and t = gg.Gen.c_leaves2.(0) in
+  let d = Demand.single_pair s t 1.0 in
+  let base = Ksp.routing ~k:4 g in
+  let system = Sso_core.Path_system.of_oblivious_support base in
+  let reports = Sso_core.Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g system d in
+  let bridges = Sso_graph.Bridges.find g in
+  List.iter
+    (fun r ->
+      let network_dead = not (Float.is_finite r.Sso_core.Robustness.post_opt) in
+      let is_separating_bridge =
+        List.mem r.Sso_core.Robustness.failed_edge bridges
+        &&
+        (* The bridge must separate s from t, i.e., lie on every (s,t)
+           path: in C(n,k) those are exactly the two leaf edges. *)
+        (let u, v = Graph.endpoints g r.Sso_core.Robustness.failed_edge in
+         u = s || v = s || u = t || v = t)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d" r.Sso_core.Robustness.failed_edge)
+        is_separating_bridge network_dead)
+    reports
+
+(* Oracle (demand-aware baseline) *)
+
+module Oracle = Sso_core.Oracle
+
+let test_oracle_top_paths () =
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let b = Path.of_vertices g [ 0; 3; 1 ] in
+  let r = Routing.make [ ((0, 1), [ (0.9, a); (0.1, b) ]) ] in
+  let top1 = Oracle.top_paths r ~alpha:1 in
+  Alcotest.(check bool) "keeps the heavy path" true
+    (Path.equal a (List.hd (Path_system.paths top1 0 1)));
+  let top2 = Oracle.top_paths r ~alpha:2 in
+  Alcotest.(check int) "keeps both" 2 (List.length (Path_system.paths top2 0 1))
+
+let test_oracle_beats_or_matches_sample () =
+  (* A clairvoyant α-path selection is never worse than an oblivious
+     α-sample on the demand it was built for. *)
+  let g = Gen.grid 4 4 in
+  let rng = Rng.create 83 in
+  let d = Demand.random_pairs (Rng.split rng) ~n:16 ~pairs:6 in
+  let alpha = 2 in
+  let oracle = Oracle.demand_aware_system ~solver:(Semi_oblivious.Mwu 400) g d ~alpha in
+  let base = Ksp.routing ~k:4 g in
+  let sample = Sampler.alpha_sample (Rng.split rng) base ~alpha in
+  let oracle_cong = Semi_oblivious.congestion ~solver:Semi_oblivious.Lp g oracle d in
+  let sample_cong = Semi_oblivious.congestion ~solver:Semi_oblivious.Lp g sample d in
+  Alcotest.(check bool)
+    (Printf.sprintf "oracle %.3f <= sample %.3f (+tol)" oracle_cong sample_cong)
+    true
+    (oracle_cong <= sample_cong +. 0.15)
+
+let test_oracle_only_covers_demand () =
+  let g = Gen.grid 3 3 in
+  let d = Demand.single_pair 0 8 1.0 in
+  let oracle = Oracle.demand_aware_system g d ~alpha:2 in
+  Alcotest.(check bool) "demanded pair covered" true (Path_system.paths oracle 0 8 <> []);
+  Alcotest.(check int) "others empty" 0 (List.length (Path_system.paths oracle 1 7))
+
+(* Lemma 8.2: the composite family graph *)
+
+let test_attack_in_family () =
+  let gg = Gen.g_graph 16 in
+  let g = gg.Gen.g_graph in
+  let base = Ksp.routing ~k:8 g in
+  let rng = Rng.create 89 in
+  let alpha = 1 in
+  let system = Sampler.alpha_sample rng base ~alpha in
+  let attack = Lower_bound.attack_in_family gg ~alpha system in
+  Alcotest.(check bool) "permutation" true (Demand.is_permutation attack.Lower_bound.demand);
+  (* Copy for alpha=1 has k = 4 middles; a 1-sparse system is forced. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "certified %.2f >= 2" attack.Lower_bound.predicted_congestion)
+    true
+    (attack.Lower_bound.predicted_congestion >= 2.0);
+  let measured =
+    Semi_oblivious.congestion ~solver:Semi_oblivious.Lp g system attack.Lower_bound.demand
+  in
+  Alcotest.(check bool) "measured >= certified" true
+    (measured >= attack.Lower_bound.predicted_congestion -. 1e-6)
+
+let test_attack_in_family_unknown_alpha () =
+  let gg = Gen.g_graph 16 in
+  let base = Ksp.routing ~k:2 gg.Gen.g_graph in
+  let system = Sampler.alpha_sample (Rng.create 1) base ~alpha:1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Lower_bound.attack_in_family gg ~alpha:99 system);
+       false
+     with Not_found -> true)
+
+(* Robustness *)
+
+module Robustness = Sso_core.Robustness
+
+let test_without_edge_filters () =
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let b = Path.of_vertices g [ 0; 3; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let failed = a.Path.edges.(0) in
+  let survivors = Path_system.without_edge failed ps in
+  Alcotest.(check int) "one survivor" 1 (List.length (Path_system.paths survivors 0 1));
+  Alcotest.(check bool) "the right one" true
+    (Path.equal b (List.hd (Path_system.paths survivors 0 1)))
+
+let test_filter_paths_by_hops () =
+  let g = Gen.multi_path [ 1; 3 ] in
+  let direct = Path.of_vertices g [ 0; 1 ] in
+  let detour = Path.of_vertices g [ 0; 2; 3; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ direct; detour ]) ] in
+  let long_only = Path_system.filter_paths (fun p -> Path.hops p > 1) ps in
+  Alcotest.(check int) "kept the detour" 1 (List.length (Path_system.paths long_only 0 1))
+
+let test_robustness_redundant_candidates_survive () =
+  (* Two disjoint candidate routes: every single failure is survivable and
+     near-optimal afterwards. *)
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let b = Path.of_vertices g [ 0; 3; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let d = Demand.single_pair 0 1 1.0 in
+  let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
+  Alcotest.(check int) "all edges tested" (Graph.m g) (List.length reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "survivable" true r.Robustness.survivable;
+      Alcotest.(check bool) "near optimal" true (r.Robustness.ratio <= 1.2))
+    reports;
+  let s = Robustness.summary reports in
+  Alcotest.(check int) "none unsurvivable" 0 s.Robustness.unsurvivable
+
+let test_robustness_single_candidate_fails () =
+  (* One candidate path only: failing its edges strands the pair even
+     though the network still connects it. *)
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ a ]) ] in
+  let d = Demand.single_pair 0 1 1.0 in
+  let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
+  let s = Robustness.summary reports in
+  Alcotest.(check int) "two stranding failures" 2 s.Robustness.unsurvivable
+
+let test_robustness_bridge_is_networks_fault () =
+  (* Failing a bridge disconnects the network itself; such failures are
+     excluded from the unsurvivable count. *)
+  let g = Gen.path_graph 3 in
+  let p = Path.of_vertices g [ 0; 1; 2 ] in
+  let ps = Path_system.of_pairs [ ((0, 2), [ p ]) ] in
+  let d = Demand.single_pair 0 2 1.0 in
+  let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "network-level failure" false (Float.is_finite r.Robustness.post_opt))
+    reports;
+  let s = Robustness.summary reports in
+  Alcotest.(check int) "not charged to the system" 0 s.Robustness.unsurvivable
+
+(* Auxiliary graph (Corollary 6.2) *)
+
+module Auxiliary = Sso_core.Auxiliary
+
+let test_aux_terminal_cuts_are_one () =
+  let g = Gen.grid 3 3 in
+  let pairs = [ (0, 8); (2, 6) ] in
+  let exp = Auxiliary.expand g ~pairs in
+  let g2 = Auxiliary.graph exp in
+  Alcotest.(check int) "vertices" (9 + 4) (Graph.n g2);
+  Alcotest.(check int) "edges" (Graph.m g + 4) (Graph.m g2);
+  List.iter
+    (fun (s, t) ->
+      let v1, v2 = Auxiliary.terminals exp s t in
+      Alcotest.(check int) "unit cut" 1 (Maxflow.cut g2 v1 v2))
+    pairs
+
+let test_aux_lifted_congestion_identity () =
+  (* cong_{G2}(R2, d2) = max(cong_G(R, d), max entry) — the identity the
+     proof of Corollary 6.2 rests on. *)
+  let g = Gen.grid 3 3 in
+  let d = Demand.of_list [ (0, 8, 3.0); (2, 6, 1.0) ] in
+  let exp = Auxiliary.expand g ~pairs:(Demand.support d) in
+  let base = Ksp.routing ~k:3 g in
+  let lifted = Auxiliary.lift_oblivious exp base in
+  let d2 = Auxiliary.lift_demand exp d in
+  let expected = Float.max (Oblivious.congestion base d) (Demand.max_entry d) in
+  Alcotest.(check (float 1e-9)) "identity" expected (Oblivious.congestion lifted d2)
+
+let test_aux_sample_projects_to_alpha () =
+  let g = Gen.grid 3 3 in
+  let pairs = [ (0, 8); (1, 7); (3, 5) ] in
+  let exp = Auxiliary.expand g ~pairs in
+  let base = Ksp.routing ~k:4 g in
+  let rng = Rng.create 67 in
+  let alpha = 3 in
+  let projected = Auxiliary.alpha_sample_via_expansion rng exp base ~alpha in
+  List.iter
+    (fun (s, t) ->
+      let paths = Path_system.paths projected s t in
+      Alcotest.(check bool) "at most alpha" true (List.length paths <= alpha);
+      Alcotest.(check bool) "non-empty" true (paths <> []);
+      let support = List.map snd (Oblivious.distribution base s t) in
+      List.iter
+        (fun (p : Path.t) ->
+          Alcotest.(check int) "src" s p.Path.src;
+          Alcotest.(check int) "dst" t p.Path.dst;
+          Alcotest.(check bool) "from base support" true
+            (List.exists (Path.equal p) support))
+        paths)
+    pairs
+
+let test_aux_deterministic_base_projects_identity () =
+  (* With a single-path base routing, the projected sample must be exactly
+     that path. *)
+  let g = Gen.grid 3 3 in
+  let exp = Auxiliary.expand g ~pairs:[ (0, 8) ] in
+  let base = Deterministic.shortest_path g in
+  let rng = Rng.create 71 in
+  let projected = Auxiliary.alpha_sample_via_expansion rng exp base ~alpha:4 in
+  let expected = List.map snd (Oblivious.distribution base 0 8) in
+  let got = Path_system.paths projected 0 8 in
+  Alcotest.(check int) "single path" 1 (List.length got);
+  Alcotest.(check bool) "same path" true
+    (Path.equal (List.hd got) (List.hd expected))
+
+let test_aux_distribution_matches_direct_sample () =
+  (* Corollary 6.2's key claim: the projected (α−1+cut)-sample through G₂
+     has the same distribution as a direct α-sample.  Compare empirical
+     frequencies of the resulting candidate sets over many seeds. *)
+  let g = Gen.multi_path [ 2; 2 ] in
+  let base = Ksp.routing ~k:2 g in
+  let exp = Auxiliary.expand g ~pairs:[ (0, 1) ] in
+  let alpha = 2 in
+  let trials = 800 in
+  let key ps =
+    List.map
+      (fun (p : Path.t) -> Array.to_list p.Path.edges)
+      (List.sort Path.compare (Path_system.paths ps 0 1))
+  in
+  let tally sample_fn =
+    let table = Hashtbl.create 4 in
+    for seed = 1 to trials do
+      let k = key (sample_fn (Rng.create seed)) in
+      Hashtbl.replace table k (1 + try Hashtbl.find table k with Not_found -> 0)
+    done;
+    table
+  in
+  let direct = tally (fun rng -> Sampler.alpha_sample rng base ~alpha) in
+  let via_aux = tally (fun rng -> Auxiliary.alpha_sample_via_expansion rng exp base ~alpha) in
+  (* Same support of outcomes, and each outcome's frequency within 6%. *)
+  Hashtbl.iter
+    (fun k count ->
+      let other = try Hashtbl.find via_aux k with Not_found -> 0 in
+      let f1 = float_of_int count /. float_of_int trials in
+      let f2 = float_of_int other /. float_of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "outcome frequency %.3f vs %.3f" f1 f2)
+        true
+        (Float.abs (f1 -. f2) < 0.06))
+    direct
+
+let test_aux_rejects_diagonal () =
+  let g = Gen.grid 3 3 in
+  Alcotest.check_raises "diagonal" (Invalid_argument "Auxiliary.expand: diagonal pair")
+    (fun () -> ignore (Auxiliary.expand g ~pairs:[ (2, 2) ]))
+
+(* Properties *)
+
+let prop_alpha_sample_always_sparse =
+  QCheck.Test.make ~name:"α-samples are α-sparse" ~count:30
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, alpha) ->
+      let g = Gen.grid 3 3 in
+      let obl = Ksp.routing ~k:4 g in
+      let rng = Rng.create seed in
+      let ps = Sampler.alpha_sample rng obl ~alpha in
+      Path_system.is_alpha_sparse ps ~alpha (all_pairs 9))
+
+let prop_stage4_never_beats_unrestricted =
+  QCheck.Test.make ~name:"cong_R(P,d) ≥ opt(d) under the exact solver" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let g = Gen.grid 3 3 in
+      let obl = Ksp.routing ~k:2 g in
+      let rng = Rng.create seed in
+      let ps = Sampler.alpha_sample rng obl ~alpha:2 in
+      let d = Demand.random_pairs rng ~n:9 ~pairs:3 in
+      let restricted = Semi_oblivious.congestion ~solver:Semi_oblivious.Lp g ps d in
+      let unrestricted = Sso_flow.Min_congestion.lp_unrestricted g d in
+      restricted >= unrestricted -. 1e-6)
+
+let prop_certified_never_beats_exact_stage4 =
+  QCheck.Test.make ~name:"certified pipeline congestion ≥ exact Stage-4 optimum" ~count:10
+    QCheck.small_int
+    (fun seed ->
+      let g = Gen.grid 3 3 in
+      let obl = Ksp.routing ~k:3 g in
+      let rng = Rng.create (seed + 77) in
+      let ps = Sampler.alpha_cut_sample rng obl ~alpha:3 in
+      let d = Demand.random_pairs rng ~n:9 ~pairs:3 in
+      let _, pipeline = Sso_core.Certified.route ~gamma:10.0 ~alpha:3 g ps d in
+      let exact = Semi_oblivious.congestion ~solver:Semi_oblivious.Lp g ps d in
+      pipeline >= exact -. 1e-6)
+
+let prop_weak_route_kept_within_gamma =
+  QCheck.Test.make ~name:"weak_route's kept routing respects gamma" ~count:20
+    QCheck.(pair small_int (float_range 0.5 4.0))
+    (fun (seed, gamma) ->
+      let g = Gen.grid 3 3 in
+      let obl = Ksp.routing ~k:3 g in
+      let rng = Rng.create seed in
+      let ps = Sampler.alpha_sample rng obl ~alpha:3 in
+      let d = Demand.random_pairs rng ~n:9 ~pairs:4 in
+      let outcome = Process.weak_route ~gamma g ps d in
+      match outcome.Process.kept_routing with
+      | None -> true
+      | Some r ->
+          Routing.congestion g r outcome.Process.kept_demand <= gamma +. 1e-6)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "path system",
+        [
+          Alcotest.test_case "of_pairs" `Quick test_path_system_of_pairs;
+          Alcotest.test_case "validates" `Quick test_path_system_validates;
+          Alcotest.test_case "generator memoizes" `Quick test_path_system_generator_memoizes;
+          Alcotest.test_case "union" `Quick test_path_system_union;
+          Alcotest.test_case "restrict hops" `Quick test_path_system_restrict_hops;
+          Alcotest.test_case "oblivious support" `Quick test_of_oblivious_support;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "alpha sparsity" `Quick test_alpha_sample_sparsity;
+          Alcotest.test_case "from support" `Quick test_alpha_sample_from_support;
+          Alcotest.test_case "deterministic base" `Quick test_alpha_sample_deterministic_base;
+          Alcotest.test_case "cnt and cut sample" `Quick test_cnt_and_cut_sample;
+          Alcotest.test_case "reproducible" `Quick test_sample_reproducible;
+        ] );
+      ( "semi-oblivious",
+        [
+          Alcotest.test_case "adapts to demand" `Quick test_route_adapts_to_demand;
+          Alcotest.test_case "gk solver variant" `Quick test_gk_solver_variant;
+          Alcotest.test_case "solvers agree" `Slow test_congestion_solvers_agree;
+          Alcotest.test_case "full support ≤ base" `Slow
+            test_full_support_is_1_competitive_with_base;
+          Alcotest.test_case "ratio ≥ 1 (exact)" `Quick
+            test_competitive_ratio_at_least_one_with_lp;
+          Alcotest.test_case "empty demand" `Quick test_empty_demand_ratio;
+          Alcotest.test_case "worst ratio" `Slow test_worst_ratio;
+          Alcotest.test_case "Thm 2.3 shape (hypercube)" `Slow
+            test_log_sample_competitive_on_hypercube;
+          Alcotest.test_case "Thm 2.5 shape (monotone in α)" `Slow
+            test_sparsity_monotonicity;
+        ] );
+      ( "integral",
+        [
+          Alcotest.test_case "upper is integral" `Slow test_integral_upper_is_integral;
+          Alcotest.test_case "upper vs brute force" `Slow test_integral_upper_vs_brute_force;
+          Alcotest.test_case "brute force known" `Quick test_brute_force_known;
+          Alcotest.test_case "brute force validates" `Quick test_brute_force_forced_collision;
+          Alcotest.test_case "Cor 6.4 bound" `Slow test_integral_rounding_bound_cor64;
+        ] );
+      ( "process (Lemma 5.6/5.8)",
+        [
+          Alcotest.test_case "weak route survives" `Slow test_weak_route_survives_on_good_sample;
+          Alcotest.test_case "tight gamma deletes" `Quick test_weak_route_deletes_under_tight_gamma;
+          Alcotest.test_case "loose gamma keeps" `Quick test_weak_route_keeps_everything_when_loose;
+          Alcotest.test_case "halving routes all" `Slow test_route_by_halving_routes_everything;
+        ] );
+      ( "completion (Section 7)",
+        [
+          Alcotest.test_case "balanced tradeoff" `Quick
+            test_completion_route_prefers_balanced_tradeoff;
+          Alcotest.test_case "objective value" `Quick test_completion_time_of_routing;
+          Alcotest.test_case "ladder hops" `Quick test_ladder_hops_cover_diameter;
+          Alcotest.test_case "ladder system" `Slow test_ladder_system_feasible;
+        ] );
+      ( "special (Lemma 5.9)",
+        [
+          Alcotest.test_case "of support" `Quick test_special_of_support;
+          Alcotest.test_case "buckets partition" `Quick test_buckets_partition;
+          Alcotest.test_case "random special" `Quick test_random_special;
+        ] );
+      ( "lower bound (Section 8)",
+        [
+          Alcotest.test_case "middles hit" `Quick test_middles_hit;
+          Alcotest.test_case "attack 1-sparse" `Slow test_attack_on_1_sparse;
+          Alcotest.test_case "attack vs sparsity" `Slow test_attack_weaker_on_sparse_samples;
+          Alcotest.test_case "attack verified" `Slow test_attack_verified_measured_bound;
+        ] );
+      ( "extra",
+        [
+          Alcotest.test_case "sampler distribution" `Slow test_sampler_respects_base_distribution;
+          Alcotest.test_case "sampler dedupes" `Quick test_sampler_dedupes_with_replacement;
+          Alcotest.test_case "ladder geometric" `Quick test_completion_ladder_geometric;
+          Alcotest.test_case "inner path no middles" `Quick
+            test_lower_bound_middles_hit_empty_for_inner_path;
+          Alcotest.test_case "opt lp exact" `Quick test_semi_oblivious_opt_lp_exact;
+          Alcotest.test_case "worst ratio empty" `Quick test_worst_ratio_empty;
+          Alcotest.test_case "process deterministic" `Quick test_process_deterministic;
+          Alcotest.test_case "bucket count logarithmic" `Quick
+            test_certified_bucket_count_logarithmic;
+        ] );
+      ( "certified (Thm 5.3 pipeline)",
+        [
+          Alcotest.test_case "routes permutation" `Slow test_certified_routes_permutation;
+          Alcotest.test_case "arbitrary demand" `Quick test_certified_arbitrary_demand;
+          Alcotest.test_case "empty" `Quick test_certified_empty;
+          Alcotest.test_case "single bucket" `Quick test_certified_single_bucket_for_uniform;
+        ] );
+      ( "theory",
+        [
+          Alcotest.test_case "sample competitiveness" `Quick
+            test_theory_sample_competitiveness_monotone;
+          Alcotest.test_case "failure probabilities" `Quick test_theory_failure_probabilities;
+          Alcotest.test_case "bad patterns" `Quick test_theory_bad_patterns;
+          Alcotest.test_case "rounding" `Quick test_theory_rounding_matches_lemma;
+          Alcotest.test_case "sparsity shape" `Quick test_theory_sparsity_shape;
+          Alcotest.test_case "trade-off consistency" `Quick test_theory_trade_off_consistency;
+          Alcotest.test_case "gadget k" `Quick test_theory_gadget_k;
+          Alcotest.test_case "kkt91" `Quick test_theory_kkt91;
+          Alcotest.test_case "validates input" `Quick test_theory_validates_input;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "top paths" `Quick test_oracle_top_paths;
+          Alcotest.test_case "beats sample" `Slow test_oracle_beats_or_matches_sample;
+          Alcotest.test_case "covers demand only" `Quick test_oracle_only_covers_demand;
+        ] );
+      ( "family graph (Lemma 8.2)",
+        [
+          Alcotest.test_case "attack in family" `Slow test_attack_in_family;
+          Alcotest.test_case "unknown alpha" `Quick test_attack_in_family_unknown_alpha;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "without edge" `Quick test_without_edge_filters;
+          Alcotest.test_case "filter by hops" `Quick test_filter_paths_by_hops;
+          Alcotest.test_case "redundancy survives" `Quick
+            test_robustness_redundant_candidates_survive;
+          Alcotest.test_case "single candidate strands" `Quick
+            test_robustness_single_candidate_fails;
+          Alcotest.test_case "bridge excluded" `Quick test_robustness_bridge_is_networks_fault;
+          Alcotest.test_case "agrees with bridge analysis" `Quick
+            test_robustness_agrees_with_bridges;
+        ] );
+      ( "auxiliary (Cor 6.2)",
+        [
+          Alcotest.test_case "terminal cuts" `Quick test_aux_terminal_cuts_are_one;
+          Alcotest.test_case "congestion identity" `Quick test_aux_lifted_congestion_identity;
+          Alcotest.test_case "projects to alpha" `Quick test_aux_sample_projects_to_alpha;
+          Alcotest.test_case "deterministic identity" `Quick
+            test_aux_deterministic_base_projects_identity;
+          Alcotest.test_case "rejects diagonal" `Quick test_aux_rejects_diagonal;
+          Alcotest.test_case "distribution matches direct sample" `Slow
+            test_aux_distribution_matches_direct_sample;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_alpha_sample_always_sparse;
+            prop_stage4_never_beats_unrestricted;
+            prop_certified_never_beats_exact_stage4;
+            prop_weak_route_kept_within_gamma;
+          ] );
+    ]

@@ -1,0 +1,321 @@
+(* Tests for demand matrices: normalization, classifiers, generators. *)
+
+module Rng = Sso_prng.Rng
+module Demand = Sso_demand.Demand
+module Gen = Sso_graph.Gen
+
+let test_of_list_normalizes () =
+  let d = Demand.of_list [ (0, 1, 2.0); (0, 1, 3.0); (1, 2, 0.0) ] in
+  Alcotest.(check (float 1e-9)) "duplicates sum" 5.0 (Demand.get d 0 1);
+  Alcotest.(check (float 1e-9)) "zeros dropped" 0.0 (Demand.get d 1 2);
+  Alcotest.(check int) "support size" 1 (Demand.support_size d)
+
+let test_of_list_rejects () =
+  Alcotest.check_raises "diagonal" (Invalid_argument "Demand.of_list: diagonal entry")
+    (fun () -> ignore (Demand.of_list [ (3, 3, 1.0) ]));
+  Alcotest.check_raises "negative" (Invalid_argument "Demand.of_list: negative demand")
+    (fun () -> ignore (Demand.of_list [ (0, 1, -1.0) ]))
+
+let test_siz_and_max () =
+  let d = Demand.of_list [ (0, 1, 2.0); (1, 0, 3.0); (2, 3, 0.5) ] in
+  Alcotest.(check (float 1e-9)) "siz" 5.5 (Demand.siz d);
+  Alcotest.(check (float 1e-9)) "max entry" 3.0 (Demand.max_entry d);
+  Alcotest.(check (float 1e-9)) "empty siz" 0.0 (Demand.siz Demand.empty);
+  Alcotest.(check (float 1e-9)) "empty max" 0.0 (Demand.max_entry Demand.empty)
+
+let test_support_ordered () =
+  let d = Demand.of_list [ (2, 0, 1.0); (0, 2, 1.0); (0, 1, 1.0) ] in
+  Alcotest.(check (list (pair int int))) "lexicographic"
+    [ (0, 1); (0, 2); (2, 0) ] (Demand.support d)
+
+let test_add_scale () =
+  let d1 = Demand.of_list [ (0, 1, 1.0) ] in
+  let d2 = Demand.of_list [ (0, 1, 2.0); (1, 2, 1.0) ] in
+  let sum = Demand.add d1 d2 in
+  Alcotest.(check (float 1e-9)) "add overlap" 3.0 (Demand.get sum 0 1);
+  Alcotest.(check (float 1e-9)) "add disjoint" 1.0 (Demand.get sum 1 2);
+  let scaled = Demand.scale 2.0 sum in
+  Alcotest.(check (float 1e-9)) "scale" 6.0 (Demand.get scaled 0 1);
+  Alcotest.(check int) "scale by zero empties" 0
+    (Demand.support_size (Demand.scale 0.0 sum))
+
+let test_map_filter () =
+  let d = Demand.of_list [ (0, 1, 1.0); (1, 2, 2.0) ] in
+  let doubled = Demand.map (fun _ _ v -> v *. 2.0) d in
+  Alcotest.(check (float 1e-9)) "map" 4.0 (Demand.get doubled 1 2);
+  let only_big = Demand.filter (fun _ _ v -> v > 1.5) d in
+  Alcotest.(check int) "filter" 1 (Demand.support_size only_big);
+  let dropped = Demand.map (fun _ _ _ -> 0.0) d in
+  Alcotest.(check int) "map to zero drops" 0 (Demand.support_size dropped)
+
+let test_classifiers () =
+  let perm = Demand.of_list [ (0, 1, 1.0); (1, 0, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check bool) "integral" true (Demand.is_integral perm);
+  Alcotest.(check bool) "zero-one" true (Demand.is_zero_one perm);
+  Alcotest.(check bool) "permutation" true (Demand.is_permutation perm);
+  let not_perm = Demand.of_list [ (0, 1, 1.0); (0, 2, 1.0) ] in
+  Alcotest.(check bool) "double sender" false (Demand.is_permutation not_perm);
+  let not_01 = Demand.of_list [ (0, 1, 2.0) ] in
+  Alcotest.(check bool) "not zero-one" false (Demand.is_zero_one not_01);
+  Alcotest.(check bool) "but integral" true (Demand.is_integral not_01);
+  let frac = Demand.of_list [ (0, 1, 0.5) ] in
+  Alcotest.(check bool) "fractional" false (Demand.is_integral frac)
+
+let test_is_special () =
+  let g = Gen.cycle 5 in
+  (* cut between any two cycle vertices is 2, so α-special entries are α+2. *)
+  let special = Demand.of_list [ (0, 2, 5.0); (1, 3, 5.0) ] in
+  Alcotest.(check bool) "special for alpha=3" true (Demand.is_special g ~alpha:3 special);
+  Alcotest.(check bool) "not special for alpha=2" false (Demand.is_special g ~alpha:2 special)
+
+let test_random_permutation () =
+  let rng = Rng.create 7 in
+  let d = Demand.random_permutation rng 50 in
+  Alcotest.(check bool) "is permutation" true (Demand.is_permutation d);
+  Alcotest.(check bool) "most vertices active" true (Demand.support_size d > 40)
+
+let test_random_pairs () =
+  let rng = Rng.create 7 in
+  let d = Demand.random_pairs rng ~n:20 ~pairs:15 in
+  Alcotest.(check int) "count" 15 (Demand.support_size d);
+  Alcotest.(check bool) "zero-one" true (Demand.is_zero_one d)
+
+let test_bit_reversal () =
+  let d = Demand.bit_reversal 4 in
+  Alcotest.(check bool) "permutation" true (Demand.is_permutation d);
+  (* 0b0001 -> 0b1000 *)
+  Alcotest.(check (float 1e-9)) "1 -> 8" 1.0 (Demand.get d 1 8);
+  (* palindromic addresses are fixed points and dropped *)
+  Alcotest.(check (float 1e-9)) "fixed point dropped" 0.0 (Demand.get d 9 9);
+  Alcotest.(check int) "support" (16 - 4) (Demand.support_size d)
+
+let test_transpose () =
+  let d = Demand.transpose 4 in
+  Alcotest.(check bool) "permutation" true (Demand.is_permutation d);
+  (* low half 01, high half 10: 0b0110 -> 0b1001 *)
+  Alcotest.(check (float 1e-9)) "6 -> 9" 1.0 (Demand.get d 6 9);
+  Alcotest.check_raises "odd dimension rejected"
+    (Invalid_argument "Demand.transpose: dimension must be even and >= 2") (fun () ->
+      ignore (Demand.transpose 3))
+
+let test_all_to_all () =
+  let d = Demand.all_to_all 5 in
+  Alcotest.(check int) "support" 20 (Demand.support_size d);
+  Alcotest.(check (float 1e-9)) "siz" 20.0 (Demand.siz d)
+
+let test_gravity () =
+  let rng = Rng.create 11 in
+  let d = Demand.gravity rng ~n:10 ~total:100.0 in
+  Alcotest.(check (float 1e-6)) "total mass" 100.0 (Demand.siz d);
+  Alcotest.(check int) "full support" 90 (Demand.support_size d)
+
+let test_single_pair () =
+  let d = Demand.single_pair 3 7 2.5 in
+  Alcotest.(check (float 1e-9)) "value" 2.5 (Demand.get d 3 7);
+  Alcotest.(check int) "support" 1 (Demand.support_size d)
+
+let test_hotspot () =
+  let d = Demand.hotspot ~n:8 ~target:3 in
+  Alcotest.(check int) "seven senders" 7 (Demand.support_size d);
+  Alcotest.(check (float 1e-9)) "no self traffic" 0.0 (Demand.get d 3 3);
+  Alcotest.(check bool) "zero-one" true (Demand.is_zero_one d);
+  Alcotest.(check bool) "not a permutation (many-to-one)" false (Demand.is_permutation d)
+
+let test_ring_shift () =
+  let d = Demand.ring_shift ~n:6 ~shift:2 in
+  Alcotest.(check bool) "permutation" true (Demand.is_permutation d);
+  Alcotest.(check (float 1e-9)) "wraps" 1.0 (Demand.get d 5 1);
+  Alcotest.check_raises "zero shift rejected"
+    (Invalid_argument "Demand.ring_shift: shift must be non-zero mod n") (fun () ->
+      ignore (Demand.ring_shift ~n:6 ~shift:6))
+
+let test_stride () =
+  let d = Demand.stride ~n:8 ~stride:3 in
+  Alcotest.(check bool) "permutation" true (Demand.is_permutation d);
+  Alcotest.(check (float 1e-9)) "2 -> 6" 1.0 (Demand.get d 2 6);
+  Alcotest.check_raises "non-coprime rejected"
+    (Invalid_argument "Demand.stride: stride must be coprime with n") (fun () ->
+      ignore (Demand.stride ~n:8 ~stride:2))
+
+let test_equal () =
+  let d1 = Demand.of_list [ (0, 1, 1.0); (1, 2, 2.0) ] in
+  let d2 = Demand.of_list [ (1, 2, 2.0); (0, 1, 1.0) ] in
+  Alcotest.(check bool) "order independent" true (Demand.equal d1 d2);
+  Alcotest.(check bool) "value sensitive" false
+    (Demand.equal d1 (Demand.of_list [ (0, 1, 1.0); (1, 2, 3.0) ]))
+
+(* Serialization *)
+
+let test_demand_roundtrip () =
+  let d = Demand.of_list [ (0, 1, 1.5); (3, 2, 4.0) ] in
+  let d' = Demand.of_string (Demand.to_string d) in
+  Alcotest.(check bool) "roundtrip" true (Demand.equal d d')
+
+let test_demand_of_string_comments () =
+  let d = Demand.of_string "# comment\n0 1 2.0\n\n1 2 1\n" in
+  Alcotest.(check int) "two pairs" 2 (Demand.support_size d);
+  Alcotest.(check (float 1e-9)) "value" 2.0 (Demand.get d 0 1)
+
+let test_demand_of_string_rejects () =
+  Alcotest.(check bool) "bad line" true
+    (try
+       ignore (Demand.of_string "0 1\n");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "diagonal" true
+    (try
+       ignore (Demand.of_string "3 3 1.0\n");
+       false
+     with Failure _ -> true)
+
+let prop_demand_roundtrip =
+  QCheck.Test.make ~name:"demand serialization round-trips" ~count:100
+    QCheck.(list (triple (int_range 0 9) (int_range 0 9) (float_range 0.01 100.0)))
+    (fun raw ->
+      (* Shift targets to a disjoint id range so pairs are never diagonal
+         (shrinkers may wander outside the declared ranges). *)
+      let entries = List.map (fun (s, t, v) -> (s, t + 10, v)) raw in
+      let d = Demand.of_list entries in
+      Demand.equal d (Demand.of_string (Demand.to_string d)))
+
+(* Workloads *)
+
+module Workload = Sso_demand.Workload
+
+let test_workload_diurnal () =
+  let rng = Rng.create 3 in
+  let day = Workload.diurnal rng ~n:8 ~epochs:12 ~peak_total:100.0 in
+  Alcotest.(check int) "epochs" 12 (Workload.total_epochs day);
+  List.iter
+    (fun d ->
+      let total = Demand.siz d in
+      Alcotest.(check bool) "within profile band" true
+        (total >= 24.0 && total <= 100.1))
+    day;
+  (* The trough and the peak must actually differ. *)
+  let sizes = List.map Demand.siz day in
+  let lo = List.fold_left Float.min infinity sizes in
+  let hi = List.fold_left Float.max 0.0 sizes in
+  Alcotest.(check bool) "diurnal swing" true (hi >= 2.0 *. lo)
+
+let test_workload_random_walk () =
+  let rng = Rng.create 5 in
+  let epochs = Workload.random_walk rng ~n:10 ~epochs:8 ~pairs:6 ~churn:0.5 in
+  Alcotest.(check int) "epochs" 8 (Workload.total_epochs epochs);
+  List.iter
+    (fun d ->
+      Alcotest.(check int) "constant pair count" 6 (Demand.support_size d);
+      Alcotest.(check bool) "zero-one" true (Demand.is_zero_one d))
+    epochs;
+  (* With churn, consecutive epochs differ (with overwhelming probability
+     for this seed). *)
+  match epochs with
+  | a :: b :: _ -> Alcotest.(check bool) "churn changes support" false (Demand.equal a b)
+  | _ -> Alcotest.fail "expected epochs"
+
+let test_workload_zero_churn_is_constant () =
+  let rng = Rng.create 7 in
+  let epochs = Workload.random_walk rng ~n:10 ~epochs:5 ~pairs:4 ~churn:0.0 in
+  match epochs with
+  | first :: rest ->
+      List.iter
+        (fun d -> Alcotest.(check bool) "identical" true (Demand.equal first d))
+        rest
+  | [] -> Alcotest.fail "expected epochs"
+
+let test_workload_hotspot_sweep () =
+  let sweep = Workload.hotspot_sweep ~n:5 in
+  Alcotest.(check int) "one epoch per vertex" 5 (Workload.total_epochs sweep);
+  List.iteri
+    (fun target d ->
+      Alcotest.(check int) "incast size" 4 (Demand.support_size d);
+      List.iter
+        (fun (_, t) -> Alcotest.(check int) "all to target" target t)
+        (Demand.support d))
+    sweep
+
+let test_workload_peak () =
+  let small = Demand.single_pair 0 1 1.0 in
+  let big = Demand.of_list [ (0, 1, 5.0); (1, 2, 5.0) ] in
+  Alcotest.(check bool) "picks the heavy epoch" true
+    (Demand.equal big (Workload.peak [ small; big; small ]));
+  Alcotest.(check bool) "empty workload" true
+    (Demand.equal Demand.empty (Workload.peak []))
+
+let prop_add_siz =
+  QCheck.Test.make ~name:"siz is additive" ~count:200
+    QCheck.(pair (list (triple (int_range 0 5) (int_range 6 10) (float_range 0.0 5.0)))
+              (list (triple (int_range 0 5) (int_range 6 10) (float_range 0.0 5.0))))
+    (fun (l1, l2) ->
+      let d1 = Demand.of_list l1 and d2 = Demand.of_list l2 in
+      Float.abs (Demand.siz (Demand.add d1 d2) -. (Demand.siz d1 +. Demand.siz d2)) < 1e-6)
+
+let prop_scale_linear =
+  QCheck.Test.make ~name:"scale is linear in siz" ~count:200
+    QCheck.(pair (float_range 0.0 10.0)
+              (list (triple (int_range 0 5) (int_range 6 10) (float_range 0.0 5.0))))
+    (fun (c, l) ->
+      let d = Demand.of_list l in
+      Float.abs (Demand.siz (Demand.scale c d) -. (c *. Demand.siz d)) < 1e-6)
+
+let prop_random_permutation_always_valid =
+  QCheck.Test.make ~name:"random_permutation yields permutation demands" ~count:100
+    QCheck.(pair small_int (int_range 2 64))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      Demand.is_permutation (Demand.random_permutation rng n))
+
+let () =
+  Alcotest.run "demand"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "normalizes" `Quick test_of_list_normalizes;
+          Alcotest.test_case "rejects bad input" `Quick test_of_list_rejects;
+          Alcotest.test_case "siz and max" `Quick test_siz_and_max;
+          Alcotest.test_case "support ordered" `Quick test_support_ordered;
+          Alcotest.test_case "add and scale" `Quick test_add_scale;
+          Alcotest.test_case "map and filter" `Quick test_map_filter;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "classifiers",
+        [
+          Alcotest.test_case "kinds" `Quick test_classifiers;
+          Alcotest.test_case "special" `Quick test_is_special;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "random permutation" `Quick test_random_permutation;
+          Alcotest.test_case "random pairs" `Quick test_random_pairs;
+          Alcotest.test_case "bit reversal" `Quick test_bit_reversal;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "all to all" `Quick test_all_to_all;
+          Alcotest.test_case "gravity" `Quick test_gravity;
+          Alcotest.test_case "single pair" `Quick test_single_pair;
+          Alcotest.test_case "hotspot" `Quick test_hotspot;
+          Alcotest.test_case "ring shift" `Quick test_ring_shift;
+          Alcotest.test_case "stride" `Quick test_stride;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_demand_roundtrip;
+          Alcotest.test_case "comments" `Quick test_demand_of_string_comments;
+          Alcotest.test_case "rejects" `Quick test_demand_of_string_rejects;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "diurnal" `Quick test_workload_diurnal;
+          Alcotest.test_case "random walk" `Quick test_workload_random_walk;
+          Alcotest.test_case "zero churn" `Quick test_workload_zero_churn_is_constant;
+          Alcotest.test_case "hotspot sweep" `Quick test_workload_hotspot_sweep;
+          Alcotest.test_case "peak" `Quick test_workload_peak;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_siz;
+            prop_scale_linear;
+            prop_random_permutation_always_valid;
+            prop_demand_roundtrip;
+          ] );
+    ]

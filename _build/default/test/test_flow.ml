@@ -1,0 +1,622 @@
+(* Tests for routings and the min-congestion solvers, including the
+   LP-vs-MWU cross-validation that justifies using MWU at scale. *)
+
+module Rng = Sso_prng.Rng
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Gen = Sso_graph.Gen
+module Yen = Sso_graph.Yen
+module Demand = Sso_demand.Demand
+module Routing = Sso_flow.Routing
+module Min_congestion = Sso_flow.Min_congestion
+module Rounding = Sso_flow.Rounding
+module Concurrent_flow = Sso_flow.Concurrent_flow
+
+let square () =
+  (* 0-1-3 and 0-2-3: two disjoint two-hop routes. *)
+  let b = Graph.Builder.create 4 in
+  ignore (Graph.Builder.add_edge b 0 1);
+  ignore (Graph.Builder.add_edge b 1 3);
+  ignore (Graph.Builder.add_edge b 0 2);
+  ignore (Graph.Builder.add_edge b 2 3);
+  Graph.Builder.build b
+
+let square_paths g =
+  [ Path.of_vertices g [ 0; 1; 3 ]; Path.of_vertices g [ 0; 2; 3 ] ]
+
+(* Routing basics *)
+
+let test_routing_normalizes () =
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let r = Routing.make [ ((0, 3), [ (2.0, upper); (2.0, lower) ]) ] in
+  let dist = Routing.distribution r 0 3 in
+  List.iter (fun (w, _) -> Alcotest.(check (float 1e-9)) "normalized" 0.5 w) dist;
+  Alcotest.(check int) "two paths" 2 (List.length dist)
+
+let test_routing_merges_duplicates () =
+  let g = square () in
+  let p = List.hd (square_paths g) in
+  let r = Routing.make [ ((0, 3), [ (1.0, p); (3.0, p) ]) ] in
+  Alcotest.(check int) "merged" 1 (List.length (Routing.distribution r 0 3))
+
+let test_routing_rejects () =
+  let g = square () in
+  let p = List.hd (square_paths g) in
+  Alcotest.check_raises "wrong endpoints"
+    (Invalid_argument "Routing.make: path endpoints do not match pair") (fun () ->
+      ignore (Routing.make [ ((1, 3), [ (1.0, p) ]) ]));
+  Alcotest.check_raises "zero mass"
+    (Invalid_argument "Routing.make: weights must have positive sum") (fun () ->
+      ignore (Routing.make [ ((0, 3), [ (0.0, p) ]) ]))
+
+let test_routing_congestion () =
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let d = Demand.single_pair 0 3 2.0 in
+  let split = Routing.make [ ((0, 3), [ (1.0, upper); (1.0, lower) ]) ] in
+  Alcotest.(check (float 1e-9)) "even split" 1.0 (Routing.congestion g split d);
+  let solo = Routing.singleton_paths [ ((0, 3), upper) ] in
+  Alcotest.(check (float 1e-9)) "single path" 2.0 (Routing.congestion g solo d);
+  Alcotest.(check (float 1e-9)) "empty demand" 0.0 (Routing.congestion g solo Demand.empty)
+
+let test_routing_respects_capacity () =
+  let b = Graph.Builder.create 2 in
+  ignore (Graph.Builder.add_edge ~cap:4.0 b 0 1);
+  let g = Graph.Builder.build b in
+  let p = Path.of_vertices g [ 0; 1 ] in
+  let r = Routing.singleton_paths [ ((0, 1), p) ] in
+  Alcotest.(check (float 1e-9)) "load over capacity" 0.5
+    (Routing.congestion g r (Demand.single_pair 0 1 2.0))
+
+let test_routing_dilation () =
+  let g = Gen.path_graph 5 in
+  let p = Path.of_vertices g [ 0; 1; 2; 3 ] in
+  let q = Path.of_vertices g [ 0; 1 ] in
+  let r = Routing.make [ ((0, 3), [ (1.0, p) ]); ((0, 1), [ (1.0, q) ]) ] in
+  Alcotest.(check int) "dilation over support" 3
+    (Routing.dilation r (Demand.of_list [ (0, 3, 1.0); (0, 1, 1.0) ]));
+  Alcotest.(check int) "restricted support" 1
+    (Routing.dilation r (Demand.single_pair 0 1 1.0))
+
+let test_routing_is_integral_on () =
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let r = Routing.make [ ((0, 3), [ (1.0, upper); (1.0, lower) ]) ] in
+  Alcotest.(check bool) "half-half on 2 packets" true
+    (Routing.is_integral_on r (Demand.single_pair 0 3 2.0));
+  Alcotest.(check bool) "half-half on 1 packet" false
+    (Routing.is_integral_on r (Demand.single_pair 0 3 1.0))
+
+let test_merge_convex_bound () =
+  (* Lemma 5.15: cong(R, d1+d2) ≤ cong(R1,d1) + cong(R2,d2). *)
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let d1 = Demand.single_pair 0 3 1.0 and d2 = Demand.single_pair 0 3 2.0 in
+  let r1 = Routing.singleton_paths [ ((0, 3), upper) ] in
+  let r2 = Routing.singleton_paths [ ((0, 3), lower) ] in
+  let merged = Routing.merge_convex (d1, r1) (d2, r2) in
+  let total = Demand.add d1 d2 in
+  Alcotest.(check bool) "demand-sum bound" true
+    (Routing.congestion g merged total
+    <= Routing.congestion g r1 d1 +. Routing.congestion g r2 d2 +. 1e-9);
+  (* The mixture puts 1/3 on upper and 2/3 on lower. *)
+  let dist = Routing.distribution merged 0 3 in
+  let w_upper =
+    List.fold_left (fun acc (w, p) -> if Path.equal p upper then acc +. w else acc) 0.0 dist
+  in
+  Alcotest.(check (float 1e-9)) "mixture weight" (1.0 /. 3.0) w_upper
+
+let test_sample_path () =
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let r = Routing.make [ ((0, 3), [ (1.0, upper); (0.0, lower) ]) ] in
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    Alcotest.(check bool) "always the positive-weight path" true
+      (Path.equal (Routing.sample_path rng r 0 3) upper)
+  done
+
+(* LP on paths *)
+
+let test_lp_on_paths_splits () =
+  let g = square () in
+  let cands = [ ((0, 3), square_paths g) ] in
+  let d = Demand.single_pair 0 3 2.0 in
+  let routing, cong = Min_congestion.lp_on_paths g cands d in
+  Alcotest.(check (float 1e-6)) "perfect split" 1.0 cong;
+  Alcotest.(check (float 1e-6)) "consistent" 1.0 (Routing.congestion g routing d)
+
+let test_lp_on_paths_single_candidate () =
+  let g = square () in
+  let cands = [ ((0, 3), [ List.hd (square_paths g) ]) ] in
+  let d = Demand.single_pair 0 3 3.0 in
+  let _, cong = Min_congestion.lp_on_paths g cands d in
+  Alcotest.(check (float 1e-6)) "forced congestion" 3.0 cong
+
+let test_lp_on_paths_competing_pairs () =
+  (* Path graph 0-1-2: pairs (0,1) and (0,2) both must use edge 0. *)
+  let g = Gen.path_graph 3 in
+  let p01 = Path.of_vertices g [ 0; 1 ] in
+  let p02 = Path.of_vertices g [ 0; 1; 2 ] in
+  let cands = [ ((0, 1), [ p01 ]); ((0, 2), [ p02 ]) ] in
+  let d = Demand.of_list [ (0, 1, 1.0); (0, 2, 1.0) ] in
+  let _, cong = Min_congestion.lp_on_paths g cands d in
+  Alcotest.(check (float 1e-6)) "shared edge" 2.0 cong
+
+let test_lp_missing_candidates () =
+  let g = square () in
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Min_congestion.lp_on_paths: demanded pair has no candidates")
+    (fun () ->
+      ignore (Min_congestion.lp_on_paths g [] (Demand.single_pair 0 3 1.0)))
+
+let test_lp_empty_demand () =
+  let g = square () in
+  let _, cong = Min_congestion.lp_on_paths g [] Demand.empty in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 cong
+
+(* MWU vs LP cross-validation *)
+
+let random_candidates rng g k demand =
+  List.map
+    (fun (s, t) ->
+      let paths = Yen.k_shortest g ~weight:(fun _ -> 1.0) ~k s t in
+      ignore rng;
+      ((s, t), paths))
+    (Demand.support demand)
+
+let test_mwu_matches_lp () =
+  let rng = Rng.create 21 in
+  for trial = 1 to 5 do
+    let g = Gen.erdos_renyi rng 12 0.35 in
+    let d = Demand.random_pairs rng ~n:12 ~pairs:5 in
+    let cands = random_candidates rng g 4 d in
+    let _, lp = Min_congestion.lp_on_paths g cands d in
+    let _, mwu = Min_congestion.mwu_on_paths ~iters:800 g cands d in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: mwu within 15%% of lp (lp=%.3f mwu=%.3f)" trial lp mwu)
+      true
+      (mwu >= lp -. 1e-6 && mwu <= (lp *. 1.15) +. 0.05)
+  done
+
+let test_mwu_on_square () =
+  let g = square () in
+  let cands = [ ((0, 3), square_paths g) ] in
+  let d = Demand.single_pair 0 3 2.0 in
+  let _, cong = Min_congestion.mwu_on_paths ~iters:500 g cands d in
+  Alcotest.(check bool) "near 1.0" true (cong < 1.1)
+
+let test_mwu_unrestricted_square () =
+  let g = square () in
+  let d = Demand.single_pair 0 3 2.0 in
+  let _, cong = Min_congestion.mwu_unrestricted ~iters:500 g d in
+  Alcotest.(check bool) "uses both routes" true (cong < 1.1);
+  Alcotest.(check bool) "not below optimum" true (cong >= 1.0 -. 1e-6)
+
+let test_unrestricted_lp_matches_mwu () =
+  let rng = Rng.create 31 in
+  let g = Gen.cycle 6 in
+  let d = Demand.of_list [ (0, 3, 1.0); (1, 4, 1.0) ] in
+  let lp = Min_congestion.lp_unrestricted g d in
+  let _, mwu = Min_congestion.mwu_unrestricted ~iters:800 g d in
+  ignore rng;
+  Alcotest.(check bool)
+    (Printf.sprintf "cycle optimum (lp=%.3f mwu=%.3f)" lp mwu)
+    true
+    (mwu >= lp -. 1e-6 && mwu <= (lp *. 1.15) +. 0.05)
+
+let test_lp_unrestricted_known_value () =
+  (* Two disjoint 2-hop routes for 2 units: optimum congestion 1. *)
+  let g = square () in
+  let d = Demand.single_pair 0 3 2.0 in
+  Alcotest.(check (float 1e-5)) "square optimum" 1.0 (Min_congestion.lp_unrestricted g d)
+
+let test_hop_limited_forces_direct () =
+  (* multi_path [1;3]: a direct edge and a 3-hop detour.  With max_hops 1
+     everything must use the direct edge. *)
+  let g = Gen.multi_path [ 1; 3 ] in
+  let d = Demand.single_pair 0 1 2.0 in
+  (match Min_congestion.mwu_hop_limited ~iters:300 ~max_hops:1 g d with
+  | None -> Alcotest.fail "expected feasible"
+  | Some (_, cong) -> Alcotest.(check (float 1e-6)) "all on direct edge" 2.0 cong);
+  match Min_congestion.mwu_hop_limited ~iters:600 ~max_hops:3 g d with
+  | None -> Alcotest.fail "expected feasible"
+  | Some (_, cong) -> Alcotest.(check bool) "split when allowed" true (cong < 1.3)
+
+let test_hop_limited_infeasible () =
+  let g = Gen.path_graph 5 in
+  Alcotest.(check bool) "too few hops" true
+    (Min_congestion.mwu_hop_limited ~max_hops:2 g (Demand.single_pair 0 4 1.0) = None)
+
+let test_lower_bound_sound () =
+  let rng = Rng.create 41 in
+  for _ = 1 to 5 do
+    let g = Gen.erdos_renyi rng 10 0.4 in
+    let d = Demand.random_pairs rng ~n:10 ~pairs:4 in
+    let bound = Min_congestion.lower_bound_sparse_cut g d in
+    let opt = Min_congestion.lp_unrestricted g d in
+    Alcotest.(check bool)
+      (Printf.sprintf "lower bound below optimum (%.3f <= %.3f)" bound opt)
+      true (bound <= opt +. 1e-6)
+  done
+
+let test_lower_bound_tight_on_bottleneck () =
+  let g = Gen.path_graph 3 in
+  let d = Demand.single_pair 0 2 4.0 in
+  Alcotest.(check (float 1e-9)) "cut bound" 4.0 (Min_congestion.lower_bound_sparse_cut g d)
+
+(* Extra routing coverage *)
+
+let test_routing_restrict () =
+  let g = square () in
+  let p = List.hd (square_paths g) in
+  let q = Path.of_vertices g [ 0; 1 ] in
+  let r = Routing.make [ ((0, 3), [ (1.0, p) ]); ((0, 1), [ (1.0, q) ]) ] in
+  let restricted = Routing.restrict r [ (0, 3) ] in
+  Alcotest.(check int) "kept one pair" 1 (List.length (Routing.pairs restricted));
+  Alcotest.(check bool) "dropped pair gone" true (Routing.distribution restricted 0 1 = [])
+
+let test_routing_covers () =
+  let g = square () in
+  let p = List.hd (square_paths g) in
+  let r = Routing.singleton_paths [ ((0, 3), p) ] in
+  Alcotest.(check bool) "covers its pair" true (Routing.covers r (Demand.single_pair 0 3 1.0));
+  Alcotest.(check bool) "missing pair" false (Routing.covers r (Demand.single_pair 1 2 1.0))
+
+let test_routing_support_sparsity () =
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let r =
+    Routing.make
+      [ ((0, 3), [ (1.0, upper); (1.0, lower) ]); ((0, 1), [ (1.0, Path.of_vertices g [ 0; 1 ]) ]) ]
+  in
+  Alcotest.(check int) "max support" 2 (Routing.support_sparsity r)
+
+let test_routing_edge_congestion () =
+  let g = square () in
+  let upper = List.hd (square_paths g) in
+  let r = Routing.singleton_paths [ ((0, 3), upper) ] in
+  let d = Demand.single_pair 0 3 3.0 in
+  Alcotest.(check (float 1e-9)) "used edge" 3.0
+    (Routing.edge_congestion g r d upper.Path.edges.(0));
+  (* Edge 2 belongs to the other route. *)
+  Alcotest.(check (float 1e-9)) "unused edge" 0.0 (Routing.edge_congestion g r d 2)
+
+let test_lower_bound_volume_on_long_path () =
+  (* On a path graph, hop distances make the volume bound bite: 3 pairs of
+     span 4 over 4 edges → at least 3.0 even though each pair's cut bound
+     is only 1·d. *)
+  let g = Gen.path_graph 5 in
+  let d = Demand.of_list [ (0, 4, 1.0); (4, 0, 1.0); (0, 4, 0.0) ] in
+  Alcotest.(check bool) "volume bound" true
+    (Min_congestion.lower_bound_sparse_cut g d >= 2.0 -. 1e-9)
+
+let test_gk_epsilon_tradeoff () =
+  let g = square () in
+  let cands = [ ((0, 3), square_paths g) ] in
+  let d = Demand.single_pair 0 3 2.0 in
+  let _, coarse = Concurrent_flow.on_paths ~epsilon:0.5 g cands d in
+  let _, fine = Concurrent_flow.on_paths ~epsilon:0.02 g cands d in
+  Alcotest.(check bool)
+    (Printf.sprintf "both near optimum (%.3f, %.3f)" coarse fine)
+    true
+    (fine <= 1.05 && coarse <= 1.6);
+  Alcotest.(check bool) "fine at least as good" true (fine <= coarse +. 1e-9)
+
+let test_gk_rejects_bad_epsilon () =
+  let g = square () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Concurrent_flow.on_paths ~epsilon:1.5 g
+            [ ((0, 3), square_paths g) ]
+            (Demand.single_pair 0 3 1.0));
+       false
+     with Invalid_argument _ -> true)
+
+(* Warm-started MWU *)
+
+let test_warm_start_preserves_good_solution () =
+  (* Seed with the exact optimum at high weight + few fresh rounds: the
+     result must stay near-optimal. *)
+  let g = square () in
+  let cands = [ ((0, 3), square_paths g) ] in
+  let d = Demand.single_pair 0 3 2.0 in
+  let optimal, lp = Min_congestion.lp_on_paths g cands d in
+  let _, warm =
+    Min_congestion.mwu_on_paths_warm ~iters:5 ~warm:optimal ~warm_weight:100 g cands d
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stays near optimum (lp %.3f warm %.3f)" lp warm)
+    true
+    (warm <= (lp *. 1.1) +. 0.02)
+
+let test_warm_start_recovers_from_bad_seed () =
+  (* Seed with the worst routing at low weight + many fresh rounds: MWU
+     must still converge. *)
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  ignore lower;
+  let bad = Routing.singleton_paths [ ((0, 3), upper) ] in
+  let cands = [ ((0, 3), square_paths g) ] in
+  let d = Demand.single_pair 0 3 2.0 in
+  let _, recovered =
+    Min_congestion.mwu_on_paths_warm ~iters:600 ~warm:bad ~warm_weight:1 g cands d
+  in
+  Alcotest.(check bool) (Printf.sprintf "recovered %.3f" recovered) true (recovered <= 1.15)
+
+let test_warm_start_handles_new_pairs () =
+  (* The new demand has a pair the warm routing never saw. *)
+  let g = Gen.grid 3 3 in
+  let d_old = Demand.single_pair 0 8 1.0 in
+  let cands_old = [ ((0, 8), Yen.k_shortest g ~weight:(fun _ -> 1.0) ~k:3 0 8) ] in
+  let warm, _ = Min_congestion.lp_on_paths g cands_old d_old in
+  let d_new = Demand.of_list [ (0, 8, 1.0); (2, 6, 1.0) ] in
+  let cands_new =
+    cands_old @ [ ((2, 6), Yen.k_shortest g ~weight:(fun _ -> 1.0) ~k:3 2 6) ]
+  in
+  let routing, cong =
+    Min_congestion.mwu_on_paths_warm ~iters:200 ~warm ~warm_weight:50 g cands_new d_new
+  in
+  Alcotest.(check bool) "covers the new pair" true (Routing.covers routing d_new);
+  Alcotest.(check bool) "finite congestion" true (Float.is_finite cong && cong > 0.0)
+
+let test_warm_start_rejects_bad_weight () =
+  let g = square () in
+  let cands = [ ((0, 3), square_paths g) ] in
+  let d = Demand.single_pair 0 3 1.0 in
+  let warm, _ = Min_congestion.lp_on_paths g cands d in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Min_congestion.mwu_on_paths_warm ~iters:10 ~warm ~warm_weight:0 g cands d);
+       false
+     with Invalid_argument _ -> true)
+
+(* Garg–Könemann concurrent flow *)
+
+let test_gk_splits_square () =
+  let g = square () in
+  let cands = [ ((0, 3), square_paths g) ] in
+  let d = Demand.single_pair 0 3 2.0 in
+  let _, cong = Concurrent_flow.on_paths ~epsilon:0.05 g cands d in
+  Alcotest.(check bool) (Printf.sprintf "near 1.0 (got %.3f)" cong) true (cong <= 1.1)
+
+let test_gk_matches_lp () =
+  let rng = Rng.create 71 in
+  for trial = 1 to 4 do
+    let g = Gen.erdos_renyi rng 12 0.35 in
+    let d = Demand.random_pairs rng ~n:12 ~pairs:5 in
+    let cands = random_candidates rng g 4 d in
+    let _, lp = Min_congestion.lp_on_paths g cands d in
+    let _, gk = Concurrent_flow.on_paths ~epsilon:0.05 g cands d in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: gk within 15%% of lp (lp=%.3f gk=%.3f)" trial lp gk)
+      true
+      (gk >= lp -. 1e-6 && gk <= (lp *. 1.15) +. 0.05)
+  done
+
+let test_gk_unrestricted_matches_lp () =
+  let g = Gen.cycle 6 in
+  let d = Demand.of_list [ (0, 3, 1.0); (1, 4, 1.0) ] in
+  let lp = Min_congestion.lp_unrestricted g d in
+  let _, gk = Concurrent_flow.unrestricted ~epsilon:0.05 g d in
+  Alcotest.(check bool)
+    (Printf.sprintf "cycle (lp=%.3f gk=%.3f)" lp gk)
+    true
+    (gk >= lp -. 1e-6 && gk <= (lp *. 1.15) +. 0.05)
+
+let test_gk_three_engines_agree () =
+  (* LP (exact), MWU and GK must all land within a narrow band. *)
+  let rng = Rng.create 73 in
+  let g = Gen.grid 4 4 in
+  let d = Demand.random_pairs rng ~n:16 ~pairs:6 in
+  let cands = random_candidates rng g 4 d in
+  let _, lp = Min_congestion.lp_on_paths g cands d in
+  let _, mwu = Min_congestion.mwu_on_paths ~iters:800 g cands d in
+  let _, gk = Concurrent_flow.on_paths ~epsilon:0.05 g cands d in
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement lp=%.3f mwu=%.3f gk=%.3f" lp mwu gk)
+    true
+    (mwu <= (lp *. 1.15) +. 0.05 && gk <= (lp *. 1.15) +. 0.05)
+
+let test_gk_empty_demand () =
+  let g = square () in
+  let _, cong = Concurrent_flow.on_paths g [] Demand.empty in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 cong
+
+let test_gk_missing_candidates () =
+  let g = square () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Concurrent_flow.on_paths g [] (Demand.single_pair 0 3 1.0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_gk_respects_capacities () =
+  (* Unequal capacities: optimal split is proportional to caps. *)
+  let b = Graph.Builder.create 2 in
+  ignore (Graph.Builder.add_edge ~cap:3.0 b 0 1);
+  ignore (Graph.Builder.add_edge ~cap:1.0 b 0 1);
+  let g = Graph.Builder.build b in
+  let p0 = Path.of_edges g ~src:0 ~dst:1 [| 0 |] in
+  let p1 = Path.of_edges g ~src:0 ~dst:1 [| 1 |] in
+  let d = Demand.single_pair 0 1 4.0 in
+  let _, cong = Concurrent_flow.on_paths ~epsilon:0.05 g [ ((0, 1), [ p0; p1 ]) ] d in
+  (* Optimum: 3 on the fat edge, 1 on the thin → congestion 1. *)
+  Alcotest.(check bool) (Printf.sprintf "prop split (got %.3f)" cong) true (cong <= 1.1)
+
+(* Rounding *)
+
+let test_round_is_integral () =
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let r = Routing.make [ ((0, 3), [ (1.0, upper); (1.0, lower) ]) ] in
+  let d = Demand.single_pair 0 3 5.0 in
+  let rng = Rng.create 5 in
+  let a = Rounding.round rng r d in
+  Alcotest.(check (float 1e-9)) "demand preserved" 5.0 (Demand.siz (Rounding.demand_of a));
+  Alcotest.(check bool) "induced routing integral" true
+    (Routing.is_integral_on (Rounding.to_routing a) d)
+
+let test_round_rejects_fractional_demand () =
+  let g = square () in
+  let r = Routing.singleton_paths [ ((0, 3), List.hd (square_paths g)) ] in
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "fractional"
+    (Invalid_argument "Rounding.round: demand must be integral") (fun () ->
+      ignore (Rounding.round rng r (Demand.single_pair 0 3 0.5)))
+
+let test_rounding_lemma_bound () =
+  (* Lemma 6.3: some rounding achieves ≤ 2·cong_R + 3·ln m; best-of-20
+     should find one on small instances. *)
+  let rng = Rng.create 17 in
+  for _ = 1 to 5 do
+    let g = Gen.erdos_renyi rng 12 0.35 in
+    let d = Demand.random_pairs rng ~n:12 ~pairs:6 in
+    let cands =
+      List.map
+        (fun (s, t) -> ((s, t), Yen.k_shortest g ~weight:(fun _ -> 1.0) ~k:3 s t))
+        (Demand.support d)
+    in
+    let fractional, frac_cong = Min_congestion.lp_on_paths g cands d in
+    let a = Rounding.best_round ~tries:20 rng g fractional d in
+    let bound = (2.0 *. frac_cong) +. (3.0 *. Float.log (float_of_int (Graph.m g))) in
+    Alcotest.(check bool)
+      (Printf.sprintf "rounding bound (%.3f <= %.3f)" (Rounding.congestion g a) bound)
+      true
+      (Rounding.congestion g a <= bound +. 1e-6)
+  done
+
+let test_local_search_improves () =
+  (* Start with both packets on the same route; local search should move
+     one to the disjoint alternative. *)
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let bad : Rounding.assignment = [| ((0, 3), [| upper; upper |]) |] in
+  Alcotest.(check (float 1e-9)) "initially congested" 2.0 (Rounding.congestion g bad);
+  let improved =
+    Rounding.local_search g
+      ~candidates:(fun _ _ -> [ upper; lower ])
+      bad
+  in
+  Alcotest.(check (float 1e-9)) "balanced" 1.0 (Rounding.congestion g improved)
+
+let test_local_search_preserves_demand () =
+  let g = square () in
+  let upper, lower =
+    match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let a : Rounding.assignment = [| ((0, 3), [| upper; upper; lower |]) |] in
+  let improved = Rounding.local_search g ~candidates:(fun _ _ -> [ upper; lower ]) a in
+  Alcotest.(check bool) "same demand" true
+    (Demand.equal (Rounding.demand_of a) (Rounding.demand_of improved))
+
+let prop_round_preserves_counts =
+  QCheck.Test.make ~name:"rounding preserves per-pair packet counts" ~count:50
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, packets) ->
+      let g = square () in
+      let upper, lower =
+        match square_paths g with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let r = Routing.make [ ((0, 3), [ (1.0, upper); (1.0, lower) ]) ] in
+      let d = Demand.single_pair 0 3 (float_of_int packets) in
+      let rng = Rng.create seed in
+      let a = Rounding.round rng r d in
+      Demand.equal (Rounding.demand_of a) d)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "normalizes" `Quick test_routing_normalizes;
+          Alcotest.test_case "merges duplicates" `Quick test_routing_merges_duplicates;
+          Alcotest.test_case "rejects bad input" `Quick test_routing_rejects;
+          Alcotest.test_case "congestion" `Quick test_routing_congestion;
+          Alcotest.test_case "capacity" `Quick test_routing_respects_capacity;
+          Alcotest.test_case "dilation" `Quick test_routing_dilation;
+          Alcotest.test_case "integral on" `Quick test_routing_is_integral_on;
+          Alcotest.test_case "merge convex (Lemma 5.15)" `Quick test_merge_convex_bound;
+          Alcotest.test_case "sample path" `Quick test_sample_path;
+        ] );
+      ( "lp",
+        [
+          Alcotest.test_case "splits" `Quick test_lp_on_paths_splits;
+          Alcotest.test_case "single candidate" `Quick test_lp_on_paths_single_candidate;
+          Alcotest.test_case "competing pairs" `Quick test_lp_on_paths_competing_pairs;
+          Alcotest.test_case "missing candidates" `Quick test_lp_missing_candidates;
+          Alcotest.test_case "empty demand" `Quick test_lp_empty_demand;
+          Alcotest.test_case "unrestricted known value" `Quick test_lp_unrestricted_known_value;
+        ] );
+      ( "mwu",
+        [
+          Alcotest.test_case "matches lp" `Slow test_mwu_matches_lp;
+          Alcotest.test_case "square" `Quick test_mwu_on_square;
+          Alcotest.test_case "unrestricted square" `Quick test_mwu_unrestricted_square;
+          Alcotest.test_case "unrestricted vs lp" `Slow test_unrestricted_lp_matches_mwu;
+          Alcotest.test_case "hop limited direct" `Quick test_hop_limited_forces_direct;
+          Alcotest.test_case "hop limited infeasible" `Quick test_hop_limited_infeasible;
+          Alcotest.test_case "lower bound sound" `Slow test_lower_bound_sound;
+          Alcotest.test_case "lower bound bottleneck" `Quick test_lower_bound_tight_on_bottleneck;
+        ] );
+      ( "routing extra",
+        [
+          Alcotest.test_case "restrict" `Quick test_routing_restrict;
+          Alcotest.test_case "covers" `Quick test_routing_covers;
+          Alcotest.test_case "support sparsity" `Quick test_routing_support_sparsity;
+          Alcotest.test_case "edge congestion" `Quick test_routing_edge_congestion;
+          Alcotest.test_case "volume lower bound" `Quick test_lower_bound_volume_on_long_path;
+          Alcotest.test_case "gk epsilon tradeoff" `Quick test_gk_epsilon_tradeoff;
+          Alcotest.test_case "gk rejects bad epsilon" `Quick test_gk_rejects_bad_epsilon;
+        ] );
+      ( "warm start",
+        [
+          Alcotest.test_case "preserves good solution" `Quick
+            test_warm_start_preserves_good_solution;
+          Alcotest.test_case "recovers from bad seed" `Quick
+            test_warm_start_recovers_from_bad_seed;
+          Alcotest.test_case "handles new pairs" `Quick test_warm_start_handles_new_pairs;
+          Alcotest.test_case "rejects bad weight" `Quick test_warm_start_rejects_bad_weight;
+        ] );
+      ( "garg-konemann",
+        [
+          Alcotest.test_case "splits square" `Quick test_gk_splits_square;
+          Alcotest.test_case "matches lp" `Slow test_gk_matches_lp;
+          Alcotest.test_case "unrestricted vs lp" `Slow test_gk_unrestricted_matches_lp;
+          Alcotest.test_case "three engines agree" `Slow test_gk_three_engines_agree;
+          Alcotest.test_case "empty demand" `Quick test_gk_empty_demand;
+          Alcotest.test_case "missing candidates" `Quick test_gk_missing_candidates;
+          Alcotest.test_case "respects capacities" `Quick test_gk_respects_capacities;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "integral" `Quick test_round_is_integral;
+          Alcotest.test_case "rejects fractional" `Quick test_round_rejects_fractional_demand;
+          Alcotest.test_case "Lemma 6.3 bound" `Slow test_rounding_lemma_bound;
+          Alcotest.test_case "local search improves" `Quick test_local_search_improves;
+          Alcotest.test_case "local search preserves demand" `Quick
+            test_local_search_preserves_demand;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_round_preserves_counts ] );
+    ]

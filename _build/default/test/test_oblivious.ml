@@ -1,0 +1,527 @@
+(* Tests for the oblivious routings: Valiant, deterministic baselines,
+   KSP spread, FRT embeddings, the Räcke-style construction, and the
+   hop-constrained substitute. *)
+
+module Rng = Sso_prng.Rng
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Gen = Sso_graph.Gen
+module Shortest = Sso_graph.Shortest
+module Demand = Sso_demand.Demand
+module Routing = Sso_flow.Routing
+module Min_congestion = Sso_flow.Min_congestion
+module Oblivious = Sso_oblivious.Oblivious
+module Valiant = Sso_oblivious.Valiant
+module Deterministic = Sso_oblivious.Deterministic
+module Ksp = Sso_oblivious.Ksp
+module Frt = Sso_oblivious.Frt
+module Racke = Sso_oblivious.Racke
+module Hop_constrained = Sso_oblivious.Hop_constrained
+
+let check_distribution_valid g obl pairs =
+  List.iter
+    (fun (s, t) ->
+      let dist = Oblivious.distribution obl s t in
+      Alcotest.(check bool) "non-empty" true (dist <> []);
+      let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 dist in
+      Alcotest.(check (float 1e-6)) "normalized" 1.0 total;
+      List.iter
+        (fun ((_, p) : float * Path.t) ->
+          Alcotest.(check int) "src" s p.Path.src;
+          Alcotest.(check int) "dst" t p.Path.dst;
+          Alcotest.(check bool) "simple" true (Path.is_simple g p))
+        dist)
+    pairs
+
+(* Oblivious wrapper *)
+
+let test_wrapper_memoizes () =
+  let g = Gen.cycle 5 in
+  let calls = ref 0 in
+  let obl =
+    Oblivious.make ~name:"test" g (fun s t ->
+        incr calls;
+        match Shortest.bfs_path g s t with Some p -> [ (1.0, p) ] | None -> [])
+  in
+  ignore (Oblivious.distribution obl 0 2);
+  ignore (Oblivious.distribution obl 0 2);
+  Alcotest.(check int) "generator called once" 1 !calls
+
+let test_wrapper_rejects_diagonal () =
+  let g = Gen.cycle 5 in
+  let obl = Deterministic.shortest_path g in
+  Alcotest.check_raises "s = t" (Invalid_argument "Oblivious.distribution: s = t")
+    (fun () -> ignore (Oblivious.distribution obl 1 1))
+
+(* Valiant *)
+
+let test_bitfix_path () =
+  let g = Gen.hypercube 3 in
+  let p = Valiant.bitfix_path g 0 7 in
+  Alcotest.(check int) "three hops" 3 (Path.hops p);
+  Alcotest.(check (array int)) "lowest bit first" [| 0; 1; 3; 7 |] (Path.vertices g p)
+
+let test_valiant_valid () =
+  let g = Gen.hypercube 3 in
+  let obl = Valiant.routing g in
+  check_distribution_valid g obl [ (0, 7); (1, 6); (2, 3) ]
+
+let test_valiant_rejects_non_hypercube () =
+  let g = Gen.cycle 5 in
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Valiant: vertex count is not a power of two") (fun () ->
+      ignore (Valiant.routing g))
+
+let test_valiant_competitive_on_permutations () =
+  (* Valiant's trick keeps expected congestion O(1) on permutations. *)
+  let g = Gen.hypercube 5 in
+  let obl = Valiant.routing g in
+  let rng = Rng.create 7 in
+  let worst = ref 0.0 in
+  for _ = 1 to 3 do
+    let d = Demand.random_permutation rng (Graph.n g) in
+    worst := Float.max !worst (Oblivious.congestion obl d)
+  done;
+  Alcotest.(check bool) "bounded congestion" true (!worst <= 4.0)
+
+let test_valiant_beats_ecube_on_bit_reversal () =
+  (* The KKT91 separation: deterministic e-cube suffers Θ(√n) on
+     bit-reversal, Valiant stays polylog. *)
+  let d_dim = 6 in
+  let g = Gen.hypercube d_dim in
+  let demand = Demand.bit_reversal d_dim in
+  let ecube_cong = Oblivious.congestion (Deterministic.ecube g) demand in
+  let valiant_cong = Oblivious.congestion (Valiant.routing g) demand in
+  Alcotest.(check bool)
+    (Printf.sprintf "ecube %.1f >> valiant %.2f" ecube_cong valiant_cong)
+    true
+    (ecube_cong >= 2.0 *. valiant_cong);
+  (* e-cube on bit reversal funnels 2^{d/2} packets through middle edges. *)
+  Alcotest.(check bool) "ecube sqrt-n-ish" true (ecube_cong >= 4.0)
+
+let test_generalized_valiant_matches_classic_shape () =
+  (* On the hypercube, generalized Valiant over e-cube IS Valiant's trick. *)
+  let g = Gen.hypercube 4 in
+  let classic = Valiant.routing g in
+  let general = Valiant.generalized ~base:(Deterministic.ecube g) in
+  let d = Demand.bit_reversal 4 in
+  let c1 = Oblivious.congestion classic d in
+  let c2 = Oblivious.congestion general d in
+  Alcotest.(check (float 1e-9)) "identical congestion" c1 c2
+
+let test_generalized_valiant_on_torus () =
+  (* Random-intermediate routing on a torus spreads the ring-shift load
+     that dimension-order routing concentrates. *)
+  let g = Gen.torus 4 4 in
+  let base = Deterministic.xy_grid ~cols:4 (Gen.grid 4 4) in
+  ignore base;
+  let det = Deterministic.shortest_path g in
+  let general = Valiant.generalized ~base:det in
+  check_distribution_valid g general [ (0, 10); (3, 12) ];
+  let d = Demand.ring_shift ~n:16 ~shift:8 in
+  Alcotest.(check bool) "spreads at least as well" true
+    (Oblivious.congestion general d <= Oblivious.congestion det d +. 1e-9)
+
+(* Deterministic baselines *)
+
+let test_ecube_single_path () =
+  let g = Gen.hypercube 4 in
+  let obl = Deterministic.ecube g in
+  Alcotest.(check int) "1-sparse" 1 (Oblivious.support_sparsity obl [ (0, 15); (3, 12) ])
+
+let test_shortest_path_routing () =
+  let g = Gen.grid 3 3 in
+  let obl = Deterministic.shortest_path g in
+  check_distribution_valid g obl [ (0, 8); (2, 6) ];
+  let dist = Oblivious.distribution obl 0 8 in
+  List.iter (fun (_, p) -> Alcotest.(check int) "shortest" 4 (Path.hops p)) dist
+
+let test_xy_grid_routing () =
+  let g = Gen.grid 4 4 in
+  let obl = Deterministic.xy_grid ~cols:4 g in
+  check_distribution_valid g obl [ (0, 15); (3, 12); (5, 10) ];
+  (* Row first, then column: 0 -> 3 -> 15. *)
+  let _, p = List.hd (Oblivious.distribution obl 0 15) in
+  Alcotest.(check (array int)) "row then column" [| 0; 1; 2; 3; 7; 11; 15 |]
+    (Path.vertices g p)
+
+let test_xy_grid_transpose_congestion () =
+  (* XY routing on the transpose-like demand concentrates on the corners'
+     rows/columns; a sampled semi-oblivious beats it. *)
+  let side = 5 in
+  let g = Gen.grid side side in
+  let obl = Deterministic.xy_grid ~cols:side g in
+  (* Transpose demand on the grid: (r,c) -> (c,r). *)
+  let d =
+    Demand.of_list
+      (List.concat_map
+         (fun r ->
+           List.filter_map
+             (fun c -> if r = c then None else Some ((r * side) + c, (c * side) + r, 1.0))
+             (List.init side Fun.id))
+         (List.init side Fun.id))
+  in
+  let xy_cong = Oblivious.congestion obl d in
+  Alcotest.(check bool) "transpose hurts xy" true (xy_cong >= 3.0)
+
+(* KSP *)
+
+let test_ksp_spread () =
+  let g = Gen.grid 3 3 in
+  let obl = Ksp.routing ~k:4 g in
+  let dist = Oblivious.distribution obl 0 8 in
+  Alcotest.(check int) "four paths" 4 (List.length dist);
+  List.iter (fun (w, _) -> Alcotest.(check (float 1e-9)) "uniform" 0.25 w) dist
+
+let test_ksp_handles_scarce_paths () =
+  let g = Gen.path_graph 4 in
+  let obl = Ksp.routing ~k:5 g in
+  Alcotest.(check int) "only one simple path" 1
+    (List.length (Oblivious.distribution obl 0 3))
+
+(* FRT *)
+
+let test_frt_routes_valid () =
+  let rng = Rng.create 3 in
+  let g = Gen.grid 4 4 in
+  let tree = Frt.build rng g ~length:(fun _ -> 1.0) in
+  Alcotest.(check bool) "levels positive" true (Frt.levels tree >= 1);
+  for s = 0 to 15 do
+    for t = 0 to 15 do
+      if s <> t then begin
+        let p = Frt.route tree s t in
+        Alcotest.(check int) "src" s p.Path.src;
+        Alcotest.(check int) "dst" t p.Path.dst;
+        Alcotest.(check bool) "simple" true (Path.is_simple g p)
+      end
+    done
+  done
+
+let test_frt_trivial_pair () =
+  let rng = Rng.create 3 in
+  let g = Gen.cycle 5 in
+  let tree = Frt.build rng g ~length:(fun _ -> 1.0) in
+  Alcotest.(check int) "self route empty" 0 (Path.hops (Frt.route tree 2 2))
+
+let test_frt_consistent_routing () =
+  (* Same tree → same route every time (it is deterministic given the tree). *)
+  let rng = Rng.create 11 in
+  let g = Gen.grid 3 3 in
+  let tree = Frt.build rng g ~length:(fun _ -> 1.0) in
+  let p1 = Frt.route tree 0 8 and p2 = Frt.route tree 0 8 in
+  Alcotest.(check bool) "deterministic" true (Path.equal p1 p2)
+
+let test_frt_stretch_reasonable () =
+  (* Expected stretch is O(log n); check the average over pairs is modest
+     for a fixed seed. *)
+  let rng = Rng.create 5 in
+  let g = Gen.grid 4 4 in
+  let tree = Frt.build rng g ~length:(fun _ -> 1.0) in
+  let hops = Shortest.all_pairs_hops g in
+  let total_stretch = ref 0.0 and count = ref 0 in
+  for s = 0 to 15 do
+    for t = 0 to 15 do
+      if s <> t then begin
+        let p = Frt.route tree s t in
+        total_stretch := !total_stretch +. (float_of_int (Path.hops p) /. float_of_int hops.(s).(t));
+        incr count
+      end
+    done
+  done;
+  let avg = !total_stretch /. float_of_int !count in
+  Alcotest.(check bool) (Printf.sprintf "avg stretch %.2f" avg) true (avg <= 8.0)
+
+let test_frt_cluster_centers () =
+  let rng = Rng.create 7 in
+  let g = Gen.cycle 6 in
+  let tree = Frt.build rng g ~length:(fun _ -> 1.0) in
+  for v = 0 to 5 do
+    Alcotest.(check int) "level 0 singleton" v (Frt.cluster_center tree v 0)
+  done;
+  (* Top level: everyone shares a center. *)
+  let top = Frt.levels tree in
+  let c0 = Frt.cluster_center tree 0 top in
+  for v = 1 to 5 do
+    Alcotest.(check int) "shared top center" c0 (Frt.cluster_center tree v top)
+  done
+
+(* Räcke *)
+
+let test_racke_valid () =
+  let rng = Rng.create 13 in
+  let g = Gen.grid 3 3 in
+  let obl = Racke.routing rng ~trees:6 g in
+  check_distribution_valid g obl [ (0, 8); (1, 7); (3, 5) ]
+
+let test_racke_support_bounded_by_trees () =
+  let rng = Rng.create 13 in
+  let g = Gen.grid 3 3 in
+  let obl = Racke.routing rng ~trees:5 g in
+  Alcotest.(check bool) "support ≤ trees" true
+    (Oblivious.support_sparsity obl [ (0, 8) ] <= 5)
+
+let test_racke_competitive_small () =
+  (* On a 3x3 grid with a handful of demands, Räcke should stay within a
+     moderate factor of optimal. *)
+  let rng = Rng.create 17 in
+  let g = Gen.grid 3 3 in
+  let obl = Racke.routing rng g in
+  let d = Demand.of_list [ (0, 8, 1.0); (2, 6, 1.0); (1, 7, 1.0) ] in
+  let cong = Oblivious.congestion obl d in
+  let opt = Min_congestion.lp_unrestricted g d in
+  Alcotest.(check bool)
+    (Printf.sprintf "racke %.2f vs opt %.2f" cong opt)
+    true
+    (cong <= 8.0 *. opt)
+
+let test_racke_spreads_on_two_cliques () =
+  (* On the two-cliques gadget a capacity-aware routing must spread the
+     cross traffic over many bridge edges; a single shortest path cannot. *)
+  let rng = Rng.create 19 in
+  let n = 6 in
+  let g = Gen.two_cliques n in
+  let obl = Racke.routing rng g in
+  let d = Demand.single_pair 0 (n + 1) (float_of_int n) in
+  let racke_cong = Oblivious.congestion obl d in
+  let det_cong = Oblivious.congestion (Deterministic.shortest_path g) d in
+  Alcotest.(check bool)
+    (Printf.sprintf "racke %.2f < deterministic %.2f" racke_cong det_cong)
+    true (racke_cong < det_cong)
+
+let test_tree_loads_positive () =
+  let rng = Rng.create 23 in
+  let g = Gen.cycle 6 in
+  let tree = Frt.build rng g ~length:(fun _ -> 1.0) in
+  let loads = Racke.tree_loads g tree in
+  Alcotest.(check int) "per edge" (Graph.m g) (Array.length loads);
+  Alcotest.(check bool) "some edge carries load" true
+    (Array.exists (fun l -> l > 0.0) loads)
+
+(* Spanning-tree routings *)
+
+module Trees = Sso_oblivious.Trees
+module Tree = Sso_graph.Tree
+
+let test_single_tree_routing_valid () =
+  let g = Gen.grid 3 3 in
+  let tree = Tree.bfs_tree g 4 in
+  let obl = Trees.single g tree in
+  check_distribution_valid g obl [ (0, 8); (2, 6) ];
+  Alcotest.(check int) "1-sparse" 1 (Oblivious.support_sparsity obl [ (0, 8) ])
+
+let test_single_tree_congests () =
+  (* On a cycle, tree routing must send some adjacent pair the long way
+     around or funnel everything through shared edges: routing the full
+     rotation costs more than the optimal 1. *)
+  let g = Gen.cycle 8 in
+  let tree = Tree.bfs_tree g 0 in
+  let obl = Trees.single g tree in
+  let d = Demand.ring_shift ~n:8 ~shift:1 in
+  Alcotest.(check bool) "tree pays" true (Oblivious.congestion obl d >= 2.0)
+
+let test_uniform_trees_routing_valid () =
+  let rng = Rng.create 29 in
+  let g = Gen.grid 3 3 in
+  let obl = Trees.uniform rng ~count:5 g in
+  check_distribution_valid g obl [ (0, 8); (3, 5) ];
+  Alcotest.(check bool) "support ≤ trees" true
+    (Oblivious.support_sparsity obl [ (0, 8) ] <= 5)
+
+let test_uniform_trees_beat_single () =
+  let rng = Rng.create 31 in
+  let g = Gen.torus 4 4 in
+  let single = Trees.single g (Tree.bfs_tree g 0) in
+  let mixture = Trees.uniform rng ~count:8 g in
+  let d = Demand.ring_shift ~n:16 ~shift:5 in
+  Alcotest.(check bool) "mixture spreads better" true
+    (Oblivious.congestion mixture d <= Oblivious.congestion single d)
+
+(* Hop-constrained *)
+
+let test_hop_constrained_respects_budget () =
+  let g = Gen.grid 4 4 in
+  let h = 6 in
+  let obl = Hop_constrained.routing ~stretch:2 ~max_hops:h g in
+  List.iter
+    (fun (s, t) ->
+      List.iter
+        (fun (_, p) ->
+          Alcotest.(check bool) "within stretched budget" true (Path.hops p <= 2 * h))
+        (Oblivious.distribution obl s t))
+    [ (0, 15); (3, 12); (0, 5) ]
+
+let test_hop_constrained_diverse () =
+  (* On multi_path [3;3;3] the three disjoint routes should all appear. *)
+  let g = Gen.multi_path [ 3; 3; 3 ] in
+  let obl = Hop_constrained.routing ~paths_per_pair:6 ~max_hops:3 g in
+  let dist = Oblivious.distribution obl 0 1 in
+  Alcotest.(check int) "three disjoint routes found" 3 (List.length dist)
+
+let test_hop_constrained_unreachable () =
+  let g = Gen.path_graph 6 in
+  let obl = Hop_constrained.routing ~stretch:1 ~max_hops:2 g in
+  Alcotest.(check bool) "raises for unreachable pair" true
+    (try
+       ignore (Oblivious.distribution obl 0 5);
+       false
+     with Invalid_argument _ -> true)
+
+(* Extra coverage *)
+
+let test_oblivious_dilation () =
+  let g = Gen.path_graph 5 in
+  let obl = Deterministic.shortest_path g in
+  let d = Demand.of_list [ (0, 4, 1.0); (1, 2, 1.0) ] in
+  Alcotest.(check int) "longest support path" 4 (Oblivious.dilation obl d)
+
+let test_valiant_support_bounded () =
+  let g = Gen.hypercube 4 in
+  let obl = Valiant.routing g in
+  let dist = Oblivious.distribution obl 0 15 in
+  (* One path per intermediate, before dedup: at most n. *)
+  Alcotest.(check bool) "support <= n" true (List.length dist <= 16);
+  Alcotest.(check bool) "support substantial" true (List.length dist >= 8)
+
+let test_racke_deterministic_given_seed () =
+  let g = Gen.grid 3 3 in
+  let r1 = Racke.routing (Rng.create 5) ~trees:4 g in
+  let r2 = Racke.routing (Rng.create 5) ~trees:4 g in
+  let d1 = Oblivious.distribution r1 0 8 and d2 = Oblivious.distribution r2 0 8 in
+  Alcotest.(check int) "same support size" (List.length d1) (List.length d2);
+  List.iter2
+    (fun (w1, p1) (w2, p2) ->
+      Alcotest.(check (float 1e-12)) "same weight" w1 w2;
+      Alcotest.(check bool) "same path" true (Path.equal p1 p2))
+    d1 d2
+
+let test_frt_levels_bounded () =
+  (* Levels ~ log2(diameter) + O(1) with unit lengths. *)
+  let rng = Rng.create 9 in
+  let g = Gen.grid 5 5 in
+  let tree = Frt.build rng g ~length:(fun _ -> 1.0) in
+  Alcotest.(check bool) "levels sane" true (Frt.levels tree >= 3 && Frt.levels tree <= 8)
+
+let test_hop_constrained_path_count_bounded () =
+  let g = Gen.grid 4 4 in
+  let obl = Hop_constrained.routing ~paths_per_pair:3 ~max_hops:6 g in
+  Alcotest.(check bool) "at most 3 paths" true
+    (List.length (Oblivious.distribution obl 0 15) <= 3)
+
+let test_ecube_is_shortest_on_cube () =
+  let g = Gen.hypercube 4 in
+  let obl = Deterministic.ecube g in
+  for t = 1 to 15 do
+    let _, p = List.hd (Oblivious.distribution obl 0 t) in
+    (* e-cube paths have exactly popcount(t) hops from vertex 0. *)
+    let rec popcount v = if v = 0 then 0 else (v land 1) + popcount (v lsr 1) in
+    Alcotest.(check int) "greedy is shortest" (popcount t) (Path.hops p)
+  done
+
+(* Cross-cutting properties *)
+
+let prop_sample_matches_support =
+  QCheck.Test.make ~name:"samples always come from the declared support" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.grid 3 3 in
+      let obl = Ksp.routing ~k:3 g in
+      let s = Rng.int rng 9 in
+      let t = (s + 1 + Rng.int rng 8) mod 9 in
+      if s = t then true
+      else begin
+        let support = List.map snd (Oblivious.distribution obl s t) in
+        let p = Oblivious.sample rng obl s t in
+        List.exists (Path.equal p) support
+      end)
+
+let prop_to_routing_congestion_matches =
+  QCheck.Test.make ~name:"Oblivious.congestion agrees with Routing.congestion" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.grid 3 3 in
+      let obl = Ksp.routing ~k:2 g in
+      let d = Demand.random_pairs rng ~n:9 ~pairs:4 in
+      let via_routing =
+        Routing.congestion g (Oblivious.to_routing obl (Demand.support d)) d
+      in
+      Float.abs (Oblivious.congestion obl d -. via_routing) < 1e-9)
+
+let () =
+  Alcotest.run "oblivious"
+    [
+      ( "wrapper",
+        [
+          Alcotest.test_case "memoizes" `Quick test_wrapper_memoizes;
+          Alcotest.test_case "rejects diagonal" `Quick test_wrapper_rejects_diagonal;
+        ] );
+      ( "valiant",
+        [
+          Alcotest.test_case "bitfix path" `Quick test_bitfix_path;
+          Alcotest.test_case "valid distributions" `Quick test_valiant_valid;
+          Alcotest.test_case "rejects non-hypercube" `Quick test_valiant_rejects_non_hypercube;
+          Alcotest.test_case "competitive on permutations" `Slow
+            test_valiant_competitive_on_permutations;
+          Alcotest.test_case "beats ecube on bit reversal" `Slow
+            test_valiant_beats_ecube_on_bit_reversal;
+          Alcotest.test_case "generalized = classic on cube" `Quick
+            test_generalized_valiant_matches_classic_shape;
+          Alcotest.test_case "generalized on torus" `Quick test_generalized_valiant_on_torus;
+        ] );
+      ( "deterministic",
+        [
+          Alcotest.test_case "ecube 1-sparse" `Quick test_ecube_single_path;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path_routing;
+          Alcotest.test_case "xy grid" `Quick test_xy_grid_routing;
+          Alcotest.test_case "xy transpose congestion" `Quick
+            test_xy_grid_transpose_congestion;
+        ] );
+      ( "ksp",
+        [
+          Alcotest.test_case "spread" `Quick test_ksp_spread;
+          Alcotest.test_case "scarce paths" `Quick test_ksp_handles_scarce_paths;
+        ] );
+      ( "frt",
+        [
+          Alcotest.test_case "routes valid" `Quick test_frt_routes_valid;
+          Alcotest.test_case "trivial pair" `Quick test_frt_trivial_pair;
+          Alcotest.test_case "consistent" `Quick test_frt_consistent_routing;
+          Alcotest.test_case "stretch reasonable" `Quick test_frt_stretch_reasonable;
+          Alcotest.test_case "cluster centers" `Quick test_frt_cluster_centers;
+        ] );
+      ( "racke",
+        [
+          Alcotest.test_case "valid" `Quick test_racke_valid;
+          Alcotest.test_case "support bounded" `Quick test_racke_support_bounded_by_trees;
+          Alcotest.test_case "competitive small" `Slow test_racke_competitive_small;
+          Alcotest.test_case "spreads on two cliques" `Slow test_racke_spreads_on_two_cliques;
+          Alcotest.test_case "tree loads" `Quick test_tree_loads_positive;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "single valid" `Quick test_single_tree_routing_valid;
+          Alcotest.test_case "single congests" `Quick test_single_tree_congests;
+          Alcotest.test_case "uniform valid" `Quick test_uniform_trees_routing_valid;
+          Alcotest.test_case "mixture beats single" `Quick test_uniform_trees_beat_single;
+        ] );
+      ( "hop constrained",
+        [
+          Alcotest.test_case "respects budget" `Quick test_hop_constrained_respects_budget;
+          Alcotest.test_case "diverse" `Quick test_hop_constrained_diverse;
+          Alcotest.test_case "unreachable" `Quick test_hop_constrained_unreachable;
+        ] );
+      ( "extra",
+        [
+          Alcotest.test_case "dilation" `Quick test_oblivious_dilation;
+          Alcotest.test_case "valiant support" `Quick test_valiant_support_bounded;
+          Alcotest.test_case "racke deterministic" `Quick test_racke_deterministic_given_seed;
+          Alcotest.test_case "frt levels" `Quick test_frt_levels_bounded;
+          Alcotest.test_case "hop-constrained count" `Quick
+            test_hop_constrained_path_count_bounded;
+          Alcotest.test_case "ecube shortest" `Quick test_ecube_is_shortest_on_cube;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sample_matches_support; prop_to_routing_congestion_matches ] );
+    ]
