@@ -8,7 +8,10 @@
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --no-timing  # experiment tables only
      dune exec bench/main.exe -- --timing     # Bechamel suite only
-     dune exec bench/main.exe -- --big        # widen instance ranges *)
+     dune exec bench/main.exe -- --big        # widen instance ranges
+     dune exec bench/main.exe -- --jobs 4     # worker domains (default: cores)
+     dune exec bench/main.exe -- --seed 7     # master seed for every experiment
+     dune exec bench/main.exe -- --metrics    # dump counters/spans at exit *)
 
 module Rng = Sso_prng.Rng
 module Graph = Sso_graph.Graph
@@ -32,6 +35,14 @@ module Process = Sso_core.Process
 module Completion = Sso_core.Completion
 module Lower_bound = Sso_core.Lower_bound
 module Stats = Sso_stats.Stats
+module Pool = Sso_engine.Pool
+module Metrics = Sso_engine.Metrics
+
+(* --seed S reseeds every experiment: each formerly hard-coded seed
+   constant [k] becomes the [k]-th child of the master seed, so tables
+   stay reproducible per seed without sharing streams across sites. *)
+let master_seed = ref 0
+let seeded k = Sso_prng.Rng.split_at (Sso_prng.Rng.create !master_seed) k
 
 let header title =
   Printf.printf "\n=== %s ===\n" title
@@ -65,16 +76,16 @@ let e1 () =
   let run name g base =
     let n = Graph.n g in
     let alpha = log2_ceil n in
-    let rng = Rng.create 11 in
+    let rng = seeded 11 in
     let system = Sampler.alpha_sample (Rng.split rng) base ~alpha in
-    let ratios = ref [] and obl_ratios = ref [] in
-    for _ = 1 to trials do
-      let d = Demand.random_permutation (Rng.split rng) n in
-      let _, opt, r = ratio_on g system d in
-      ratios := r :: !ratios;
-      obl_ratios := (Oblivious.congestion base d /. opt) :: !obl_ratios
-    done;
-    let arr = Array.of_list !ratios and obl = Array.of_list !obl_ratios in
+    let trial_rng = Rng.split rng in
+    let results =
+      Pool.parallel_init trials (fun i ->
+          let d = Demand.random_permutation (Rng.split_at trial_rng i) n in
+          let _, opt, r = ratio_on g system d in
+          (r, Oblivious.congestion base d /. opt))
+    in
+    let arr = Array.map fst results and obl = Array.map snd results in
     Printf.printf "%-18s %5d %5d %3d | %10.2f %10.2f %10.2f\n" name n
       (Graph.m g) alpha (Stats.median arr) (Stats.max_value arr)
       (Stats.max_value obl)
@@ -83,7 +94,7 @@ let e1 () =
     (fun d -> run (Printf.sprintf "hypercube-%d" d) (Gen.hypercube d)
         (Valiant.routing (Gen.hypercube d)))
     (if !big_scale then [ 4; 5; 6; 7; 8 ] else [ 4; 5; 6; 7 ]);
-  let rng = Rng.create 5 in
+  let rng = seeded 5 in
   let expander_n = if !big_scale then 64 else 32 in
   let expander = Gen.random_regular (Rng.split rng) expander_n 4 in
   run (Printf.sprintf "expander-%d" expander_n) expander
@@ -104,7 +115,7 @@ let e2 () =
   let dim = 6 in
   let g = Gen.hypercube dim in
   let base = Valiant.routing g in
-  let rng = Rng.create 17 in
+  let rng = seeded 17 in
   let demands =
     Demand.bit_reversal dim :: Demand.transpose dim
     :: List.init 3 (fun _ -> Demand.random_permutation (Rng.split rng) (Graph.n g))
@@ -114,7 +125,7 @@ let e2 () =
   Printf.printf "%5s | %12s %12s\n" "alpha" "worst cong" "worst ratio";
   List.iter
     (fun alpha ->
-      let system = Sampler.alpha_sample (Rng.create (1000 + alpha)) base ~alpha in
+      let system = Sampler.alpha_sample (seeded (1000 + alpha)) base ~alpha in
       let worst_cong = ref 0.0 and worst_ratio = ref 0.0 in
       List.iter2
         (fun d opt ->
@@ -137,55 +148,58 @@ let e3 () =
     "measured" "k/alpha";
   let n = 12 and k = 6 in
   let c = Gen.c_graph n k in
-  List.iter
-    (fun alpha ->
-      let rng = Rng.create (300 + alpha) in
-      let base = Ksp.routing ~k:(2 * k) c.Gen.c_graph in
-      let system = Sampler.alpha_sample rng base ~alpha in
-      let attack = Lower_bound.attack c system in
-      let measured =
-        Semi_oblivious.congestion ~solver:Semi_oblivious.Lp c.Gen.c_graph system
-          attack.Lower_bound.demand
-      in
-      Printf.printf "%5d | %8d %10.2f %10.2f %10.2f\n" alpha
-        (List.length attack.Lower_bound.bottleneck)
-        attack.Lower_bound.predicted_congestion measured
-        (float_of_int k /. float_of_int alpha))
-    [ 1; 2; 3; 4 ];
+  Array.iter print_string
+  @@ Pool.parallel_map
+       (fun alpha ->
+         let rng = seeded (300 + alpha) in
+         let base = Ksp.routing ~k:(2 * k) c.Gen.c_graph in
+         let system = Sampler.alpha_sample rng base ~alpha in
+         let attack = Lower_bound.attack c system in
+         let measured =
+           Semi_oblivious.congestion ~solver:Semi_oblivious.Lp c.Gen.c_graph system
+             attack.Lower_bound.demand
+         in
+         Printf.sprintf "%5d | %8d %10.2f %10.2f %10.2f\n" alpha
+           (List.length attack.Lower_bound.bottleneck)
+           attack.Lower_bound.predicted_congestion measured
+           (float_of_int k /. float_of_int alpha))
+       [| 1; 2; 3; 4 |];
   Printf.printf "\nscaling n with k = floor(sqrt n), alpha = 1 (Cor 8.3 regime):\n";
   Printf.printf "%5s %5s | %10s %10s\n" "n" "k" "certified" "measured";
-  List.iter
-    (fun n ->
-      let k = int_of_float (Float.sqrt (float_of_int n)) in
-      let c = Gen.c_graph n k in
-      let rng = Rng.create (400 + n) in
-      let base = Ksp.routing ~k:(2 * k) c.Gen.c_graph in
-      let system = Sampler.alpha_sample rng base ~alpha:1 in
-      let attack = Lower_bound.attack c system in
-      let measured =
-        Semi_oblivious.congestion ~solver:Semi_oblivious.Lp c.Gen.c_graph system
-          attack.Lower_bound.demand
-      in
-      Printf.printf "%5d %5d | %10.2f %10.2f\n" n k
-        attack.Lower_bound.predicted_congestion measured)
-    [ 9; 16; 25; 36 ];
+  Array.iter print_string
+  @@ Pool.parallel_map
+       (fun n ->
+         let k = int_of_float (Float.sqrt (float_of_int n)) in
+         let c = Gen.c_graph n k in
+         let rng = seeded (400 + n) in
+         let base = Ksp.routing ~k:(2 * k) c.Gen.c_graph in
+         let system = Sampler.alpha_sample rng base ~alpha:1 in
+         let attack = Lower_bound.attack c system in
+         let measured =
+           Semi_oblivious.congestion ~solver:Semi_oblivious.Lp c.Gen.c_graph system
+             attack.Lower_bound.demand
+         in
+         Printf.sprintf "%5d %5d | %10.2f %10.2f\n" n k
+           attack.Lower_bound.predicted_congestion measured)
+       [| 9; 16; 25; 36 |];
   Printf.printf "\ncomposite family graph G(16) (Lemma 8.2): attack the copy\n";
   Printf.printf "matching each alpha inside the same fixed graph:\n";
   Printf.printf "%5s | %10s %10s\n" "alpha" "certified" "measured";
   let gg = Gen.g_graph 16 in
-  List.iter
-    (fun alpha ->
-      let rng = Rng.create (450 + alpha) in
-      let base = Ksp.routing ~k:8 gg.Gen.g_graph in
-      let system = Sampler.alpha_sample rng base ~alpha in
-      let attack = Lower_bound.attack_in_family gg ~alpha system in
-      let measured =
-        Semi_oblivious.congestion ~solver:Semi_oblivious.Lp gg.Gen.g_graph system
-          attack.Lower_bound.demand
-      in
-      Printf.printf "%5d | %10.2f %10.2f\n" alpha
-        attack.Lower_bound.predicted_congestion measured)
-    [ 1; 2 ];
+  Array.iter print_string
+  @@ Pool.parallel_map
+       (fun alpha ->
+         let rng = seeded (450 + alpha) in
+         let base = Ksp.routing ~k:8 gg.Gen.g_graph in
+         let system = Sampler.alpha_sample rng base ~alpha in
+         let attack = Lower_bound.attack_in_family gg ~alpha system in
+         let measured =
+           Semi_oblivious.congestion ~solver:Semi_oblivious.Lp gg.Gen.g_graph system
+             attack.Lower_bound.demand
+         in
+         Printf.sprintf "%5d | %10.2f %10.2f\n" alpha
+           attack.Lower_bound.predicted_congestion measured)
+       [| 1; 2 |];
   Printf.printf "shape: certified = measured >= k/alpha; optimum is always 1.\n"
 
 (* ------------------------------------------------------------------ *)
@@ -203,7 +217,7 @@ let e4 () =
       let valiant_routing = Valiant.routing g in
       let valiant = Oblivious.congestion valiant_routing d in
       let alpha = dim in
-      let system = Sampler.alpha_sample (Rng.create 77) valiant_routing ~alpha in
+      let system = Sampler.alpha_sample (seeded 77) valiant_routing ~alpha in
       let semi = Semi_oblivious.congestion ~solver:stage4 g system d in
       Printf.printf "%-12s | %10.2f %10.2f %14.2f %14.1f\n"
         (Printf.sprintf "hypercube-%d" dim)
@@ -220,7 +234,7 @@ let e4 () =
 
 let e5 () =
   header "E5  SMORE: traffic engineering on Abilene with gravity matrices";
-  let rng = Rng.create 7 in
+  let rng = seeded 7 in
   let g, _ = Gen.abilene () in
   let racke = Racke.routing (Rng.split rng) g in
   let ksp4 = Ksp.routing ~k:4 g in
@@ -239,7 +253,7 @@ let e5 () =
     (List.map2 (fun d opt -> Oblivious.congestion racke d /. opt) matrices opts);
   List.iter
     (fun alpha ->
-      let system = Sampler.alpha_sample (Rng.create (500 + alpha)) racke ~alpha in
+      let system = Sampler.alpha_sample (seeded (500 + alpha)) racke ~alpha in
       report
         (Printf.sprintf "semi-oblivious a=%d" alpha)
         (List.map2
@@ -259,7 +273,7 @@ let e6 () =
   let g = Gen.two_cliques n in
   let s = 0 and t = (2 * n) - 1 in
   let d = Demand.single_pair s t (float_of_int n) in
-  let rng = Rng.create 23 in
+  let rng = seeded 23 in
   let base = Racke.routing (Rng.split rng) g in
   let opt = Min_congestion.lp_unrestricted g d in
   Printf.printf "graph: two %d-cliques + %d bridges; demand: %d units %d->%d\n" n n n s t;
@@ -289,7 +303,7 @@ let e7 () =
   let detours = 6 and detour_len = 12 in
   let g = Gen.multi_path (1 :: List.init detours (fun _ -> detour_len)) in
   Printf.printf "network: 1 direct link + %d disjoint %d-hop detours\n" detours detour_len;
-  let rng = Rng.create 11 in
+  let rng = seeded 11 in
   let system = Completion.ladder_system rng g ~alpha:3 in
   Printf.printf "%8s | %21s | %21s\n" "packets" "cong-only  (c, d, c+d)"
     "hop-aware  (c, d, c+d)";
@@ -313,24 +327,30 @@ let e7 () =
 
 let e8 () =
   header "E8  rounding: cong_Z <= 2 cong_R + 3 ln m (Lemma 6.3)";
-  let rng = Rng.create 31 in
+  let rng = seeded 31 in
   Printf.printf "%8s %6s | %10s %10s %10s %8s\n" "instance" "m" "frac"
     "integral" "bound" "ok";
-  let worst_gap = ref 0.0 in
-  for i = 1 to 8 do
-    let g = Gen.erdos_renyi (Rng.split rng) 14 0.3 in
-    let d = Demand.random_pairs (Rng.split rng) ~n:14 ~pairs:6 in
-    let base = Ksp.routing ~k:3 g in
-    let system = Sampler.alpha_sample (Rng.split rng) base ~alpha:3 in
-    let frac = Semi_oblivious.congestion ~solver:Semi_oblivious.Lp g system d in
-    let _, integral = Integral.congestion_upper ~solver:Semi_oblivious.Lp ~tries:20 (Rng.split rng) g system d in
-    let bound = (2.0 *. frac) +. (3.0 *. Float.log (float_of_int (Graph.m g))) in
-    worst_gap := Float.max !worst_gap (integral -. frac);
-    Printf.printf "%8d %6d | %10.3f %10.3f %10.3f %8b\n" i (Graph.m g) frac
-      integral bound
-      (integral <= bound +. 1e-9)
-  done;
-  Printf.printf "worst additive integrality gap observed: %.3f\n" !worst_gap;
+  let rows =
+    Pool.parallel_init 8 (fun idx ->
+        let i = idx + 1 in
+        let trial = Rng.split_at rng i in
+        let g = Gen.erdos_renyi (Rng.split trial) 14 0.3 in
+        let d = Demand.random_pairs (Rng.split trial) ~n:14 ~pairs:6 in
+        let base = Ksp.routing ~k:3 g in
+        let system = Sampler.alpha_sample (Rng.split trial) base ~alpha:3 in
+        let frac = Semi_oblivious.congestion ~solver:Semi_oblivious.Lp g system d in
+        let _, integral = Integral.congestion_upper ~solver:Semi_oblivious.Lp ~tries:20 (Rng.split trial) g system d in
+        let bound = (2.0 *. frac) +. (3.0 *. Float.log (float_of_int (Graph.m g))) in
+        let row =
+          Printf.sprintf "%8d %6d | %10.3f %10.3f %10.3f %8b\n" i (Graph.m g)
+            frac integral bound
+            (integral <= bound +. 1e-9)
+        in
+        (row, integral -. frac))
+  in
+  Array.iter (fun (row, _) -> print_string row) rows;
+  let worst_gap = Array.fold_left (fun acc (_, gap) -> Float.max acc gap) 0.0 rows in
+  Printf.printf "worst additive integrality gap observed: %.3f\n" worst_gap;
   Printf.printf "shape: every instance satisfies the Lemma 6.3 bound, with the\n";
   Printf.printf "local search keeping the real gap far below it.\n"
 
@@ -343,7 +363,7 @@ let e9 () =
   let dim = 6 in
   let g = Gen.hypercube dim in
   let valiant = Valiant.routing g in
-  let rng = Rng.create 13 in
+  let rng = seeded 13 in
   let demands =
     List.init 3 (fun _ -> Demand.random_permutation (Rng.split rng) (Graph.n g))
   in
@@ -359,7 +379,7 @@ let e9 () =
     (List.map2 (fun d opt -> Oblivious.congestion ecube d /. opt) demands opts);
   List.iter
     (fun alpha ->
-      let system = Sampler.alpha_sample (Rng.create (900 + alpha)) valiant ~alpha in
+      let system = Sampler.alpha_sample (seeded (900 + alpha)) valiant ~alpha in
       report
         (Printf.sprintf "semi-oblivious sample a=%d" alpha)
         alpha
@@ -385,7 +405,7 @@ let e10 () =
   let dim = 6 in
   let g = Gen.hypercube dim in
   let valiant = Valiant.routing g in
-  let rng = Rng.create 19 in
+  let rng = seeded 19 in
   let d = Demand.bit_reversal dim in
   Printf.printf "hypercube-%d, bit-reversal permutation (%d packets), FIFO vs random-rank\n"
     dim (Demand.support_size d);
@@ -405,7 +425,7 @@ let e10 () =
     let cong = Array.fold_left max 0 loads in
     let fifo = Simulator.run ~discipline:Simulator.Fifo g assignment in
     let rnd =
-      Simulator.run ~discipline:(Simulator.Random_rank (Rng.create 91)) g assignment
+      Simulator.run ~discipline:(Simulator.Random_rank (seeded 91)) g assignment
     in
     Printf.printf "%-26s | %5d %5d %7d | %9d %9d\n" name cong !dil (cong + !dil)
       fifo.Simulator.makespan rnd.Simulator.makespan
@@ -441,7 +461,7 @@ let e11 () =
   let module Trees = Sso_oblivious.Trees in
   let module Tree = Sso_graph.Tree in
   let g = Gen.torus 4 4 in
-  let rng = Rng.create 37 in
+  let rng = seeded 37 in
   let alpha = 4 in
   let demands =
     Demand.ring_shift ~n:16 ~shift:5
@@ -488,7 +508,7 @@ let e12 () =
     "LP (cong, s)" "MWU-400 (cong, s)" "GK-0.05 (cong, s)";
   List.iter
     (fun (n, pairs) ->
-      let rng = Rng.create (800 + n) in
+      let rng = seeded (800 + n) in
       let g = Gen.erdos_renyi (Rng.split rng) n 0.3 in
       let d = Demand.random_pairs (Rng.split rng) ~n ~pairs in
       let base = Ksp.routing ~k:4 g in
@@ -536,7 +556,7 @@ let e13 () =
       in
       let opt = Semi_oblivious.opt ~solver:opt_solver g d in
       let xy = Oblivious.congestion (Deterministic.xy_grid ~cols:side g) d /. opt in
-      let rng = Rng.create (600 + side) in
+      let rng = seeded (600 + side) in
       let base = Racke.routing (Rng.split rng) g in
       let ratio alpha =
         let system = Sampler.alpha_sample (Rng.split rng) base ~alpha in
@@ -556,7 +576,7 @@ let e13 () =
 let e14 () =
   header "E14 robustness: single-link failures on Abilene";
   let module Robustness = Sso_core.Robustness in
-  let rng = Rng.create 43 in
+  let rng = seeded 43 in
   let g, _ = Gen.abilene () in
   let d = Demand.random_pairs (Rng.split rng) ~n:(Graph.n g) ~pairs:10 in
   let racke = Racke.routing (Rng.split rng) g in
@@ -590,7 +610,7 @@ let e15 () =
   header "E15 price of obliviousness: samples vs demand-aware top-alpha";
   let module Oracle = Sso_core.Oracle in
   let g = Gen.grid 5 5 in
-  let rng = Rng.create 53 in
+  let rng = seeded 53 in
   let base = Racke.routing (Rng.split rng) g in
   let demands =
     List.init 3 (fun _ -> Demand.random_permutation (Rng.split rng) 25)
@@ -633,7 +653,7 @@ let e15 () =
 let e16 () =
   header "E16 over time: one installed system, a day of traffic epochs";
   let module Workload = Sso_demand.Workload in
-  let rng = Rng.create 61 in
+  let rng = seeded 61 in
   let g, _ = Gen.abilene () in
   let racke = Racke.routing (Rng.split rng) g in
   let ksp4 = Ksp.routing ~k:4 g in
@@ -672,20 +692,21 @@ let e17 () =
   let dim = 5 in
   let g = Gen.hypercube dim in
   let obl = Valiant.routing g in
-  let rng = Rng.create 71 in
+  let rng = seeded 71 in
   let alpha = 2 * dim in
   let ps = Sampler.alpha_cut_sample (Rng.split rng) obl ~alpha in
   Printf.printf
     "hypercube-%d, (a+cut)-sample with a = %d, 3 random permutations\n" dim alpha;
   Printf.printf "%8s | %14s %14s %10s\n" "trial" "pipeline cong"
     "solver cong" "overhead";
-  for trial = 1 to 3 do
-    let d = Demand.random_permutation (Rng.split rng) (Graph.n g) in
-    let _, pipeline = Certified.route ~gamma:60.0 ~alpha g ps d in
-    let solver = Semi_oblivious.congestion ~solver:stage4 g ps d in
-    Printf.printf "%8d | %14.2f %14.2f %9.1fx\n" trial pipeline solver
-      (pipeline /. solver)
-  done;
+  Array.iter print_string
+  @@ Pool.parallel_init 3 (fun i ->
+      let trial = i + 1 in
+      let d = Demand.random_permutation (Rng.split_at rng trial) (Graph.n g) in
+      let _, pipeline = Certified.route ~gamma:60.0 ~alpha g ps d in
+      let solver = Semi_oblivious.congestion ~solver:stage4 g ps d in
+      Printf.sprintf "%8d | %14.2f %14.2f %9.1fx\n" trial pipeline solver
+        (pipeline /. solver));
   Printf.printf "shape: the combinatorial pipeline (no LP/MWU at routing time)\n";
   Printf.printf "lands within the O(log m) factors its reductions pay -- the\n";
   Printf.printf "proof of Theorem 5.3 literally routes packets.\n"
@@ -699,7 +720,7 @@ let e17 () =
 let e18 () =
   header "E18 control loop: warm-started rate re-optimization under churn";
   let module Workload = Sso_demand.Workload in
-  let rng = Rng.create 79 in
+  let rng = seeded 79 in
   let g, _ = Gen.abilene () in
   let base = Racke.routing (Rng.split rng) g in
   let system = Sampler.alpha_sample (Rng.split rng) base ~alpha:4 in
@@ -754,7 +775,7 @@ let e18 () =
 let e19 () =
   header "E19 latency under load: deterministic paths vs adaptive sparse paths";
   let module Simulator = Sso_sim.Simulator in
-  let rng = Rng.create 87 in
+  let rng = seeded 87 in
   (* One short route, three long ones; four flows between the terminals.
      Shortest-path routing stacks all four on the short edge; the
      congestion-aware integral assignment on the sampled candidates
@@ -835,7 +856,7 @@ let e20 () =
     "measured" "alpha x rungs";
   List.iter
     (fun (name, g) ->
-      let rng = Rng.create 91 in
+      let rng = seeded 91 in
       let alpha = Sso_core.Theory.theorem_2_3_sparsity ~n:(Graph.n g) in
       let rungs = List.length (Completion.ladder_hops g) in
       let system = Completion.ladder_system (Rng.split rng) g ~alpha in
@@ -961,11 +982,28 @@ let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
   if has "--big" then big_scale := true;
-  let rec find_experiment = function
-    | "--experiment" :: id :: _ -> Some id
-    | _ :: rest -> find_experiment rest
+  let rec find_value flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find_value flag rest
     | [] -> None
   in
+  let find_experiment args = find_value "--experiment" args in
+  (match find_value "--jobs" args with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some jobs when jobs >= 1 -> Pool.set_default_jobs jobs
+      | _ ->
+          Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
+          exit 1)
+  | None -> ());
+  (match find_value "--seed" args with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some s -> master_seed := s
+      | None ->
+          Printf.eprintf "--seed expects an integer, got %s\n" v;
+          exit 1)
+  | None -> ());
   if has "--list" then
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) experiments
   else begin
@@ -981,4 +1019,9 @@ let () =
           List.iter (fun (_, _, run) -> run ()) experiments);
     if (has "--timing" || not (has "--no-timing")) && find_experiment args = None
     then timing ()
+  end;
+  if has "--metrics" then begin
+    header
+      (Printf.sprintf "metrics  (jobs = %d)" (Pool.default_jobs ()));
+    print_string (Metrics.table ())
   end

@@ -36,6 +36,20 @@ let seed_arg =
   let doc = "PRNG seed; every run is deterministic given the seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel stages (default: the number of cores). \
+     Results are identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
+let set_jobs = function
+  | Some jobs when jobs >= 1 -> Sso_engine.Pool.set_default_jobs jobs
+  | Some jobs ->
+      Printf.eprintf "sso: --jobs must be >= 1, got %d\n" jobs;
+      exit 124
+  | None -> ()
+
 let read_graph path =
   let ic = open_in path in
   let len = in_channel_length ic in
@@ -134,7 +148,8 @@ let route_cmd =
     in
     Arg.(value & opt string "mwu" & info [ "solver" ] ~docv:"SOLVER" ~doc)
   in
-  let run path base alpha with_cut demand_spec solver_spec seed =
+  let run path base alpha with_cut demand_spec solver_spec seed jobs =
+    set_jobs jobs;
     let g = read_graph path in
     let rng = Rng.create seed in
     let base_routing =
@@ -192,7 +207,7 @@ let route_cmd =
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
       const run $ graph_pos $ base_arg $ alpha_arg $ cut_arg $ demand_arg
-      $ solver_arg $ seed_arg)
+      $ solver_arg $ seed_arg $ jobs_arg)
 
 (* ---- attack ---- *)
 
@@ -209,7 +224,8 @@ let attack_cmd =
     let doc = "Sparsity of the sampled system under attack." in
     Arg.(value & opt int 2 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
   in
-  let run leaves middles alpha seed =
+  let run leaves middles alpha seed jobs =
+    set_jobs jobs;
     let c = Gen.c_graph leaves middles in
     let rng = Rng.create seed in
     let base = Ksp.routing ~k:(2 * middles) c.Gen.c_graph in
@@ -229,7 +245,7 @@ let attack_cmd =
   in
   let doc = "run the Section-8 lower-bound adversary on C(n,k)" in
   Cmd.v (Cmd.info "attack" ~doc)
-    Term.(const run $ leaves_arg $ middles_arg $ alpha_arg $ seed_arg)
+    Term.(const run $ leaves_arg $ middles_arg $ alpha_arg $ seed_arg $ jobs_arg)
 
 (* ---- simulate ---- *)
 
@@ -243,7 +259,8 @@ let simulate_cmd =
     let doc = "Number of random unit packets to inject." in
     Arg.(value & opt int 16 & info [ "packets" ] ~docv:"N" ~doc)
   in
-  let run path alpha packets seed =
+  let run path alpha packets seed jobs =
+    set_jobs jobs;
     let g = read_graph path in
     let rng = Rng.create seed in
     let base = Racke.routing (Rng.split rng) g in
@@ -269,7 +286,7 @@ let simulate_cmd =
   in
   let doc = "route packets semi-obliviously and simulate their delivery" in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ graph_pos $ alpha_arg $ packets_arg $ seed_arg)
+    Term.(const run $ graph_pos $ alpha_arg $ packets_arg $ seed_arg $ jobs_arg)
 
 (* ---- theory ---- *)
 

@@ -1,0 +1,9 @@
+#!/bin/sh
+# CI entry point: build everything, run the test suite, then smoke-test the
+# parallel engine by running the E3 adversary experiment on 2 worker
+# domains (its output is deterministic for any job count).
+set -eux
+
+dune build
+dune runtest
+dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2

@@ -2,6 +2,11 @@ module Gen = Sso_graph.Gen
 module Path = Sso_graph.Path
 module Matching = Sso_graph.Matching
 module Demand = Sso_demand.Demand
+module Pool = Sso_engine.Pool
+module Metrics = Sso_engine.Metrics
+
+let attack_span = Metrics.span "lower_bound.attack"
+let matchings_counter = Metrics.counter "lower_bound.matchings"
 
 type attack = {
   demand : Demand.t;
@@ -16,7 +21,8 @@ let middles_hit (c : Gen.c_graph) p =
   List.sort_uniq compare
     (List.filter (fun m -> Array.exists (fun v -> v = m) vs) middles)
 
-let attack (c : Gen.c_graph) ps =
+let attack ?pool (c : Gen.c_graph) ps =
+  Metrics.with_span attack_span @@ fun () ->
   let g = c.Gen.c_graph in
   ignore g;
   let leaves1 = c.Gen.c_leaves1 and leaves2 = c.Gen.c_leaves2 in
@@ -47,6 +53,7 @@ let attack (c : Gen.c_graph) ps =
   in
   let subset a b = List.for_all (fun x -> List.mem x b) a in
   let evaluate key =
+    Metrics.incr matchings_counter;
     let adj i =
       List.filter_map
         (fun j -> if subset (Hashtbl.find hits (i, j)) key then Some j else None)
@@ -57,14 +64,17 @@ let attack (c : Gen.c_graph) ps =
     let score = float_of_int (Array.length capped) /. float_of_int (List.length key) in
     (score, key, capped)
   in
+  (* Score every candidate bottleneck concurrently, then pick the winner by
+     the same left-to-right fold the serial code used, so ties break
+     identically for any job count. *)
+  let evaluated = Pool.parallel_map ?pool evaluate (Array.of_list keys) in
   let best =
-    List.fold_left
-      (fun acc key ->
-        let ((score, _, _) as result) = evaluate key in
+    Array.fold_left
+      (fun acc ((score, _, _) as result) ->
         match acc with
         | Some (bs, _, _) when bs >= score -> acc
         | _ -> Some result)
-      None keys
+      None evaluated
   in
   match best with
   | None -> invalid_arg "Lower_bound.attack: no left-right pairs in the system"
@@ -81,7 +91,7 @@ let attack (c : Gen.c_graph) ps =
         predicted_congestion = score;
       }
 
-let attack_in_family (g : Gen.g_graph) ~alpha ps =
+let attack_in_family ?pool (g : Gen.g_graph) ~alpha ps =
   let view = List.assoc alpha g.Gen.g_copies in
   let as_c_graph : Gen.c_graph =
     {
@@ -93,7 +103,7 @@ let attack_in_family (g : Gen.g_graph) ~alpha ps =
       c_middles = view.Gen.v_middles;
     }
   in
-  attack as_c_graph ps
+  attack ?pool as_c_graph ps
 
 let verify ?solver (c : Gen.c_graph) ps attack =
   Semi_oblivious.congestion ?solver c.Gen.c_graph ps attack.demand

@@ -5,6 +5,11 @@ module Oblivious = Sso_oblivious.Oblivious
 type t = {
   generate : int -> int -> Path.t list;
   cache : (int * int, Path.t list) Hashtbl.t;
+  (* Guards [cache] and serializes [generate] so systems can be queried
+     from pool workers.  Generation happens under the lock: generators may
+     share an RNG or memoize internally, and per-pair results must not
+     depend on which domain asks first. *)
+  lock : Mutex.t;
 }
 
 let validate s t paths =
@@ -28,20 +33,29 @@ let of_pairs entries =
       if Hashtbl.mem cache (s, t) then invalid_arg "Path_system.of_pairs: duplicate pair";
       Hashtbl.replace cache (s, t) (validate s t paths))
     entries;
-  { generate = (fun _ _ -> []); cache }
+  { generate = (fun _ _ -> []); cache; lock = Mutex.create () }
 
-let of_generator generate = { generate; cache = Hashtbl.create 64 }
+let of_generator generate = { generate; cache = Hashtbl.create 64; lock = Mutex.create () }
 
 let paths ps s t =
-  match Hashtbl.find_opt ps.cache (s, t) with
-  | Some paths -> paths
-  | None ->
-      let result = validate s t (ps.generate s t) in
-      Hashtbl.replace ps.cache (s, t) result;
-      result
+  Mutex.lock ps.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ps.lock)
+    (fun () ->
+      match Hashtbl.find_opt ps.cache (s, t) with
+      | Some paths -> paths
+      | None ->
+          let result = validate s t (ps.generate s t) in
+          Hashtbl.replace ps.cache (s, t) result;
+          result)
+
+let materialize ps pair_list = List.iter (fun (s, t) -> ignore (paths ps s t)) pair_list
 
 let known_pairs ps =
-  List.sort compare (Hashtbl.fold (fun pair _ acc -> pair :: acc) ps.cache [])
+  Mutex.lock ps.lock;
+  let pairs = Hashtbl.fold (fun pair _ acc -> pair :: acc) ps.cache [] in
+  Mutex.unlock ps.lock;
+  List.sort compare pairs
 
 let sparsity_on ps pair_list =
   List.fold_left (fun acc (s, t) -> max acc (List.length (paths ps s t))) 0 pair_list

@@ -22,7 +22,15 @@ val of_generator : (int -> int -> Sso_graph.Path.t list) -> t
     return valid deduplicated paths.  Validation happens at query time. *)
 
 val paths : t -> int -> int -> Sso_graph.Path.t list
-(** [P(s,t)]; [[]] when the system offers no paths for the pair. *)
+(** [P(s,t)]; [[]] when the system offers no paths for the pair.  Safe to
+    call from pool workers: the memo cache is mutex-guarded and generation
+    is serialized, so every caller sees the same per-pair sets. *)
+
+val materialize : t -> (int * int) list -> unit
+(** Force generation for the given pairs (in list order) on the calling
+    domain.  Parallel call sites materialize the pairs a sweep will query
+    before fanning out, keeping generation order — and thus any
+    generator-internal RNG draws — independent of the job count. *)
 
 val known_pairs : t -> (int * int) list
 (** Pairs materialized so far (all pairs for an eager system). *)

@@ -1,6 +1,11 @@
 module Graph = Sso_graph.Graph
 module Demand = Sso_demand.Demand
 module Min_congestion = Sso_flow.Min_congestion
+module Pool = Sso_engine.Pool
+module Metrics = Sso_engine.Metrics
+
+let sweep_span = Metrics.span "robustness.sweep"
+let failures_counter = Metrics.counter "robustness.failures_tested"
 
 type report = {
   failed_edge : int;
@@ -10,13 +15,21 @@ type report = {
   ratio : float;
 }
 
-let single_failures ?(solver = Semi_oblivious.default_solver) g ps demand =
+let single_failures ?pool ?(solver = Semi_oblivious.default_solver) g ps demand =
   let iters =
     match solver with
     | Semi_oblivious.Mwu i -> i
     | Semi_oblivious.Lp | Semi_oblivious.Gk _ -> 300
   in
-  List.init (Graph.m g) (fun e ->
+  (* Materialize the parent system for every demanded pair before fanning
+     out: the per-failure tasks derive [without_edge] children from it, and
+     generation order (hence any generator RNG draws) must not depend on
+     the job count. *)
+  Path_system.materialize ps (Demand.support demand);
+  Metrics.with_span sweep_span @@ fun () ->
+  Array.to_list
+  @@ Pool.parallel_init ?pool (Graph.m g) (fun e ->
+      Metrics.incr failures_counter;
       let survivors = Path_system.without_edge e ps in
       let candidates_remain =
         List.for_all

@@ -19,11 +19,14 @@ type report = {
 }
 
 val single_failures :
+  ?pool:Sso_engine.Pool.t ->
   ?solver:Semi_oblivious.solver ->
   Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t -> report list
 (** One report per edge of the graph.  Edges whose failure disconnects a
     demanded pair in the graph itself are reported with
-    [survivable = false] and are excluded from {!summary}. *)
+    [survivable = false] and are excluded from {!summary}.  Failures are
+    evaluated concurrently on [pool] (default: the process pool); the
+    report list is identical for any job count. *)
 
 type summary = {
   edges_tested : int;

@@ -1,3 +1,4 @@
+module Graph = Sso_graph.Graph
 module Path = Sso_graph.Path
 module Maxflow = Sso_graph.Maxflow
 module Oblivious = Sso_oblivious.Oblivious
@@ -12,13 +13,25 @@ let draw rng obl count s t =
   in
   go count PS.empty
 
+(* Each pair samples from its own [Rng.split_at] child keyed by (s,t), so
+   the drawn paths do not depend on which pair is queried first — the lazy
+   memoized system is the same object no matter how (or from how many
+   domains) it is explored.  Per-pair draws stay independent, which is the
+   property the Stage-2 analysis needs. *)
+let pair_rng base n s t = Rng.split_at base ((s * n) + t)
+
 let alpha_sample rng obl ~alpha =
   if alpha <= 0 then invalid_arg "Sampler.alpha_sample: alpha must be positive";
-  Path_system.of_generator (fun s t -> draw rng obl alpha s t)
+  let base = Rng.split rng in
+  let n = Graph.n (Oblivious.graph obl) in
+  Path_system.of_generator (fun s t -> draw (pair_rng base n s t) obl alpha s t)
 
 let cnt g ~alpha s t = alpha + Maxflow.cut g s t
 
 let alpha_cut_sample rng obl ~alpha =
   if alpha <= 0 then invalid_arg "Sampler.alpha_cut_sample: alpha must be positive";
+  let base = Rng.split rng in
   let g = Oblivious.graph obl in
-  Path_system.of_generator (fun s t -> draw rng obl (cnt g ~alpha s t) s t)
+  let n = Graph.n g in
+  Path_system.of_generator (fun s t ->
+      draw (pair_rng base n s t) obl (cnt g ~alpha s t) s t)

@@ -11,7 +11,10 @@
     Sampling is lazy per pair and memoized, which has the same joint
     distribution as sampling all pairs upfront because per-pair draws are
     independent; the returned systems are therefore faithful Stage-2
-    objects. *)
+    objects.  Each pair draws from its own [Rng.split_at] child keyed by
+    [(s,t)], so the sampled sets are independent of query order — a system
+    explored concurrently from a work pool materializes exactly the same
+    paths as one walked serially. *)
 
 val alpha_sample :
   Sso_prng.Rng.t -> Sso_oblivious.Oblivious.t -> alpha:int -> Path_system.t

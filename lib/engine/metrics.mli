@@ -1,0 +1,44 @@
+(** Lightweight instrumentation: named monotonic counters and wall-clock
+    span timers with a thread-safe registry.
+
+    Counters are atomic integers safe to bump from any domain (MWU
+    iterations, oracle calls, Dinic augmentations, sampled trees).  Spans
+    accumulate wall-clock time and call counts around a closure (Stage-4
+    solves, the Räcke construction).  [--metrics] in the bench harness and
+    CLI dumps the registry as a table or JSON after the run. *)
+
+type counter
+type span
+
+val counter : string -> counter
+(** Find or create the counter registered under [name].  Calling twice
+    with the same name returns the same counter. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) atomically. *)
+
+val counter_value : counter -> int
+
+val span : string -> span
+(** Find or create the span registered under [name]. *)
+
+val with_span : span -> (unit -> 'a) -> 'a
+(** Run the closure, adding its wall-clock duration and one call to the
+    span (also on exceptions). *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] is [with_span (span name) f]. *)
+
+val span_total_ns : span -> int
+val span_calls : span -> int
+
+val reset : unit -> unit
+(** Zero every registered counter and span (registrations persist). *)
+
+val table : unit -> string
+(** Human-readable table of all non-zero counters and spans, sorted by
+    name.  Empty string when nothing was recorded. *)
+
+val json : unit -> string
+(** The same data as a JSON object
+    [{"counters": {...}, "spans": {name: {"ns": n, "calls": c}}}]. *)

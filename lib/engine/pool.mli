@@ -1,0 +1,64 @@
+(** Deterministic fixed-size work pool over OCaml 5 domains.
+
+    Every embarrassingly parallel loop in the repository (trial
+    repetitions, independent FRT tree samples, per-commodity oracle calls,
+    the single-link failure sweep, adversary trials) runs through this
+    module.  The hard invariant is {b determinism}: for a fixed input,
+    {!parallel_map} returns bit-identical results for any job count,
+    including [jobs = 1].  The pool guarantees its half of that contract by
+    assembling results in task-index order and never letting scheduling
+    order leak into outputs; call sites guarantee the other half by giving
+    each task its own [Rng.split_at] child keyed by task index instead of
+    drawing from a shared stream.
+
+    Tasks must not block on each other.  A [parallel_*] call issued from
+    inside a running task (a nested call) falls back to serial execution on
+    the calling domain, so nesting is always safe and never deadlocks. *)
+
+type t
+(** A pool of worker domains.  The pool is safe to share; parallel
+    submissions are serviced by [jobs - 1] worker domains plus the
+    submitting domain itself. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns a pool executing at most [jobs] tasks
+    concurrently ([jobs - 1] worker domains; the caller participates).
+    [jobs] defaults to [Domain.recommended_domain_count ()].  [jobs = 1]
+    spawns no domains and makes every [parallel_*] call purely serial.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Concurrency bound the pool was created with. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Calling [parallel_*]
+    on a shut-down pool runs serially. *)
+
+val default : unit -> t
+(** The process-wide pool, created lazily with {!set_default_jobs}'s value
+    (or the domain-count default).  Joined automatically at exit. *)
+
+val set_default_jobs : int -> unit
+(** Set the job count used by {!default}, shutting down any existing
+    default pool.  This is what [--jobs N] plumbs through. *)
+
+val default_jobs : unit -> int
+(** Job count the next {!default} call will use. *)
+
+val parallel_map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f arr] is [Array.map f arr] computed on the pool
+    ([?pool] defaults to {!default}).  Results are placed by index, so the
+    output is independent of scheduling.  If any task raises, the exception
+    of the lowest-index failing task is re-raised (with its backtrace)
+    after all tasks finish — deterministically, regardless of job count. *)
+
+val parallel_init : ?pool:t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init n f] is [Array.init n f] on the pool, with the same
+    determinism and exception contract as {!parallel_map}. *)
+
+val parallel_list_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} over lists, preserving order. *)
+
+val inside_task : unit -> bool
+(** [true] while executing inside a pool task — i.e. when a [parallel_*]
+    call would run serially.  Exposed for diagnostics and tests. *)

@@ -12,11 +12,13 @@ module Path_map = Map.Make (Path)
    accumulated per-pair flows, re-normalized to distributions, form the
    output routing. *)
 
+let span_gk = Sso_engine.Metrics.span "stage4.gk"
+
 let solve ?(epsilon = 0.1) g ~oracle demand =
   if not (epsilon > 0.0 && epsilon < 1.0) then
     invalid_arg "Concurrent_flow: epsilon must lie in (0,1)";
   if Demand.support_size demand = 0 then (Routing.make [], 0.0)
-  else begin
+  else Sso_engine.Metrics.with_span span_gk @@ fun () -> begin
     let m = Graph.m g in
     let mf = float_of_int (max 2 m) in
     let delta = (1.0 +. epsilon) /. Float.pow ((1.0 +. epsilon) *. mf) (1.0 /. epsilon) in

@@ -4,6 +4,14 @@ module Shortest = Sso_graph.Shortest
 module Maxflow = Sso_graph.Maxflow
 module Demand = Sso_demand.Demand
 module Simplex = Sso_lp.Simplex
+module Pool = Sso_engine.Pool
+module Metrics = Sso_engine.Metrics
+
+let span_lp = Metrics.span "stage4.lp"
+let span_mwu = Metrics.span "stage4.mwu"
+let span_lp_unrestricted = Metrics.span "opt.lp_unrestricted"
+let mwu_iterations = Metrics.counter "mwu.iterations"
+let mwu_oracle_calls = Metrics.counter "mwu.oracle_calls"
 
 type candidates = ((int * int) * Path.t list) list
 
@@ -14,7 +22,7 @@ let candidates_for cands s t =
 
 let lp_on_paths g cands demand =
   if Demand.support_size demand = 0 then (Routing.make [], 0.0)
-  else begin
+  else Metrics.with_span span_lp @@ fun () -> begin
     (* Variables: one absolute flow per (pair, candidate path), plus the
        congestion bound z as the last variable. *)
     let entries =
@@ -112,17 +120,33 @@ let lp_on_paths g cands demand =
 
 module Path_map = Map.Make (Path)
 
-let mwu_generic ?(iters = 300) ?warm g ~oracle demand =
+let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
   if iters <= 0 then invalid_arg "Min_congestion: iters must be positive";
   if Demand.support_size demand = 0 then Some (Routing.make [], 0.0)
-  else begin
+  else Metrics.with_span span_mwu @@ fun () -> begin
     let m = Graph.m g in
     let support = Demand.support demand in
+    let support_arr = Array.of_list support in
+    (* Per-commodity best responses are independent within a round, so they
+       fan out on the pool; results come back in support order, and loads
+       are folded serially in that order, so the routing is bit-identical
+       for any job count.  Tiny supports stay serial — the dispatch
+       overhead would dominate (the cutoff is a constant, never the job
+       count, to preserve determinism). *)
+    let best_responses ~weight =
+      Metrics.incr ~by:(Array.length support_arr) mwu_oracle_calls;
+      if Array.length support_arr < 4 then
+        Array.map (fun (s, t) -> oracle ~weight s t) support_arr
+      else Pool.parallel_map ?pool (fun (s, t) -> oracle ~weight s t) support_arr
+    in
     (* Feasibility probe with uniform weights; also yields the width
        normalizer U (congestion of the probe routing). *)
     let probe_weight e = 1.0 /. Graph.cap g e in
     let probe =
-      List.map (fun (s, t) -> ((s, t), oracle ~weight:probe_weight s t)) support
+      Array.to_list
+        (Array.mapi
+           (fun i p -> (support_arr.(i), p))
+           (best_responses ~weight:probe_weight))
     in
     if List.exists (fun (_, p) -> p = None) probe then None
     else begin
@@ -187,19 +211,22 @@ let mwu_generic ?(iters = 300) ?warm g ~oracle demand =
         Hashtbl.replace counts pair cur
       in
       for _ = 1 to iters do
+        Metrics.incr mwu_iterations;
         let max_cum = Array.fold_left Float.max neg_infinity cum in
         let weight e = Float.exp (eta *. (cum.(e) -. max_cum)) /. Graph.cap g e in
+        let responses = best_responses ~weight in
         let round_loads = Array.make m 0.0 in
-        List.iter
-          (fun (s, t) ->
-            match oracle ~weight s t with
+        Array.iteri
+          (fun i response ->
+            let s, t = support_arr.(i) in
+            match response with
             | None -> assert false (* probed feasible above *)
             | Some p ->
                 record (s, t) p;
                 Array.iter
                   (fun e -> round_loads.(e) <- round_loads.(e) +. Demand.get demand s t)
                   p.Path.edges)
-          support;
+          responses;
         Array.iteri
           (fun e load -> cum.(e) <- cum.(e) +. (load /. (Graph.cap g e *. u_norm)))
           round_loads
@@ -263,7 +290,7 @@ let mwu_hop_limited ?iters ~max_hops g demand =
 
 let lp_unrestricted g demand =
   if Demand.support_size demand = 0 then 0.0
-  else begin
+  else Metrics.with_span span_lp_unrestricted @@ fun () -> begin
     let n = Graph.n g and m = Graph.m g in
     let commodities = Demand.support demand in
     let k = List.length commodities in

@@ -40,6 +40,9 @@ let build g capf =
 
 let eps = 1e-9
 
+let dinic_phases = Sso_engine.Metrics.counter "dinic.phases"
+let dinic_augmentations = Sso_engine.Metrics.counter "dinic.augmentations"
+
 let bfs_levels net s t =
   let level = Array.make net.nv (-1) in
   level.(s) <- 0;
@@ -90,9 +93,11 @@ let run net s t =
     match bfs_levels net s t with
     | None -> continue := false
     | Some level ->
+        Sso_engine.Metrics.incr dinic_phases;
         let iter = Array.make net.nv 0 in
         let pushed = ref (dfs_push net level iter t s infinity) in
         while !pushed > eps do
+          Sso_engine.Metrics.incr dinic_augmentations;
           total := !total +. !pushed;
           pushed := dfs_push net level iter t s infinity
         done

@@ -9,6 +9,7 @@ type t = {
   chain : int array array; (* chain.(v).(i) = center of v's level-i cluster *)
   cluster_id : int array array; (* cluster_id.(v).(i): equal iff same cluster *)
   sp_pred : (int, int array) Hashtbl.t; (* Dijkstra predecessor trees per hub *)
+  sp_lock : Mutex.t; (* guards sp_pred: trees are routed through from pool workers *)
   length : int -> float;
 }
 
@@ -86,7 +87,15 @@ let build rng g ~length =
     done
   done;
   (* Level 0 stays singleton: chain.(v).(0) = v, cluster_id.(v).(0) = v. *)
-  { graph = g; levels; chain; cluster_id; sp_pred = Hashtbl.create 64; length = clamped }
+  {
+    graph = g;
+    levels;
+    chain;
+    cluster_id;
+    sp_pred = Hashtbl.create 64;
+    sp_lock = Mutex.create ();
+    length = clamped;
+  }
 
 let levels t = t.levels
 
@@ -95,11 +104,18 @@ let cluster_center t v level =
   t.chain.(v).(level)
 
 let pred_tree t hub =
-  match Hashtbl.find_opt t.sp_pred hub with
+  Mutex.lock t.sp_lock;
+  let cached = Hashtbl.find_opt t.sp_pred hub in
+  Mutex.unlock t.sp_lock;
+  match cached with
   | Some pred -> pred
   | None ->
+      (* Dijkstra runs outside the lock; a racing duplicate computes the
+         same tree, so the last write is harmless. *)
       let _, pred = Shortest.dijkstra t.graph ~weight:t.length hub in
+      Mutex.lock t.sp_lock;
       Hashtbl.replace t.sp_pred hub pred;
+      Mutex.unlock t.sp_lock;
       pred
 
 let hub_path t hub v =

@@ -9,9 +9,14 @@ type t = {
   graph : Graph.t;
   generate : int -> int -> (float * Path.t) list;
   cache : (int * int, (float * Path.t) list) Hashtbl.t;
+  (* Guards [cache] and serializes [generate]: distributions are queried
+     from pool workers (sampling, congestion sweeps), and generators may
+     memoize internally. *)
+  lock : Mutex.t;
 }
 
-let make ~name graph generate = { name; graph; generate; cache = Hashtbl.create 256 }
+let make ~name graph generate =
+  { name; graph; generate; cache = Hashtbl.create 256; lock = Mutex.create () }
 
 let name r = r.name
 
@@ -19,6 +24,8 @@ let graph r = r.graph
 
 let distribution r s t =
   if s = t then invalid_arg "Oblivious.distribution: s = t";
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) @@ fun () ->
   match Hashtbl.find_opt r.cache (s, t) with
   | Some dist -> dist
   | None ->

@@ -1,6 +1,11 @@
 module Graph = Sso_graph.Graph
 module Path = Sso_graph.Path
 module Rng = Sso_prng.Rng
+module Pool = Sso_engine.Pool
+module Metrics = Sso_engine.Metrics
+
+let build_span = Metrics.span "racke.build"
+let trees_counter = Metrics.counter "racke.trees"
 
 let tree_loads g tree =
   let loads = Array.make (Graph.m g) 0.0 in
@@ -16,24 +21,44 @@ let default_trees g =
   let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) ((v + 1) / 2) in
   (2 * log2 0 n) + 4
 
-let routing rng ?trees g =
+let routing ?pool rng ?trees ?(batch = 4) g =
   let count = match trees with Some c -> c | None -> default_trees g in
   if count <= 0 then invalid_arg "Racke.routing: need at least one tree";
+  if batch <= 0 then invalid_arg "Racke.routing: batch must be positive";
   let m = Graph.m g in
   let cum = Array.make m 0.0 in
   (* Exponential penalties, normalized for stability; eta balances greed
-     against diversity across the fixed number of rounds. *)
+     against diversity across the fixed number of rounds.  Trees are built
+     in rounds of [batch]: every tree of a round shares the penalties
+     accumulated by earlier rounds and gets its own index-keyed RNG child,
+     so rounds parallelize with results identical for any job count (the
+     round structure depends on [batch], never on [jobs]). *)
   let eta = 1.0 in
-  let forest =
-    List.init count (fun _ ->
+  let base_rng = Rng.split rng in
+  let forest_rev = ref [] in
+  Metrics.with_span build_span (fun () ->
+      let built = ref 0 in
+      while !built < count do
+        let b = min batch (count - !built) in
+        let first = !built in
         let max_cum = Array.fold_left Float.max 0.0 cum in
         let length e = Float.exp (eta *. (cum.(e) -. max_cum)) /. Graph.cap g e in
-        let tree = Frt.build rng g ~length in
-        let loads = tree_loads g tree in
-        let peak = Array.fold_left Float.max 1e-12 loads in
-        Array.iteri (fun e load -> cum.(e) <- cum.(e) +. (load /. peak)) loads;
-        tree)
-  in
+        let round =
+          Pool.parallel_init ?pool b (fun i ->
+              let tree_rng = Rng.split_at base_rng (first + i) in
+              let tree = Frt.build tree_rng g ~length in
+              (tree, tree_loads g tree))
+        in
+        Array.iter
+          (fun (tree, loads) ->
+            Metrics.incr trees_counter;
+            let peak = Array.fold_left Float.max 1e-12 loads in
+            Array.iteri (fun e load -> cum.(e) <- cum.(e) +. (load /. peak)) loads;
+            forest_rev := tree :: !forest_rev)
+          round;
+        built := !built + b
+      done);
+  let forest = List.rev !forest_rev in
   let weight = 1.0 /. float_of_int count in
   let generate s t = List.map (fun tree -> (weight, Frt.route tree s t)) forest in
   Oblivious.make ~name:"racke" g generate

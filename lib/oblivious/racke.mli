@@ -14,10 +14,17 @@
     empirically polylog-competitive on our testbed, which suffices because
     Theorem 5.3 is stated relative to the base routing [R]. *)
 
-val routing : Sso_prng.Rng.t -> ?trees:int -> Sso_graph.Graph.t -> Oblivious.t
+val routing :
+  ?pool:Sso_engine.Pool.t ->
+  Sso_prng.Rng.t -> ?trees:int -> ?batch:int -> Sso_graph.Graph.t -> Oblivious.t
 (** Build the routing from [trees] sampled decompositions (default
     [2·⌈log₂ n⌉ + 4]).  Construction cost: [trees] FRT builds plus one
-    capacity-routing pass per tree. *)
+    capacity-routing pass per tree.  Trees are sampled in rounds of
+    [batch] (default 4): trees within a round share the penalty state of
+    the previous rounds and are built concurrently on [pool] (default: the
+    process pool), each from its own index-keyed RNG child — the result is
+    bit-identical for any job count because the round structure depends
+    only on [batch]. *)
 
 val tree_loads : Sso_graph.Graph.t -> Frt.t -> float array
 (** Relative load per edge when each graph edge routes its capacity along

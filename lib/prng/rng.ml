@@ -41,6 +41,25 @@ let split t =
   let s3 = splitmix_next state in
   { s0; s1; s2; s3 }
 
+let split_at t i =
+  if i < 0 then invalid_arg "Rng.split_at: index must be non-negative";
+  (* Mix the full current state with the index (FNV-style fold), then
+     expand through splitmix64 exactly as [create]/[split] do.  Reads [t]
+     without advancing it, so children keyed by distinct indices can be
+     derived concurrently from one parent. *)
+  let open Int64 in
+  let h = ref (logxor t.s0 (mul (add (of_int i) 1L) 0x9E3779B97F4A7C15L)) in
+  let fold x = h := mul (logxor !h x) 0x100000001B3L in
+  fold t.s1;
+  fold t.s2;
+  fold t.s3;
+  let state = ref !h in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)

@@ -19,6 +19,14 @@ val split : t -> t
 (** [split t] derives a statistically independent generator from [t],
     advancing [t].  Splitting then using both streams never repeats draws. *)
 
+val split_at : t -> int -> t
+(** [split_at t i] derives an independent child stream keyed by index [i]
+    {e without advancing} [t]: the same [(t, i)] always yields the same
+    stream, and distinct indices yield decorrelated streams.  This is the
+    primitive behind deterministic parallelism — each task of a parallel
+    loop takes [split_at parent task_index], so results are independent of
+    execution order and job count.  @raise Invalid_argument if [i < 0]. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (same future draws as [t]). *)
 

@@ -1,0 +1,250 @@
+(* Tests for Sso_engine: pool determinism across job counts, exception
+   propagation, nested calls, and the metrics registry. *)
+
+module Pool = Sso_engine.Pool
+module Metrics = Sso_engine.Metrics
+module Rng = Sso_prng.Rng
+module Graph = Sso_graph.Graph
+module Gen = Sso_graph.Gen
+module Demand = Sso_demand.Demand
+module Ksp = Sso_oblivious.Ksp
+module Sampler = Sso_core.Sampler
+module Semi_oblivious = Sso_core.Semi_oblivious
+module Lower_bound = Sso_core.Lower_bound
+module Robustness = Sso_core.Robustness
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* ---- basic pool semantics ---- *)
+
+let test_map_matches_serial () =
+  with_pool 4 @@ fun p ->
+  let input = Array.init 100 (fun i -> i - 50) in
+  let f x = (x * x) - (3 * x) in
+  Alcotest.(check (array int))
+    "jobs:4 equals Array.map" (Array.map f input)
+    (Pool.parallel_map ~pool:p f input)
+
+let test_init_matches_serial () =
+  with_pool 4 @@ fun p ->
+  let f i = Printf.sprintf "task-%d" (i * 7) in
+  Alcotest.(check (array string))
+    "jobs:4 equals Array.init" (Array.init 33 f)
+    (Pool.parallel_init ~pool:p 33 f)
+
+let test_jobs1_serial () =
+  with_pool 1 @@ fun p ->
+  Alcotest.(check int) "jobs" 1 (Pool.jobs p);
+  Alcotest.(check (array int)) "still correct" [| 0; 2; 4 |]
+    (Pool.parallel_init ~pool:p 3 (fun i -> 2 * i))
+
+let test_empty_inputs () =
+  with_pool 4 @@ fun p ->
+  Alcotest.(check (array int)) "empty map" [||]
+    (Pool.parallel_map ~pool:p (fun x -> x) [||]);
+  Alcotest.(check (array int)) "zero init" [||]
+    (Pool.parallel_init ~pool:p 0 (fun _ -> assert false));
+  Alcotest.(check (list int)) "empty list" []
+    (Pool.parallel_list_map ~pool:p (fun x -> x) [])
+
+let test_list_map_order () =
+  with_pool 4 @@ fun p ->
+  let l = List.init 50 (fun i -> i) in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x + 1) l)
+    (Pool.parallel_list_map ~pool:p (fun x -> x + 1) l)
+
+let test_exception_lowest_index () =
+  with_pool 4 @@ fun p ->
+  Alcotest.check_raises "lowest failing index wins" (Failure "task 3")
+    (fun () ->
+      ignore
+        (Pool.parallel_init ~pool:p 64 (fun i ->
+             if i mod 7 = 3 then failwith (Printf.sprintf "task %d" i) else i)))
+
+let test_shutdown_fallback () =
+  let p = Pool.create ~jobs:4 () in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* shut-down pools degrade to serial execution *)
+  Alcotest.(check (array int)) "serial fallback" [| 0; 1; 4; 9 |]
+    (Pool.parallel_init ~pool:p 4 (fun i -> i * i))
+
+let test_nested_calls_serialize () =
+  with_pool 4 @@ fun p ->
+  let results =
+    Pool.parallel_init ~pool:p 8 (fun i ->
+        let inside = Pool.inside_task () in
+        let inner = Pool.parallel_init ~pool:p 10 (fun j -> (i * 10) + j) in
+        (inside, Array.fold_left ( + ) 0 inner))
+  in
+  Array.iteri
+    (fun i (inside, sum) ->
+      Alcotest.(check bool) "ran inside a task" true inside;
+      Alcotest.(check int) "nested sum" ((i * 100) + 45) sum)
+    results;
+  Alcotest.(check bool) "flag cleared outside" false (Pool.inside_task ())
+
+let test_default_jobs_plumbing () =
+  let before = Pool.default_jobs () in
+  Pool.set_default_jobs 3;
+  Alcotest.(check int) "set_default_jobs" 3 (Pool.default_jobs ());
+  Alcotest.(check int) "default pool adopts it" 3 (Pool.jobs (Pool.default ()));
+  Pool.set_default_jobs before;
+  Alcotest.check_raises "invalid jobs"
+    (Invalid_argument "Engine.Pool.set_default_jobs: jobs must be >= 1")
+    (fun () -> Pool.set_default_jobs 0)
+
+(* ---- job-count invariance on randomized workloads ---- *)
+
+let prop_job_count_invariant =
+  QCheck.Test.make ~name:"parallel_map is job-count invariant" ~count:30
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let input = Array.of_list xs in
+      let f x =
+        let rng = Rng.create (x + seed) in
+        let acc = ref 0L in
+        for _ = 1 to 50 do
+          acc := Int64.add !acc (Rng.int64 rng)
+        done;
+        !acc
+      in
+      let serial = with_pool 1 (fun p -> Pool.parallel_map ~pool:p f input) in
+      let parallel = with_pool 4 (fun p -> Pool.parallel_map ~pool:p f input) in
+      serial = parallel)
+
+(* ---- end-to-end determinism: the E3 adversary table ---- *)
+
+let e3_table pool =
+  let k = 3 in
+  let c = Gen.c_graph 6 k in
+  let rows =
+    Pool.parallel_map ~pool
+      (fun alpha ->
+        let rng = Rng.create (300 + alpha) in
+        let base = Ksp.routing ~k:(2 * k) c.Gen.c_graph in
+        let system = Sampler.alpha_sample rng base ~alpha in
+        let attack = Lower_bound.attack c system in
+        let measured =
+          Semi_oblivious.congestion ~solver:Semi_oblivious.Lp c.Gen.c_graph
+            system attack.Lower_bound.demand
+        in
+        Printf.sprintf "%5d | %8d %.17g %.17g\n" alpha
+          (List.length attack.Lower_bound.bottleneck)
+          attack.Lower_bound.predicted_congestion measured)
+      [| 1; 2; 3 |]
+  in
+  String.concat "" (Array.to_list rows)
+
+let test_e3_table_determinism () =
+  let serial = with_pool 1 e3_table in
+  let parallel = with_pool 4 e3_table in
+  Alcotest.(check string) "byte-identical adversary table" serial parallel
+
+(* ---- end-to-end determinism: the E14 failure sweep ---- *)
+
+let test_robustness_sweep_determinism () =
+  let g = Gen.grid 3 3 in
+  let make_inputs () =
+    let rng = Rng.create 43 in
+    let d = Demand.random_pairs (Rng.split rng) ~n:(Graph.n g) ~pairs:4 in
+    let base = Ksp.routing ~k:4 g in
+    let system = Sampler.alpha_sample (Rng.split rng) base ~alpha:2 in
+    (d, system)
+  in
+  let run jobs =
+    let d, system = make_inputs () in
+    with_pool jobs (fun p ->
+        Robustness.single_failures ~pool:p ~solver:(Semi_oblivious.Mwu 40) g
+          system d)
+  in
+  let serial = run 1 and parallel = run 4 in
+  Alcotest.(check int) "one report per edge" (Graph.m g) (List.length serial);
+  Alcotest.(check bool) "bit-identical failure reports" true (serial = parallel)
+
+(* ---- metrics ---- *)
+
+let test_counter_registry () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "accumulated" 42 (Metrics.counter_value c);
+  Alcotest.(check bool) "find-or-create returns the same counter" true
+    (Metrics.counter "test.counter" == c);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c)
+
+let test_counter_concurrent () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.concurrent" in
+  with_pool 4 (fun p ->
+      ignore
+        (Pool.parallel_init ~pool:p 8 (fun _ ->
+             for _ = 1 to 1000 do
+               Metrics.incr c
+             done)));
+  Alcotest.(check int) "no lost updates" 8000 (Metrics.counter_value c)
+
+let test_spans () =
+  Metrics.reset ();
+  let sp = Metrics.span "test.span" in
+  let v = Metrics.with_span sp (fun () -> 12) in
+  Alcotest.(check int) "passes result through" 12 v;
+  Alcotest.check_raises "records on exceptions too" Exit (fun () ->
+      Metrics.with_span sp (fun () -> raise Exit));
+  Alcotest.(check int) "two calls" 2 (Metrics.span_calls sp);
+  Alcotest.(check bool) "non-negative time" true (Metrics.span_total_ns sp >= 0)
+
+let test_table_and_json () =
+  Metrics.reset ();
+  Alcotest.(check string) "empty registry, empty table" "" (Metrics.table ());
+  Metrics.incr ~by:7 (Metrics.counter "test.table");
+  Metrics.time "test.tspan" (fun () -> ());
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let tbl = Metrics.table () in
+  Alcotest.(check bool) "table lists the counter" true (contains tbl "test.table");
+  Alcotest.(check bool) "table lists the span" true (contains tbl "test.tspan");
+  let js = Metrics.json () in
+  Alcotest.(check bool) "json has the counter" true
+    (contains js "\"test.table\": 7");
+  Alcotest.(check bool) "json has the span" true (contains js "\"test.tspan\"");
+  Metrics.reset ()
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+          Alcotest.test_case "init matches serial" `Quick test_init_matches_serial;
+          Alcotest.test_case "jobs=1" `Quick test_jobs1_serial;
+          Alcotest.test_case "empty inputs" `Quick test_empty_inputs;
+          Alcotest.test_case "list order" `Quick test_list_map_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "shutdown fallback" `Quick test_shutdown_fallback;
+          Alcotest.test_case "nested calls" `Quick test_nested_calls_serialize;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_plumbing;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_job_count_invariant;
+          Alcotest.test_case "E3 adversary table" `Slow test_e3_table_determinism;
+          Alcotest.test_case "E14 failure sweep" `Slow
+            test_robustness_sweep_determinism;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counter_registry;
+          Alcotest.test_case "concurrent counters" `Quick test_counter_concurrent;
+          Alcotest.test_case "spans" `Quick test_spans;
+          Alcotest.test_case "table and json" `Quick test_table_and_json;
+        ] );
+    ]

@@ -35,6 +35,49 @@ let test_split_independent () =
   done;
   Alcotest.(check bool) "split streams diverge" true (!matches < 5)
 
+let test_split_at_reproducible () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let c1 = Rng.split_at a 5 and c2 = Rng.split_at b 5 in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "same child stream" (Rng.int64 c1) (Rng.int64 c2)
+  done
+
+let test_split_at_does_not_advance () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  ignore (Rng.split_at a 3);
+  ignore (Rng.split_at a 9);
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "parent not advanced" (Rng.int64 b) (Rng.int64 a)
+  done
+
+let test_split_at_decorrelated () =
+  let a = Rng.create 7 in
+  let c0 = Rng.split_at a 0 and c1 = Rng.split_at a 1 in
+  let matches = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int64 c0 = Rng.int64 c1 then incr matches
+  done;
+  Alcotest.(check bool) "adjacent-index children diverge" true (!matches < 5)
+
+let test_split_at_children_uniform () =
+  (* The first draw of each indexed child should look uniform across
+     indices: consecutive indices must not produce correlated streams. *)
+  let a = Rng.create 99 in
+  let n = 10_000 in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    sum := !sum +. Rng.float (Rng.split_at a i)
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean of first draws near 0.5" true
+    (Float.abs (mean -. 0.5) < 0.02)
+
+let test_split_at_negative () =
+  let a = Rng.create 7 in
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split_at: index must be non-negative") (fun () ->
+      ignore (Rng.split_at a (-1)))
+
 let test_int_range () =
   let rng = Rng.create 3 in
   for _ = 1 to 10_000 do
@@ -207,6 +250,11 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
           Alcotest.test_case "copy" `Quick test_copy_independent;
           Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "split_at reproducible" `Quick test_split_at_reproducible;
+          Alcotest.test_case "split_at non-advancing" `Quick test_split_at_does_not_advance;
+          Alcotest.test_case "split_at decorrelated" `Quick test_split_at_decorrelated;
+          Alcotest.test_case "split_at children uniform" `Slow test_split_at_children_uniform;
+          Alcotest.test_case "split_at negative" `Quick test_split_at_negative;
           Alcotest.test_case "int range" `Quick test_int_range;
           Alcotest.test_case "int invalid" `Quick test_int_invalid;
           Alcotest.test_case "int uniform" `Slow test_int_uniform;
