@@ -11,7 +11,11 @@
      dune exec bench/main.exe -- --big        # widen instance ranges
      dune exec bench/main.exe -- --jobs 4     # worker domains (default: cores)
      dune exec bench/main.exe -- --seed 7     # master seed for every experiment
-     dune exec bench/main.exe -- --metrics    # dump counters/spans at exit *)
+     dune exec bench/main.exe -- --metrics    # dump counters/spans at exit
+     dune exec bench/main.exe -- --cache      # memoize constructions on disk
+     dune exec bench/main.exe -- --cache-dir D # cache in D (implies --cache)
+     dune exec bench/main.exe -- --no-cache   # force the cache off
+     dune exec bench/main.exe -- --json F     # write wall times / scalars to F *)
 
 module Rng = Sso_prng.Rng
 module Graph = Sso_graph.Graph
@@ -37,12 +41,26 @@ module Lower_bound = Sso_core.Lower_bound
 module Stats = Sso_stats.Stats
 module Pool = Sso_engine.Pool
 module Metrics = Sso_engine.Metrics
+module Codec = Sso_artifact.Codec
+module Store = Sso_artifact.Store
+module Memo = Sso_artifact.Memo
 
 (* --seed S reseeds every experiment: each formerly hard-coded seed
    constant [k] becomes the [k]-th child of the master seed, so tables
    stay reproducible per seed without sharing streams across sites. *)
 let master_seed = ref 0
 let seeded k = Sso_prng.Rng.split_at (Sso_prng.Rng.create !master_seed) k
+
+(* --cache/--cache-dir back the expensive constructions with the artifact
+   store; off by default so plain runs leave no files behind.  The cached
+   objects round-trip bit-exactly, so warm output is byte-identical to
+   cold output for any seed and job count. *)
+let store : Store.t option ref = ref None
+let racke_routing rng g = Memo.racke ?store:!store rng g
+
+(* --json: named result scalars accumulated by the experiments. *)
+let scalars : (string * float) list ref = ref []
+let scalar name v = scalars := !scalars @ [ (name, v) ]
 
 let header title =
   Printf.printf "\n=== %s ===\n" title
@@ -86,8 +104,10 @@ let e1 () =
           (r, Oblivious.congestion base d /. opt))
     in
     let arr = Array.map fst results and obl = Array.map snd results in
+    let med = Stats.median arr in
+    scalar (Printf.sprintf "E1.%s.median" name) med;
     Printf.printf "%-18s %5d %5d %3d | %10.2f %10.2f %10.2f\n" name n
-      (Graph.m g) alpha (Stats.median arr) (Stats.max_value arr)
+      (Graph.m g) alpha med (Stats.max_value arr)
       (Stats.max_value obl)
   in
   List.iter
@@ -98,10 +118,10 @@ let e1 () =
   let expander_n = if !big_scale then 64 else 32 in
   let expander = Gen.random_regular (Rng.split rng) expander_n 4 in
   run (Printf.sprintf "expander-%d" expander_n) expander
-    (Racke.routing (Rng.split rng) expander);
+    (racke_routing (Rng.split rng) expander);
   let side = if !big_scale then 8 else 6 in
   let grid = Gen.grid side side in
-  run (Printf.sprintf "grid-%dx%d" side side) grid (Racke.routing (Rng.split rng) grid);
+  run (Printf.sprintf "grid-%dx%d" side side) grid (racke_routing (Rng.split rng) grid);
   Printf.printf
     "shape: ratios stay O(polylog) as n grows (16x range); the full\n";
   Printf.printf "oblivious routing is never much better than the sparse sample.\n"
@@ -236,16 +256,24 @@ let e5 () =
   header "E5  SMORE: traffic engineering on Abilene with gravity matrices";
   let rng = seeded 7 in
   let g, _ = Gen.abilene () in
-  let racke = Racke.routing (Rng.split rng) g in
+  let racke_rng = Rng.split rng in
+  (* Taken before the construction consumes the generator: names the base
+     routing inside α-sample cache keys. *)
+  let racke_key = Codec.hex_of_key (Store.key (Memo.racke_recipe ~rng:racke_rng g)) in
+  let racke = racke_routing racke_rng g in
   let ksp4 = Ksp.routing ~k:4 g in
   let matrices =
     List.init 5 (fun _ -> Demand.gravity (Rng.split rng) ~n:(Graph.n g) ~total:60.0)
   in
+  let pairs = List.sort_uniq compare (List.concat_map Demand.support matrices) in
   let opts = List.map (fun d -> Semi_oblivious.opt ~solver:opt_solver g d) matrices in
   Printf.printf "%-26s %12s %12s\n" "scheme" "mean ratio" "max ratio";
   let report name ratios =
     let arr = Array.of_list ratios in
-    Printf.printf "%-26s %12.3f %12.3f\n" name (Stats.mean arr) (Stats.max_value arr)
+    let mean = Stats.mean arr and worst = Stats.max_value arr in
+    scalar (Printf.sprintf "E5.%s.mean" name) mean;
+    scalar (Printf.sprintf "E5.%s.max" name) worst;
+    Printf.printf "%-26s %12.3f %12.3f\n" name mean worst
   in
   report "KSP-4 (traditional TE)"
     (List.map2 (fun d opt -> Oblivious.congestion ksp4 d /. opt) matrices opts);
@@ -253,7 +281,11 @@ let e5 () =
     (List.map2 (fun d opt -> Oblivious.congestion racke d /. opt) matrices opts);
   List.iter
     (fun alpha ->
-      let system = Sampler.alpha_sample (seeded (500 + alpha)) racke ~alpha in
+      let system =
+        Memo.alpha_sample ?store:!store ~base_key:racke_key
+          (seeded (500 + alpha))
+          racke ~alpha ~pairs
+      in
       report
         (Printf.sprintf "semi-oblivious a=%d" alpha)
         (List.map2
@@ -274,7 +306,7 @@ let e6 () =
   let s = 0 and t = (2 * n) - 1 in
   let d = Demand.single_pair s t (float_of_int n) in
   let rng = seeded 23 in
-  let base = Racke.routing (Rng.split rng) g in
+  let base = racke_routing (Rng.split rng) g in
   let opt = Min_congestion.lp_unrestricted g d in
   Printf.printf "graph: two %d-cliques + %d bridges; demand: %d units %d->%d\n" n n n s t;
   Printf.printf "cut_G(s,t) = %d, offline optimum = %.3f\n\n" (Maxflow.cut g s t) opt;
@@ -475,7 +507,7 @@ let e11 () =
       ("single BFS tree (worst base)", Trees.single g (Tree.bfs_tree g 0));
       ("8 random spanning trees", Trees.uniform (Rng.split rng) ~count:8 g);
       ("KSP-4 spread", Ksp.routing ~k:4 g);
-      ("Racke (MWU over FRT)", Racke.routing (Rng.split rng) g);
+      ("Racke (MWU over FRT)", racke_routing (Rng.split rng) g);
     ]
   in
   List.iter
@@ -557,7 +589,7 @@ let e13 () =
       let opt = Semi_oblivious.opt ~solver:opt_solver g d in
       let xy = Oblivious.congestion (Deterministic.xy_grid ~cols:side g) d /. opt in
       let rng = seeded (600 + side) in
-      let base = Racke.routing (Rng.split rng) g in
+      let base = racke_routing (Rng.split rng) g in
       let ratio alpha =
         let system = Sampler.alpha_sample (Rng.split rng) base ~alpha in
         Semi_oblivious.congestion ~solver:stage4 g system d /. opt
@@ -579,7 +611,7 @@ let e14 () =
   let rng = seeded 43 in
   let g, _ = Gen.abilene () in
   let d = Demand.random_pairs (Rng.split rng) ~n:(Graph.n g) ~pairs:10 in
-  let racke = Racke.routing (Rng.split rng) g in
+  let racke = racke_routing (Rng.split rng) g in
   Printf.printf "10 unit flows, every one of the %d links failed in turn\n" (Graph.m g);
   Printf.printf "%-26s %12s %12s %12s\n" "path system" "unsurvivable"
     "mean ratio" "worst ratio";
@@ -611,7 +643,7 @@ let e15 () =
   let module Oracle = Sso_core.Oracle in
   let g = Gen.grid 5 5 in
   let rng = seeded 53 in
-  let base = Racke.routing (Rng.split rng) g in
+  let base = racke_routing (Rng.split rng) g in
   let demands =
     List.init 3 (fun _ -> Demand.random_permutation (Rng.split rng) 25)
   in
@@ -655,7 +687,7 @@ let e16 () =
   let module Workload = Sso_demand.Workload in
   let rng = seeded 61 in
   let g, _ = Gen.abilene () in
-  let racke = Racke.routing (Rng.split rng) g in
+  let racke = racke_routing (Rng.split rng) g in
   let ksp4 = Ksp.routing ~k:4 g in
   let smore = Sampler.alpha_sample (Rng.split rng) racke ~alpha:4 in
   let day = Workload.diurnal (Rng.split rng) ~n:(Graph.n g) ~epochs:12 ~peak_total:80.0 in
@@ -722,7 +754,7 @@ let e18 () =
   let module Workload = Sso_demand.Workload in
   let rng = seeded 79 in
   let g, _ = Gen.abilene () in
-  let base = Racke.routing (Rng.split rng) g in
+  let base = racke_routing (Rng.split rng) g in
   let system = Sampler.alpha_sample (Rng.split rng) base ~alpha:4 in
   let epochs =
     Workload.random_walk (Rng.split rng) ~n:(Graph.n g) ~epochs:8 ~pairs:10 ~churn:0.3
@@ -789,7 +821,10 @@ let e19 () =
         | Some p -> ((0, 1), p)
         | None -> assert false)
   in
-  let base = Sso_oblivious.Hop_constrained.routing ~max_hops:3 ~paths_per_pair:8 g in
+  let base =
+    Memo.hop_constrained ?store:!store ~paths_per_pair:8 ~max_hops:3
+      ~pairs:[ (0, 1) ] g
+  in
   let system = Sampler.alpha_sample (Rng.split rng) base ~alpha:4 in
   let semi_raw, _ = Integral.congestion_upper ~solver:stage4 (Rng.split rng) g system d in
   let semi_assignment =
@@ -1004,19 +1039,32 @@ let () =
           Printf.eprintf "--seed expects an integer, got %s\n" v;
           exit 1)
   | None -> ());
+  let cache_dir = find_value "--cache-dir" args in
+  if (has "--cache" || cache_dir <> None) && not (has "--no-cache") then (
+    match Store.open_ ?dir:cache_dir () with
+    | st -> store := Some st
+    | exception Store.Unreadable msg ->
+        Printf.eprintf "--cache: %s\n" msg;
+        exit 1);
+  let timings : (string * float) list ref = ref [] in
+  let timed_run id run =
+    let t0 = Unix.gettimeofday () in
+    run ();
+    timings := !timings @ [ (id, Unix.gettimeofday () -. t0) ]
+  in
   if has "--list" then
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) experiments
   else begin
     (match find_experiment args with
     | Some id -> (
         match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
-        | Some (_, _, run) -> run ()
+        | Some (eid, _, run) -> timed_run eid run
         | None ->
             Printf.eprintf "unknown experiment %s (try --list)\n" id;
             exit 1)
     | None ->
         if not (has "--timing") then
-          List.iter (fun (_, _, run) -> run ()) experiments);
+          List.iter (fun (id, _, run) -> timed_run id run) experiments);
     if (has "--timing" || not (has "--no-timing")) && find_experiment args = None
     then timing ()
   end;
@@ -1024,4 +1072,47 @@ let () =
     header
       (Printf.sprintf "metrics  (jobs = %d)" (Pool.default_jobs ()));
     print_string (Metrics.table ())
-  end
+  end;
+  match find_value "--json" args with
+  | None -> ()
+  | Some path ->
+      let escape s =
+        let b = Buffer.create (String.length s + 8) in
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string b "\\\""
+            | '\\' -> Buffer.add_string b "\\\\"
+            | c when Char.code c < 0x20 ->
+                Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+            | c -> Buffer.add_char b c)
+          s;
+        Buffer.contents b
+      in
+      let fields f entries =
+        String.concat ", " (List.map f entries)
+      in
+      let cache_counter name =
+        Metrics.counter_value (Metrics.counter ("artifact." ^ name))
+      in
+      let json =
+        Printf.sprintf
+          "{\"seed\": %d, \"jobs\": %d, \"cache\": {%s}, \"experiments\": \
+           [%s], \"scalars\": {%s}, \"metrics\": %s}\n"
+          !master_seed (Pool.default_jobs ())
+          (fields
+             (fun name ->
+               Printf.sprintf "\"%s\": %d" name (cache_counter name))
+             [ "hit"; "miss"; "corrupt"; "bytes_read"; "bytes_written" ])
+          (fields
+             (fun (id, seconds) ->
+               Printf.sprintf "{\"id\": \"%s\", \"seconds\": %.6f}" (escape id)
+                 seconds)
+             !timings)
+          (fields
+             (fun (name, v) -> Printf.sprintf "\"%s\": %.17g" (escape name) v)
+             !scalars)
+          (Metrics.json ())
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc json)

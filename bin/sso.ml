@@ -5,12 +5,15 @@
      info    print statistics of a graph
      route   build a sampled path system and route a demand through it
      attack  run the Section-8 adversary on C(n,k)
+     cache   inspect and maintain the artifact store (ls/stat/gc/clear)
 
    Examples:
      sso gen --kind hypercube --size 4 > cube.g
      sso info cube.g
      sso route cube.g --base valiant --alpha 3 --demand permutation --seed 7
-     sso attack --leaves 12 --middles 6 --alpha 2 *)
+     sso route cube.g --cache            # memoize the Racke construction
+     sso attack --leaves 12 --middles 6 --alpha 2
+     sso cache ls *)
 
 module Rng = Sso_prng.Rng
 module Graph = Sso_graph.Graph
@@ -27,8 +30,15 @@ module Sampler = Sso_core.Sampler
 module Path_system = Sso_core.Path_system
 module Semi_oblivious = Sso_core.Semi_oblivious
 module Lower_bound = Sso_core.Lower_bound
+module Store = Sso_artifact.Store
+module Memo = Sso_artifact.Memo
 
 open Cmdliner
+
+(* Exit codes for cache problems, distinct from cmdliner's 124/125:
+   10 = the store directory is unreadable, 11 = corrupt entries seen. *)
+let exit_unreadable = 10
+let exit_corrupt = 11
 
 (* ---- shared argument parsers ---- *)
 
@@ -56,6 +66,35 @@ let read_graph path =
   let text = really_input_string ic len in
   close_in ic;
   Gio.of_string text
+
+(* ---- artifact-cache arguments ---- *)
+
+let cache_arg =
+  let doc =
+    "Memoize expensive constructions (Räcke forests) in the on-disk \
+     artifact store.  Results are bit-identical with or without the cache."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the artifact cache (overrides $(b,--cache))." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Artifact store directory (implies $(b,--cache)).  Default: \
+     $(b,SSO_CACHE_DIR), then $(b,XDG_CACHE_HOME)/sso, then ~/.cache/sso."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let open_store cache no_cache cache_dir =
+  if no_cache || not (cache || cache_dir <> None) then None
+  else
+    match Store.open_ ?dir:cache_dir () with
+    | st -> Some st
+    | exception Store.Unreadable msg ->
+        Printf.eprintf "sso: cannot open the artifact store: %s\n" msg;
+        exit exit_unreadable
 
 (* ---- gen ---- *)
 
@@ -148,13 +187,15 @@ let route_cmd =
     in
     Arg.(value & opt string "mwu" & info [ "solver" ] ~docv:"SOLVER" ~doc)
   in
-  let run path base alpha with_cut demand_spec solver_spec seed jobs =
+  let run path base alpha with_cut demand_spec solver_spec seed jobs cache
+      no_cache cache_dir =
     set_jobs jobs;
+    let store = open_store cache no_cache cache_dir in
     let g = read_graph path in
     let rng = Rng.create seed in
     let base_routing =
       match base with
-      | "racke" -> Racke.routing (Rng.split rng) g
+      | "racke" -> Memo.racke ?store (Rng.split rng) g
       | "valiant" -> Valiant.routing g
       | "ksp" -> Ksp.routing ~k:(max 4 alpha) g
       | "shortest" -> Deterministic.shortest_path g
@@ -207,7 +248,8 @@ let route_cmd =
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
       const run $ graph_pos $ base_arg $ alpha_arg $ cut_arg $ demand_arg
-      $ solver_arg $ seed_arg $ jobs_arg)
+      $ solver_arg $ seed_arg $ jobs_arg $ cache_arg $ no_cache_arg
+      $ cache_dir_arg)
 
 (* ---- attack ---- *)
 
@@ -259,11 +301,12 @@ let simulate_cmd =
     let doc = "Number of random unit packets to inject." in
     Arg.(value & opt int 16 & info [ "packets" ] ~docv:"N" ~doc)
   in
-  let run path alpha packets seed jobs =
+  let run path alpha packets seed jobs cache no_cache cache_dir =
     set_jobs jobs;
+    let store = open_store cache no_cache cache_dir in
     let g = read_graph path in
     let rng = Rng.create seed in
-    let base = Racke.routing (Rng.split rng) g in
+    let base = Memo.racke ?store (Rng.split rng) g in
     let system = Sampler.alpha_sample (Rng.split rng) base ~alpha in
     let demand =
       Demand.random_pairs (Rng.split rng) ~n:(Graph.n g)
@@ -286,7 +329,87 @@ let simulate_cmd =
   in
   let doc = "route packets semi-obliviously and simulate their delivery" in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ graph_pos $ alpha_arg $ packets_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ graph_pos $ alpha_arg $ packets_arg $ seed_arg $ jobs_arg
+      $ cache_arg $ no_cache_arg $ cache_dir_arg)
+
+(* ---- cache ---- *)
+
+let cache_cmd =
+  (* Every subcommand exits 0 on success, [exit_unreadable] (10) when the
+     store directory cannot be opened or listed, and — for the read-only
+     inspections — [exit_corrupt] (11) when damaged entries were seen. *)
+  let with_store cache_dir f =
+    match
+      let store = Store.open_ ?dir:cache_dir () in
+      f store
+    with
+    | () -> ()
+    | exception Store.Unreadable msg ->
+        Printf.eprintf "sso cache: %s\n" msg;
+        exit exit_unreadable
+  in
+  let report_corrupt corrupt =
+    if corrupt <> [] then begin
+      Printf.eprintf
+        "sso cache: %d corrupt entries (run 'sso cache gc' to remove them)\n"
+        (List.length corrupt);
+      exit exit_corrupt
+    end
+  in
+  let ls_cmd =
+    let run cache_dir =
+      with_store cache_dir (fun store ->
+          let listing = Store.scan store in
+          List.iter
+            (fun (e : Store.entry) ->
+              Printf.printf "%s  %-18s %10d  %s\n" e.Store.entry_key
+                e.Store.entry_kind e.Store.entry_bytes e.Store.entry_description)
+            listing.Store.entries;
+          List.iter
+            (fun name -> Printf.printf "%-16s  CORRUPT\n" name)
+            listing.Store.corrupt;
+          report_corrupt listing.Store.corrupt)
+    in
+    let doc = "list cached artifacts (key, kind, payload bytes, recipe)" in
+    Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ cache_dir_arg)
+  in
+  let stat_cmd =
+    let run cache_dir =
+      with_store cache_dir (fun store ->
+          let listing = Store.scan store in
+          let bytes =
+            List.fold_left
+              (fun acc (e : Store.entry) -> acc + e.Store.entry_bytes)
+              0 listing.Store.entries
+          in
+          Printf.printf "directory  %s\n" (Store.dir store);
+          Printf.printf "entries    %d\n" (List.length listing.Store.entries);
+          Printf.printf "payload    %d bytes\n" bytes;
+          Printf.printf "corrupt    %d\n" (List.length listing.Store.corrupt);
+          report_corrupt listing.Store.corrupt)
+    in
+    let doc = "print store location, entry count, and total payload size" in
+    Cmd.v (Cmd.info "stat" ~doc) Term.(const run $ cache_dir_arg)
+  in
+  let gc_cmd =
+    let run cache_dir =
+      with_store cache_dir (fun store ->
+          Printf.printf "removed %d damaged or stale files\n" (Store.gc store))
+    in
+    let doc = "remove corrupt entries and leftover temp files" in
+    Cmd.v (Cmd.info "gc" ~doc) Term.(const run $ cache_dir_arg)
+  in
+  let clear_cmd =
+    let run cache_dir =
+      with_store cache_dir (fun store ->
+          Printf.printf "removed %d entries\n" (Store.clear store))
+    in
+    let doc = "remove every cached artifact" in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ cache_dir_arg)
+  in
+  let doc = "inspect and maintain the on-disk artifact store" in
+  Cmd.group (Cmd.info "cache" ~doc) [ ls_cmd; stat_cmd; gc_cmd; clear_cmd ]
 
 (* ---- theory ---- *)
 
@@ -332,4 +455,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; info_cmd; route_cmd; attack_cmd; simulate_cmd; theory_cmd ]))
+          [
+            gen_cmd; info_cmd; route_cmd; attack_cmd; simulate_cmd; theory_cmd;
+            cache_cmd;
+          ]))

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Artifact-cache smoke test: run E5 cold into a temporary cache directory,
+# re-run warm at --jobs 1 and --jobs 4, and assert the three outputs are
+# byte-identical with at least one recorded cache hit on the warm runs.
+# Also checks the `sso cache` exit-code contract: 0 on a healthy store,
+# 11 when corrupt entries are present, 10 when the directory is unusable.
+set -eu
+
+BENCH="${BENCH:-_build/default/bench/main.exe}"
+SSO="${SSO:-_build/default/bin/sso.exe}"
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+cache="$dir/cache"
+
+run() {
+  jobs="$1"
+  shift
+  "$BENCH" --experiment E5 --no-timing --jobs "$jobs" --cache-dir "$cache" "$@"
+}
+
+run 1 > "$dir/cold.txt"
+run 1 > "$dir/warm1.txt"
+run 4 > "$dir/warm4.txt"
+cmp "$dir/cold.txt" "$dir/warm1.txt"
+cmp "$dir/cold.txt" "$dir/warm4.txt"
+
+run 1 --metrics > "$dir/metrics.txt"
+hits=$(awk '$1 == "artifact.hit" { print $2 }' "$dir/metrics.txt")
+test -n "$hits"
+test "$hits" -gt 0
+
+"$SSO" cache stat --cache-dir "$cache" > /dev/null
+
+# Corrupt store: a planted undecodable entry must flip the exit code to 11.
+printf 'garbage' > "$cache/deadbeefdeadbeef.art"
+rc=0
+"$SSO" cache ls --cache-dir "$cache" > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 11
+"$SSO" cache gc --cache-dir "$cache" > /dev/null
+"$SSO" cache stat --cache-dir "$cache" > /dev/null
+
+# Unusable store directory (a regular file): exit code 10.
+rc=0
+"$SSO" cache stat --cache-dir "$dir/cold.txt" > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 10
+
+echo "cache smoke: OK (warm hits=$hits)"

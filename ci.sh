@@ -1,9 +1,12 @@
 #!/bin/sh
 # CI entry point: build everything, run the test suite, then smoke-test the
 # parallel engine by running the E3 adversary experiment on 2 worker
-# domains (its output is deterministic for any job count).
+# domains (its output is deterministic for any job count), and the
+# artifact cache by running E5 cold/warm in a temporary store
+# (byte-identical output, at least one recorded hit).
 set -eux
 
 dune build
 dune runtest
 dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
+./cache_smoke.sh

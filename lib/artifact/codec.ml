@@ -1,0 +1,341 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Demand = Sso_demand.Demand
+module Routing = Sso_flow.Routing
+module Frt = Sso_oblivious.Frt
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+let format_version = 1
+
+(* ---- primitives ---- *)
+
+type writer = Buffer.t
+type reader = { data : string; mutable pos : int }
+
+let writer () = Buffer.create 256
+let contents w = Buffer.contents w
+let reader data = { data; pos = 0 }
+
+let expect_end r =
+  if r.pos <> String.length r.data then
+    corrupt "codec: %d trailing bytes" (String.length r.data - r.pos)
+
+let write_u8 w v = Buffer.add_char w (Char.chr (v land 0xFF))
+
+let read_u8 r =
+  if r.pos >= String.length r.data then corrupt "codec: truncated input";
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let write_varint w v =
+  if v < 0 then invalid_arg "Codec.write_varint: negative";
+  let rec go v =
+    if v < 0x80 then write_u8 w v
+    else begin
+      write_u8 w (0x80 lor (v land 0x7F));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then corrupt "codec: varint overflow";
+    let b = read_u8 r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let write_i64 w v =
+  for i = 0 to 7 do
+    Buffer.add_char w
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let read_i64 r =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (read_u8 r)) (8 * i))
+  done;
+  !v
+
+let write_f64 w v = write_i64 w (Int64.bits_of_float v)
+let read_f64 r = Int64.float_of_bits (read_i64 r)
+
+let write_string w s =
+  write_varint w (String.length s);
+  Buffer.add_string w s
+
+(* [List.init]'s evaluation order is unspecified; reads are effectful, so
+   sequence them explicitly. *)
+let read_list n f =
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f () :: acc) in
+  go n []
+
+let read_string r =
+  let len = read_varint r in
+  if r.pos + len > String.length r.data then corrupt "codec: truncated string";
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* ---- hashing ---- *)
+
+let fnv1a64 s =
+  let open Int64 in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := mul (logxor !h (of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let hex_of_key k = Printf.sprintf "%016Lx" k
+
+(* ---- tags ---- *)
+
+let tag_graph = 0x47 (* 'G' *)
+let tag_demand = 0x44 (* 'D' *)
+let tag_path = 0x70 (* 'p' *)
+let tag_path_system = 0x50 (* 'P' *)
+let tag_distributions = 0x52 (* 'R' *)
+let tag_forest = 0x46 (* 'F' *)
+
+let write_header w tag =
+  write_u8 w tag;
+  write_u8 w format_version
+
+let read_header r tag =
+  let got = read_u8 r in
+  if got <> tag then corrupt "codec: tag mismatch (want %#x, got %#x)" tag got;
+  let v = read_u8 r in
+  if v <> format_version then corrupt "codec: unsupported format version %d" v
+
+(* Wrap Invalid_argument from reconstruction (Builder, Path.of_edges, ...)
+   into Corrupt: a payload describing an impossible object is damage, not a
+   programming error at the decode site. *)
+let guarded f = try f () with Invalid_argument msg -> corrupt "codec: %s" msg
+
+(* ---- graph ---- *)
+
+let encode_graph g =
+  let w = writer () in
+  write_header w tag_graph;
+  write_varint w (Graph.n g);
+  write_varint w (Graph.m g);
+  Graph.fold_edges
+    (fun _ u v cap () ->
+      write_varint w u;
+      write_varint w v;
+      write_f64 w cap)
+    g ();
+  contents w
+
+let decode_graph s =
+  let r = reader s in
+  read_header r tag_graph;
+  let n = read_varint r in
+  let m = read_varint r in
+  guarded @@ fun () ->
+  let b = Graph.Builder.create n in
+  for _ = 1 to m do
+    let u = read_varint r in
+    let v = read_varint r in
+    let cap = read_f64 r in
+    ignore (Graph.Builder.add_edge ~cap b u v)
+  done;
+  expect_end r;
+  Graph.Builder.build b
+
+let graph_digest g = fnv1a64 (encode_graph g)
+
+(* ---- demand ---- *)
+
+let encode_demand d =
+  let w = writer () in
+  write_header w tag_demand;
+  write_varint w (Demand.support_size d);
+  Demand.fold
+    (fun s t v () ->
+      write_varint w s;
+      write_varint w t;
+      write_f64 w v)
+    d ();
+  contents w
+
+let decode_demand s =
+  let r = reader s in
+  read_header r tag_demand;
+  let count = read_varint r in
+  guarded @@ fun () ->
+  let triples =
+    read_list count (fun () ->
+        let a = read_varint r in
+        let b = read_varint r in
+        let v = read_f64 r in
+        (a, b, v))
+  in
+  expect_end r;
+  Demand.of_list triples
+
+(* ---- paths ---- *)
+
+let write_path_body w (p : Path.t) =
+  write_varint w (Array.length p.Path.edges);
+  Array.iter (write_varint w) p.Path.edges
+
+let read_path_body r g ~src ~dst =
+  let hops = read_varint r in
+  let edges = Array.init hops (fun _ -> read_varint r) in
+  guarded (fun () -> Path.of_edges g ~src ~dst edges)
+
+let encode_path p =
+  let w = writer () in
+  write_header w tag_path;
+  write_varint w p.Path.src;
+  write_varint w p.Path.dst;
+  write_path_body w p;
+  contents w
+
+let decode_path g s =
+  let r = reader s in
+  read_header r tag_path;
+  let src = read_varint r in
+  let dst = read_varint r in
+  let p = read_path_body r g ~src ~dst in
+  expect_end r;
+  p
+
+(* ---- pair tables (path systems and distributions) ---- *)
+
+let canonical entries = List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let write_pairs w entries write_value =
+  write_varint w (List.length entries);
+  List.iter
+    (fun ((s, t), value) ->
+      write_varint w s;
+      write_varint w t;
+      write_value value)
+    (canonical entries)
+
+let read_pairs r read_value =
+  let count = read_varint r in
+  read_list count (fun () ->
+      let s = read_varint r in
+      let t = read_varint r in
+      ((s, t), read_value s t))
+
+let encode_path_system entries =
+  let w = writer () in
+  write_header w tag_path_system;
+  write_pairs w entries (fun paths ->
+      write_varint w (List.length paths);
+      List.iter (write_path_body w) paths);
+  contents w
+
+let decode_path_system g s =
+  let r = reader s in
+  read_header r tag_path_system;
+  let entries =
+    read_pairs r (fun src dst ->
+        let count = read_varint r in
+        read_list count (fun () -> read_path_body r g ~src ~dst))
+  in
+  expect_end r;
+  entries
+
+let encode_distributions entries =
+  let w = writer () in
+  write_header w tag_distributions;
+  write_pairs w entries (fun dist ->
+      write_varint w (List.length dist);
+      List.iter
+        (fun (weight, p) ->
+          write_f64 w weight;
+          write_path_body w p)
+        dist);
+  contents w
+
+let decode_distributions g s =
+  let r = reader s in
+  read_header r tag_distributions;
+  let entries =
+    read_pairs r (fun src dst ->
+        let count = read_varint r in
+        read_list count (fun () ->
+            let weight = read_f64 r in
+            (weight, read_path_body r g ~src ~dst)))
+  in
+  expect_end r;
+  entries
+
+let encode_routing routing =
+  encode_distributions
+    (List.map
+       (fun (s, t) -> ((s, t), Routing.distribution routing s t))
+       (Routing.pairs routing))
+
+let decode_routing g s =
+  guarded (fun () -> Routing.of_normalized (decode_distributions g s))
+
+(* ---- FRT forests ---- *)
+
+let write_table w tbl =
+  write_varint w (Array.length tbl);
+  Array.iter
+    (fun row ->
+      write_varint w (Array.length row);
+      Array.iter (write_varint w) row)
+    tbl
+
+let read_table r =
+  let n = read_varint r in
+  Array.init n (fun _ ->
+      let len = read_varint r in
+      Array.init len (fun _ -> read_varint r))
+
+let write_parts w (p : Frt.parts) =
+  write_varint w p.Frt.p_levels;
+  write_table w p.Frt.p_chain;
+  write_table w p.Frt.p_cluster_id;
+  write_varint w (Array.length p.Frt.p_lengths);
+  Array.iter (write_f64 w) p.Frt.p_lengths
+
+let read_parts r =
+  let p_levels = read_varint r in
+  let p_chain = read_table r in
+  let p_cluster_id = read_table r in
+  let m = read_varint r in
+  let p_lengths = Array.init m (fun _ -> read_f64 r) in
+  { Frt.p_levels; p_chain; p_cluster_id; p_lengths }
+
+let encode_forest parts =
+  let w = writer () in
+  write_header w tag_forest;
+  write_varint w (List.length parts);
+  List.iter (write_parts w) parts;
+  contents w
+
+let decode_forest s =
+  let r = reader s in
+  read_header r tag_forest;
+  let count = read_varint r in
+  let parts = read_list count (fun () -> read_parts r) in
+  expect_end r;
+  parts
+
+(* ---- pair digests ---- *)
+
+let pairs_digest pairs =
+  let w = writer () in
+  List.iter
+    (fun (s, t) ->
+      write_varint w s;
+      write_varint w t)
+    (List.sort_uniq compare pairs);
+  fnv1a64 (contents w)

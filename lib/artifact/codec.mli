@@ -1,0 +1,103 @@
+(** Canonical, versioned binary codecs for the artifact store.
+
+    Hand-rolled writer/reader over [Buffer]/[string] — deliberately not
+    [Marshal]: the encoding is stable across OCaml versions and
+    architectures, every read is bounds-checked, and malformed input raises
+    {!Corrupt} instead of segfaulting or silently misreading.  Floats are
+    stored as their IEEE-754 bit patterns, so every round trip is
+    bit-identical — the property the determinism contract (DESIGN.md §6)
+    rests on: a warm run that decodes a cached object must behave exactly
+    like the cold run that built it.
+
+    Every top-level codec writes a one-byte kind tag and a format-version
+    byte.  Bump {!format_version} on any layout change: old cache entries
+    then decode as {!Corrupt} and are treated as misses (never
+    half-deserialized). *)
+
+exception Corrupt of string
+(** Raised by every [decode_*]/[read_*] on malformed, truncated, or
+    mis-tagged input.  The store maps it to a cache miss. *)
+
+val format_version : int
+
+(** {1 Primitives} *)
+
+type writer
+type reader
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val reader : string -> reader
+val expect_end : reader -> unit
+(** @raise Corrupt if unread bytes remain. *)
+
+val write_u8 : writer -> int -> unit
+val read_u8 : reader -> int
+
+val write_varint : writer -> int -> unit
+(** LEB128 for non-negative ints.  @raise Invalid_argument on negatives. *)
+
+val read_varint : reader -> int
+
+val write_i64 : writer -> int64 -> unit
+val read_i64 : reader -> int64
+
+val write_f64 : writer -> float -> unit
+(** IEEE-754 bits, little-endian — bit-exact round trip. *)
+
+val read_f64 : reader -> float
+
+val write_string : writer -> string -> unit
+val read_string : reader -> string
+
+(** {1 Hashing} *)
+
+val fnv1a64 : string -> int64
+(** 64-bit FNV-1a — the store's content-address hash. *)
+
+val hex_of_key : int64 -> string
+(** 16 lowercase hex digits. *)
+
+(** {1 Object codecs} *)
+
+val encode_graph : Sso_graph.Graph.t -> string
+val decode_graph : string -> Sso_graph.Graph.t
+
+val graph_digest : Sso_graph.Graph.t -> int64
+(** [fnv1a64 (encode_graph g)] — the graph component of recipe keys. *)
+
+val encode_demand : Sso_demand.Demand.t -> string
+val decode_demand : string -> Sso_demand.Demand.t
+
+val encode_path : Sso_graph.Path.t -> string
+val decode_path : Sso_graph.Graph.t -> string -> Sso_graph.Path.t
+(** Decoding validates the edge sequence against the graph. *)
+
+val encode_path_system :
+  ((int * int) * Sso_graph.Path.t list) list -> string
+(** Materialized candidate sets, canonically ordered by pair. *)
+
+val decode_path_system :
+  Sso_graph.Graph.t -> string -> ((int * int) * Sso_graph.Path.t list) list
+
+val encode_distributions :
+  ((int * int) * (float * Sso_graph.Path.t) list) list -> string
+(** Per-pair weighted path distributions (oblivious-routing restrictions,
+    Stage-4 rate solutions), canonically ordered by pair. *)
+
+val decode_distributions :
+  Sso_graph.Graph.t -> string -> ((int * int) * (float * Sso_graph.Path.t) list) list
+
+val encode_routing : Sso_flow.Routing.t -> string
+val decode_routing : Sso_graph.Graph.t -> string -> Sso_flow.Routing.t
+(** Stage-4 rate solutions.  Decoding goes through
+    {!Sso_flow.Routing.of_normalized}, so weights round-trip bit-exactly. *)
+
+val encode_forest : Sso_oblivious.Frt.parts list -> string
+val decode_forest : string -> Sso_oblivious.Frt.parts list
+(** Räcke tree mixtures as {!Sso_oblivious.Frt.parts}. *)
+
+val pairs_digest : (int * int) list -> int64
+(** Canonical digest of a pair set (sorted, deduplicated) — used in recipe
+    keys for pair-scoped artifacts. *)

@@ -1,0 +1,143 @@
+module Graph = Sso_graph.Graph
+module Rng = Sso_prng.Rng
+module Metrics = Sso_engine.Metrics
+module Oblivious = Sso_oblivious.Oblivious
+module Racke = Sso_oblivious.Racke
+module Frt = Sso_oblivious.Frt
+module Hop_constrained = Sso_oblivious.Hop_constrained
+module Sampler = Sso_core.Sampler
+module Path_system = Sso_core.Path_system
+
+let hex = Codec.hex_of_key
+
+(* A payload that passes the store checksum but fails semantic validation
+   on decode (e.g. after a format change without a version bump) is still
+   damage: count it and fall back to a rebuild. *)
+let semantic_corrupt () =
+  Metrics.incr (Metrics.counter "artifact.corrupt")
+
+(* ---- Räcke forests ---- *)
+
+let racke_recipe ?trees ?batch ~rng g =
+  let trees = match trees with Some t -> t | None -> Racke.default_trees g in
+  let batch = Option.value batch ~default:4 in
+  Store.recipe ~kind:"racke-forest"
+    [
+      ("graph", hex (Codec.graph_digest g));
+      ("trees", string_of_int trees);
+      ("batch", string_of_int batch);
+      ("rng", hex (Rng.fingerprint rng));
+    ]
+
+let racke ?store ?pool rng ?trees ?batch g =
+  match store with
+  | None -> Racke.routing ?pool rng ?trees ?batch g
+  | Some st ->
+      let recipe = racke_recipe ?trees ?batch ~rng g in
+      let rebuild () =
+        let forest = Racke.forest ?pool rng ?trees ?batch g in
+        Store.put st recipe
+          (Codec.encode_forest (List.map Frt.to_parts forest));
+        Racke.of_forest g forest
+      in
+      (match Store.find st recipe with
+      | None -> rebuild ()
+      | Some payload -> (
+          match List.map (Frt.of_parts g) (Codec.decode_forest payload) with
+          | forest -> Racke.of_forest g forest
+          | exception (Codec.Corrupt _ | Invalid_argument _) ->
+              semantic_corrupt ();
+              rebuild ()))
+
+(* ---- hop-constrained distributions ---- *)
+
+let hop_constrained ?store ?(stretch = 2) ?(paths_per_pair = 8) ~max_hops
+    ~pairs g =
+  let routing = Hop_constrained.routing ~stretch ~paths_per_pair ~max_hops g in
+  match store with
+  | None -> routing
+  | Some st ->
+      let pairs = List.sort_uniq compare pairs in
+      let recipe =
+        Store.recipe ~kind:"hop-distributions"
+          [
+            ("graph", hex (Codec.graph_digest g));
+            ("stretch", string_of_int stretch);
+            ("paths_per_pair", string_of_int paths_per_pair);
+            ("max_hops", string_of_int max_hops);
+            ("pairs", hex (Codec.pairs_digest pairs));
+          ]
+      in
+      let warm payload =
+        match Codec.decode_distributions g payload with
+        | entries -> (
+            try
+              Oblivious.preload routing entries;
+              true
+            with Invalid_argument _ ->
+              semantic_corrupt ();
+              false)
+        | exception Codec.Corrupt _ ->
+            semantic_corrupt ();
+            false
+      in
+      let hit = match Store.find st recipe with
+        | Some payload -> warm payload
+        | None -> false
+      in
+      if not hit then begin
+        let entries =
+          List.map
+            (fun (s, t) -> ((s, t), Oblivious.distribution routing s t))
+            pairs
+        in
+        Store.put st recipe (Codec.encode_distributions entries)
+      end;
+      routing
+
+(* ---- α-samples ---- *)
+
+let alpha_sample ?store ~base_key rng r ~alpha ~pairs =
+  let g = Oblivious.graph r in
+  match store with
+  | None -> Sampler.alpha_sample rng r ~alpha
+  | Some st ->
+      let pairs = List.sort_uniq compare pairs in
+      let recipe =
+        Store.recipe ~kind:"alpha-sample"
+          [
+            ("graph", hex (Codec.graph_digest g));
+            ("base", base_key);
+            ("oblivious", Oblivious.name r);
+            ("alpha", string_of_int alpha);
+            ("rng", hex (Rng.fingerprint rng));
+            ("pairs", hex (Codec.pairs_digest pairs));
+          ]
+      in
+      let found = Store.find st recipe in
+      (* Construct the fallback in both paths: it consumes the same RNG
+         state either way (one split now, per-pair split_at children on
+         query), keeping caller-visible draws identical cold and warm. *)
+      let fallback = Sampler.alpha_sample rng r ~alpha in
+      let save () =
+        Path_system.materialize fallback pairs;
+        let entries =
+          List.map (fun (s, t) -> ((s, t), Path_system.paths fallback s t)) pairs
+        in
+        Store.put st recipe (Codec.encode_path_system entries);
+        fallback
+      in
+      (match found with
+      | None -> save ()
+      | Some payload -> (
+          match Codec.decode_path_system g payload with
+          | entries ->
+              let table = Hashtbl.create (List.length entries) in
+              List.iter (fun (pair, ps) -> Hashtbl.replace table pair ps) entries;
+              Path_system.of_generator (fun s t ->
+                  match Hashtbl.find_opt table (s, t) with
+                  | Some ps -> ps
+                  | None -> Path_system.paths fallback s t)
+          | exception Codec.Corrupt _ ->
+              semantic_corrupt ();
+              save ()))

@@ -1,0 +1,256 @@
+module Metrics = Sso_engine.Metrics
+
+exception Unreadable of string
+
+let unreadable fmt = Printf.ksprintf (fun msg -> raise (Unreadable msg)) fmt
+
+let c_hit = Metrics.counter "artifact.hit"
+let c_miss = Metrics.counter "artifact.miss"
+let c_corrupt = Metrics.counter "artifact.corrupt"
+let c_bytes_read = Metrics.counter "artifact.bytes_read"
+let c_bytes_written = Metrics.counter "artifact.bytes_written"
+
+(* ---- recipes ---- *)
+
+type recipe = { kind : string; params : (string * string) list }
+
+let recipe ~kind params = { kind; params }
+
+let key r =
+  let w = Codec.writer () in
+  Codec.write_string w r.kind;
+  Codec.write_varint w (List.length r.params);
+  List.iter
+    (fun (name, value) ->
+      Codec.write_string w name;
+      Codec.write_string w value)
+    r.params;
+  Codec.fnv1a64 (Codec.contents w)
+
+let describe r =
+  Printf.sprintf "%s(%s)" r.kind
+    (String.concat ", "
+       (List.map (fun (name, value) -> name ^ "=" ^ value) r.params))
+
+(* ---- entry file format ---- *)
+
+let magic = "SSOA"
+let store_version = 1
+
+let encode_entry ~kind ~description payload =
+  let w = Codec.writer () in
+  String.iter (fun c -> Codec.write_u8 w (Char.code c)) magic;
+  Codec.write_u8 w store_version;
+  Codec.write_string w kind;
+  Codec.write_string w description;
+  Codec.write_string w payload;
+  Codec.write_i64 w (Codec.fnv1a64 payload);
+  Codec.contents w
+
+(* @raise Codec.Corrupt on any damage. *)
+let decode_entry data =
+  let r = Codec.reader data in
+  String.iter
+    (fun c ->
+      if Codec.read_u8 r <> Char.code c then
+        raise (Codec.Corrupt "store: bad magic"))
+    magic;
+  let v = Codec.read_u8 r in
+  if v <> store_version then
+    raise (Codec.Corrupt (Printf.sprintf "store: unsupported version %d" v));
+  let kind = Codec.read_string r in
+  let description = Codec.read_string r in
+  let payload = Codec.read_string r in
+  let checksum = Codec.read_i64 r in
+  Codec.expect_end r;
+  if Codec.fnv1a64 payload <> checksum then
+    raise (Codec.Corrupt "store: checksum mismatch");
+  (kind, description, payload)
+
+(* ---- the store ---- *)
+
+type t = { dir : string }
+
+let default_dir () =
+  let non_empty = function Some d when d <> "" -> Some d | _ -> None in
+  match non_empty (Sys.getenv_opt "SSO_CACHE_DIR") with
+  | Some d -> d
+  | None -> (
+      match non_empty (Sys.getenv_opt "XDG_CACHE_HOME") with
+      | Some d -> Filename.concat d "sso"
+      | None -> (
+          match non_empty (Sys.getenv_opt "HOME") with
+          | Some h -> Filename.concat (Filename.concat h ".cache") "sso"
+          | None -> "_artifacts"))
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (err, _, _) ->
+        unreadable "cannot create %s: %s" path (Unix.error_message err)
+  end
+
+let open_ ?dir () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  mkdir_p dir;
+  if not (try Sys.is_directory dir with Sys_error _ -> false) then
+    unreadable "%s is not a directory" dir;
+  { dir }
+
+let dir t = t.dir
+
+let entry_file t r = Filename.concat t.dir (Codec.hex_of_key (key r) ^ ".art")
+let manifest_file t = Filename.concat t.dir "manifest.txt"
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let find t r =
+  let path = entry_file t r in
+  if not (Sys.file_exists path) then begin
+    Metrics.incr c_miss;
+    None
+  end
+  else
+    match decode_entry (read_file path) with
+    | exception Sys_error _ ->
+        Metrics.incr c_miss;
+        None
+    | exception Codec.Corrupt _ ->
+        Metrics.incr c_corrupt;
+        Metrics.incr c_miss;
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+    | kind, description, payload ->
+        if kind <> r.kind || description <> describe r then begin
+          (* Key collision between distinct recipes: not our object. *)
+          Metrics.incr c_miss;
+          None
+        end
+        else begin
+          Metrics.incr c_hit;
+          Metrics.incr ~by:(String.length payload) c_bytes_read;
+          Some payload
+        end
+
+let append_manifest t line =
+  try
+    Out_channel.with_open_gen
+      [ Open_append; Open_creat; Open_wronly ]
+      0o644 (manifest_file t)
+      (fun oc -> Out_channel.output_string oc (line ^ "\n"))
+  with Sys_error _ -> () (* the manifest is advisory *)
+
+let put t r payload =
+  let path = entry_file t r in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+  in
+  let data = encode_entry ~kind:r.kind ~description:(describe r) payload in
+  (try
+     Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data)
+   with Sys_error msg -> unreadable "cannot write %s: %s" tmp msg);
+  (try Sys.rename tmp path
+   with Sys_error msg ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     unreadable "cannot rename %s: %s" tmp msg);
+  Metrics.incr ~by:(String.length payload) c_bytes_written;
+  append_manifest t
+    (Printf.sprintf "%s %s %d %s"
+       (Codec.hex_of_key (key r))
+       r.kind (String.length payload) (describe r))
+
+(* ---- inspection and maintenance ---- *)
+
+type entry = {
+  entry_key : string;
+  entry_kind : string;
+  entry_description : string;
+  entry_bytes : int;
+}
+
+type listing = { entries : entry list; corrupt : string list }
+
+let is_entry_file name = Filename.check_suffix name ".art"
+
+(* [put] writes "<key>.art.tmp.<pid>". *)
+let is_tmp_file name =
+  let needle = ".tmp." in
+  let n = String.length name and k = String.length needle in
+  let rec go i = i + k <= n && (String.sub name i k = needle || go (i + 1)) in
+  go 0
+
+let list_dir t =
+  match Sys.readdir t.dir with
+  | files ->
+      Array.sort compare files;
+      Array.to_list files
+  | exception Sys_error msg -> unreadable "cannot list %s" msg
+
+let scan t =
+  let files = list_dir t in
+  List.fold_left
+    (fun acc name ->
+      if not (is_entry_file name) then acc
+      else
+        let path = Filename.concat t.dir name in
+        match decode_entry (read_file path) with
+        | exception (Sys_error _ | Codec.Corrupt _) ->
+            { acc with corrupt = acc.corrupt @ [ name ] }
+        | kind, description, payload ->
+            let e =
+              {
+                entry_key = Filename.chop_suffix name ".art";
+                entry_kind = kind;
+                entry_description = description;
+                entry_bytes = String.length payload;
+              }
+            in
+            { acc with entries = acc.entries @ [ e ] })
+    { entries = []; corrupt = [] }
+    files
+
+let rewrite_manifest t entries =
+  try
+    Out_channel.with_open_bin (manifest_file t) (fun oc ->
+        List.iter
+          (fun e ->
+            Printf.fprintf oc "%s %s %d %s\n" e.entry_key e.entry_kind
+              e.entry_bytes e.entry_description)
+          entries)
+  with Sys_error _ -> ()
+
+let gc t =
+  let files = list_dir t in
+  let stale =
+    List.filter (fun name -> is_tmp_file name) files
+  in
+  let listing = scan t in
+  let doomed = stale @ listing.corrupt in
+  let removed =
+    List.fold_left
+      (fun acc name ->
+        match Sys.remove (Filename.concat t.dir name) with
+        | () -> acc + 1
+        | exception Sys_error _ -> acc)
+      0 doomed
+  in
+  rewrite_manifest t listing.entries;
+  removed
+
+let clear t =
+  let files = list_dir t in
+  let removed =
+    List.fold_left
+      (fun acc name ->
+        if is_entry_file name || is_tmp_file name then
+          match Sys.remove (Filename.concat t.dir name) with
+          | () -> acc + (if is_entry_file name then 1 else 0)
+          | exception Sys_error _ -> acc
+        else acc)
+      0 files
+  in
+  (try Sys.remove (manifest_file t) with Sys_error _ -> ());
+  removed

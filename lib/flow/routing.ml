@@ -45,6 +45,26 @@ let make entries =
 
 let singleton_paths entries = make (List.map (fun (pair, p) -> (pair, [ (1.0, p) ])) entries)
 
+let of_normalized entries =
+  List.fold_left
+    (fun acc ((pair, dist) : (int * int) * (float * Path.t) list) ->
+      if Pair_map.mem pair acc then invalid_arg "Routing.of_normalized: duplicate pair";
+      let s, t = pair in
+      let total =
+        List.fold_left
+          (fun sum (w, (p : Path.t)) ->
+            if not (w > 0.0) then
+              invalid_arg "Routing.of_normalized: weights must be positive";
+            if p.Path.src <> s || p.Path.dst <> t then
+              invalid_arg "Routing.of_normalized: path endpoints do not match pair";
+            sum +. w)
+          0.0 dist
+      in
+      if Float.abs (total -. 1.0) > 1e-6 then
+        invalid_arg "Routing.of_normalized: weights must sum to 1";
+      Pair_map.add pair dist acc)
+    Pair_map.empty entries
+
 let distribution r s t =
   match Pair_map.find_opt (s, t) r with Some d -> d | None -> []
 

@@ -20,6 +20,14 @@ val make : ((int * int) * (float * Sso_graph.Path.t) list) list -> t
 val singleton_paths : ((int * int) * Sso_graph.Path.t) list -> t
 (** Deterministic routing: one path per pair. *)
 
+val of_normalized : ((int * int) * (float * Sso_graph.Path.t) list) list -> t
+(** Trusted constructor for distributions that are already normalized (as
+    returned by {!distribution}): weights are installed {e without}
+    re-normalization, so a decode–encode round trip through the artifact
+    codecs is bit-identical.  @raise Invalid_argument on duplicate pairs,
+    non-positive weights, endpoint mismatches, or per-pair sums farther
+    than [1e-6] from 1. *)
+
 val distribution : t -> int -> int -> (float * Sso_graph.Path.t) list
 (** The distribution for a pair; [[]] if the pair is absent. *)
 

@@ -17,7 +17,14 @@ let min_length = 1e-9
 
 let build rng g ~length =
   let n = Graph.n g in
-  let clamped e = Float.max min_length (length e) in
+  (* Snapshot the clamped metric: callers (the Räcke MWU loop) pass
+     closures over mutable penalty state, and the tree must keep routing
+     under the lengths it was built with — also what lets a tree
+     round-trip through [to_parts]/[of_parts] bit-identically. *)
+  let snapshot =
+    Array.init (Graph.m g) (fun e -> Float.max min_length (length e))
+  in
+  let clamped e = snapshot.(e) in
   (* All-pairs distances under the clamped metric. *)
   let dist = Array.init n (fun v -> fst (Shortest.dijkstra g ~weight:clamped v)) in
   let delta_min = ref infinity and delta_max = ref 0.0 in
@@ -95,6 +102,53 @@ let build rng g ~length =
     sp_pred = Hashtbl.create 64;
     sp_lock = Mutex.create ();
     length = clamped;
+  }
+
+type parts = {
+  p_levels : int;
+  p_chain : int array array;
+  p_cluster_id : int array array;
+  p_lengths : float array;
+}
+
+let to_parts t =
+  {
+    p_levels = t.levels;
+    p_chain = Array.map Array.copy t.chain;
+    p_cluster_id = Array.map Array.copy t.cluster_id;
+    p_lengths = Array.init (Graph.m t.graph) t.length;
+  }
+
+let of_parts g p =
+  let n = Graph.n g and m = Graph.m g in
+  if p.p_levels < 1 then invalid_arg "Frt.of_parts: levels must be >= 1";
+  if Array.length p.p_lengths <> m then invalid_arg "Frt.of_parts: lengths size mismatch";
+  Array.iter
+    (fun l ->
+      if not (l >= min_length) then invalid_arg "Frt.of_parts: length below clamp")
+    p.p_lengths;
+  let check_table name tbl =
+    if Array.length tbl <> n then invalid_arg ("Frt.of_parts: " ^ name ^ " size mismatch");
+    Array.iter
+      (fun row ->
+        if Array.length row <> p.p_levels + 1 then
+          invalid_arg ("Frt.of_parts: " ^ name ^ " row size mismatch"))
+      tbl
+  in
+  check_table "chain" p.p_chain;
+  check_table "cluster_id" p.p_cluster_id;
+  Array.iter
+    (fun row -> Array.iter (fun c -> if c < 0 || c >= n then invalid_arg "Frt.of_parts: center out of range") row)
+    p.p_chain;
+  let lengths = Array.copy p.p_lengths in
+  {
+    graph = g;
+    levels = p.p_levels;
+    chain = Array.map Array.copy p.p_chain;
+    cluster_id = Array.map Array.copy p.p_cluster_id;
+    sp_pred = Hashtbl.create 64;
+    sp_lock = Mutex.create ();
+    length = (fun e -> lengths.(e));
   }
 
 let levels t = t.levels

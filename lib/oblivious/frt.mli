@@ -16,6 +16,24 @@ val build : Sso_prng.Rng.t -> Sso_graph.Graph.t -> length:(int -> float) -> t
     per-edge [length] function (values are clamped below by a tiny positive
     constant, so zero lengths are safe).  Runs [n] Dijkstras. *)
 
+type parts = {
+  p_levels : int;
+  p_chain : int array array;  (** [n × (levels+1)] cluster centers *)
+  p_cluster_id : int array array;  (** [n × (levels+1)] cluster identifiers *)
+  p_lengths : float array;  (** clamped per-edge lengths, indexed by edge id *)
+}
+(** The serializable state of a decomposition.  Shortest-path trees are
+    {e not} part of it: they are a deterministic function of [p_lengths]
+    (Dijkstra), so a tree rebuilt by {!of_parts} routes every pair exactly
+    as the original did. *)
+
+val to_parts : t -> parts
+(** Extract the serializable state (arrays are copies). *)
+
+val of_parts : Sso_graph.Graph.t -> parts -> t
+(** Reconstruct a tree over [g].  @raise Invalid_argument if the dimensions
+    or values do not fit [g]. *)
+
 val levels : t -> int
 (** Height of the decomposition (Θ(log (diameter/min-distance))). *)
 

@@ -49,6 +49,22 @@ let distribution r s t =
       Hashtbl.replace r.cache (s, t) dist;
       dist
 
+let preload r entries =
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) @@ fun () ->
+  List.iter
+    (fun ((s, t), dist) ->
+      if s = t then invalid_arg "Oblivious.preload: s = t";
+      if dist = [] then invalid_arg "Oblivious.preload: empty distribution";
+      List.iter
+        (fun ((w, p) : float * Path.t) ->
+          if not (w > 0.0) then invalid_arg "Oblivious.preload: non-positive weight";
+          if p.Path.src <> s || p.Path.dst <> t then
+            invalid_arg "Oblivious.preload: path endpoints do not match pair")
+        dist;
+      Hashtbl.replace r.cache (s, t) dist)
+    entries
+
 let sample rng r s t =
   let dist = distribution r s t in
   let weights = Array.of_list (List.map fst dist) in

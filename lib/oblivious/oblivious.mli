@@ -28,6 +28,15 @@ val graph : t -> Sso_graph.Graph.t
 val distribution : t -> int -> int -> (float * Sso_graph.Path.t) list
 (** Memoized, normalized distribution for a pair ([s <> t]). *)
 
+val preload : t -> ((int * int) * (float * Sso_graph.Path.t) list) list -> unit
+(** Install already-normalized distributions (as previously returned by
+    {!distribution}) into the memo cache, bypassing re-normalization so the
+    installed weights are bit-identical to the originals.  This is how the
+    artifact store warm-starts a routing: cached pairs answer from the
+    preloaded table, uncached pairs fall through to the generator.
+    @raise Invalid_argument on empty lists, non-positive weights, or
+    endpoint mismatches. *)
+
 val sample : Sso_prng.Rng.t -> t -> int -> int -> Sso_graph.Path.t
 (** Draw one path from [R(s,t)] — the sampling primitive behind
     α-samples. *)

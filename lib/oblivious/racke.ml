@@ -21,7 +21,7 @@ let default_trees g =
   let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) ((v + 1) / 2) in
   (2 * log2 0 n) + 4
 
-let routing ?pool rng ?trees ?(batch = 4) g =
+let forest ?pool rng ?trees ?(batch = 4) g =
   let count = match trees with Some c -> c | None -> default_trees g in
   if count <= 0 then invalid_arg "Racke.routing: need at least one tree";
   if batch <= 0 then invalid_arg "Racke.routing: batch must be positive";
@@ -58,7 +58,13 @@ let routing ?pool rng ?trees ?(batch = 4) g =
           round;
         built := !built + b
       done);
-  let forest = List.rev !forest_rev in
+  List.rev !forest_rev
+
+let of_forest g forest =
+  let count = List.length forest in
+  if count = 0 then invalid_arg "Racke.of_forest: empty forest";
   let weight = 1.0 /. float_of_int count in
   let generate s t = List.map (fun tree -> (weight, Frt.route tree s t)) forest in
   Oblivious.make ~name:"racke" g generate
+
+let routing ?pool rng ?trees ?batch g = of_forest g (forest ?pool rng ?trees ?batch g)

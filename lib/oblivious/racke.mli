@@ -26,6 +26,20 @@ val routing :
     bit-identical for any job count because the round structure depends
     only on [batch]. *)
 
+val default_trees : Sso_graph.Graph.t -> int
+(** The default tree count, [2·⌈log₂ n⌉ + 4]. *)
+
+val forest :
+  ?pool:Sso_engine.Pool.t ->
+  Sso_prng.Rng.t -> ?trees:int -> ?batch:int -> Sso_graph.Graph.t -> Frt.t list
+(** The MWU-sampled tree mixture behind {!routing}, exposed so the artifact
+    store can persist it ({!Frt.to_parts}) and rebuild the routing without
+    re-running the construction. *)
+
+val of_forest : Sso_graph.Graph.t -> Frt.t list -> Oblivious.t
+(** The uniform mixture over an already-built forest.
+    [routing rng g = of_forest g (forest rng g)]. *)
+
 val tree_loads : Sso_graph.Graph.t -> Frt.t -> float array
 (** Relative load per edge when each graph edge routes its capacity along
     the tree path between its endpoints — the penalty signal of the MWU

@@ -62,6 +62,18 @@ let split_at t i =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let fingerprint t =
+  (* FNV-1a fold of the four state words; reads without advancing, so the
+     fingerprint identifies the stream a consumer is about to draw from. *)
+  let open Int64 in
+  let h = ref 0xCBF29CE484222325L in
+  let fold x = h := mul (logxor !h x) 0x100000001B3L in
+  fold t.s0;
+  fold t.s1;
+  fold t.s2;
+  fold t.s3;
+  !h
+
 let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
 
 let bits62 t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)

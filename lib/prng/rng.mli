@@ -30,6 +30,12 @@ val split_at : t -> int -> t
 val copy : t -> t
 (** [copy t] duplicates the current state (same future draws as [t]). *)
 
+val fingerprint : t -> int64
+(** A digest of the current state {e without advancing} it.  Two generators
+    with equal fingerprints produce identical future draws, so the
+    fingerprint canonically names the randomness a construction is about to
+    consume — the artifact store keys cached randomized objects by it. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,0 +1,567 @@
+(* Tests for Sso_artifact: codec primitives and round-trips, the
+   content-addressed store (atomic writes, checksums, corruption as a
+   miss), and the memoizing wrappers' bit-identical warm starts. *)
+
+module Rng = Sso_prng.Rng
+module Pool = Sso_engine.Pool
+module Metrics = Sso_engine.Metrics
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Gen = Sso_graph.Gen
+module Shortest = Sso_graph.Shortest
+module Demand = Sso_demand.Demand
+module Routing = Sso_flow.Routing
+module Oblivious = Sso_oblivious.Oblivious
+module Ksp = Sso_oblivious.Ksp
+module Frt = Sso_oblivious.Frt
+module Racke = Sso_oblivious.Racke
+module Sampler = Sso_core.Sampler
+module Path_system = Sso_core.Path_system
+module Semi_oblivious = Sso_core.Semi_oblivious
+module Codec = Sso_artifact.Codec
+module Store = Sso_artifact.Store
+module Memo = Sso_artifact.Memo
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let tmp_counter = ref 0
+
+let with_store f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sso-artifact-test-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  let st = Store.open_ ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Store.clear st) with _ -> ());
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f st)
+
+let cval name = Metrics.counter_value (Metrics.counter ("artifact." ^ name))
+
+let raises_corrupt f =
+  match f () with
+  | _ -> false
+  | exception Codec.Corrupt _ -> true
+
+let bits = Int64.bits_of_float
+
+let path_equal (a : Path.t) (b : Path.t) =
+  a.Path.src = b.Path.src && a.Path.dst = b.Path.dst
+  && a.Path.edges = b.Path.edges
+
+let dist_equal da db =
+  List.length da = List.length db
+  && List.for_all2
+       (fun (wa, pa) (wb, pb) -> bits wa = bits wb && path_equal pa pb)
+       da db
+
+(* ---- codec primitives ---- *)
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun v ->
+      let w = Codec.writer () in
+      Codec.write_varint w v;
+      let r = Codec.reader (Codec.contents w) in
+      Alcotest.(check int) (Printf.sprintf "varint %d" v) v (Codec.read_varint r);
+      Codec.expect_end r)
+    [ 0; 1; 127; 128; 255; 300; 16384; 1 lsl 40; max_int ]
+
+let test_varint_rejects_negative () =
+  let w = Codec.writer () in
+  Alcotest.(check bool) "negative raises" true
+    (try
+       Codec.write_varint w (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_varint_truncated_and_overflow () =
+  Alcotest.(check bool) "truncated" true
+    (raises_corrupt (fun () -> Codec.read_varint (Codec.reader "\x80")));
+  Alcotest.(check bool) "overflow" true
+    (raises_corrupt (fun () ->
+         Codec.read_varint (Codec.reader (String.make 10 '\x80'))))
+
+let test_fixed_width_roundtrip () =
+  let w = Codec.writer () in
+  Codec.write_i64 w 0x0123456789ABCDEFL;
+  Codec.write_f64 w (-0.0);
+  Codec.write_f64 w Float.nan;
+  Codec.write_f64 w 1.0000000000000002;
+  Codec.write_string w "artifact\x00binary";
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check int64) "i64" 0x0123456789ABCDEFL (Codec.read_i64 r);
+  Alcotest.(check int64) "-0.0 bits" (bits (-0.0)) (bits (Codec.read_f64 r));
+  Alcotest.(check int64) "nan bits" (bits Float.nan) (bits (Codec.read_f64 r));
+  Alcotest.(check int64) "ulp bits" (bits 1.0000000000000002)
+    (bits (Codec.read_f64 r));
+  Alcotest.(check string) "string" "artifact\x00binary" (Codec.read_string r);
+  Codec.expect_end r
+
+let test_expect_end_trailing () =
+  let r = Codec.reader "xy" in
+  ignore (Codec.read_u8 r);
+  Alcotest.(check bool) "trailing byte" true
+    (raises_corrupt (fun () -> Codec.expect_end r))
+
+let test_fnv_vectors () =
+  (* Published FNV-1a 64-bit test vectors. *)
+  Alcotest.(check int64) "empty" 0xCBF29CE484222325L (Codec.fnv1a64 "");
+  Alcotest.(check int64) "a" 0xAF63DC4C8601EC8CL (Codec.fnv1a64 "a");
+  Alcotest.(check string) "hex" "cbf29ce484222325"
+    (Codec.hex_of_key (Codec.fnv1a64 ""))
+
+(* ---- object codecs ---- *)
+
+let graphs_equal g g' =
+  Graph.n g = Graph.n g'
+  && Graph.m g = Graph.m g'
+  && List.for_all
+       (fun e ->
+         Graph.endpoints g e = Graph.endpoints g' e
+         && bits (Graph.cap g e) = bits (Graph.cap g' e))
+       (List.init (Graph.m g) Fun.id)
+
+let prop_graph_roundtrip =
+  QCheck.Test.make ~name:"graph codec round-trips (ids, endpoints, caps)"
+    ~count:50
+    QCheck.(pair small_int (int_range 4 25))
+    (fun (seed, n) ->
+      let g = Gen.erdos_renyi (Rng.create seed) n 0.3 in
+      let encoded = Codec.encode_graph g in
+      let g' = Codec.decode_graph encoded in
+      graphs_equal g g' && Codec.encode_graph g' = encoded)
+
+let prop_demand_roundtrip =
+  QCheck.Test.make ~name:"demand codec round-trips (support, amounts)"
+    ~count:50 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let d = Demand.random_pairs rng ~n:20 ~pairs:8 in
+      let d' = Codec.decode_demand (Codec.encode_demand d) in
+      Demand.support d = Demand.support d'
+      && List.for_all
+           (fun (s, t) -> bits (Demand.get d s t) = bits (Demand.get d' s t))
+           (Demand.support d))
+
+let prop_path_roundtrip =
+  QCheck.Test.make ~name:"path codec round-trips exact edge sequences"
+    ~count:50
+    QCheck.(pair small_int (int_range 4 20))
+    (fun (seed, n) ->
+      let g = Gen.erdos_renyi (Rng.create seed) n 0.35 in
+      match Shortest.bfs_path g 0 (n - 1) with
+      | None -> QCheck.assume_fail ()
+      | Some p ->
+          path_equal p (Codec.decode_path g (Codec.encode_path p)))
+
+let prop_path_system_roundtrip =
+  QCheck.Test.make ~name:"path-system codec round-trips candidate sets"
+    ~count:25 QCheck.small_int
+    (fun seed ->
+      let g = Gen.grid 4 4 in
+      let base = Ksp.routing ~k:4 g in
+      let system = Sampler.alpha_sample (Rng.create seed) base ~alpha:3 in
+      let pairs = [ (0, 15); (3, 12); (5, 10) ] in
+      Path_system.materialize system pairs;
+      let entries =
+        List.map (fun (s, t) -> ((s, t), Path_system.paths system s t)) pairs
+      in
+      let entries' =
+        Codec.decode_path_system g (Codec.encode_path_system entries)
+      in
+      List.for_all2
+        (fun (pair, ps) (pair', ps') ->
+          pair = pair'
+          && List.length ps = List.length ps'
+          && List.for_all2 path_equal ps ps')
+        entries entries')
+
+let prop_distributions_roundtrip =
+  QCheck.Test.make
+    ~name:"distribution codec round-trips weights bit-exactly" ~count:25
+    QCheck.small_int
+    (fun seed ->
+      let g = Gen.erdos_renyi (Rng.create seed) 12 0.4 in
+      let base = Ksp.routing ~k:3 g in
+      let pairs = [ (0, 11); (1, 10) ] in
+      let entries =
+        List.map
+          (fun (s, t) -> ((s, t), Oblivious.distribution base s t))
+          pairs
+      in
+      let entries' =
+        Codec.decode_distributions g (Codec.encode_distributions entries)
+      in
+      List.for_all2
+        (fun (pair, dist) (pair', dist') -> pair = pair' && dist_equal dist dist')
+        entries entries')
+
+let test_routing_roundtrip () =
+  let g = Gen.grid 4 4 in
+  let base = Ksp.routing ~k:4 g in
+  let pairs = [ (0, 15); (2, 13) ] in
+  let routing = Oblivious.to_routing base pairs in
+  let routing' = Codec.decode_routing g (Codec.encode_routing routing) in
+  List.iter
+    (fun (s, t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "distribution %d->%d bit-identical" s t)
+        true
+        (dist_equal (Routing.distribution routing s t)
+           (Routing.distribution routing' s t)))
+    pairs
+
+let test_forest_roundtrip () =
+  let g = Gen.grid 4 4 in
+  let forest = Racke.forest (Rng.create 3) ~trees:4 g in
+  let parts = List.map Frt.to_parts forest in
+  let parts' = Codec.decode_forest (Codec.encode_forest parts) in
+  Alcotest.(check bool) "parts survive the round trip" true (parts = parts');
+  let rebuilt = List.map (Frt.of_parts g) parts' in
+  let pairs = [ (0, 15); (3, 12); (7, 8); (1, 14) ] in
+  List.iter2
+    (fun a b ->
+      List.iter
+        (fun (s, t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "route %d->%d identical" s t)
+            true
+            (path_equal (Frt.route a s t) (Frt.route b s t)))
+        pairs)
+    forest rebuilt
+
+let test_codec_rejects_damage () =
+  let g = Gen.grid 3 3 in
+  let encoded = Codec.encode_graph g in
+  let flip i s =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+    Bytes.to_string b
+  in
+  Alcotest.(check bool) "empty input" true
+    (raises_corrupt (fun () -> Codec.decode_graph ""));
+  Alcotest.(check bool) "wrong tag" true
+    (raises_corrupt (fun () -> Codec.decode_graph (flip 0 encoded)));
+  Alcotest.(check bool) "wrong version" true
+    (raises_corrupt (fun () -> Codec.decode_graph (flip 1 encoded)));
+  Alcotest.(check bool) "truncated" true
+    (raises_corrupt (fun () ->
+         Codec.decode_graph (String.sub encoded 0 (String.length encoded - 3))));
+  Alcotest.(check bool) "trailing bytes" true
+    (raises_corrupt (fun () -> Codec.decode_graph (encoded ^ "x")));
+  Alcotest.(check bool) "demand tag refused by graph codec" true
+    (raises_corrupt (fun () ->
+         Codec.decode_graph (Codec.encode_demand (Demand.all_to_all 3))))
+
+let test_pairs_digest_canonical () =
+  let a = Codec.pairs_digest [ (1, 2); (0, 3); (1, 2) ] in
+  let b = Codec.pairs_digest [ (0, 3); (1, 2) ] in
+  let c = Codec.pairs_digest [ (0, 3) ] in
+  Alcotest.(check int64) "order and duplicates do not matter" a b;
+  Alcotest.(check bool) "different sets differ" true (a <> c)
+
+(* ---- store ---- *)
+
+let test_store_put_find () =
+  with_store @@ fun st ->
+  let recipe = Store.recipe ~kind:"test" [ ("x", "1"); ("y", "abc") ] in
+  let h0 = cval "hit" and m0 = cval "miss" and w0 = cval "bytes_written" in
+  Alcotest.(check (option string)) "miss before put" None (Store.find st recipe);
+  Store.put st recipe "payload-bytes";
+  Alcotest.(check (option string)) "hit after put" (Some "payload-bytes")
+    (Store.find st recipe);
+  Alcotest.(check int) "one hit" (h0 + 1) (cval "hit");
+  Alcotest.(check int) "one miss" (m0 + 1) (cval "miss");
+  Alcotest.(check int) "bytes written" (w0 + String.length "payload-bytes")
+    (cval "bytes_written");
+  let is_tmp name =
+    let pat = ".tmp." in
+    let n = String.length name and k = String.length pat in
+    let rec go i = i + k <= n && (String.sub name i k = pat || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no temp files left" true
+    (Array.for_all (fun name -> not (is_tmp name)) (Sys.readdir (Store.dir st)));
+  let listing = Store.scan st in
+  Alcotest.(check int) "one entry" 1 (List.length listing.Store.entries);
+  Alcotest.(check (list string)) "no corruption" [] listing.Store.corrupt;
+  let e = List.hd listing.Store.entries in
+  Alcotest.(check string) "kind recorded" "test" e.Store.entry_kind;
+  Alcotest.(check string) "described" "test(x=1, y=abc)"
+    e.Store.entry_description
+
+let test_store_recipe_keys () =
+  let k a = Store.key (Store.recipe ~kind:"k" a) in
+  Alcotest.(check bool) "param value changes the key" true
+    (k [ ("x", "1") ] <> k [ ("x", "2") ]);
+  Alcotest.(check bool) "param name changes the key" true
+    (k [ ("x", "1") ] <> k [ ("y", "1") ]);
+  Alcotest.(check bool) "splitting differs from joining" true
+    (k [ ("x", "ab"); ("y", "c") ] <> k [ ("x", "a"); ("y", "bc") ]);
+  Alcotest.(check int64) "same recipe, same key" (k [ ("x", "1") ])
+    (k [ ("x", "1") ])
+
+let entry_path st recipe =
+  Filename.concat (Store.dir st)
+    (Codec.hex_of_key (Store.key recipe) ^ ".art")
+
+let test_store_truncated_payload_is_miss () =
+  with_store @@ fun st ->
+  let recipe = Store.recipe ~kind:"trunc" [ ("n", "1") ] in
+  Store.put st recipe (String.make 200 'z');
+  let path = entry_path st recipe in
+  (* Deliberately truncate the payload mid-file: the checksum (and usually
+     the length header) no longer match. *)
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub data 0 (String.length data - 40)));
+  let c0 = cval "corrupt" in
+  Alcotest.(check (option string)) "truncated entry is a miss" None
+    (Store.find st recipe);
+  Alcotest.(check int) "corruption counted" (c0 + 1) (cval "corrupt");
+  Alcotest.(check bool) "stale file removed" true (not (Sys.file_exists path));
+  Alcotest.(check (option string)) "still a miss, not an error" None
+    (Store.find st recipe)
+
+let test_store_flipped_byte_is_miss () =
+  with_store @@ fun st ->
+  let recipe = Store.recipe ~kind:"flip" [] in
+  Store.put st recipe "sensitive-payload";
+  let path = entry_path st recipe in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string data in
+  let i = String.length data - 12 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc b);
+  Alcotest.(check (option string)) "checksum mismatch is a miss" None
+    (Store.find st recipe)
+
+let test_store_scan_gc_clear () =
+  with_store @@ fun st ->
+  Store.put st (Store.recipe ~kind:"a" []) "one";
+  Store.put st (Store.recipe ~kind:"b" []) "two";
+  (* Plant garbage: an undecodable entry and a leftover temp file. *)
+  Out_channel.with_open_bin
+    (Filename.concat (Store.dir st) "deadbeefdeadbeef.art")
+    (fun oc -> Out_channel.output_string oc "not an artifact");
+  Out_channel.with_open_bin
+    (Filename.concat (Store.dir st) "0000000000000000.art.tmp.1")
+    (fun oc -> Out_channel.output_string oc "half-written");
+  let listing = Store.scan st in
+  Alcotest.(check int) "two live entries" 2 (List.length listing.Store.entries);
+  Alcotest.(check (list string)) "garbage flagged" [ "deadbeefdeadbeef.art" ]
+    listing.Store.corrupt;
+  Alcotest.(check int) "gc removes corrupt + temp" 2 (Store.gc st);
+  let listing = Store.scan st in
+  Alcotest.(check int) "entries survive gc" 2 (List.length listing.Store.entries);
+  Alcotest.(check (list string)) "clean after gc" [] listing.Store.corrupt;
+  Alcotest.(check int) "clear removes everything" 2 (Store.clear st);
+  Alcotest.(check int) "empty after clear" 0
+    (List.length (Store.scan st).Store.entries)
+
+let test_store_unreadable_dir () =
+  let file = Filename.temp_file "sso-artifact" ".notadir" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with _ -> ())
+    (fun () ->
+      Alcotest.(check bool) "regular file is not a store" true
+        (match Store.open_ ~dir:file () with
+        | _ -> false
+        | exception Store.Unreadable _ -> true))
+
+let test_default_dir_env_override () =
+  let saved = Sys.getenv_opt "SSO_CACHE_DIR" in
+  Unix.putenv "SSO_CACHE_DIR" "/tmp/sso-cache-override";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "SSO_CACHE_DIR" (Option.value saved ~default:""))
+    (fun () ->
+      Alcotest.(check string) "SSO_CACHE_DIR wins" "/tmp/sso-cache-override"
+        (Store.default_dir ()))
+
+(* ---- memoizing wrappers ---- *)
+
+let test_memo_racke_warm_identical () =
+  with_store @@ fun st ->
+  let g = Gen.grid 4 4 in
+  let pairs = [ (0, 15); (2, 13); (5, 10); (6, 9) ] in
+  let cold = Memo.racke ~store:st (Rng.create 5) ~trees:4 g in
+  let h0 = cval "hit" in
+  let warm_rng = Rng.create 5 in
+  let warm = Memo.racke ~store:st warm_rng ~trees:4 g in
+  Alcotest.(check int) "forest hit" (h0 + 1) (cval "hit");
+  Alcotest.(check int64) "rng untouched on hit"
+    (Rng.fingerprint (Rng.create 5))
+    (Rng.fingerprint warm_rng);
+  List.iter
+    (fun (s, t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "distribution %d->%d bit-identical" s t)
+        true
+        (dist_equal (Oblivious.distribution cold s t)
+           (Oblivious.distribution warm s t)))
+    pairs
+
+let test_memo_racke_key_sensitivity () =
+  with_store @@ fun st ->
+  let g = Gen.grid 4 4 in
+  let m0 = cval "miss" in
+  ignore (Memo.racke ~store:st (Rng.create 5) ~trees:4 g);
+  ignore (Memo.racke ~store:st (Rng.create 6) ~trees:4 g);
+  ignore (Memo.racke ~store:st (Rng.create 5) ~trees:5 g);
+  Alcotest.(check int) "seed and tree count each miss" (m0 + 3) (cval "miss")
+
+let test_memo_hop_constrained_warm () =
+  with_store @@ fun st ->
+  let g = Gen.grid 4 4 in
+  let pairs = [ (0, 15); (3, 12) ] in
+  let cold = Memo.hop_constrained ~store:st ~max_hops:6 ~pairs g in
+  let h0 = cval "hit" in
+  let warm = Memo.hop_constrained ~store:st ~max_hops:6 ~pairs g in
+  Alcotest.(check int) "distributions hit" (h0 + 1) (cval "hit");
+  List.iter
+    (fun (s, t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "distribution %d->%d bit-identical" s t)
+        true
+        (dist_equal (Oblivious.distribution cold s t)
+           (Oblivious.distribution warm s t)))
+    pairs
+
+let test_memo_alpha_sample_warm () =
+  with_store @@ fun st ->
+  let g = Gen.grid 4 4 in
+  let base = Ksp.routing ~k:4 g in
+  let pairs = [ (0, 15); (1, 14) ] in
+  let cold =
+    Memo.alpha_sample ~store:st ~base_key:"ksp4" (Rng.create 7) base ~alpha:3
+      ~pairs
+  in
+  let h0 = cval "hit" in
+  let warm =
+    Memo.alpha_sample ~store:st ~base_key:"ksp4" (Rng.create 7) base ~alpha:3
+      ~pairs
+  in
+  Alcotest.(check int) "sample hit" (h0 + 1) (cval "hit");
+  let check_pair (s, t) =
+    let ps = Path_system.paths cold s t and ps' = Path_system.paths warm s t in
+    Alcotest.(check int) (Printf.sprintf "count %d->%d" s t)
+      (List.length ps) (List.length ps');
+    List.iter2
+      (fun a b ->
+        Alcotest.(check bool) (Printf.sprintf "path %d->%d" s t) true
+          (path_equal a b))
+      ps ps'
+  in
+  List.iter check_pair pairs;
+  (* A pair outside the cached set falls through to the always-constructed
+     fallback sampler, whose split_at-keyed draws match the cold run. *)
+  check_pair (2, 13)
+
+let test_memo_corrupt_payload_rebuilds () =
+  with_store @@ fun st ->
+  let g = Gen.grid 4 4 in
+  let cold = Memo.racke ~store:st (Rng.create 5) ~trees:4 g in
+  (* Damage the cached forest; the wrapper must rebuild, never crash or
+     deserialize garbage. *)
+  let recipe = Memo.racke_recipe ~trees:4 ~rng:(Rng.create 5) g in
+  let path = entry_path st recipe in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub data 0 (String.length data / 2)));
+  let warm = Memo.racke ~store:st (Rng.create 5) ~trees:4 g in
+  Alcotest.(check bool) "rebuilt result identical" true
+    (dist_equal
+       (Oblivious.distribution cold 0 15)
+       (Oblivious.distribution warm 0 15));
+  Alcotest.(check bool) "cache repopulated after rebuild" true
+    (Store.find st recipe <> None)
+
+(* ---- end-to-end determinism: cold vs warm, jobs 1 vs 4 ---- *)
+
+let test_e2e_cold_warm_jobs () =
+  with_store @@ fun st ->
+  let g, _ = Gen.abilene () in
+  let d = Demand.gravity (Rng.create 2) ~n:(Graph.n g) ~total:30.0 in
+  let run jobs =
+    with_pool jobs @@ fun pool ->
+    let rng = Rng.create 5 in
+    let racke_rng = Rng.split rng in
+    let base_key =
+      Codec.hex_of_key (Store.key (Memo.racke_recipe ~rng:racke_rng g))
+    in
+    let racke = Memo.racke ~store:st ~pool racke_rng g in
+    let system =
+      Memo.alpha_sample ~store:st ~base_key (Rng.split rng) racke ~alpha:4
+        ~pairs:(Demand.support d)
+    in
+    Semi_oblivious.congestion ~solver:(Semi_oblivious.Mwu 60) g system d
+  in
+  let cold = run 1 in
+  let h0 = cval "hit" in
+  let warm1 = run 1 in
+  let warm4 = run 4 in
+  Alcotest.(check bool) "warm runs hit the cache" true (cval "hit" >= h0 + 2);
+  Alcotest.(check int64) "cold = warm at jobs 1" (bits cold) (bits warm1);
+  Alcotest.(check int64) "cold = warm at jobs 4" (bits cold) (bits warm4)
+
+let () =
+  Alcotest.run "artifact"
+    [
+      ( "codec-primitives",
+        [
+          Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
+          Alcotest.test_case "varint negative" `Quick test_varint_rejects_negative;
+          Alcotest.test_case "varint damage" `Quick
+            test_varint_truncated_and_overflow;
+          Alcotest.test_case "i64/f64/string" `Quick test_fixed_width_roundtrip;
+          Alcotest.test_case "expect_end" `Quick test_expect_end_trailing;
+          Alcotest.test_case "fnv1a64 vectors" `Quick test_fnv_vectors;
+        ] );
+      ( "codec-objects",
+        [
+          QCheck_alcotest.to_alcotest prop_graph_roundtrip;
+          QCheck_alcotest.to_alcotest prop_demand_roundtrip;
+          QCheck_alcotest.to_alcotest prop_path_roundtrip;
+          QCheck_alcotest.to_alcotest prop_path_system_roundtrip;
+          QCheck_alcotest.to_alcotest prop_distributions_roundtrip;
+          Alcotest.test_case "routing roundtrip" `Quick test_routing_roundtrip;
+          Alcotest.test_case "forest roundtrip" `Quick test_forest_roundtrip;
+          Alcotest.test_case "damage detection" `Quick test_codec_rejects_damage;
+          Alcotest.test_case "pairs digest" `Quick test_pairs_digest_canonical;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "put/find" `Quick test_store_put_find;
+          Alcotest.test_case "recipe keys" `Quick test_store_recipe_keys;
+          Alcotest.test_case "truncated payload" `Quick
+            test_store_truncated_payload_is_miss;
+          Alcotest.test_case "flipped byte" `Quick test_store_flipped_byte_is_miss;
+          Alcotest.test_case "scan/gc/clear" `Quick test_store_scan_gc_clear;
+          Alcotest.test_case "unreadable dir" `Quick test_store_unreadable_dir;
+          Alcotest.test_case "SSO_CACHE_DIR" `Quick test_default_dir_env_override;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "racke warm identical" `Quick
+            test_memo_racke_warm_identical;
+          Alcotest.test_case "racke key sensitivity" `Quick
+            test_memo_racke_key_sensitivity;
+          Alcotest.test_case "hop-constrained warm" `Quick
+            test_memo_hop_constrained_warm;
+          Alcotest.test_case "alpha-sample warm" `Quick
+            test_memo_alpha_sample_warm;
+          Alcotest.test_case "corrupt payload rebuilds" `Quick
+            test_memo_corrupt_payload_rebuilds;
+          Alcotest.test_case "e2e cold/warm jobs 1 and 4" `Slow
+            test_e2e_cold_warm_jobs;
+        ] );
+    ]

@@ -747,13 +747,32 @@ let test_gio_comments () =
   Alcotest.(check int) "m" 1 (Graph.m g)
 
 let prop_gio_roundtrip =
-  QCheck.Test.make ~name:"Gio round-trips random graphs" ~count:50
+  QCheck.Test.make
+    ~name:"Gio round-trips random graphs (edges, caps, adjacency)" ~count:50
     QCheck.(pair small_int (int_range 5 30))
     (fun (seed, n) ->
       let rng = Rng.create seed in
       let g = Gen.erdos_renyi rng n 0.3 in
       let g' = Gio.of_string (Gio.to_string g) in
-      Graph.n g = Graph.n g' && Graph.m g = Graph.m g')
+      (* The edge multiset (with per-edge ids, endpoints, and capacities)
+         pins down multiplicities and the full adjacency structure. *)
+      let per_edge =
+        List.for_all
+          (fun e ->
+            Graph.endpoints g e = Graph.endpoints g' e
+            && Graph.cap g e = Graph.cap g' e)
+          (List.init (Graph.m g) Fun.id)
+      in
+      let adjacency =
+        List.for_all
+          (fun v ->
+            let sorted h =
+              List.sort compare (Array.to_list (Graph.adj h v))
+            in
+            sorted g = sorted g')
+          (List.init (Graph.n g) Fun.id)
+      in
+      Graph.n g = Graph.n g' && Graph.m g = Graph.m g' && per_edge && adjacency)
 
 let prop_bfs_triangle_inequality =
   QCheck.Test.make ~name:"bfs distances satisfy the triangle inequality" ~count:50
