@@ -15,7 +15,8 @@
      dune exec bench/main.exe -- --cache      # memoize constructions on disk
      dune exec bench/main.exe -- --cache-dir D # cache in D (implies --cache)
      dune exec bench/main.exe -- --no-cache   # force the cache off
-     dune exec bench/main.exe -- --json F     # write wall times / scalars to F *)
+     dune exec bench/main.exe -- --json F     # write wall times / scalars to F
+     dune exec bench/main.exe -- --kernels    # shortest-path/MWU kernel micro-benches *)
 
 module Rng = Sso_prng.Rng
 module Graph = Sso_graph.Graph
@@ -908,6 +909,66 @@ let e20 () =
   Printf.printf "quadratically-logarithmic as Lemma 2.8 charges.\n"
 
 (* ------------------------------------------------------------------ *)
+(* --kernels: wall-clock micro-benchmarks of the shortest-path/MWU
+   kernel stack (the hot path every experiment bottoms out in).  Each
+   bench records a [kernels.<name>.seconds] scalar, so
+   [--kernels --json F] tracks the perf trajectory; BENCH_kernels.json
+   holds the committed baseline. *)
+
+let kernels () =
+  header "kernels  (wall-clock, best of 3 runs)";
+  let timed_best ?(reps = 3) f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let bench name f =
+    let s = timed_best f in
+    scalar (Printf.sprintf "kernels.%s.seconds" name) s;
+    Printf.printf "%-36s %12.4f s\n" name s
+  in
+  let module Shortest = Sso_graph.Shortest in
+  let module Concurrent_flow = Sso_flow.Concurrent_flow in
+  (* Expander-ish substrate: large enough that the oracle dominates. *)
+  let g = Gen.random_regular (seeded 97) 96 4 in
+  let weight e = 1.0 +. (float_of_int e *. 1e-6) in
+  (* The MWU-dominated family: multi-commodity demand whose commodities
+     share sources (4 sources x 8 targets), the regime source-batched
+     oracles are built for. *)
+  let shared =
+    Demand.of_list
+      (List.concat_map
+         (fun s -> List.init 8 (fun i -> (s, 40 + (8 * s) + i, 1.0)))
+         [ 0; 1; 2; 3 ])
+  in
+  bench "sssp_all_sources" (fun () ->
+      for v = 0 to Graph.n g - 1 do
+        ignore (Shortest.dijkstra g ~weight v)
+      done);
+  bench "mwu_unrestricted_shared" (fun () ->
+      Min_congestion.mwu_unrestricted ~iters:100 g shared);
+  bench "mwu_hop_limited_shared" (fun () ->
+      Min_congestion.mwu_hop_limited ~iters:20 ~max_hops:10 g shared);
+  let grid = Gen.grid 7 7 in
+  let d = Demand.random_pairs (seeded 98) ~n:49 ~pairs:24 in
+  let base = Ksp.routing ~k:4 grid in
+  let system = Sampler.alpha_sample (seeded 99) base ~alpha:4 in
+  let cands = Path_system.to_candidates system (Demand.support d) in
+  bench "mwu_candidates" (fun () ->
+      Min_congestion.mwu_on_paths ~iters:150 grid cands d);
+  bench "gk_candidates" (fun () ->
+      Concurrent_flow.on_paths ~epsilon:0.1 grid cands d);
+  bench "frt_build_grid" (fun () -> Frt.build (seeded 100) grid ~length:(fun _ -> 1.0));
+  Printf.printf
+    "families: sssp (Dijkstra kernel), mwu_* (oracle-dominated solves),\n";
+  Printf.printf "gk (sequential cheapest-path packing), frt (all-pairs Dijkstra).\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suite: one micro-benchmark per experiment family. *)
 
 let timing () =
@@ -1054,6 +1115,7 @@ let () =
   in
   if has "--list" then
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) experiments
+  else if has "--kernels" then kernels ()
   else begin
     (match find_experiment args with
     | Some id -> (

@@ -1,12 +1,14 @@
 #!/bin/sh
 # CI entry point: build everything, run the test suite, then smoke-test the
 # parallel engine by running the E3 adversary experiment on 2 worker
-# domains (its output is deterministic for any job count), and the
+# domains (its output is deterministic for any job count), the
 # artifact cache by running E5 cold/warm in a temporary store
-# (byte-identical output, at least one recorded hit).
+# (byte-identical output, at least one recorded hit), and the kernel
+# micro-benchmarks by validating their JSON schema.
 set -eux
 
 dune build
 dune runtest
 dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
 ./cache_smoke.sh
+./kernels_smoke.sh

@@ -92,7 +92,20 @@ let attack ?pool (c : Gen.c_graph) ps =
       }
 
 let attack_in_family ?pool (g : Gen.g_graph) ~alpha ps =
-  let view = List.assoc alpha g.Gen.g_copies in
+  let view =
+    match List.assoc_opt alpha g.Gen.g_copies with
+    | Some view -> view
+    | None ->
+        let available =
+          g.Gen.g_copies
+          |> List.map (fun (a, _) -> string_of_int a)
+          |> String.concat ", "
+        in
+        invalid_arg
+          (Printf.sprintf
+             "Lower_bound.attack_in_family: no copy for alpha = %d (available: %s)"
+             alpha available)
+  in
   let as_c_graph : Gen.c_graph =
     {
       Gen.c_graph = g.Gen.g_graph;

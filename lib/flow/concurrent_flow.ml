@@ -22,12 +22,18 @@ let solve ?(epsilon = 0.1) g ~oracle demand =
     let m = Graph.m g in
     let mf = float_of_int (max 2 m) in
     let delta = (1.0 +. epsilon) /. Float.pow ((1.0 +. epsilon) *. mf) (1.0 /. epsilon) in
+    (* Capacities are loop constants — snapshot them once instead of going
+       through [Graph.cap]'s bounds-checked record access in every phase. *)
+    let caps = Array.init m (Graph.cap g) in
     let length = Array.make m 0.0 in
-    Array.iteri (fun e _ -> length.(e) <- delta /. Graph.cap g e) length;
+    Array.iteri (fun e _ -> length.(e) <- delta /. caps.(e)) length;
+    (* [volume] stays a full fold on purpose: an incrementally-maintained
+       running sum would accumulate different rounding than this left-to-
+       right reduction and change the phase count (and hence the output). *)
     let volume () =
       let d = ref 0.0 in
       for e = 0 to m - 1 do
-        d := !d +. (length.(e) *. Graph.cap g e)
+        d := !d +. (length.(e) *. caps.(e))
       done;
       !d
     in
@@ -64,7 +70,7 @@ let solve ?(epsilon = 0.1) g ~oracle demand =
             | Some (p : Path.t) ->
                 let bottleneck =
                   Array.fold_left
-                    (fun acc e -> Float.min acc (Graph.cap g e))
+                    (fun acc e -> Float.min acc caps.(e))
                     infinity p.Path.edges
                 in
                 let amount = Float.min !remaining bottleneck in
@@ -72,7 +78,7 @@ let solve ?(epsilon = 0.1) g ~oracle demand =
                 Array.iter
                   (fun e ->
                     length.(e) <-
-                      length.(e) *. (1.0 +. (epsilon *. amount /. Graph.cap g e)))
+                      length.(e) *. (1.0 +. (epsilon *. amount /. caps.(e))))
                   p.Path.edges;
                 remaining := !remaining -. amount
           done)
@@ -90,19 +96,27 @@ let solve ?(epsilon = 0.1) g ~oracle demand =
     (routing, Routing.congestion g routing demand)
   end
 
-let candidates_oracle cands ~weight s t =
-  match List.assoc_opt (s, t) cands with
-  | None | Some [] -> None
-  | Some (first :: rest) ->
-      let score p = Path.weight weight p in
-      let _, best =
-        List.fold_left
-          (fun (bw, bp) p ->
-            let w = score p in
-            if w < bw then (w, p) else (bw, bp))
-          (score first, first) rest
-      in
-      Some best
+(* Hashtable-backed candidate index (first binding wins, matching the
+   [List.assoc_opt] it replaces) so the per-chunk lookup inside the phase
+   loop is O(1) instead of O(pairs). *)
+let candidates_oracle cands =
+  let index = Hashtbl.create ((2 * List.length cands) + 1) in
+  List.iter
+    (fun (pair, ps) -> if not (Hashtbl.mem index pair) then Hashtbl.add index pair ps)
+    cands;
+  fun ~weight s t ->
+    match Hashtbl.find_opt index (s, t) with
+    | None | Some [] -> None
+    | Some (first :: rest) ->
+        let score p = Path.weight weight p in
+        let _, best =
+          List.fold_left
+            (fun (bw, bp) p ->
+              let w = score p in
+              if w < bw then (w, p) else (bw, bp))
+            (score first, first) rest
+        in
+        Some best
 
 let on_paths ?epsilon g cands demand =
   solve ?epsilon g ~oracle:(candidates_oracle cands) demand

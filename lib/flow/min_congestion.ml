@@ -12,23 +12,35 @@ let span_mwu = Metrics.span "stage4.mwu"
 let span_lp_unrestricted = Metrics.span "opt.lp_unrestricted"
 let mwu_iterations = Metrics.counter "mwu.iterations"
 let mwu_oracle_calls = Metrics.counter "mwu.oracle_calls"
+let mwu_sssp_batches = Metrics.counter "mwu.sssp_batches"
 
 type candidates = ((int * int) * Path.t list) list
 
-let candidates_for cands s t =
-  match List.assoc_opt (s, t) cands with Some ps -> ps | None -> []
+(* Hashtable-backed index over the assoc-list candidates type: built once
+   per solve so per-round lookups are O(1) instead of O(pairs).  First
+   binding wins on duplicate pairs, matching [List.assoc_opt]. *)
+let index_candidates (cands : candidates) =
+  let tbl = Hashtbl.create ((2 * List.length cands) + 1) in
+  List.iter
+    (fun (pair, ps) -> if not (Hashtbl.mem tbl pair) then Hashtbl.add tbl pair ps)
+    cands;
+  tbl
+
+let candidates_for index s t =
+  match Hashtbl.find_opt index (s, t) with Some ps -> ps | None -> []
 
 (* ---------- Exact LP on a candidate path system ---------- *)
 
 let lp_on_paths g cands demand =
   if Demand.support_size demand = 0 then (Routing.make [], 0.0)
   else Metrics.with_span span_lp @@ fun () -> begin
+    let index = index_candidates cands in
     (* Variables: one absolute flow per (pair, candidate path), plus the
        congestion bound z as the last variable. *)
     let entries =
       Demand.fold
         (fun s t amount acc ->
-          match candidates_for cands s t with
+          match candidates_for index s t with
           | [] -> invalid_arg "Min_congestion.lp_on_paths: demanded pair has no candidates"
           | ps -> ((s, t), amount, ps) :: acc)
         demand []
@@ -120,6 +132,17 @@ let lp_on_paths g cands demand =
 
 module Path_map = Map.Make (Path)
 
+(* Best-response oracles come in two shapes.  A [Per_pair] oracle answers
+   one commodity at a time (candidate-set lookup, where each answer is
+   O(candidates)).  A [Batched] oracle answers every commodity sharing a
+   source from one single-source computation (Dijkstra / hop-limited DP),
+   which is where the support of real demands — gravity matrices, incast,
+   ladders — collapses many pairs onto few sources.  Both shapes must
+   return, per pair, exactly the path the per-pair computation would. *)
+type oracle =
+  | Per_pair of (weight:(int -> float) -> int -> int -> Path.t option)
+  | Batched of (weight:(int -> float) -> int -> int array -> Path.t option array)
+
 let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
   if iters <= 0 then invalid_arg "Min_congestion: iters must be positive";
   if Demand.support_size demand = 0 then Some (Routing.make [], 0.0)
@@ -127,6 +150,27 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
     let m = Graph.m g in
     let support = Demand.support demand in
     let support_arr = Array.of_list support in
+    let pairs = Array.length support_arr in
+    (* Per-round invariants, hoisted out of the relaxation/accumulation
+       inner loops: demand amounts and edge capacities are loop constants. *)
+    let amounts = Array.map (fun (s, t) -> Demand.get demand s t) support_arr in
+    let caps = Array.init m (Graph.cap g) in
+    (* Group the support by source.  [Demand.support] is lexicographically
+       sorted, so equal sources form consecutive runs; grouping runs (and
+       flattening group answers in group order) therefore preserves support
+       order exactly — the determinism argument needs nothing more. *)
+    let groups =
+      let acc = ref [] in
+      let i = ref 0 in
+      while !i < pairs do
+        let s = fst support_arr.(!i) in
+        let j = ref !i in
+        while !j < pairs && fst support_arr.(!j) = s do incr j done;
+        acc := (s, Array.init (!j - !i) (fun k -> snd support_arr.(!i + k))) :: !acc;
+        i := !j
+      done;
+      Array.of_list (List.rev !acc)
+    in
     (* Per-commodity best responses are independent within a round, so they
        fan out on the pool; results come back in support order, and loads
        are folded serially in that order, so the routing is bit-identical
@@ -134,42 +178,45 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
        overhead would dominate (the cutoff is a constant, never the job
        count, to preserve determinism). *)
     let best_responses ~weight =
-      Metrics.incr ~by:(Array.length support_arr) mwu_oracle_calls;
-      if Array.length support_arr < 4 then
-        Array.map (fun (s, t) -> oracle ~weight s t) support_arr
-      else Pool.parallel_map ?pool (fun (s, t) -> oracle ~weight s t) support_arr
+      Metrics.incr ~by:pairs mwu_oracle_calls;
+      match oracle with
+      | Per_pair oracle ->
+          if pairs < 4 then Array.map (fun (s, t) -> oracle ~weight s t) support_arr
+          else Pool.parallel_map ?pool (fun (s, t) -> oracle ~weight s t) support_arr
+      | Batched oracle ->
+          Metrics.incr ~by:(Array.length groups) mwu_sssp_batches;
+          let per_group =
+            if pairs < 4 then
+              Array.map (fun (s, ts) -> oracle ~weight s ts) groups
+            else Pool.parallel_map ?pool (fun (s, ts) -> oracle ~weight s ts) groups
+          in
+          Array.concat (Array.to_list per_group)
     in
     (* Feasibility probe with uniform weights; also yields the width
        normalizer U (congestion of the probe routing). *)
-    let probe_weight e = 1.0 /. Graph.cap g e in
-    let probe =
-      Array.to_list
-        (Array.mapi
-           (fun i p -> (support_arr.(i), p))
-           (best_responses ~weight:probe_weight))
-    in
-    if List.exists (fun (_, p) -> p = None) probe then None
+    let probe_weight e = 1.0 /. caps.(e) in
+    let probe = best_responses ~weight:probe_weight in
+    if Array.exists (fun p -> p = None) probe then None
     else begin
       let loads = Array.make m 0.0 in
-      List.iter
-        (fun ((s, t), p) ->
+      Array.iteri
+        (fun i p ->
           match p with
           | Some (p : Path.t) ->
-              Array.iter
-                (fun e -> loads.(e) <- loads.(e) +. Demand.get demand s t)
-                p.Path.edges
+              let amount = amounts.(i) in
+              Array.iter (fun e -> loads.(e) <- loads.(e) +. amount) p.Path.edges
           | None -> assert false)
         probe;
       let u_norm = ref 1e-12 in
       Array.iteri
         (fun e load ->
-          let c = load /. Graph.cap g e in
+          let c = load /. caps.(e) in
           if c > !u_norm then u_norm := c)
         loads;
       let u_norm = !u_norm in
       let eta = Float.sqrt (4.0 *. Float.log (float_of_int (max 2 m)) /. float_of_int iters) in
       let cum = Array.make m 0.0 in
-      let counts = Hashtbl.create (List.length support) in
+      let counts = Hashtbl.create pairs in
       (* Warm start: treat a previous routing as [weight] already-played
          rounds — seed both the play counts (so the average is anchored)
          and the cumulative loads (so the adversary remembers). *)
@@ -178,8 +225,8 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
       | Some (previous, weight) ->
           if weight <= 0 then invalid_arg "Min_congestion: warm-start weight must be positive";
           let wf = float_of_int weight in
-          List.iter
-            (fun (s, t) ->
+          Array.iteri
+            (fun i (s, t) ->
               match Routing.distribution previous s t with
               | [] -> ()
               | dist ->
@@ -193,16 +240,16 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
                       Path_map.empty dist
                   in
                   Hashtbl.replace counts (s, t) entry;
+                  let amount = amounts.(i) in
                   List.iter
                     (fun (w, (p : Path.t)) ->
                       Array.iter
                         (fun e ->
                           cum.(e) <-
-                            cum.(e)
-                            +. (wf *. w *. Demand.get demand s t /. (Graph.cap g e *. u_norm)))
+                            cum.(e) +. (wf *. w *. amount /. (caps.(e) *. u_norm)))
                         p.Path.edges)
                     dist)
-            support);
+            support_arr);
       let record pair p =
         let cur = try Hashtbl.find counts pair with Not_found -> Path_map.empty in
         let cur =
@@ -210,26 +257,34 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
         in
         Hashtbl.replace counts pair cur
       in
+      (* The adversary weight is recomputed once per edge per round into a
+         flat buffer (hoisting the exp out of the oracles' inner loops, and
+         off of every edge visit), reused across rounds. *)
+      let warr = Array.make m 0.0 in
+      let round_weight e = warr.(e) in
+      let round_loads = Array.make m 0.0 in
       for _ = 1 to iters do
         Metrics.incr mwu_iterations;
         let max_cum = Array.fold_left Float.max neg_infinity cum in
-        let weight e = Float.exp (eta *. (cum.(e) -. max_cum)) /. Graph.cap g e in
-        let responses = best_responses ~weight in
-        let round_loads = Array.make m 0.0 in
+        for e = 0 to m - 1 do
+          warr.(e) <- Float.exp (eta *. (cum.(e) -. max_cum)) /. caps.(e)
+        done;
+        let responses = best_responses ~weight:round_weight in
+        Array.fill round_loads 0 m 0.0;
         Array.iteri
           (fun i response ->
-            let s, t = support_arr.(i) in
             match response with
             | None -> assert false (* probed feasible above *)
             | Some p ->
-                record (s, t) p;
+                record support_arr.(i) p;
+                let amount = amounts.(i) in
                 Array.iter
-                  (fun e -> round_loads.(e) <- round_loads.(e) +. Demand.get demand s t)
+                  (fun e -> round_loads.(e) <- round_loads.(e) +. amount)
                   p.Path.edges)
           responses;
-        Array.iteri
-          (fun e load -> cum.(e) <- cum.(e) +. (load /. (Graph.cap g e *. u_norm)))
-          round_loads
+        for e = 0 to m - 1 do
+          cum.(e) <- cum.(e) +. (round_loads.(e) /. (caps.(e) *. u_norm))
+        done
       done;
       let routing =
         Routing.make
@@ -243,8 +298,8 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
     end
   end
 
-let cheapest_candidate cands ~weight s t =
-  match candidates_for cands s t with
+let cheapest_candidate index ~weight s t =
+  match candidates_for index s t with
   | [] -> None
   | first :: rest ->
       let score p = Path.weight weight p in
@@ -257,34 +312,47 @@ let cheapest_candidate cands ~weight s t =
       in
       Some (snd best)
 
-let mwu_on_paths ?iters g cands demand =
-  match mwu_generic ?iters g ~oracle:(cheapest_candidate cands) demand with
+let candidates_oracle cands = Per_pair (cheapest_candidate (index_candidates cands))
+
+let mwu_on_paths ?pool ?iters g cands demand =
+  match mwu_generic ?pool ?iters g ~oracle:(candidates_oracle cands) demand with
   | Some result -> result
   | None -> invalid_arg "Min_congestion.mwu_on_paths: demanded pair has no candidates"
 
-let mwu_on_paths_warm ?iters ~warm ~warm_weight g cands demand =
+let mwu_on_paths_warm ?pool ?iters ~warm ~warm_weight g cands demand =
   match
-    mwu_generic ?iters ~warm:(warm, warm_weight) g ~oracle:(cheapest_candidate cands) demand
+    mwu_generic ?pool ?iters ~warm:(warm, warm_weight) g
+      ~oracle:(candidates_oracle cands) demand
   with
   | Some result -> result
   | None -> invalid_arg "Min_congestion.mwu_on_paths_warm: demanded pair has no candidates"
 
-let mwu_unrestricted ?iters g demand =
-  let oracle ~weight s t = Shortest.dijkstra_path g ~weight s t in
-  match mwu_generic ?iters g ~oracle demand with
+let unrestricted_oracle ?(batched = true) g =
+  if batched then
+    Batched (fun ~weight s ts -> Shortest.dijkstra_paths g ~weight s ts)
+  else Per_pair (fun ~weight s t -> Shortest.dijkstra_path g ~weight s t)
+
+let mwu_unrestricted ?pool ?iters ?batched g demand =
+  match mwu_generic ?pool ?iters g ~oracle:(unrestricted_oracle ?batched g) demand with
   | Some result -> result
   | None -> invalid_arg "Min_congestion.mwu_unrestricted: graph is disconnected"
 
-let mwu_unrestricted_avoiding ?iters ~avoid g demand =
-  let oracle ~weight s t =
-    let masked e = if avoid e then infinity else weight e in
-    Shortest.dijkstra_path g ~weight:masked s t
+let mwu_unrestricted_avoiding ?pool ?iters ?(batched = true) ~avoid g demand =
+  let mask weight e = if avoid e then infinity else weight e in
+  let oracle =
+    if batched then
+      Batched (fun ~weight s ts -> Shortest.dijkstra_paths g ~weight:(mask weight) s ts)
+    else Per_pair (fun ~weight s t -> Shortest.dijkstra_path g ~weight:(mask weight) s t)
   in
-  mwu_generic ?iters g ~oracle demand
+  mwu_generic ?pool ?iters g ~oracle demand
 
-let mwu_hop_limited ?iters ~max_hops g demand =
-  let oracle ~weight s t = Shortest.hop_limited_path g ~weight ~max_hops s t in
-  mwu_generic ?iters g ~oracle demand
+let mwu_hop_limited ?pool ?iters ?(batched = true) ~max_hops g demand =
+  let oracle =
+    if batched then
+      Batched (fun ~weight s ts -> Shortest.hop_limited_paths g ~weight ~max_hops s ts)
+    else Per_pair (fun ~weight s t -> Shortest.hop_limited_path g ~weight ~max_hops s t)
+  in
+  mwu_generic ?pool ?iters g ~oracle demand
 
 (* ---------- Exact unrestricted LP (edge formulation) ---------- *)
 

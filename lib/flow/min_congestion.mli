@@ -26,12 +26,16 @@ val lp_on_paths :
     (pair, path) variables. *)
 
 val mwu_on_paths :
+  ?pool:Sso_engine.Pool.t ->
   ?iters:int ->
   Sso_graph.Graph.t -> candidates -> Sso_demand.Demand.t -> Routing.t * float
 (** Approximate version of {!lp_on_paths} via multiplicative weights
-    ([iters] defaults to 300; error decays as [O(1/√iters)]). *)
+    ([iters] defaults to 300; error decays as [O(1/√iters)]).  Candidate
+    lookups go through a hashtable index built once per solve.  Results are
+    bit-identical for any [pool]. *)
 
 val mwu_on_paths_warm :
+  ?pool:Sso_engine.Pool.t ->
   ?iters:int ->
   warm:Routing.t ->
   warm_weight:int ->
@@ -51,12 +55,24 @@ val lp_unrestricted :
     paths).  Exact but expensive — meant for small graphs in tests. *)
 
 val mwu_unrestricted :
-  ?iters:int -> Sso_graph.Graph.t -> Sso_demand.Demand.t -> Routing.t * float
+  ?pool:Sso_engine.Pool.t ->
+  ?iters:int ->
+  ?batched:bool ->
+  Sso_graph.Graph.t -> Sso_demand.Demand.t -> Routing.t * float
 (** Approximate [opt_{G,ℝ}(d)] with a Dijkstra best-response oracle.  The
-    returned routing is supported on the paths the oracle produced. *)
+    returned routing is supported on the paths the oracle produced.
+
+    With [batched] (the default), each round groups the demand's support by
+    source — [Demand.support] is sorted, so groups are consecutive runs —
+    and answers all of a source's targets from one Dijkstra pass
+    ({!Sso_graph.Shortest.dijkstra_paths}).  The routing is bit-identical
+    to the per-pair oracle ([batched:false]) and to any [pool] size; the
+    flag exists so tests can assert exactly that. *)
 
 val mwu_unrestricted_avoiding :
+  ?pool:Sso_engine.Pool.t ->
   ?iters:int ->
+  ?batched:bool ->
   avoid:(int -> bool) ->
   Sso_graph.Graph.t -> Sso_demand.Demand.t -> (Routing.t * float) option
 (** Like {!mwu_unrestricted} but never using edges for which [avoid] is
@@ -64,7 +80,9 @@ val mwu_unrestricted_avoiding :
     [None] if a demanded pair is disconnected by the failures. *)
 
 val mwu_hop_limited :
+  ?pool:Sso_engine.Pool.t ->
   ?iters:int ->
+  ?batched:bool ->
   max_hops:int ->
   Sso_graph.Graph.t -> Sso_demand.Demand.t -> (Routing.t * float) option
 (** Approximate [opt^{(h)}_{G,ℝ}(d)]: min congestion over routings with

@@ -4,14 +4,17 @@
 
 let find g =
   let n = Graph.n g in
+  let off = Graph.csr_offsets g
+  and eids = Graph.csr_edge_ids g
+  and dsts = Graph.csr_targets g in
   let disc = Array.make n (-1) in
   let low = Array.make n 0 in
   let timer = ref 0 in
   let bridges = ref [] in
   for root = 0 to n - 1 do
     if disc.(root) < 0 then begin
-      (* Stack frames: (vertex, entering edge id, next adjacency index). *)
-      let stack = ref [ (root, -1, ref 0) ] in
+      (* Stack frames: (vertex, entering edge id, next CSR slot). *)
+      let stack = ref [ (root, -1, ref off.(root)) ] in
       disc.(root) <- !timer;
       low.(root) <- !timer;
       incr timer;
@@ -19,16 +22,15 @@ let find g =
         match !stack with
         | [] -> ()
         | (v, enter_edge, next) :: rest ->
-            let adj = Graph.adj g v in
-            if !next < Array.length adj then begin
-              let e, w = adj.(!next) in
+            if !next < off.(v + 1) then begin
+              let e = eids.(!next) and w = dsts.(!next) in
               incr next;
               if e <> enter_edge then begin
                 if disc.(w) < 0 then begin
                   disc.(w) <- !timer;
                   low.(w) <- !timer;
                   incr timer;
-                  stack := (w, e, ref 0) :: !stack
+                  stack := (w, e, ref off.(w)) :: !stack
                 end
                 else low.(v) <- min low.(v) disc.(w)
               end

@@ -1,8 +1,21 @@
 type edge = { id : int; u : int; v : int; cap : float }
 
-type t = { n : int; edges : edge array; adj : (int * int) array array }
+type t = {
+  n : int;
+  edges : edge array;
+  adj : (int * int) array array;
+  (* Flat CSR mirror of [adj], in the same per-vertex order: the incidence
+     list of vertex [v] is positions [csr_off.(v) .. csr_off.(v+1) - 1] of
+     the packed arrays.  Hot traversals (Dijkstra, BFS, bridges) iterate
+     these instead of the boxed-tuple rows. *)
+  csr_off : int array;
+  csr_edge : int array;
+  csr_dst : int array;
+}
 
 module Builder = struct
+  type graph = t
+
   type t = { bn : int; mutable rev_edges : edge list; mutable count : int }
 
   let create n =
@@ -20,24 +33,36 @@ module Builder = struct
     b.count <- id + 1;
     id
 
-  let build b =
+  let build b : graph =
     let edges = Array.of_list (List.rev b.rev_edges) in
+    let m = Array.length edges in
     let deg = Array.make b.bn 0 in
     Array.iter
       (fun e ->
         deg.(e.u) <- deg.(e.u) + 1;
         deg.(e.v) <- deg.(e.v) + 1)
       edges;
+    let csr_off = Array.make (b.bn + 1) 0 in
+    for v = 0 to b.bn - 1 do
+      csr_off.(v + 1) <- csr_off.(v) + deg.(v)
+    done;
+    let csr_edge = Array.make (2 * m) (-1) in
+    let csr_dst = Array.make (2 * m) (-1) in
     let adj = Array.init b.bn (fun v -> Array.make deg.(v) (-1, -1)) in
     let fill = Array.make b.bn 0 in
+    let place w e other =
+      let slot = fill.(w) in
+      adj.(w).(slot) <- (e.id, other);
+      csr_edge.(csr_off.(w) + slot) <- e.id;
+      csr_dst.(csr_off.(w) + slot) <- other;
+      fill.(w) <- slot + 1
+    in
     Array.iter
       (fun e ->
-        adj.(e.u).(fill.(e.u)) <- (e.id, e.v);
-        fill.(e.u) <- fill.(e.u) + 1;
-        adj.(e.v).(fill.(e.v)) <- (e.id, e.u);
-        fill.(e.v) <- fill.(e.v) + 1)
+        place e.u e e.v;
+        place e.v e e.u)
       edges;
-    { n = b.bn; edges; adj }
+    { n = b.bn; edges; adj; csr_off; csr_edge; csr_dst }
 end
 
 let n g = g.n
@@ -66,7 +91,22 @@ let adj g v =
   if v < 0 || v >= g.n then invalid_arg "Graph.adj: vertex out of range";
   g.adj.(v)
 
-let degree g v = Array.length (adj g v)
+let csr_offsets g = g.csr_off
+
+let csr_edge_ids g = g.csr_edge
+
+let csr_targets g = g.csr_dst
+
+let iter_adj g v f =
+  if v < 0 || v >= g.n then invalid_arg "Graph.iter_adj: vertex out of range";
+  let lo = g.csr_off.(v) and hi = g.csr_off.(v + 1) in
+  for i = lo to hi - 1 do
+    f g.csr_edge.(i) g.csr_dst.(i)
+  done
+
+let degree g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.degree: vertex out of range";
+  g.csr_off.(v + 1) - g.csr_off.(v)
 
 let max_degree g =
   let best = ref 0 in
@@ -83,14 +123,14 @@ let is_connected g =
   let count = ref 1 in
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    Array.iter
-      (fun (_, w) ->
-        if not seen.(w) then begin
-          seen.(w) <- true;
-          incr count;
-          Queue.add w queue
-        end)
-      g.adj.(v)
+    for i = g.csr_off.(v) to g.csr_off.(v + 1) - 1 do
+      let w = g.csr_dst.(i) in
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        incr count;
+        Queue.add w queue
+      end
+    done
   done;
   !count = g.n
 

@@ -62,6 +62,28 @@ val adj : t -> int -> (int * int) array
 (** [adj g v] lists [(edge_id, neighbor)] pairs incident to [v].  Do not
     mutate. *)
 
+(** {1 Flat CSR adjacency}
+
+    The incidence structure is also stored in compressed-sparse-row form:
+    the incidence list of vertex [v] occupies positions
+    [csr_offsets g .(v) .. csr_offsets g .(v+1) - 1] of the packed
+    edge-id/target arrays, in exactly the same order as [adj g v].  Hot
+    traversals iterate these flat int arrays instead of the boxed-tuple
+    rows.  Do not mutate any of them. *)
+
+val csr_offsets : t -> int array
+(** [n + 1] offsets into the packed arrays; entry [n] is [2m]. *)
+
+val csr_edge_ids : t -> int array
+(** Packed incident edge ids, length [2m]. *)
+
+val csr_targets : t -> int array
+(** Packed neighbor vertices, aligned with {!csr_edge_ids}. *)
+
+val iter_adj : t -> int -> (int -> int -> unit) -> unit
+(** [iter_adj g v f] calls [f edge_id neighbor] for each incident edge of
+    [v], in [adj] order, without materializing tuples. *)
+
 val degree : t -> int -> int
 (** Number of incident edges (with multiplicity). *)
 

@@ -6,6 +6,11 @@ let is_empty h = h.size = 0
 
 let size h = h.size
 
+let clear h =
+  (* Drop payload references so cleared entries do not keep values alive. *)
+  Array.fill h.data 0 h.size None;
+  h.size <- 0
+
 let grow h =
   let cap = Array.length h.keys in
   let keys = Array.make (2 * cap) 0.0 in
@@ -58,3 +63,83 @@ let pop h =
     done;
     Some (key, value)
   end
+
+(* Monomorphic int-payload specialization: identical sift logic (so pop
+   order matches the polymorphic heap entry for entry), but payloads live
+   in a flat [int array] — no [Some] box per element, no allocation on
+   [push]/[pop], and [clear] is O(1). *)
+module Int = struct
+  type t = { mutable keys : float array; mutable data : int array; mutable size : int }
+
+  let create () = { keys = Array.make 16 0.0; data = Array.make 16 0; size = 0 }
+
+  let is_empty h = h.size = 0
+
+  let size h = h.size
+
+  let clear h = h.size <- 0
+
+  let grow h =
+    let cap = Array.length h.keys in
+    let keys = Array.make (2 * cap) 0.0 in
+    let data = Array.make (2 * cap) 0 in
+    Array.blit h.keys 0 keys 0 cap;
+    Array.blit h.data 0 data 0 cap;
+    h.keys <- keys;
+    h.data <- data
+
+  let swap h i j =
+    let k = h.keys.(i) in
+    h.keys.(i) <- h.keys.(j);
+    h.keys.(j) <- k;
+    let d = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- d
+
+  let push h key value =
+    if h.size = Array.length h.keys then grow h;
+    h.keys.(h.size) <- key;
+    h.data.(h.size) <- value;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let min_key h =
+    if h.size = 0 then invalid_arg "Heap.Int.min_key: empty heap";
+    h.keys.(0)
+
+  let min_value h =
+    if h.size = 0 then invalid_arg "Heap.Int.min_value: empty heap";
+    h.data.(0)
+
+  let remove_min h =
+    if h.size = 0 then invalid_arg "Heap.Int.remove_min: empty heap";
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let key = h.keys.(0) in
+      let value = h.data.(0) in
+      remove_min h;
+      Some (key, value)
+    end
+end

@@ -1,7 +1,8 @@
-(** Minimal binary min-heap with float keys and polymorphic payloads.
+(** Minimal binary min-heaps with float keys.
 
-    Used by Dijkstra and Yen's algorithm.  Decrease-key is handled by lazy
-    deletion: callers insert duplicates and skip stale pops. *)
+    Decrease-key is handled by lazy deletion: callers insert duplicates and
+    skip stale pops.  The polymorphic heap is the general-purpose variant;
+    {!Int} is the allocation-free specialization Dijkstra runs on. *)
 
 type 'a t
 
@@ -11,7 +12,44 @@ val is_empty : 'a t -> bool
 
 val size : 'a t -> int
 
+val clear : 'a t -> unit
+(** Empty the heap in place, releasing payload references, so the backing
+    storage can be reused across calls. *)
+
 val push : 'a t -> float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-key entry. *)
+
+(** Monomorphic int-payload heap: payloads in a flat [int array] (no
+    per-element boxing), no allocation on [push]/[pop_min], O(1) {!Int.clear}.
+    Pop order is identical to the polymorphic heap for the same push
+    sequence (same sift logic), which is what keeps workspace-based
+    Dijkstra bit-identical to the historical implementation. *)
+module Int : sig
+  type t
+
+  val create : unit -> t
+
+  val is_empty : t -> bool
+
+  val size : t -> int
+
+  val clear : t -> unit
+
+  val push : t -> float -> int -> unit
+
+  val min_key : t -> float
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val min_value : t -> int
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val remove_min : t -> unit
+  (** Drop the minimum entry.  Reading {!min_key}/{!min_value} first and
+      then calling this is the allocation-free pop.
+      @raise Invalid_argument on an empty heap. *)
+
+  val pop : t -> (float * int) option
+  (** Boxed convenience pop (allocates the result tuple). *)
+end

@@ -1,5 +1,15 @@
 let maximum ~left ~right adjf =
-  let adj = Array.init left adjf in
+  (* Flatten the adjacency closures into CSR form once — the BFS/DFS
+     phases then scan a flat int array in the original list order. *)
+  let rows = Array.init left adjf in
+  let off = Array.make (left + 1) 0 in
+  for l = 0 to left - 1 do
+    off.(l + 1) <- off.(l) + List.length rows.(l)
+  done;
+  let nbr = Array.make off.(left) (-1) in
+  Array.iteri
+    (fun l row -> List.iteri (fun i r -> nbr.(off.(l) + i) <- r) row)
+    rows;
   let match_l = Array.make left (-1) in
   let match_r = Array.make right (-1) in
   let dist = Array.make left max_int in
@@ -15,35 +25,37 @@ let maximum ~left ~right adjf =
     done;
     while not (Queue.is_empty queue) do
       let l = Queue.pop queue in
-      List.iter
-        (fun r ->
-          match match_r.(r) with
-          | -1 -> found := true
-          | l' ->
-              if dist.(l') = max_int then begin
-                dist.(l') <- dist.(l) + 1;
-                Queue.add l' queue
-              end)
-        adj.(l)
+      for i = off.(l) to off.(l + 1) - 1 do
+        match match_r.(nbr.(i)) with
+        | -1 -> found := true
+        | l' ->
+            if dist.(l') = max_int then begin
+              dist.(l') <- dist.(l) + 1;
+              Queue.add l' queue
+            end
+      done
     done;
     !found
   in
   let rec dfs l =
-    let ok =
-      List.exists
-        (fun r ->
-          let usable =
-            match match_r.(r) with
-            | -1 -> true
-            | l' -> dist.(l') = dist.(l) + 1 && dfs l'
-          in
-          if usable then begin
-            match_l.(l) <- r;
-            match_r.(r) <- l
-          end;
-          usable)
-        adj.(l)
+    let rec try_from i =
+      if i >= off.(l + 1) then false
+      else begin
+        let r = nbr.(i) in
+        let usable =
+          match match_r.(r) with
+          | -1 -> true
+          | l' -> dist.(l') = dist.(l) + 1 && dfs l'
+        in
+        if usable then begin
+          match_l.(l) <- r;
+          match_r.(r) <- l;
+          true
+        end
+        else try_from (i + 1)
+      end
     in
+    let ok = try_from off.(l) in
     if not ok then dist.(l) <- max_int;
     ok
   in

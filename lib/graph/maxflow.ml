@@ -1,21 +1,26 @@
 (* Dinic on a residual digraph.  Arcs are stored in flat arrays; arc [2k]
    and [2k+1] are the two directions of undirected edge [k] when built with
-   [digraph_of], and in general [a lxor 1] is the reverse of arc [a]. *)
+   [digraph_of], and in general [a lxor 1] is the reverse of arc [a].
+   Outgoing arcs live in CSR form — vertex [v]'s arcs are
+   [out_arc.(out_off.(v) .. out_off.(v+1) - 1)] — so level BFS and blocking
+   DFS scan one flat int array instead of chasing per-vertex boxes. *)
 
 type net = {
   nv : int;
   head : int array; (* arc -> head vertex *)
   residual : float array; (* arc -> remaining capacity *)
-  out : int array array; (* vertex -> arcs leaving it *)
+  out_off : int array; (* vertex -> first outgoing-arc slot *)
+  out_arc : int array; (* packed outgoing arcs *)
   origin : int array; (* arc -> originating undirected edge id *)
 }
 
 let build g capf =
+  let nv = Graph.n g in
   let m = Graph.m g in
   let head = Array.make (2 * m) 0 in
   let residual = Array.make (2 * m) 0.0 in
   let origin = Array.make (2 * m) 0 in
-  let deg = Array.make (Graph.n g) 0 in
+  let deg = Array.make nv 0 in
   Array.iter
     (fun (e : Graph.edge) ->
       head.(2 * e.id) <- e.v;
@@ -27,16 +32,20 @@ let build g capf =
       deg.(e.u) <- deg.(e.u) + 1;
       deg.(e.v) <- deg.(e.v) + 1)
     (Graph.edges g);
-  let out = Array.init (Graph.n g) (fun v -> Array.make deg.(v) 0) in
-  let fill = Array.make (Graph.n g) 0 in
+  let out_off = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    out_off.(v + 1) <- out_off.(v) + deg.(v)
+  done;
+  let out_arc = Array.make (2 * m) 0 in
+  let fill = Array.make nv 0 in
   Array.iter
     (fun (e : Graph.edge) ->
-      out.(e.u).(fill.(e.u)) <- 2 * e.id;
+      out_arc.(out_off.(e.u) + fill.(e.u)) <- 2 * e.id;
       fill.(e.u) <- fill.(e.u) + 1;
-      out.(e.v).(fill.(e.v)) <- (2 * e.id) + 1;
+      out_arc.(out_off.(e.v) + fill.(e.v)) <- (2 * e.id) + 1;
       fill.(e.v) <- fill.(e.v) + 1)
     (Graph.edges g);
-  { nv = Graph.n g; head; residual; out; origin }
+  { nv; head; residual; out_off; out_arc; origin }
 
 let eps = 1e-9
 
@@ -50,25 +59,26 @@ let bfs_levels net s t =
   Queue.add s queue;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    Array.iter
-      (fun a ->
-        let w = net.head.(a) in
-        if net.residual.(a) > eps && level.(w) < 0 then begin
-          level.(w) <- level.(v) + 1;
-          Queue.add w queue
-        end)
-      net.out.(v)
+    for i = net.out_off.(v) to net.out_off.(v + 1) - 1 do
+      let a = net.out_arc.(i) in
+      let w = net.head.(a) in
+      if net.residual.(a) > eps && level.(w) < 0 then begin
+        level.(w) <- level.(v) + 1;
+        Queue.add w queue
+      end
+    done
   done;
   if level.(t) < 0 then None else Some level
 
+(* [iter.(v)] is an absolute cursor into [out_arc], starting at
+   [out_off.(v)] — the standard current-arc optimization, now pointer-free. *)
 let rec dfs_push net level iter t v limit =
   if v = t then limit
   else begin
     let pushed = ref 0.0 in
-    let arcs = net.out.(v) in
-    let narcs = Array.length arcs in
-    while iter.(v) < narcs && limit -. !pushed > eps do
-      let a = arcs.(iter.(v)) in
+    let stop = net.out_off.(v + 1) in
+    while iter.(v) < stop && limit -. !pushed > eps do
+      let a = net.out_arc.(iter.(v)) in
       let w = net.head.(a) in
       if net.residual.(a) > eps && level.(w) = level.(v) + 1 then begin
         let amount =
@@ -94,7 +104,7 @@ let run net s t =
     | None -> continue := false
     | Some level ->
         Sso_engine.Metrics.incr dinic_phases;
-        let iter = Array.make net.nv 0 in
+        let iter = Array.sub net.out_off 0 net.nv in
         let pushed = ref (dfs_push net level iter t s infinity) in
         while !pushed > eps do
           Sso_engine.Metrics.incr dinic_augmentations;
@@ -129,14 +139,14 @@ let min_cut_edges g s t =
     Queue.add s queue;
     while not (Queue.is_empty queue) do
       let v = Queue.pop queue in
-      Array.iter
-        (fun a ->
-          let w = net.head.(a) in
-          if net.residual.(a) > eps && not reach.(w) then begin
-            reach.(w) <- true;
-            Queue.add w queue
-          end)
-        net.out.(v)
+      for i = net.out_off.(v) to net.out_off.(v + 1) - 1 do
+        let a = net.out_arc.(i) in
+        let w = net.head.(a) in
+        if net.residual.(a) > eps && not reach.(w) then begin
+          reach.(w) <- true;
+          Queue.add w queue
+        end
+      done
     done;
     Graph.fold_edges
       (fun id u v _ acc -> if reach.(u) <> reach.(v) then id :: acc else acc)

@@ -1,23 +1,27 @@
 let bfs_dist g src =
+  let off = Graph.csr_offsets g and dsts = Graph.csr_targets g in
   let dist = Array.make (Graph.n g) max_int in
   dist.(src) <- 0;
   let queue = Queue.create () in
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    Array.iter
-      (fun (_, w) ->
-        if dist.(w) = max_int then begin
-          dist.(w) <- dist.(v) + 1;
-          Queue.add w queue
-        end)
-      (Graph.adj g v)
+    for i = off.(v) to off.(v + 1) - 1 do
+      let w = dsts.(i) in
+      if dist.(w) = max_int then begin
+        dist.(w) <- dist.(v) + 1;
+        Queue.add w queue
+      end
+    done
   done;
   dist
 
 let bfs_path g src dst =
   if src = dst then Some (Path.trivial src)
   else begin
+    let off = Graph.csr_offsets g
+    and eids = Graph.csr_edge_ids g
+    and dsts = Graph.csr_targets g in
     let pred = Array.make (Graph.n g) (-1) in
     let seen = Array.make (Graph.n g) false in
     seen.(src) <- true;
@@ -26,15 +30,15 @@ let bfs_path g src dst =
     let found = ref false in
     while (not !found) && not (Queue.is_empty queue) do
       let v = Queue.pop queue in
-      Array.iter
-        (fun (e, w) ->
-          if not seen.(w) then begin
-            seen.(w) <- true;
-            pred.(w) <- e;
-            if w = dst then found := true;
-            Queue.add w queue
-          end)
-        (Graph.adj g v)
+      for i = off.(v) to off.(v + 1) - 1 do
+        let w = dsts.(i) in
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          pred.(w) <- eids.(i);
+          if w = dst then found := true;
+          Queue.add w queue
+        end
+      done
     done;
     if not !found then None
     else begin
@@ -49,99 +53,232 @@ let bfs_path g src dst =
     end
   end
 
-let dijkstra g ~weight src =
-  let n = Graph.n g in
-  let dist = Array.make n infinity in
-  let pred = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Heap.create () in
-  dist.(src) <- 0.0;
-  Heap.push heap 0.0 src;
-  let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (d, v) ->
-        if not settled.(v) then begin
-          settled.(v) <- true;
-          Array.iter
-            (fun (e, w) ->
-              if not settled.(w) then begin
-                let we = weight e in
-                if we < 0.0 then invalid_arg "Shortest.dijkstra: negative edge weight";
-                let nd = d +. we in
-                if nd < dist.(w) then begin
-                  dist.(w) <- nd;
-                  pred.(w) <- e;
-                  Heap.push heap nd w
-                end
-              end)
-            (Graph.adj g v)
-        end;
-        loop ()
-  in
-  loop ();
-  (dist, pred)
+(* ---------- Reusable Dijkstra workspace ---------- *)
 
-let path_of_pred g ~src ~dst pred =
-  if src = dst then Some (Path.trivial src)
-  else if pred.(dst) < 0 then None
-  else begin
-    let rec collect v acc =
-      if v = src then acc
-      else
-        let e = pred.(v) in
-        collect (Graph.other_end g e v) (e :: acc)
-    in
-    let edge_ids = Array.of_list (collect dst []) in
-    Some (Path.of_edges g ~src ~dst edge_ids)
-  end
+module Workspace = struct
+  (* Epoch-stamped state: [dist]/[pred] at [v] are valid only when
+     [stamp.(v) = epoch], and [v] is settled only when
+     [settled.(v) = epoch], so starting a new run is a single increment —
+     no O(n) clearing, no per-call allocation.  The arrays grow to the
+     largest graph seen and are reused across graphs (stale stamps from a
+     previous graph can never equal a fresh epoch). *)
+  type t = {
+    mutable dist : float array;
+    mutable pred : int array;
+    mutable stamp : int array;
+    mutable settled : int array;
+    mutable wbuf : float array; (* validated per-call edge weights *)
+    mutable epoch : int;
+    mutable src : int; (* source of the last run *)
+    heap : Heap.Int.t;
+  }
+
+  let create () =
+    {
+      dist = [||];
+      pred = [||];
+      stamp = [||];
+      settled = [||];
+      wbuf = [||];
+      epoch = 0;
+      src = -1;
+      heap = Heap.Int.create ();
+    }
+
+  let ensure ws n =
+    if Array.length ws.dist < n then begin
+      ws.dist <- Array.make n infinity;
+      ws.pred <- Array.make n (-1);
+      ws.stamp <- Array.make n (-1);
+      ws.settled <- Array.make n (-1)
+    end
+
+  let ensure_weights ws m =
+    if Array.length ws.wbuf < m then ws.wbuf <- Array.make m 0.0
+
+  let dist ws v = if ws.stamp.(v) = ws.epoch then ws.dist.(v) else infinity
+
+  let pred_edge ws v = if ws.stamp.(v) = ws.epoch then ws.pred.(v) else -1
+
+  let path ws g dst =
+    let src = ws.src in
+    if src < 0 then invalid_arg "Shortest.Workspace.path: no completed run";
+    if src = dst then Some (Path.trivial src)
+    else if pred_edge ws dst < 0 then None
+    else begin
+      let rec collect v acc =
+        if v = src then acc
+        else
+          let e = pred_edge ws v in
+          collect (Graph.other_end g e v) (e :: acc)
+      in
+      let edge_ids = Array.of_list (collect dst []) in
+      Some (Path.of_edges g ~src ~dst edge_ids)
+    end
+
+  (* One workspace per domain, created lazily: pool workers (and the
+     submitting domain) each reuse their own across oracle calls, so MWU
+     rounds allocate nothing proportional to n or m.  Safe because a
+     domain runs one shortest-path computation at a time (nested
+     parallel_* calls are serial) and results never depend on which
+     workspace served them. *)
+  let domain_key = Domain.DLS.new_key create
+
+  let for_current_domain () = Domain.DLS.get domain_key
+end
+
+(* Validate the weight function once per edge per call (not once per edge
+   visit) while snapshotting it into the workspace buffer; the traversal
+   then reads a flat float array. *)
+let fill_weights ws g ~weight ~context =
+  let m = Graph.m g in
+  Workspace.ensure_weights ws m;
+  let wbuf = ws.Workspace.wbuf in
+  for e = 0 to m - 1 do
+    let we = weight e in
+    if we < 0.0 then invalid_arg (context ^ ": negative edge weight");
+    wbuf.(e) <- we
+  done;
+  wbuf
+
+(* Core Dijkstra over the CSR arrays.  Bit-compatible with the historical
+   implementation: same neighbor order (CSR mirrors [adj]), same heap sift
+   logic, same relaxation condition, so [dist]/[pred] — and every path
+   reconstructed from them — are identical. *)
+let run_dijkstra ws g wbuf src =
+  let n = Graph.n g in
+  let off = Graph.csr_offsets g
+  and eids = Graph.csr_edge_ids g
+  and dsts = Graph.csr_targets g in
+  Workspace.ensure ws n;
+  ws.Workspace.epoch <- ws.Workspace.epoch + 1;
+  ws.Workspace.src <- src;
+  let ep = ws.Workspace.epoch in
+  let dist = ws.Workspace.dist
+  and pred = ws.Workspace.pred
+  and stamp = ws.Workspace.stamp
+  and settled = ws.Workspace.settled
+  and heap = ws.Workspace.heap in
+  Heap.Int.clear heap;
+  dist.(src) <- 0.0;
+  pred.(src) <- -1;
+  stamp.(src) <- ep;
+  Heap.Int.push heap 0.0 src;
+  while not (Heap.Int.is_empty heap) do
+    let d = Heap.Int.min_key heap and v = Heap.Int.min_value heap in
+    Heap.Int.remove_min heap;
+    if settled.(v) <> ep then begin
+      settled.(v) <- ep;
+      for i = off.(v) to off.(v + 1) - 1 do
+        let w = dsts.(i) in
+        if settled.(w) <> ep then begin
+          let nd = d +. wbuf.(eids.(i)) in
+          let cur = if stamp.(w) = ep then dist.(w) else infinity in
+          if nd < cur then begin
+            dist.(w) <- nd;
+            pred.(w) <- eids.(i);
+            stamp.(w) <- ep;
+            Heap.Int.push heap nd w
+          end
+        end
+      done
+    end
+  done
+
+let dijkstra_into ws g ~weight src =
+  let wbuf = fill_weights ws g ~weight ~context:"Shortest.dijkstra" in
+  run_dijkstra ws g wbuf src
+
+let dijkstra g ~weight src =
+  let ws = Workspace.for_current_domain () in
+  dijkstra_into ws g ~weight src;
+  let n = Graph.n g in
+  (Array.init n (Workspace.dist ws), Array.init n (Workspace.pred_edge ws))
 
 let dijkstra_path g ~weight src dst =
-  let _, pred = dijkstra g ~weight src in
-  path_of_pred g ~src ~dst pred
+  let ws = Workspace.for_current_domain () in
+  dijkstra_into ws g ~weight src;
+  Workspace.path ws g dst
+
+let dijkstra_paths ?workspace g ~weight src targets =
+  let ws =
+    match workspace with Some ws -> ws | None -> Workspace.for_current_domain ()
+  in
+  dijkstra_into ws g ~weight src;
+  Array.map (fun dst -> Workspace.path ws g dst) targets
+
+(* ---------- Hop-limited (Bellman–Ford over hop counts) ---------- *)
+
+(* dist.(k).(v) = min weight of a walk src→v with at most k hops.  The
+   per-level predecessor edge makes reconstruction hop-bounded even in
+   the presence of zero-weight edges (a flat pred array could cycle). *)
+let hop_limited_run g ~weight ~max_hops src =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let wbuf = Array.make m 0.0 in
+  for e = 0 to m - 1 do
+    let we = weight e in
+    if we < 0.0 then invalid_arg "Shortest.hop_limited_path: negative edge weight";
+    wbuf.(e) <- we
+  done;
+  let dist = Array.make_matrix (max_hops + 1) n infinity in
+  let pred = Array.make_matrix (max_hops + 1) n (-1) in
+  dist.(0).(src) <- 0.0;
+  let graph_edges = Graph.edges g in
+  for k = 1 to max_hops do
+    let dk = dist.(k) and dk1 = dist.(k - 1) and pk = pred.(k) in
+    Array.blit dk1 0 dk 0 n;
+    Array.iter
+      (fun (e : Graph.edge) ->
+        let we = wbuf.(e.id) in
+        if dk1.(e.u) +. we < dk.(e.v) then begin
+          dk.(e.v) <- dk1.(e.u) +. we;
+          pk.(e.v) <- e.id
+        end;
+        if dk1.(e.v) +. we < dk.(e.u) then begin
+          dk.(e.u) <- dk1.(e.v) +. we;
+          pk.(e.u) <- e.id
+        end)
+      graph_edges
+  done;
+  (dist, pred)
+
+let hop_limited_extract g ~max_hops src (dist, pred) dst =
+  if dist.(max_hops).(dst) = infinity then None
+  else begin
+    (* Walk levels downward: a [-1] predecessor means the value was
+       carried over from the previous level. *)
+    let rec collect v k acc =
+      if v = src && dist.(k).(v) = 0.0 && pred.(k).(v) = -1 then acc
+      else if pred.(k).(v) = -1 then collect v (k - 1) acc
+      else
+        let e = pred.(k).(v) in
+        collect (Graph.other_end g e v) (k - 1) (e :: acc)
+    in
+    let edge_ids = Array.of_list (collect dst max_hops []) in
+    let walk = Path.of_edges g ~src ~dst edge_ids in
+    Some (Path.simplify g walk)
+  end
 
 let hop_limited_path g ~weight ~max_hops src dst =
   if src = dst then Some (Path.trivial src)
   else if max_hops <= 0 then None
+  else
+    let tables = hop_limited_run g ~weight ~max_hops src in
+    hop_limited_extract g ~max_hops src tables dst
+
+let hop_limited_paths g ~weight ~max_hops src targets =
+  if max_hops <= 0 then
+    Array.map
+      (fun dst -> if src = dst then Some (Path.trivial src) else None)
+      targets
   else begin
-    let n = Graph.n g in
-    (* dist.(k).(v) = min weight of a walk src→v with at most k hops.  The
-       per-level predecessor edge makes reconstruction hop-bounded even in
-       the presence of zero-weight edges (a flat pred array could cycle). *)
-    let dist = Array.make_matrix (max_hops + 1) n infinity in
-    let pred = Array.make_matrix (max_hops + 1) n (-1) in
-    dist.(0).(src) <- 0.0;
-    for k = 1 to max_hops do
-      Array.blit dist.(k - 1) 0 dist.(k) 0 n;
-      Array.iter
-        (fun (e : Graph.edge) ->
-          let we = weight e.id in
-          if we < 0.0 then invalid_arg "Shortest.hop_limited_path: negative edge weight";
-          if dist.(k - 1).(e.u) +. we < dist.(k).(e.v) then begin
-            dist.(k).(e.v) <- dist.(k - 1).(e.u) +. we;
-            pred.(k).(e.v) <- e.id
-          end;
-          if dist.(k - 1).(e.v) +. we < dist.(k).(e.u) then begin
-            dist.(k).(e.u) <- dist.(k - 1).(e.v) +. we;
-            pred.(k).(e.u) <- e.id
-          end)
-        (Graph.edges g)
-    done;
-    if dist.(max_hops).(dst) = infinity then None
-    else begin
-      (* Walk levels downward: a [-1] predecessor means the value was
-         carried over from the previous level. *)
-      let rec collect v k acc =
-        if v = src && dist.(k).(v) = 0.0 && pred.(k).(v) = -1 then acc
-        else if pred.(k).(v) = -1 then collect v (k - 1) acc
-        else
-          let e = pred.(k).(v) in
-          collect (Graph.other_end g e v) (k - 1) (e :: acc)
-      in
-      let edge_ids = Array.of_list (collect dst max_hops []) in
-      let walk = Path.of_edges g ~src ~dst edge_ids in
-      Some (Path.simplify g walk)
-    end
+    let tables = lazy (hop_limited_run g ~weight ~max_hops src) in
+    Array.map
+      (fun dst ->
+        if src = dst then Some (Path.trivial src)
+        else hop_limited_extract g ~max_hops src (Lazy.force tables) dst)
+      targets
   end
 
 let eccentricity g v =

@@ -2,7 +2,12 @@
 
     Dijkstra takes an arbitrary non-negative per-edge weight function, which
     is how the MWU flow solvers and the Räcke construction re-weight the
-    graph between iterations without rebuilding it. *)
+    graph between iterations without rebuilding it.  The weight function is
+    validated (and snapshotted) once per edge per call — not on every edge
+    visit — and traversals run over the graph's flat CSR arrays.
+
+    All entry points are bit-compatible with the historical boxed-adjacency
+    implementation: identical [dist]/[pred] tables, identical paths. *)
 
 val bfs_dist : Graph.t -> int -> int array
 (** Hop distances from a source; [max_int] for unreachable vertices. *)
@@ -10,14 +15,57 @@ val bfs_dist : Graph.t -> int -> int array
 val bfs_path : Graph.t -> int -> int -> Path.t option
 (** A minimum-hop path, if the destination is reachable. *)
 
+(** Reusable single-source workspace: dist/pred/settled state, the
+    validated-weight snapshot, and a monomorphic int-payload heap, all
+    epoch-stamped so starting a run costs one integer increment instead of
+    O(n) clearing.  A workspace is single-threaded state; use
+    {!Workspace.for_current_domain} to get the calling domain's private
+    one (pool workers each reuse their own across oracle calls). *)
+module Workspace : sig
+  type t
+
+  val create : unit -> t
+
+  val for_current_domain : unit -> t
+  (** The calling domain's lazily-created private workspace. *)
+
+  val dist : t -> int -> float
+  (** Distance from the last run's source; [infinity] if unreached. *)
+
+  val pred_edge : t -> int -> int
+  (** Edge id entering the vertex on the last run's shortest-path tree;
+      [-1] at the source and unreachable vertices. *)
+
+  val path : t -> Graph.t -> int -> Path.t option
+  (** Reconstruct the path from the last run's source to a vertex.
+      @raise Invalid_argument if no run has completed. *)
+end
+
+val dijkstra_into : Workspace.t -> Graph.t -> weight:(int -> float) -> int -> unit
+(** [dijkstra_into ws g ~weight src] runs Dijkstra from [src], leaving the
+    results in [ws] (read them with {!Workspace.dist} /
+    {!Workspace.pred_edge} / {!Workspace.path}).  Performs no per-call
+    allocation beyond heap growth on first use.  [weight e] must be
+    non-negative; validated once per edge. *)
+
 val dijkstra : Graph.t -> weight:(int -> float) -> int -> float array * int array
 (** [dijkstra g ~weight src] returns [(dist, pred_edge)] where
     [pred_edge.(v)] is the edge id entering [v] on a shortest path tree
     ([-1] at the source and unreachable vertices), and [dist.(v)] is
-    [infinity] when unreachable.  [weight e] must be non-negative. *)
+    [infinity] when unreachable.  [weight e] must be non-negative.
+    Allocates the two result arrays; hot loops that do not need owned
+    arrays should use {!dijkstra_into}. *)
 
 val dijkstra_path : Graph.t -> weight:(int -> float) -> int -> int -> Path.t option
 (** A minimum-weight path between two vertices. *)
+
+val dijkstra_paths :
+  ?workspace:Workspace.t ->
+  Graph.t -> weight:(int -> float) -> int -> int array -> Path.t option array
+(** [dijkstra_paths g ~weight src targets] answers every target from one
+    Dijkstra pass — the source-batched oracle: identical results to
+    calling {!dijkstra_path} per target, at 1/|targets| of the cost.
+    [workspace] defaults to the calling domain's. *)
 
 val hop_limited_path :
   Graph.t -> weight:(int -> float) -> max_hops:int -> int -> int -> Path.t option
@@ -25,6 +73,13 @@ val hop_limited_path :
     simple path (whose weight is then at most the walk's).  Bellman–Ford
     style dynamic program over hop counts, O(max_hops · m).  Returns [None]
     when no walk within the hop budget exists. *)
+
+val hop_limited_paths :
+  Graph.t ->
+  weight:(int -> float) -> max_hops:int -> int -> int array -> Path.t option array
+(** Source-batched {!hop_limited_path}: the DP tables depend only on the
+    source, so one O(max_hops · m) pass answers every target.  Identical
+    results to the per-target calls. *)
 
 val eccentricity : Graph.t -> int -> int
 (** Maximum hop distance from a vertex to any reachable vertex. *)

@@ -25,8 +25,14 @@ let build rng g ~length =
     Array.init (Graph.m g) (fun e -> Float.max min_length (length e))
   in
   let clamped e = snapshot.(e) in
-  (* All-pairs distances under the clamped metric. *)
-  let dist = Array.init n (fun v -> fst (Shortest.dijkstra g ~weight:clamped v)) in
+  (* All-pairs distances under the clamped metric: n Dijkstra runs sharing
+     one workspace, so only the kept distance rows are allocated. *)
+  let ws = Shortest.Workspace.for_current_domain () in
+  let dist =
+    Array.init n (fun v ->
+        Shortest.dijkstra_into ws g ~weight:clamped v;
+        Array.init n (Shortest.Workspace.dist ws))
+  in
   let delta_min = ref infinity and delta_max = ref 0.0 in
   for u = 0 to n - 1 do
     for v = 0 to n - 1 do
@@ -165,8 +171,13 @@ let pred_tree t hub =
   | Some pred -> pred
   | None ->
       (* Dijkstra runs outside the lock; a racing duplicate computes the
-         same tree, so the last write is harmless. *)
-      let _, pred = Shortest.dijkstra t.graph ~weight:t.length hub in
+         same tree, so the last write is harmless.  Only the cached pred
+         row is allocated — scratch state lives in the domain workspace. *)
+      let ws = Shortest.Workspace.for_current_domain () in
+      Shortest.dijkstra_into ws t.graph ~weight:t.length hub;
+      let pred =
+        Array.init (Graph.n t.graph) (Shortest.Workspace.pred_edge ws)
+      in
       Mutex.lock t.sp_lock;
       Hashtbl.replace t.sp_pred hub pred;
       Mutex.unlock t.sp_lock;

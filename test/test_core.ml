@@ -793,11 +793,18 @@ let test_attack_in_family_unknown_alpha () =
   let gg = Gen.g_graph 16 in
   let base = Ksp.routing ~k:2 gg.Gen.g_graph in
   let system = Sampler.alpha_sample (Rng.create 1) base ~alpha:1 in
-  Alcotest.(check bool) "raises" true
+  (* The error must name the missing alpha and the available ones. *)
+  Alcotest.(check bool) "raises with a descriptive message" true
     (try
        ignore (Lower_bound.attack_in_family gg ~alpha:99 system);
        false
-     with Not_found -> true)
+     with Invalid_argument msg ->
+       let contains needle =
+         let nl = String.length needle and ml = String.length msg in
+         let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+         go 0
+       in
+       contains "alpha = 99" && contains "available")
 
 (* Robustness *)
 

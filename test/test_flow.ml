@@ -544,6 +544,64 @@ let prop_round_preserves_counts =
       let a = Rounding.round rng r d in
       Demand.equal (Rounding.demand_of a) d)
 
+(* Source-batched oracles: the batched MWU must return routings that are
+   byte-identical to the per-pair oracle, at any pool size.  This is the
+   determinism contract the kernel refactor promises (E3/E14 depend on it). *)
+
+module Pool = Sso_engine.Pool
+
+let exact_same_routing label r1 r2 =
+  let dump r =
+    List.map
+      (fun (s, t) ->
+        ( (s, t),
+          List.map
+            (fun (w, (p : Path.t)) -> (w, p.Path.src, p.Path.dst, p.Path.edges))
+            (Routing.distribution r s t) ))
+      (Routing.pairs r)
+  in
+  Alcotest.(check bool) label true (dump r1 = dump r2)
+
+let batched_demand () =
+  (* Several targets per source so batching actually groups, plus one
+     lone pair. *)
+  Demand.of_list
+    [ (0, 5, 1.0); (0, 7, 2.0); (0, 11, 1.0); (2, 9, 1.5); (2, 13, 1.0); (4, 10, 0.5) ]
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_mwu_unrestricted_batched_matches_per_pair () =
+  let rng = Rng.create 21 in
+  let g = Gen.random_regular rng 16 4 in
+  let d = batched_demand () in
+  let solve ~pool ~batched =
+    fst (Min_congestion.mwu_unrestricted ~pool ~iters:60 ~batched g d)
+  in
+  with_pool 1 @@ fun p1 ->
+  with_pool 4 @@ fun p4 ->
+  let reference = solve ~pool:p1 ~batched:false in
+  exact_same_routing "batched jobs 1" reference (solve ~pool:p1 ~batched:true);
+  exact_same_routing "per-pair jobs 4" reference (solve ~pool:p4 ~batched:false);
+  exact_same_routing "batched jobs 4" reference (solve ~pool:p4 ~batched:true)
+
+let test_mwu_hop_limited_batched_matches_per_pair () =
+  let rng = Rng.create 22 in
+  let g = Gen.random_regular rng 16 4 in
+  let d = batched_demand () in
+  let solve ~pool ~batched =
+    match Min_congestion.mwu_hop_limited ~pool ~iters:30 ~batched ~max_hops:6 g d with
+    | Some (r, _) -> r
+    | None -> Alcotest.fail "hop-limited solve should be feasible"
+  in
+  with_pool 1 @@ fun p1 ->
+  with_pool 4 @@ fun p4 ->
+  let reference = solve ~pool:p1 ~batched:false in
+  exact_same_routing "batched jobs 1" reference (solve ~pool:p1 ~batched:true);
+  exact_same_routing "per-pair jobs 4" reference (solve ~pool:p4 ~batched:false);
+  exact_same_routing "batched jobs 4" reference (solve ~pool:p4 ~batched:true)
+
 let () =
   Alcotest.run "flow"
     [
@@ -576,6 +634,10 @@ let () =
           Alcotest.test_case "unrestricted vs lp" `Slow test_unrestricted_lp_matches_mwu;
           Alcotest.test_case "hop limited direct" `Quick test_hop_limited_forces_direct;
           Alcotest.test_case "hop limited infeasible" `Quick test_hop_limited_infeasible;
+          Alcotest.test_case "unrestricted batched = per-pair" `Quick
+            test_mwu_unrestricted_batched_matches_per_pair;
+          Alcotest.test_case "hop limited batched = per-pair" `Quick
+            test_mwu_hop_limited_batched_matches_per_pair;
           Alcotest.test_case "lower bound sound" `Slow test_lower_bound_sound;
           Alcotest.test_case "lower bound bottleneck" `Quick test_lower_bound_tight_on_bottleneck;
         ] );

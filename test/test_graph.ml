@@ -509,6 +509,107 @@ let prop_heap_sorts =
       let popped = drain [] in
       popped = List.sort compare keys)
 
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "a";
+  Heap.push h 2.0 "b";
+  Heap.clear h;
+  Alcotest.(check int) "empty after clear" 0 (Heap.size h);
+  Heap.push h 3.0 "c";
+  match Heap.pop h with
+  | Some (k, v) ->
+      Alcotest.(check (float 0.0)) "key" 3.0 k;
+      Alcotest.(check string) "value" "c" v
+  | None -> Alcotest.fail "expected element after reuse"
+
+(* The monomorphic int heap must pop in exactly the same order as the
+   polymorphic heap (ties included) — Dijkstra's bit-compatibility across
+   the workspace migration rests on this. *)
+let prop_heap_int_matches_poly =
+  QCheck.Test.make ~name:"Heap.Int pops identically to the polymorphic heap"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 80) (float_range 0.0 4.0))
+    (fun keys ->
+      (* Coarse keys force plenty of ties, exercising tie-break order. *)
+      let keys = List.map (fun k -> Float.round k) keys in
+      let hp = Heap.create () in
+      let hi = Heap.Int.create () in
+      List.iteri
+        (fun i k ->
+          Heap.push hp k i;
+          Heap.Int.push hi k i)
+        keys;
+      let rec drain acc =
+        match (Heap.pop hp, Heap.Int.pop hi) with
+        | Some a, Some b -> if a = b then drain ((a, b) :: acc) else false
+        | None, None -> true
+        | _ -> false
+      in
+      drain [])
+
+let test_heap_int_clear () =
+  let h = Heap.Int.create () in
+  Heap.Int.push h 5.0 7;
+  Heap.Int.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.Int.is_empty h);
+  Heap.Int.push h 2.0 3;
+  Alcotest.(check (float 0.0)) "min key" 2.0 (Heap.Int.min_key h);
+  Alcotest.(check int) "min value" 3 (Heap.Int.min_value h);
+  Heap.Int.remove_min h;
+  Alcotest.(check bool) "drained" true (Heap.Int.is_empty h)
+
+(* CSR layer: packed arrays must list each vertex's incidences in exactly
+   [Graph.adj] order — traversal-order (and hence output) compatibility of
+   every CSR-based kernel depends on it. *)
+let prop_csr_matches_adj =
+  QCheck.Test.make ~name:"CSR arrays mirror adj order" ~count:100
+    QCheck.(pair small_int (int_range 4 40))
+    (fun (seed, n) ->
+      let rng = Rng.create (1000 + seed) in
+      let g = Gen.erdos_renyi rng n 0.3 in
+      let off = Graph.csr_offsets g
+      and eids = Graph.csr_edge_ids g
+      and dsts = Graph.csr_targets g in
+      Array.length off = Graph.n g + 1
+      && off.(Graph.n g) = 2 * Graph.m g
+      && List.for_all
+           (fun v ->
+             let adj = Graph.adj g v in
+             off.(v + 1) - off.(v) = Array.length adj
+             && List.for_all
+                  (fun i ->
+                    let e, w = adj.(i) in
+                    eids.(off.(v) + i) = e && dsts.(off.(v) + i) = w)
+                  (List.init (Array.length adj) Fun.id))
+           (List.init (Graph.n g) Fun.id))
+
+let test_iter_adj_matches_adj () =
+  let rng = Rng.create 77 in
+  let g = Gen.erdos_renyi rng 12 0.4 in
+  for v = 0 to Graph.n g - 1 do
+    let seen = ref [] in
+    Graph.iter_adj g v (fun e w -> seen := (e, w) :: !seen);
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "vertex %d" v)
+      (Array.to_list (Graph.adj g v))
+      (List.rev !seen)
+  done
+
+let test_dijkstra_rejects_negative_weight () =
+  let g = Gen.grid 3 3 in
+  (* The negative edge sits away from the source component's frontier —
+     validation is per-call over all edges, not per visit. *)
+  let weight e = if e = Graph.m g - 1 then -1.0 else 1.0 in
+  Alcotest.check_raises "dijkstra raises"
+    (Invalid_argument "Shortest.dijkstra: negative edge weight") (fun () ->
+      ignore (Shortest.dijkstra g ~weight 0));
+  Alcotest.check_raises "dijkstra_path raises"
+    (Invalid_argument "Shortest.dijkstra: negative edge weight") (fun () ->
+      ignore (Shortest.dijkstra_path g ~weight 0 1));
+  Alcotest.check_raises "hop_limited raises"
+    (Invalid_argument "Shortest.hop_limited_path: negative edge weight")
+    (fun () -> ignore (Shortest.hop_limited_path g ~weight ~max_hops:4 0 1))
+
 (* Extra shortest-path coverage *)
 
 let test_dijkstra_infinite_weight_masks () =
@@ -904,6 +1005,14 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "int clear" `Quick test_heap_int_clear;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "iter_adj matches adj" `Quick test_iter_adj_matches_adj;
+          Alcotest.test_case "dijkstra rejects negative weight" `Quick
+            test_dijkstra_rejects_negative_weight;
         ] );
       ( "shortest extra",
         [
@@ -952,6 +1061,8 @@ let () =
             prop_yen_sorted;
             prop_tree_path_valid;
             prop_heap_sorts;
+            prop_heap_int_matches_poly;
+            prop_csr_matches_adj;
             prop_bridges_match_cut_of_one;
           ] );
     ]
