@@ -42,6 +42,8 @@ module Lower_bound = Sso_core.Lower_bound
 module Stats = Sso_stats.Stats
 module Pool = Sso_engine.Pool
 module Metrics = Sso_engine.Metrics
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
 module Codec = Sso_artifact.Codec
 module Store = Sso_artifact.Store
 module Memo = Sso_artifact.Memo
@@ -915,23 +917,7 @@ let e20 () =
    [--kernels --json F] tracks the perf trajectory; BENCH_kernels.json
    holds the committed baseline. *)
 
-let kernels () =
-  header "kernels  (wall-clock, best of 3 runs)";
-  let timed_best ?(reps = 3) f =
-    let best = ref infinity in
-    for _ = 1 to reps do
-      let t0 = Unix.gettimeofday () in
-      ignore (Sys.opaque_identity (f ()));
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt
-    done;
-    !best
-  in
-  let bench name f =
-    let s = timed_best f in
-    scalar (Printf.sprintf "kernels.%s.seconds" name) s;
-    Printf.printf "%-36s %12.4f s\n" name s
-  in
+let kernel_cases () =
   let module Shortest = Sso_graph.Shortest in
   let module Concurrent_flow = Sso_flow.Concurrent_flow in
   (* Expander-ish substrate: large enough that the oracle dominates. *)
@@ -946,27 +932,128 @@ let kernels () =
          (fun s -> List.init 8 (fun i -> (s, 40 + (8 * s) + i, 1.0)))
          [ 0; 1; 2; 3 ])
   in
-  bench "sssp_all_sources" (fun () ->
-      for v = 0 to Graph.n g - 1 do
-        ignore (Shortest.dijkstra g ~weight v)
-      done);
-  bench "mwu_unrestricted_shared" (fun () ->
-      Min_congestion.mwu_unrestricted ~iters:100 g shared);
-  bench "mwu_hop_limited_shared" (fun () ->
-      Min_congestion.mwu_hop_limited ~iters:20 ~max_hops:10 g shared);
   let grid = Gen.grid 7 7 in
   let d = Demand.random_pairs (seeded 98) ~n:49 ~pairs:24 in
   let base = Ksp.routing ~k:4 grid in
   let system = Sampler.alpha_sample (seeded 99) base ~alpha:4 in
   let cands = Path_system.to_candidates system (Demand.support d) in
-  bench "mwu_candidates" (fun () ->
-      Min_congestion.mwu_on_paths ~iters:150 grid cands d);
-  bench "gk_candidates" (fun () ->
-      Concurrent_flow.on_paths ~epsilon:0.1 grid cands d);
-  bench "frt_build_grid" (fun () -> Frt.build (seeded 100) grid ~length:(fun _ -> 1.0));
+  [
+    ( "sssp_all_sources",
+      fun () ->
+        for v = 0 to Graph.n g - 1 do
+          ignore (Shortest.dijkstra g ~weight v)
+        done );
+    ( "mwu_unrestricted_shared",
+      fun () -> ignore (Min_congestion.mwu_unrestricted ~iters:100 g shared) );
+    ( "mwu_hop_limited_shared",
+      fun () ->
+        ignore (Min_congestion.mwu_hop_limited ~iters:20 ~max_hops:10 g shared)
+    );
+    ( "mwu_candidates",
+      fun () -> ignore (Min_congestion.mwu_on_paths ~iters:150 grid cands d) );
+    ( "gk_candidates",
+      fun () -> ignore (Concurrent_flow.on_paths ~epsilon:0.1 grid cands d) );
+    ( "frt_build_grid",
+      fun () -> ignore (Frt.build (seeded 100) grid ~length:(fun _ -> 1.0)) );
+  ]
+
+let timed_best ?(reps = 3) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let kernels () =
+  header "kernels  (wall-clock, best of 3 runs)";
+  let bench (name, f) =
+    let s = timed_best (fun () -> Obs.traced ("kernels." ^ name) f) in
+    scalar (Printf.sprintf "kernels.%s.seconds" name) s;
+    Printf.printf "%-36s %12.4f s\n" name s
+  in
+  List.iter bench (kernel_cases ());
   Printf.printf
     "families: sssp (Dijkstra kernel), mwu_* (oracle-dominated solves),\n";
   Printf.printf "gk (sequential cheapest-path packing), frt (all-pairs Dijkstra).\n"
+
+(* ------------------------------------------------------------------ *)
+(* --obs-guard: assert that the observability layer is actually free
+   when tracing is off.  Runs the kernel suite twice with tracing
+   disabled (their spread bounds machine noise), then compares against
+   the committed BENCH_kernels.json post_seconds baseline recorded
+   before lib/obs existed.  A third, tracing-enabled pass is reported
+   for context but not gated (event emission is allowed to cost). *)
+
+let obs_guard () =
+  header "obs-guard  (tracing-off overhead vs BENCH_kernels.json)";
+  let cases = kernel_cases () in
+  let measure () =
+    List.map (fun (name, f) -> (name, timed_best ~reps:5 f)) cases
+  in
+  Obs.set_tracing false;
+  let off1 = measure () in
+  let off2 = measure () in
+  Obs.set_tracing true;
+  let on_ = measure () in
+  Obs.set_tracing false;
+  Obs.clear_trace ();
+  let baseline =
+    match In_channel.with_open_bin "BENCH_kernels.json" In_channel.input_all with
+    | text -> (
+        match Trace.Json.member "kernels" (Trace.Json.parse text) with
+        | Some (Trace.Json.Obj entries) ->
+            List.filter_map
+              (fun (name, v) ->
+                Option.map
+                  (fun f -> (name, f))
+                  (Option.bind
+                     (Trace.Json.member "post_seconds" v)
+                     Trace.Json.number))
+              entries
+        | _ -> []
+        | exception Trace.Corrupt _ -> [])
+    | exception Sys_error _ ->
+        Printf.printf "(no BENCH_kernels.json in cwd: baseline gate skipped)\n";
+        []
+  in
+  Printf.printf "%-26s %10s %10s %7s %10s %7s\n" "kernel" "off(s)" "on(s)"
+    "drift%" "base(s)" "ratio";
+  let failed = ref false in
+  List.iter
+    (fun (name, a) ->
+      let b = List.assoc name off2 in
+      let t_on = List.assoc name on_ in
+      let off = Float.min a b in
+      let drift = Float.abs (a -. b) /. Float.max a b *. 100.0 in
+      scalar (Printf.sprintf "obs_guard.%s.off_seconds" name) off;
+      scalar (Printf.sprintf "obs_guard.%s.on_seconds" name) t_on;
+      scalar (Printf.sprintf "obs_guard.%s.drift_pct" name) drift;
+      let base = List.assoc_opt name baseline in
+      let ratio = Option.map (fun b0 -> off /. b0) base in
+      Printf.printf "%-26s %10.4f %10.4f %6.1f%% %10s %7s\n" name off t_on drift
+        (match base with Some b0 -> Printf.sprintf "%.4f" b0 | None -> "-")
+        (match ratio with Some r -> Printf.sprintf "%.2f" r | None -> "-");
+      (match ratio with
+      | Some r ->
+          scalar (Printf.sprintf "obs_guard.%s.ratio" name) r;
+          if r > 1.25 then begin
+            failed := true;
+            Printf.printf "FAIL %s: disabled-tracing run is %.2fx baseline\n"
+              name r
+          end
+      | None -> ());
+      if drift > 15.0 then
+        Printf.printf "warn %s: %.1f%% drift between disabled runs (noisy box)\n"
+          name drift)
+    off1;
+  if !failed then begin
+    Printf.printf "obs-guard: FAILED (tracing-off overhead above 1.25x baseline)\n";
+    exit 1
+  end
+  else Printf.printf "obs-guard: ok (tracing off is within noise of baseline)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing suite: one micro-benchmark per experiment family. *)
@@ -1074,6 +1161,14 @@ let experiments =
     ("E20", "ladder sparsity accounting", e20);
   ]
 
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      ignore (Unix.close_process_in ic);
+      if line = "" then "unknown" else line
+  | exception _ -> "unknown"
+
 let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
@@ -1100,6 +1195,8 @@ let () =
           Printf.eprintf "--seed expects an integer, got %s\n" v;
           exit 1)
   | None -> ());
+  let trace_path = find_value "--trace" args in
+  if trace_path <> None then Obs.set_tracing true;
   let cache_dir = find_value "--cache-dir" args in
   if (has "--cache" || cache_dir <> None) && not (has "--no-cache") then (
     match Store.open_ ?dir:cache_dir () with
@@ -1110,12 +1207,13 @@ let () =
   let timings : (string * float) list ref = ref [] in
   let timed_run id run =
     let t0 = Unix.gettimeofday () in
-    run ();
+    Obs.traced ("bench." ^ id) run;
     timings := !timings @ [ (id, Unix.gettimeofday () -. t0) ]
   in
   if has "--list" then
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) experiments
   else if has "--kernels" then kernels ()
+  else if has "--obs-guard" then obs_guard ()
   else begin
     (match find_experiment args with
     | Some id -> (
@@ -1135,6 +1233,19 @@ let () =
       (Printf.sprintf "metrics  (jobs = %d)" (Pool.default_jobs ()));
     print_string (Metrics.table ())
   end;
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+      (* argv is deliberately left out of the meta: traces from the same
+         seed at different --jobs must differ only in the "jobs" field. *)
+      let meta =
+        [
+          ("seed", Trace.Int !master_seed);
+          ("jobs", Trace.Int (Pool.default_jobs ()));
+          ("git", Trace.String (git_describe ()));
+        ]
+      in
+      Obs.write_trace ~path ~meta);
   match find_value "--json" args with
   | None -> ()
   | Some path ->
@@ -1159,9 +1270,13 @@ let () =
       in
       let json =
         Printf.sprintf
-          "{\"seed\": %d, \"jobs\": %d, \"cache\": {%s}, \"experiments\": \
+          "{\"meta\": {\"schema\": \"sso-bench\", \"version\": 1, \"seed\": \
+           %d, \"jobs\": %d, \"git\": \"%s\", \"trace_schema\": %d}, \
+           \"seed\": %d, \"jobs\": %d, \"cache\": {%s}, \"experiments\": \
            [%s], \"scalars\": {%s}, \"metrics\": %s}\n"
           !master_seed (Pool.default_jobs ())
+          (escape (git_describe ()))
+          Trace.schema_version !master_seed (Pool.default_jobs ())
           (fields
              (fun name ->
                Printf.sprintf "\"%s\": %d" name (cache_counter name))

@@ -32,6 +32,8 @@ module Semi_oblivious = Sso_core.Semi_oblivious
 module Lower_bound = Sso_core.Lower_bound
 module Store = Sso_artifact.Store
 module Memo = Sso_artifact.Memo
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
 
 open Cmdliner
 
@@ -95,6 +97,32 @@ let open_store cache no_cache cache_dir =
     | exception Store.Unreadable msg ->
         Printf.eprintf "sso: cannot open the artifact store: %s\n" msg;
         exit exit_unreadable
+
+(* ---- tracing arguments ---- *)
+
+let trace_arg =
+  let doc =
+    "Record a structured execution trace (spans, per-round solver telemetry) \
+     to $(docv) as JSONL.  Inspect it with $(b,sso trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let start_trace = function None -> () | Some _ -> Obs.set_tracing true
+
+let finish_trace ~seed = function
+  | None -> ()
+  | Some path ->
+      let meta =
+        [
+          ("seed", Trace.Int seed);
+          ("jobs", Trace.Int (Sso_engine.Pool.default_jobs ()));
+        ]
+      in
+      (match Obs.write_trace ~path ~meta with
+      | () -> ()
+      | exception Trace.Unreadable msg ->
+          Printf.eprintf "sso: cannot write trace: %s\n" msg;
+          exit exit_unreadable)
 
 (* ---- gen ---- *)
 
@@ -188,8 +216,9 @@ let route_cmd =
     Arg.(value & opt string "mwu" & info [ "solver" ] ~docv:"SOLVER" ~doc)
   in
   let run path base alpha with_cut demand_spec solver_spec seed jobs cache
-      no_cache cache_dir =
+      no_cache cache_dir trace =
     set_jobs jobs;
+    start_trace trace;
     let store = open_store cache no_cache cache_dir in
     let g = read_graph path in
     let rng = Rng.create seed in
@@ -242,14 +271,15 @@ let route_cmd =
     Printf.printf "semi-oblivious cong   %.4f\n" congestion;
     Printf.printf "base oblivious cong   %.4f\n" oblivious_congestion;
     Printf.printf "offline optimum (est) %.4f\n" opt;
-    Printf.printf "competitive ratio     %.3f\n" (congestion /. opt)
+    Printf.printf "competitive ratio     %.3f\n" (congestion /. opt);
+    finish_trace ~seed trace
   in
   let doc = "sample a path system from an oblivious routing and route a demand" in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
       const run $ graph_pos $ base_arg $ alpha_arg $ cut_arg $ demand_arg
       $ solver_arg $ seed_arg $ jobs_arg $ cache_arg $ no_cache_arg
-      $ cache_dir_arg)
+      $ cache_dir_arg $ trace_arg)
 
 (* ---- attack ---- *)
 
@@ -266,8 +296,9 @@ let attack_cmd =
     let doc = "Sparsity of the sampled system under attack." in
     Arg.(value & opt int 2 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
   in
-  let run leaves middles alpha seed jobs =
+  let run leaves middles alpha seed jobs trace =
     set_jobs jobs;
+    start_trace trace;
     let c = Gen.c_graph leaves middles in
     let rng = Rng.create seed in
     let base = Ksp.routing ~k:(2 * middles) c.Gen.c_graph in
@@ -283,11 +314,14 @@ let attack_cmd =
     Printf.printf "matched pairs        %d\n" attack.Lower_bound.pairs_matched;
     Printf.printf "certified bound      %.3f\n" attack.Lower_bound.predicted_congestion;
     Printf.printf "measured congestion  %.3f\n" measured;
-    Printf.printf "offline optimum      1.000\n"
+    Printf.printf "offline optimum      1.000\n";
+    finish_trace ~seed trace
   in
   let doc = "run the Section-8 lower-bound adversary on C(n,k)" in
   Cmd.v (Cmd.info "attack" ~doc)
-    Term.(const run $ leaves_arg $ middles_arg $ alpha_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ leaves_arg $ middles_arg $ alpha_arg $ seed_arg $ jobs_arg
+      $ trace_arg)
 
 (* ---- simulate ---- *)
 
@@ -301,8 +335,9 @@ let simulate_cmd =
     let doc = "Number of random unit packets to inject." in
     Arg.(value & opt int 16 & info [ "packets" ] ~docv:"N" ~doc)
   in
-  let run path alpha packets seed jobs cache no_cache cache_dir =
+  let run path alpha packets seed jobs cache no_cache cache_dir trace =
     set_jobs jobs;
+    start_trace trace;
     let store = open_store cache no_cache cache_dir in
     let g = read_graph path in
     let rng = Rng.create seed in
@@ -325,13 +360,14 @@ let simulate_cmd =
       (Simulator.lower_bound g assignment);
     report "fifo" Simulator.Fifo;
     report "random-rank" (Simulator.Random_rank (Rng.split rng));
-    report "longest-remaining" Simulator.Longest_remaining
+    report "longest-remaining" Simulator.Longest_remaining;
+    finish_trace ~seed trace
   in
   let doc = "route packets semi-obliviously and simulate their delivery" in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ graph_pos $ alpha_arg $ packets_arg $ seed_arg $ jobs_arg
-      $ cache_arg $ no_cache_arg $ cache_dir_arg)
+      $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
 
 (* ---- cache ---- *)
 
@@ -411,6 +447,205 @@ let cache_cmd =
   let doc = "inspect and maintain the on-disk artifact store" in
   Cmd.group (Cmd.info "cache" ~doc) [ ls_cmd; stat_cmd; gc_cmd; clear_cmd ]
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  (* Exit conventions mirror [sso cache]: 10 when the file cannot be
+     read, 11 when it is not a valid version-1 sso trace. *)
+  let trace_pos p =
+    let doc = "JSONL trace produced with $(b,--trace FILE)." in
+    (* [string], not [file]: a missing path must surface as our exit 10,
+       not cmdliner's 124. *)
+    Arg.(required & pos p (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let load path =
+    match Trace.load path with
+    | t -> t
+    | exception Trace.Unreadable msg ->
+        Printf.eprintf "sso trace: %s\n" msg;
+        exit exit_unreadable
+    | exception Trace.Corrupt msg ->
+        Printf.eprintf "sso trace: %s\n" msg;
+        exit exit_corrupt
+  in
+  let ms ns = float_of_int ns /. 1e6 in
+  let value_str = function
+    | Trace.Int i -> string_of_int i
+    | Trace.Float f -> Printf.sprintf "%g" f
+    | Trace.Bool b -> string_of_bool b
+    | Trace.String s -> s
+  in
+  let print_solves ~all solves =
+    List.iteri
+      (fun i (s : Trace.solve) ->
+        let rounds = Array.of_list s.Trace.s_rounds in
+        let n = Array.length rounds in
+        Printf.printf "\nsolve #%d  solver=%s  pairs=%d  iters=%d  rounds=%d\n"
+          (i + 1) s.Trace.s_solver s.Trace.s_pairs s.Trace.s_iters n;
+        if n > 0 then begin
+          Printf.printf "%8s %12s %12s %12s %8s\n" "round" "congestion"
+            "avg-cong" "potential" "paths";
+          let keep r =
+            all || r = 1 || r = n || r land (r - 1) = 0 (* powers of two *)
+          in
+          Array.iter
+            (fun (r : Trace.round) ->
+              if keep r.Trace.r_round then
+                Printf.printf "%8d %12.4f %12.4f %12.4g %8d\n" r.Trace.r_round
+                  r.Trace.r_cong r.Trace.r_avg r.Trace.r_potential
+                  r.Trace.r_paths)
+            rounds
+        end)
+      solves
+  in
+  let summary_cmd =
+    let run path =
+      let t = load path in
+      Printf.printf "trace      %s\n" path;
+      List.iter
+        (fun (k, v) -> Printf.printf "meta       %-6s %s\n" k (value_str v))
+        t.Trace.meta;
+      Printf.printf "events     %d (%d dropped at capture)\n"
+        (List.length t.Trace.events) t.Trace.dropped;
+      let spans = Trace.span_totals t.Trace.events in
+      if spans <> [] then begin
+        Printf.printf "\n%-36s %8s %12s\n" "span" "calls" "total ms";
+        List.iter
+          (fun (name, calls, total_ns) ->
+            Printf.printf "%-36s %8d %12.3f\n" name calls (ms total_ns))
+          spans
+      end;
+      let counts = Trace.event_counts t.Trace.events in
+      if counts <> [] then begin
+        Printf.printf "\n%-36s %8s\n" "event" "count";
+        List.iter
+          (fun (name, count) -> Printf.printf "%-36s %8d\n" name count)
+          counts
+      end;
+      let solves = Trace.mwu_solves t.Trace.events in
+      if solves <> [] then begin
+        Printf.printf "\nMWU convergence (log-spaced rounds; 'sso trace \
+                       convergence' for all):\n";
+        print_solves ~all:false solves
+      end
+    in
+    let doc = "overview: meta, span totals, event counts, MWU convergence" in
+    Cmd.v (Cmd.info "summary" ~doc) Term.(const run $ trace_pos 0)
+  in
+  let spans_cmd =
+    let run path =
+      let t = load path in
+      (* Aggregate per (name); indent by the minimum depth the span was
+         observed at, so nesting survives aggregation. *)
+      let depth = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Trace.event) ->
+          if e.Trace.kind = Trace.Span then
+            let d =
+              match Hashtbl.find_opt depth e.Trace.name with
+              | Some d -> min d e.Trace.depth
+              | None -> e.Trace.depth
+            in
+            Hashtbl.replace depth e.Trace.name d)
+        t.Trace.events;
+      Printf.printf "%-44s %8s %12s %12s\n" "span" "calls" "total ms"
+        "mean ms";
+      List.iter
+        (fun (name, calls, total_ns) ->
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth name) in
+          let label = String.make (2 * d) ' ' ^ name in
+          Printf.printf "%-44s %8d %12.3f %12.4f\n" label calls (ms total_ns)
+            (ms total_ns /. float_of_int (max 1 calls)))
+        (Trace.span_totals t.Trace.events)
+    in
+    let doc = "per-span aggregation, indented by nesting depth" in
+    Cmd.v (Cmd.info "spans" ~doc) Term.(const run $ trace_pos 0)
+  in
+  let convergence_cmd =
+    let run path =
+      let t = load path in
+      match Trace.mwu_solves t.Trace.events with
+      | [] ->
+          Printf.printf
+            "no MWU solves in this trace (was the traced run using the LP or \
+             GK solver?)\n"
+      | solves -> print_solves ~all:true solves
+    in
+    let doc = "per-round MWU telemetry for every solve in the trace" in
+    Cmd.v (Cmd.info "convergence" ~doc) Term.(const run $ trace_pos 0)
+  in
+  let diff_cmd =
+    let run path_a path_b =
+      let a = load path_a and b = load path_b in
+      let totals t =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (name, _, total_ns) -> Hashtbl.replace tbl name total_ns)
+          (Trace.span_totals t.Trace.events);
+        tbl
+      in
+      let ta = totals a and tb = totals b in
+      let names = Hashtbl.create 16 in
+      Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) ta;
+      Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) tb;
+      let rows =
+        Hashtbl.fold
+          (fun name () acc ->
+            let va = Option.value ~default:0 (Hashtbl.find_opt ta name) in
+            let vb = Option.value ~default:0 (Hashtbl.find_opt tb name) in
+            (name, va, vb, vb - va) :: acc)
+          names []
+      in
+      let rows =
+        List.sort
+          (fun (_, _, _, d1) (_, _, _, d2) -> compare (abs d2) (abs d1))
+          rows
+      in
+      Printf.printf "%-36s %12s %12s %12s %8s\n" "span" "A ms" "B ms"
+        "delta ms" "ratio";
+      List.iter
+        (fun (name, va, vb, d) ->
+          Printf.printf "%-36s %12.3f %12.3f %+12.3f %8s\n" name (ms va)
+            (ms vb) (ms d)
+            (if va = 0 then "-"
+             else Printf.sprintf "%.2f" (float_of_int vb /. float_of_int va)))
+        rows;
+      let counts t =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (name, c) -> Hashtbl.replace tbl name c)
+          (Trace.event_counts t.Trace.events);
+        tbl
+      in
+      let ca = counts a and cb = counts b in
+      let enames = Hashtbl.create 16 in
+      Hashtbl.iter (fun k _ -> Hashtbl.replace enames k ()) ca;
+      Hashtbl.iter (fun k _ -> Hashtbl.replace enames k ()) cb;
+      let erows =
+        List.sort compare
+          (Hashtbl.fold
+             (fun name () acc ->
+               let va = Option.value ~default:0 (Hashtbl.find_opt ca name) in
+               let vb = Option.value ~default:0 (Hashtbl.find_opt cb name) in
+               if va <> vb then (name, va, vb) :: acc else acc)
+             enames [])
+      in
+      if erows <> [] then begin
+        Printf.printf "\n%-36s %10s %10s\n" "event count changes" "A" "B";
+        List.iter
+          (fun (name, va, vb) ->
+            Printf.printf "%-36s %10d %10d\n" name va vb)
+          erows
+      end
+    in
+    let doc = "compare two traces: span time and event count deltas" in
+    Cmd.v (Cmd.info "diff" ~doc)
+      Term.(const run $ trace_pos 0 $ trace_pos 1)
+  in
+  let doc = "analyze JSONL execution traces recorded with --trace" in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ summary_cmd; spans_cmd; convergence_cmd; diff_cmd ]
+
 (* ---- theory ---- *)
 
 let theory_cmd =
@@ -457,5 +692,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; info_cmd; route_cmd; attack_cmd; simulate_cmd; theory_cmd;
-            cache_cmd;
+            cache_cmd; trace_cmd;
           ]))

@@ -3,8 +3,10 @@
 # parallel engine by running the E3 adversary experiment on 2 worker
 # domains (its output is deterministic for any job count), the
 # artifact cache by running E5 cold/warm in a temporary store
-# (byte-identical output, at least one recorded hit), and the kernel
-# micro-benchmarks by validating their JSON schema.
+# (byte-identical output, at least one recorded hit), the kernel
+# micro-benchmarks by validating their JSON schema, and the tracing
+# subsystem by recording a kernel trace at two job counts (identical
+# event sequences) and running the `sso trace` analyzers over it.
 set -eux
 
 dune build
@@ -12,3 +14,4 @@ dune runtest
 dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
 ./cache_smoke.sh
 ./kernels_smoke.sh
+./trace_smoke.sh

@@ -1,6 +1,6 @@
 module Graph = Sso_graph.Graph
 module Rng = Sso_prng.Rng
-module Metrics = Sso_engine.Metrics
+module Obs = Sso_obs.Obs
 module Oblivious = Sso_oblivious.Oblivious
 module Racke = Sso_oblivious.Racke
 module Frt = Sso_oblivious.Frt
@@ -13,8 +13,7 @@ let hex = Codec.hex_of_key
 (* A payload that passes the store checksum but fails semantic validation
    on decode (e.g. after a format change without a version bump) is still
    damage: count it and fall back to a rebuild. *)
-let semantic_corrupt () =
-  Metrics.incr (Metrics.counter "artifact.corrupt")
+let semantic_corrupt () = Obs.incr (Obs.counter "artifact.corrupt")
 
 (* ---- Räcke forests ---- *)
 

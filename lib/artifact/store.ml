@@ -1,14 +1,16 @@
-module Metrics = Sso_engine.Metrics
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
 
 exception Unreadable of string
 
 let unreadable fmt = Printf.ksprintf (fun msg -> raise (Unreadable msg)) fmt
 
-let c_hit = Metrics.counter "artifact.hit"
-let c_miss = Metrics.counter "artifact.miss"
-let c_corrupt = Metrics.counter "artifact.corrupt"
-let c_bytes_read = Metrics.counter "artifact.bytes_read"
-let c_bytes_written = Metrics.counter "artifact.bytes_written"
+let c_hit = Obs.counter "artifact.hit"
+let c_miss = Obs.counter "artifact.miss"
+let c_corrupt = Obs.counter "artifact.corrupt"
+let c_bytes_read = Obs.counter "artifact.bytes_read"
+let c_bytes_written = Obs.counter "artifact.bytes_written"
+let h_payload = Obs.histogram "artifact.payload_bytes"
 
 (* ---- recipes ---- *)
 
@@ -31,6 +33,15 @@ let describe r =
   Printf.sprintf "%s(%s)" r.kind
     (String.concat ", "
        (List.map (fun (name, value) -> name ^ "=" ^ value) r.params))
+
+let cache_event outcome r =
+  if Obs.tracing () then
+    Obs.event ("artifact." ^ outcome)
+      ~attrs:
+        [
+          ("kind", Trace.String r.kind);
+          ("key", Trace.String (Codec.hex_of_key (key r)));
+        ]
 
 (* ---- entry file format ---- *)
 
@@ -110,28 +121,34 @@ let read_file path = In_channel.with_open_bin path In_channel.input_all
 let find t r =
   let path = entry_file t r in
   if not (Sys.file_exists path) then begin
-    Metrics.incr c_miss;
+    Obs.incr c_miss;
+    cache_event "miss" r;
     None
   end
   else
     match decode_entry (read_file path) with
     | exception Sys_error _ ->
-        Metrics.incr c_miss;
+        Obs.incr c_miss;
+        cache_event "miss" r;
         None
     | exception Codec.Corrupt _ ->
-        Metrics.incr c_corrupt;
-        Metrics.incr c_miss;
+        Obs.incr c_corrupt;
+        Obs.incr c_miss;
+        cache_event "corrupt" r;
         (try Sys.remove path with Sys_error _ -> ());
         None
     | kind, description, payload ->
         if kind <> r.kind || description <> describe r then begin
           (* Key collision between distinct recipes: not our object. *)
-          Metrics.incr c_miss;
+          Obs.incr c_miss;
+          cache_event "miss" r;
           None
         end
         else begin
-          Metrics.incr c_hit;
-          Metrics.incr ~by:(String.length payload) c_bytes_read;
+          Obs.incr c_hit;
+          Obs.incr ~by:(String.length payload) c_bytes_read;
+          Obs.observe h_payload (String.length payload);
+          cache_event "hit" r;
           Some payload
         end
 
@@ -156,7 +173,16 @@ let put t r payload =
    with Sys_error msg ->
      (try Sys.remove tmp with Sys_error _ -> ());
      unreadable "cannot rename %s: %s" tmp msg);
-  Metrics.incr ~by:(String.length payload) c_bytes_written;
+  Obs.incr ~by:(String.length payload) c_bytes_written;
+  Obs.observe h_payload (String.length payload);
+  if Obs.tracing () then
+    Obs.event "artifact.put"
+      ~attrs:
+        [
+          ("kind", Trace.String r.kind);
+          ("key", Trace.String (Codec.hex_of_key (key r)));
+          ("bytes", Trace.Int (String.length payload));
+        ];
   append_manifest t
     (Printf.sprintf "%s %s %d %s"
        (Codec.hex_of_key (key r))

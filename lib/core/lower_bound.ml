@@ -3,10 +3,10 @@ module Path = Sso_graph.Path
 module Matching = Sso_graph.Matching
 module Demand = Sso_demand.Demand
 module Pool = Sso_engine.Pool
-module Metrics = Sso_engine.Metrics
+module Obs = Sso_obs.Obs
 
-let attack_span = Metrics.span "lower_bound.attack"
-let matchings_counter = Metrics.counter "lower_bound.matchings"
+let attack_span = Obs.span "lower_bound.attack"
+let matchings_counter = Obs.counter "lower_bound.matchings"
 
 type attack = {
   demand : Demand.t;
@@ -22,7 +22,7 @@ let middles_hit (c : Gen.c_graph) p =
     (List.filter (fun m -> Array.exists (fun v -> v = m) vs) middles)
 
 let attack ?pool (c : Gen.c_graph) ps =
-  Metrics.with_span attack_span @@ fun () ->
+  Obs.with_span attack_span @@ fun () ->
   let g = c.Gen.c_graph in
   ignore g;
   let leaves1 = c.Gen.c_leaves1 and leaves2 = c.Gen.c_leaves2 in
@@ -53,7 +53,7 @@ let attack ?pool (c : Gen.c_graph) ps =
   in
   let subset a b = List.for_all (fun x -> List.mem x b) a in
   let evaluate key =
-    Metrics.incr matchings_counter;
+    Obs.incr matchings_counter;
     let adj i =
       List.filter_map
         (fun j -> if subset (Hashtbl.find hits (i, j)) key then Some j else None)

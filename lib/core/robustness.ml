@@ -2,10 +2,10 @@ module Graph = Sso_graph.Graph
 module Demand = Sso_demand.Demand
 module Min_congestion = Sso_flow.Min_congestion
 module Pool = Sso_engine.Pool
-module Metrics = Sso_engine.Metrics
+module Obs = Sso_obs.Obs
 
-let sweep_span = Metrics.span "robustness.sweep"
-let failures_counter = Metrics.counter "robustness.failures_tested"
+let sweep_span = Obs.span "robustness.sweep"
+let failures_counter = Obs.counter "robustness.failures_tested"
 
 type report = {
   failed_edge : int;
@@ -26,10 +26,10 @@ let single_failures ?pool ?(solver = Semi_oblivious.default_solver) g ps demand 
      generation order (hence any generator RNG draws) must not depend on
      the job count. *)
   Path_system.materialize ps (Demand.support demand);
-  Metrics.with_span sweep_span @@ fun () ->
+  Obs.with_span sweep_span @@ fun () ->
   Array.to_list
   @@ Pool.parallel_init ?pool (Graph.m g) (fun e ->
-      Metrics.incr failures_counter;
+      Obs.incr failures_counter;
       let survivors = Path_system.without_edge e ps in
       let candidates_remain =
         List.for_all

@@ -1,118 +1,21 @@
-(* Thread-safe metrics registry.  Counters and span accumulators are
-   atomics so hot paths never take the registry lock; the lock only guards
-   find-or-create and enumeration. *)
+(* Compatibility shim: the registry now lives in Sso_obs.Obs (which adds
+   histograms and trace-event emission on spans).  Existing call sites and
+   the [--metrics] output are unchanged — [table]/[json] delegate to the
+   byte-identical formatters in Obs. *)
 
-type counter = { cname : string; value : int Atomic.t }
-type span = { sname : string; total_ns : int Atomic.t; calls : int Atomic.t }
+module Obs = Sso_obs.Obs
 
-let lock = Mutex.create ()
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
-let spans : (string, span) Hashtbl.t = Hashtbl.create 32
+type counter = Obs.counter
+type span = Obs.span
 
-let registered tbl make name =
-  Mutex.lock lock;
-  let entry =
-    match Hashtbl.find_opt tbl name with
-    | Some e -> e
-    | None ->
-        let e = make name in
-        Hashtbl.replace tbl name e;
-        e
-  in
-  Mutex.unlock lock;
-  entry
-
-let counter name =
-  registered counters (fun cname -> { cname; value = Atomic.make 0 }) name
-
-let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.value by)
-let counter_value c = Atomic.get c.value
-
-let span name =
-  registered spans
-    (fun sname -> { sname; total_ns = Atomic.make 0; calls = Atomic.make 0 })
-    name
-
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
-
-let with_span sp f =
-  let t0 = now_ns () in
-  Fun.protect
-    ~finally:(fun () ->
-      ignore (Atomic.fetch_and_add sp.total_ns (max 0 (now_ns () - t0)));
-      ignore (Atomic.fetch_and_add sp.calls 1))
-    f
-
-let time name f = with_span (span name) f
-let span_total_ns sp = Atomic.get sp.total_ns
-let span_calls sp = Atomic.get sp.calls
-
-let reset () =
-  Mutex.lock lock;
-  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
-  Hashtbl.iter
-    (fun _ s ->
-      Atomic.set s.total_ns 0;
-      Atomic.set s.calls 0)
-    spans;
-  Mutex.unlock lock
-
-let snapshot () =
-  Mutex.lock lock;
-  let cs =
-    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.value) :: acc) counters []
-  in
-  let ss =
-    Hashtbl.fold
-      (fun name s acc -> (name, Atomic.get s.total_ns, Atomic.get s.calls) :: acc)
-      spans []
-  in
-  Mutex.unlock lock;
-  ( List.sort compare (List.filter (fun (_, v) -> v <> 0) cs),
-    List.sort compare (List.filter (fun (_, _, c) -> c <> 0) ss) )
-
-let table () =
-  let cs, ss = snapshot () in
-  if cs = [] && ss = [] then ""
-  else begin
-    let buf = Buffer.create 256 in
-    if cs <> [] then begin
-      Buffer.add_string buf
-        (Printf.sprintf "%-32s %14s\n" "counter" "value");
-      List.iter
-        (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-32s %14d\n" name v))
-        cs
-    end;
-    if ss <> [] then begin
-      if cs <> [] then Buffer.add_char buf '\n';
-      Buffer.add_string buf
-        (Printf.sprintf "%-32s %10s %12s %12s\n" "span" "calls" "total ms" "ms/call");
-      List.iter
-        (fun (name, ns, calls) ->
-          let ms = float_of_int ns /. 1e6 in
-          Buffer.add_string buf
-            (Printf.sprintf "%-32s %10d %12.2f %12.3f\n" name calls ms
-               (ms /. float_of_int (max 1 calls))))
-        ss
-    end;
-    Buffer.contents buf
-  end
-
-let json () =
-  let cs, ss = snapshot () in
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf "{\"counters\": {";
-  List.iteri
-    (fun i (name, v) ->
-      if i > 0 then Buffer.add_string buf ", ";
-      Buffer.add_string buf (Printf.sprintf "%S: %d" name v))
-    cs;
-  Buffer.add_string buf "}, \"spans\": {";
-  List.iteri
-    (fun i (name, ns, calls) ->
-      if i > 0 then Buffer.add_string buf ", ";
-      Buffer.add_string buf
-        (Printf.sprintf "%S: {\"ns\": %d, \"calls\": %d}" name ns calls))
-    ss;
-  Buffer.add_string buf "}}";
-  Buffer.contents buf
+let counter = Obs.counter
+let incr = Obs.incr
+let counter_value = Obs.counter_value
+let span = Obs.span
+let with_span sp f = Obs.with_span sp f
+let time = Obs.time
+let span_total_ns = Obs.span_total_ns
+let span_calls = Obs.span_calls
+let reset = Obs.reset_metrics
+let table = Obs.metrics_table
+let json = Obs.metrics_json

@@ -1,14 +1,15 @@
 (** Lightweight instrumentation: named monotonic counters and wall-clock
     span timers with a thread-safe registry.
 
-    Counters are atomic integers safe to bump from any domain (MWU
-    iterations, oracle calls, Dinic augmentations, sampled trees).  Spans
-    accumulate wall-clock time and call counts around a closure (Stage-4
-    solves, the Räcke construction).  [--metrics] in the bench harness and
-    CLI dumps the registry as a table or JSON after the run. *)
+    This module is now a compatibility shim over {!Sso_obs.Obs}, which
+    extends the registry with histograms and optional trace events.  The
+    types are equal, not merely similar: a counter registered here and one
+    registered through [Obs] under the same name are the same object, so
+    call sites can migrate one at a time.  [table]/[json] output is
+    byte-identical to the pre-shim implementation. *)
 
-type counter
-type span
+type counter = Sso_obs.Obs.counter
+type span = Sso_obs.Obs.span
 
 val counter : string -> counter
 (** Find or create the counter registered under [name].  Calling twice

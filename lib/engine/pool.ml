@@ -116,13 +116,12 @@ let () =
 
 (* ---- parallel primitives ---- *)
 
-let parallel_map ?pool f input =
-  let pool = match pool with Some p -> p | None -> default () in
-  let n = Array.length input in
-  if n = 0 then [||]
-  else if pool.jobs = 1 || pool.stop || n = 1 || inside_task () then
-    Array.map f input
-  else begin
+module Obs = Sso_obs.Obs
+
+(* Queue [task 0 .. task (n-1)] on the pool and collect the results.  The
+   caller has already peeled off the serial fast paths. *)
+let execute pool task n =
+  begin
     let results = Array.make n None in
     (* Lowest failing task index wins, so the raised exception does not
        depend on scheduling order. *)
@@ -130,7 +129,7 @@ let parallel_map ?pool f input =
     let remaining = Atomic.make n in
     let fin_lock = Mutex.create () and fin_cond = Condition.create () in
     let run i =
-      (try results.(i) <- Some (f input.(i))
+      (try results.(i) <- Some (task i)
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          let rec record () =
@@ -179,6 +178,33 @@ let parallel_map ?pool f input =
     match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_map ?pool f input =
+  let pool = match pool with Some p -> p | None -> default () in
+  let n = Array.length input in
+  if n = 0 then [||]
+  else if inside_task () then Array.map f input
+  else if not (Obs.tracing ()) then
+    if pool.jobs = 1 || pool.stop || n = 1 then Array.map f input
+    else execute pool (fun i -> f input.(i)) n
+  else begin
+    (* Tracing: pre-assign one stream slot per task, in submission order.
+       Event keys then depend only on the task index — not on which domain
+       runs a task or when — so the merged trace is identical at any
+       --jobs.  The serial path wraps tasks the same way (and marks the
+       domain busy so nested parallel calls degrade to Array.map exactly
+       as they would on a worker). *)
+    let base = Obs.reserve_slots n in
+    let task i = Obs.in_task (base + i) (fun () -> f input.(i)) in
+    Fun.protect ~finally:Obs.fresh_stream (fun () ->
+        if pool.jobs = 1 || pool.stop || n = 1 then begin
+          Domain.DLS.set busy_key true;
+          Fun.protect
+            ~finally:(fun () -> Domain.DLS.set busy_key false)
+            (fun () -> Array.init n task)
+        end
+        else execute pool task n)
   end
 
 let parallel_init ?pool n f =

@@ -12,13 +12,16 @@ module Path_map = Map.Make (Path)
    accumulated per-pair flows, re-normalized to distributions, form the
    output routing. *)
 
-let span_gk = Sso_engine.Metrics.span "stage4.gk"
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
+
+let span_gk = Obs.span "stage4.gk"
 
 let solve ?(epsilon = 0.1) g ~oracle demand =
   if not (epsilon > 0.0 && epsilon < 1.0) then
     invalid_arg "Concurrent_flow: epsilon must lie in (0,1)";
   if Demand.support_size demand = 0 then (Routing.make [], 0.0)
-  else Sso_engine.Metrics.with_span span_gk @@ fun () -> begin
+  else Obs.with_span span_gk @@ fun () -> begin
     let m = Graph.m g in
     let mf = float_of_int (max 2 m) in
     let delta = (1.0 +. epsilon) /. Float.pow ((1.0 +. epsilon) *. mf) (1.0 /. epsilon) in
@@ -56,11 +59,22 @@ let solve ?(epsilon = 0.1) g ~oracle demand =
         | Some _ -> ()
         | None -> invalid_arg "Concurrent_flow: demanded pair has no route")
       commodities;
+    if Obs.tracing () then
+      Obs.event "gk.solve"
+        ~attrs:
+          [
+            ("pairs", Trace.Int (List.length commodities));
+            ("epsilon", Trace.Float epsilon);
+          ];
     (* Guard against pathological parameter combinations. *)
     let max_phases = 100_000 in
     let phases = ref 0 in
     while volume () < 1.0 && !phases < max_phases do
       incr phases;
+      if Obs.tracing () then
+        Obs.event "gk.phase"
+          ~attrs:
+            [ ("phase", Trace.Int !phases); ("volume", Trace.Float (volume ())) ];
       List.iter
         (fun (s, t) ->
           let remaining = ref (Demand.get demand s t) in

@@ -5,14 +5,15 @@ module Maxflow = Sso_graph.Maxflow
 module Demand = Sso_demand.Demand
 module Simplex = Sso_lp.Simplex
 module Pool = Sso_engine.Pool
-module Metrics = Sso_engine.Metrics
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
 
-let span_lp = Metrics.span "stage4.lp"
-let span_mwu = Metrics.span "stage4.mwu"
-let span_lp_unrestricted = Metrics.span "opt.lp_unrestricted"
-let mwu_iterations = Metrics.counter "mwu.iterations"
-let mwu_oracle_calls = Metrics.counter "mwu.oracle_calls"
-let mwu_sssp_batches = Metrics.counter "mwu.sssp_batches"
+let span_lp = Obs.span "stage4.lp"
+let span_mwu = Obs.span "stage4.mwu"
+let span_lp_unrestricted = Obs.span "opt.lp_unrestricted"
+let mwu_iterations = Obs.counter "mwu.iterations"
+let mwu_oracle_calls = Obs.counter "mwu.oracle_calls"
+let mwu_sssp_batches = Obs.counter "mwu.sssp_batches"
 
 type candidates = ((int * int) * Path.t list) list
 
@@ -33,7 +34,7 @@ let candidates_for index s t =
 
 let lp_on_paths g cands demand =
   if Demand.support_size demand = 0 then (Routing.make [], 0.0)
-  else Metrics.with_span span_lp @@ fun () -> begin
+  else Obs.with_span span_lp @@ fun () -> begin
     let index = index_candidates cands in
     (* Variables: one absolute flow per (pair, candidate path), plus the
        congestion bound z as the last variable. *)
@@ -143,14 +144,22 @@ type oracle =
   | Per_pair of (weight:(int -> float) -> int -> int -> Path.t option)
   | Batched of (weight:(int -> float) -> int -> int array -> Path.t option array)
 
-let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
+let mwu_generic ?pool ?(iters = 300) ?warm ?(label = "mwu") g ~oracle demand =
   if iters <= 0 then invalid_arg "Min_congestion: iters must be positive";
   if Demand.support_size demand = 0 then Some (Routing.make [], 0.0)
-  else Metrics.with_span span_mwu @@ fun () -> begin
+  else Obs.with_span span_mwu @@ fun () -> begin
     let m = Graph.m g in
     let support = Demand.support demand in
     let support_arr = Array.of_list support in
     let pairs = Array.length support_arr in
+    if Obs.tracing () then
+      Obs.event "mwu.solve"
+        ~attrs:
+          [
+            ("solver", Trace.String label);
+            ("pairs", Trace.Int pairs);
+            ("iters", Trace.Int iters);
+          ];
     (* Per-round invariants, hoisted out of the relaxation/accumulation
        inner loops: demand amounts and edge capacities are loop constants. *)
     let amounts = Array.map (fun (s, t) -> Demand.get demand s t) support_arr in
@@ -178,13 +187,13 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
        overhead would dominate (the cutoff is a constant, never the job
        count, to preserve determinism). *)
     let best_responses ~weight =
-      Metrics.incr ~by:pairs mwu_oracle_calls;
+      Obs.incr ~by:pairs mwu_oracle_calls;
       match oracle with
       | Per_pair oracle ->
           if pairs < 4 then Array.map (fun (s, t) -> oracle ~weight s t) support_arr
           else Pool.parallel_map ?pool (fun (s, t) -> oracle ~weight s t) support_arr
       | Batched oracle ->
-          Metrics.incr ~by:(Array.length groups) mwu_sssp_batches;
+          Obs.incr ~by:(Array.length groups) mwu_sssp_batches;
           let per_group =
             if pairs < 4 then
               Array.map (fun (s, ts) -> oracle ~weight s ts) groups
@@ -263,8 +272,9 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
       let warr = Array.make m 0.0 in
       let round_weight e = warr.(e) in
       let round_loads = Array.make m 0.0 in
-      for _ = 1 to iters do
-        Metrics.incr mwu_iterations;
+      let base_plays = match warm with None -> 0 | Some (_, w) -> w in
+      for round = 1 to iters do
+        Obs.incr mwu_iterations;
         let max_cum = Array.fold_left Float.max neg_infinity cum in
         for e = 0 to m - 1 do
           warr.(e) <- Float.exp (eta *. (cum.(e) -. max_cum)) /. caps.(e)
@@ -284,7 +294,33 @@ let mwu_generic ?pool ?(iters = 300) ?warm g ~oracle demand =
           responses;
         for e = 0 to m - 1 do
           cum.(e) <- cum.(e) +. (round_loads.(e) /. (caps.(e) *. u_norm))
-        done
+        done;
+        (* Per-round convergence telemetry.  The cumulative normalized load
+           satisfies cum(e)·u_norm = (total load on e so far)/cap(e), so
+           max_e cum · u_norm / plays is exactly the congestion of the
+           routing averaged over all plays (warm start included). *)
+        if Obs.tracing () then begin
+          let round_peak = ref 0.0 and cum_peak = ref neg_infinity in
+          for e = 0 to m - 1 do
+            let rc = round_loads.(e) /. caps.(e) in
+            if rc > !round_peak then round_peak := rc;
+            if cum.(e) > !cum_peak then cum_peak := cum.(e)
+          done;
+          let plays = float_of_int (base_plays + round) in
+          let support_paths =
+            Hashtbl.fold (fun _ dist acc -> acc + Path_map.cardinal dist) counts 0
+          in
+          Obs.event "mwu.round"
+            ~attrs:
+              [
+                ("solver", Trace.String label);
+                ("round", Trace.Int round);
+                ("round_congestion", Trace.Float !round_peak);
+                ("avg_congestion", Trace.Float (!cum_peak *. u_norm /. plays));
+                ("potential", Trace.Float !cum_peak);
+                ("support_paths", Trace.Int support_paths);
+              ]
+        end
       done;
       let routing =
         Routing.make
@@ -315,13 +351,16 @@ let cheapest_candidate index ~weight s t =
 let candidates_oracle cands = Per_pair (cheapest_candidate (index_candidates cands))
 
 let mwu_on_paths ?pool ?iters g cands demand =
-  match mwu_generic ?pool ?iters g ~oracle:(candidates_oracle cands) demand with
+  match
+    mwu_generic ?pool ?iters ~label:"on_paths" g
+      ~oracle:(candidates_oracle cands) demand
+  with
   | Some result -> result
   | None -> invalid_arg "Min_congestion.mwu_on_paths: demanded pair has no candidates"
 
 let mwu_on_paths_warm ?pool ?iters ~warm ~warm_weight g cands demand =
   match
-    mwu_generic ?pool ?iters ~warm:(warm, warm_weight) g
+    mwu_generic ?pool ?iters ~warm:(warm, warm_weight) ~label:"on_paths_warm" g
       ~oracle:(candidates_oracle cands) demand
   with
   | Some result -> result
@@ -333,7 +372,10 @@ let unrestricted_oracle ?(batched = true) g =
   else Per_pair (fun ~weight s t -> Shortest.dijkstra_path g ~weight s t)
 
 let mwu_unrestricted ?pool ?iters ?batched g demand =
-  match mwu_generic ?pool ?iters g ~oracle:(unrestricted_oracle ?batched g) demand with
+  match
+    mwu_generic ?pool ?iters ~label:"unrestricted" g
+      ~oracle:(unrestricted_oracle ?batched g) demand
+  with
   | Some result -> result
   | None -> invalid_arg "Min_congestion.mwu_unrestricted: graph is disconnected"
 
@@ -344,7 +386,7 @@ let mwu_unrestricted_avoiding ?pool ?iters ?(batched = true) ~avoid g demand =
       Batched (fun ~weight s ts -> Shortest.dijkstra_paths g ~weight:(mask weight) s ts)
     else Per_pair (fun ~weight s t -> Shortest.dijkstra_path g ~weight:(mask weight) s t)
   in
-  mwu_generic ?pool ?iters g ~oracle demand
+  mwu_generic ?pool ?iters ~label:"avoiding" g ~oracle demand
 
 let mwu_hop_limited ?pool ?iters ?(batched = true) ~max_hops g demand =
   let oracle =
@@ -352,13 +394,13 @@ let mwu_hop_limited ?pool ?iters ?(batched = true) ~max_hops g demand =
       Batched (fun ~weight s ts -> Shortest.hop_limited_paths g ~weight ~max_hops s ts)
     else Per_pair (fun ~weight s t -> Shortest.hop_limited_path g ~weight ~max_hops s t)
   in
-  mwu_generic ?pool ?iters g ~oracle demand
+  mwu_generic ?pool ?iters ~label:"hop_limited" g ~oracle demand
 
 (* ---------- Exact unrestricted LP (edge formulation) ---------- *)
 
 let lp_unrestricted g demand =
   if Demand.support_size demand = 0 then 0.0
-  else Metrics.with_span span_lp_unrestricted @@ fun () -> begin
+  else Obs.with_span span_lp_unrestricted @@ fun () -> begin
     let n = Graph.n g and m = Graph.m g in
     let commodities = Demand.support demand in
     let k = List.length commodities in

@@ -49,8 +49,11 @@ let build g capf =
 
 let eps = 1e-9
 
-let dinic_phases = Sso_engine.Metrics.counter "dinic.phases"
-let dinic_augmentations = Sso_engine.Metrics.counter "dinic.augmentations"
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
+
+let dinic_phases = Obs.counter "dinic.phases"
+let dinic_augmentations = Obs.counter "dinic.augmentations"
 
 let bfs_levels net s t =
   let level = Array.make net.nv (-1) in
@@ -103,14 +106,23 @@ let run net s t =
     match bfs_levels net s t with
     | None -> continue := false
     | Some level ->
-        Sso_engine.Metrics.incr dinic_phases;
+        Obs.incr dinic_phases;
         let iter = Array.sub net.out_off 0 net.nv in
+        let phase_augs = ref 0 in
         let pushed = ref (dfs_push net level iter t s infinity) in
         while !pushed > eps do
-          Sso_engine.Metrics.incr dinic_augmentations;
+          Obs.incr dinic_augmentations;
+          phase_augs := !phase_augs + 1;
           total := !total +. !pushed;
           pushed := dfs_push net level iter t s infinity
-        done
+        done;
+        if Obs.tracing () then
+          Obs.event "dinic.phase"
+            ~attrs:
+              [
+                ("augmentations", Trace.Int !phase_augs);
+                ("flow", Trace.Float !total);
+              ]
   done;
   !total
 

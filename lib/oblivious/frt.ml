@@ -100,6 +100,15 @@ let build rng g ~length =
     done
   done;
   (* Level 0 stays singleton: chain.(v).(0) = v, cluster_id.(v).(0) = v. *)
+  let module Obs = Sso_obs.Obs in
+  if Obs.tracing () then
+    Obs.event "frt.build"
+      ~attrs:
+        [
+          ("vertices", Sso_obs.Trace.Int n);
+          ("levels", Sso_obs.Trace.Int levels);
+          ("beta", Sso_obs.Trace.Float beta);
+        ];
   {
     graph = g;
     levels;

@@ -24,6 +24,17 @@ let routing ?(stretch = 2) ?(paths_per_pair = 8) ~max_hops g =
             Array.iter (fun e -> penalty.(e) <- penalty.(e) *. 4.0) p.Path.edges;
             extract (k - 1) (if fresh then (1.0, p) :: acc else acc)
     in
-    extract paths_per_pair []
+    let result = extract paths_per_pair [] in
+    let module Obs = Sso_obs.Obs in
+    if Obs.tracing () then
+      Obs.event "hop.generate"
+        ~attrs:
+          [
+            ("s", Sso_obs.Trace.Int s);
+            ("t", Sso_obs.Trace.Int t);
+            ("paths", Sso_obs.Trace.Int (List.length result));
+            ("max_hops", Sso_obs.Trace.Int max_hops);
+          ];
+    result
   in
   Oblivious.make ~name:(Printf.sprintf "hop-%d" max_hops) g generate

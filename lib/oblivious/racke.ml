@@ -2,10 +2,11 @@ module Graph = Sso_graph.Graph
 module Path = Sso_graph.Path
 module Rng = Sso_prng.Rng
 module Pool = Sso_engine.Pool
-module Metrics = Sso_engine.Metrics
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
 
-let build_span = Metrics.span "racke.build"
-let trees_counter = Metrics.counter "racke.trees"
+let build_span = Obs.span "racke.build"
+let trees_counter = Obs.counter "racke.trees"
 
 let tree_loads g tree =
   let loads = Array.make (Graph.m g) 0.0 in
@@ -36,7 +37,12 @@ let forest ?pool rng ?trees ?(batch = 4) g =
   let eta = 1.0 in
   let base_rng = Rng.split rng in
   let forest_rev = ref [] in
-  Metrics.with_span build_span (fun () ->
+  let attrs =
+    if Obs.tracing () then
+      [ ("trees", Trace.Int count); ("batch", Trace.Int batch) ]
+    else []
+  in
+  Obs.with_span ~attrs build_span (fun () ->
       let built = ref 0 in
       while !built < count do
         let b = min batch (count - !built) in
@@ -49,11 +55,19 @@ let forest ?pool rng ?trees ?(batch = 4) g =
               let tree = Frt.build tree_rng g ~length in
               (tree, tree_loads g tree))
         in
-        Array.iter
-          (fun (tree, loads) ->
-            Metrics.incr trees_counter;
+        Array.iteri
+          (fun i (tree, loads) ->
+            Obs.incr trees_counter;
             let peak = Array.fold_left Float.max 1e-12 loads in
             Array.iteri (fun e load -> cum.(e) <- cum.(e) +. (load /. peak)) loads;
+            if Obs.tracing () then
+              Obs.event "racke.tree"
+                ~attrs:
+                  [
+                    ("tree", Trace.Int (first + i));
+                    ("peak", Trace.Float peak);
+                    ("levels", Trace.Int (Frt.levels tree));
+                  ];
             forest_rev := tree :: !forest_rev)
           round;
         built := !built + b

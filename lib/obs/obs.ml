@@ -1,0 +1,385 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ---- tracing switch ---- *)
+
+let tracing_flag = Atomic.make false
+let set_tracing b = Atomic.set tracing_flag b
+let tracing () = Atomic.get tracing_flag
+
+(* ---- deterministic streams ----
+
+   A stream is one logical emitter: the main thread between parallel
+   regions, or a single task of a parallel region.  Slots come from a
+   global cursor, so a task's slot (pre-assigned by the pool, in submission
+   order) is independent of which domain runs it or when. *)
+
+type stream = { slot : int; mutable next_seq : int }
+
+let cursor = Atomic.make 0
+let reserve_slots n = Atomic.fetch_and_add cursor n
+let stream_key : stream option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_stream () =
+  let r = Domain.DLS.get stream_key in
+  match !r with
+  | Some st -> st
+  | None ->
+      let st = { slot = reserve_slots 1; next_seq = 0 } in
+      r := Some st;
+      st
+
+let fresh_stream () = Domain.DLS.get stream_key := None
+
+(* Span nesting depth, per domain.  [in_task] resets it so a task's spans
+   report the same depths whether it ran inline (jobs=1) or on a worker. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let in_task slot f =
+  let r = Domain.DLS.get stream_key in
+  let d = Domain.DLS.get depth_key in
+  let old_stream = !r and old_depth = !d in
+  r := Some { slot; next_seq = 0 };
+  d := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      r := old_stream;
+      d := old_depth)
+    f
+
+(* ---- per-domain ring buffers ---- *)
+
+type buffer = {
+  mutable store : Trace.event array;
+  mutable len : int; (* occupied prefix of [store] *)
+  mutable head : int; (* next overwrite position once saturated *)
+  mutable dropped : int;
+}
+
+let buffers_lock = Mutex.create ()
+let all_buffers : buffer list ref = ref []
+let ring_capacity = Atomic.make (1 lsl 20)
+
+let set_ring_capacity n =
+  if n < 1 then invalid_arg "Obs.set_ring_capacity: capacity must be >= 1";
+  Atomic.set ring_capacity n
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { store = [||]; len = 0; head = 0; dropped = 0 } in
+      Mutex.lock buffers_lock;
+      all_buffers := b :: !all_buffers;
+      Mutex.unlock buffers_lock;
+      b)
+
+let push b e =
+  let cap = Atomic.get ring_capacity in
+  if b.len < cap then begin
+    if b.len = Array.length b.store then begin
+      let grown = min cap (max 64 (2 * Array.length b.store)) in
+      let ns = Array.make grown e in
+      Array.blit b.store 0 ns 0 b.len;
+      b.store <- ns
+    end;
+    b.store.(b.len) <- e;
+    b.len <- b.len + 1
+  end
+  else begin
+    (* Saturated: overwrite the oldest.  Wrap on [len], not the physical
+       store size — the store may be larger than a lowered capacity. *)
+    b.store.(b.head) <- e;
+    b.head <- (b.head + 1) mod b.len;
+    b.dropped <- b.dropped + 1
+  end
+
+let record kind name dur_ns attrs =
+  let st = current_stream () in
+  let seq = st.next_seq in
+  st.next_seq <- seq + 1;
+  let e =
+    {
+      Trace.slot = st.slot;
+      seq;
+      ts_ns = now_ns ();
+      kind;
+      name;
+      dur_ns;
+      depth = !(Domain.DLS.get depth_key);
+      attrs;
+    }
+  in
+  push (Domain.DLS.get buffer_key) e
+
+let event ?(attrs = []) name =
+  if Atomic.get tracing_flag then record Trace.Event name 0 attrs
+
+let traced ?(attrs = []) name f =
+  if not (Atomic.get tracing_flag) then f ()
+  else begin
+    let d = Domain.DLS.get depth_key in
+    let depth0 = !d in
+    let t0 = now_ns () in
+    d := depth0 + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = max 0 (now_ns () - t0) in
+        d := depth0;
+        record Trace.Span name dur attrs)
+      f
+  end
+
+(* ---- metrics registry ----
+
+   Counters and accumulators are atomics so hot paths never take the
+   registry lock; the lock only guards find-or-create and enumeration.
+   This is the old Engine.Metrics registry extended with histograms. *)
+
+type counter = { cname : string; value : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_buckets : int Atomic.t array; (* index = floor(log2 sample), 0 for <= 1 *)
+}
+
+type span = {
+  sname : string;
+  total_ns : int Atomic.t;
+  calls : int Atomic.t;
+  shist : histogram;
+}
+
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let spans : (string, span) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let registered tbl make name =
+  Mutex.lock lock;
+  let entry =
+    match Hashtbl.find_opt tbl name with
+    | Some e -> e
+    | None ->
+        let e = make name in
+        Hashtbl.replace tbl name e;
+        e
+  in
+  Mutex.unlock lock;
+  entry
+
+let counter name =
+  registered counters (fun cname -> { cname; value = Atomic.make 0 }) name
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.value by)
+let counter_value c = Atomic.get c.value
+
+let histogram name =
+  registered histograms
+    (fun hname ->
+      {
+        hname;
+        h_count = Atomic.make 0;
+        h_sum = Atomic.make 0;
+        h_buckets = Array.init 63 (fun _ -> Atomic.make 0);
+      })
+    name
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 1 do
+      v := !v lsr 1;
+      b := !b + 1
+    done;
+    !b
+  end
+
+let observe h v =
+  Atomic.incr h.h_count;
+  ignore (Atomic.fetch_and_add h.h_sum v);
+  Atomic.incr h.h_buckets.(bucket_of v)
+
+let span name =
+  (* Register the histogram first: [registered]'s lock is not reentrant,
+     so it must not be created inside the make closure. *)
+  let shist = histogram ("span." ^ name) in
+  registered spans
+    (fun sname ->
+      { sname; total_ns = Atomic.make 0; calls = Atomic.make 0; shist })
+    name
+
+let with_span ?(attrs = []) sp f =
+  let trace = Atomic.get tracing_flag in
+  let d = Domain.DLS.get depth_key in
+  let depth0 = !d in
+  if trace then d := depth0 + 1;
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur = max 0 (now_ns () - t0) in
+      ignore (Atomic.fetch_and_add sp.total_ns dur);
+      ignore (Atomic.fetch_and_add sp.calls 1);
+      observe sp.shist dur;
+      if trace then begin
+        d := depth0;
+        record Trace.Span sp.sname dur attrs
+      end)
+    f
+
+let time name f = with_span (span name) f
+let span_total_ns sp = Atomic.get sp.total_ns
+let span_calls sp = Atomic.get sp.calls
+
+let reset_metrics () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
+  Hashtbl.iter
+    (fun _ s ->
+      Atomic.set s.total_ns 0;
+      Atomic.set s.calls 0)
+    spans;
+  Hashtbl.iter
+    (fun _ h ->
+      Atomic.set h.h_count 0;
+      Atomic.set h.h_sum 0;
+      Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+    histograms;
+  Mutex.unlock lock
+
+let metrics_snapshot () =
+  Mutex.lock lock;
+  let cs =
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.value) :: acc) counters []
+  in
+  let ss =
+    Hashtbl.fold
+      (fun name s acc -> (name, Atomic.get s.total_ns, Atomic.get s.calls) :: acc)
+      spans []
+  in
+  Mutex.unlock lock;
+  ( List.sort compare (List.filter (fun (_, v) -> v <> 0) cs),
+    List.sort compare (List.filter (fun (_, _, c) -> c <> 0) ss) )
+
+let metrics_table () =
+  let cs, ss = metrics_snapshot () in
+  if cs = [] && ss = [] then ""
+  else begin
+    let buf = Buffer.create 256 in
+    if cs <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "%-32s %14s\n" "counter" "value");
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string buf (Printf.sprintf "%-32s %14d\n" name v))
+        cs
+    end;
+    if ss <> [] then begin
+      if cs <> [] then Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%-32s %10s %12s %12s\n" "span" "calls" "total ms"
+           "ms/call");
+      List.iter
+        (fun (name, ns, calls) ->
+          let ms = float_of_int ns /. 1e6 in
+          Buffer.add_string buf
+            (Printf.sprintf "%-32s %10d %12.2f %12.3f\n" name calls ms
+               (ms /. float_of_int (max 1 calls))))
+        ss
+    end;
+    Buffer.contents buf
+  end
+
+let metrics_json () =
+  let cs, ss = metrics_snapshot () in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "%S: %d" name v))
+    cs;
+  Buffer.add_string buf "}, \"spans\": {";
+  List.iteri
+    (fun i (name, ns, calls) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "%S: {\"ns\": %d, \"calls\": %d}" name ns calls))
+    ss;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+(* ---- trace collection ---- *)
+
+let snapshot_buffers () =
+  Mutex.lock buffers_lock;
+  let bufs = !all_buffers in
+  Mutex.unlock buffers_lock;
+  bufs
+
+let events () =
+  let collected =
+    List.concat_map
+      (fun b ->
+        let out = ref [] in
+        for i = b.len - 1 downto 0 do
+          out := b.store.(i) :: !out
+        done;
+        !out)
+      (snapshot_buffers ())
+  in
+  List.sort
+    (fun (a : Trace.event) (b : Trace.event) ->
+      compare (a.slot, a.seq) (b.slot, b.seq))
+    collected
+
+let dropped_events () =
+  List.fold_left (fun acc b -> acc + b.dropped) 0 (snapshot_buffers ())
+
+let histogram_records () =
+  Mutex.lock lock;
+  let hs =
+    Hashtbl.fold
+      (fun name h acc ->
+        let count = Atomic.get h.h_count in
+        if count = 0 then acc
+        else begin
+          let buckets = ref [] in
+          for b = Array.length h.h_buckets - 1 downto 0 do
+            let c = Atomic.get h.h_buckets.(b) in
+            if c > 0 then buckets := (b, c) :: !buckets
+          done;
+          {
+            Trace.h_name = name;
+            h_count = count;
+            h_sum = Atomic.get h.h_sum;
+            h_buckets = !buckets;
+          }
+          :: acc
+        end)
+      histograms []
+  in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare a.Trace.h_name b.Trace.h_name) hs
+
+let clear_trace () =
+  Mutex.lock buffers_lock;
+  List.iter
+    (fun b ->
+      b.store <- [||];
+      b.len <- 0;
+      b.head <- 0;
+      b.dropped <- 0)
+    !all_buffers;
+  Mutex.unlock buffers_lock;
+  Atomic.set cursor 0;
+  fresh_stream ()
+
+let write_trace ~path ~meta =
+  Trace.save path
+    {
+      Trace.meta;
+      dropped = dropped_events ();
+      events = events ();
+      histograms = histogram_records ();
+    }

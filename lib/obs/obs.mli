@@ -1,0 +1,122 @@
+(** Deterministic tracing + metrics.
+
+    Two layers share one module:
+
+    - {b Always-on aggregates} — counters, spans (wall time + calls), and
+      log-scale histograms in a thread-safe registry.  These subsume the
+      old [Engine.Metrics] registry; [metrics_table]/[metrics_json]
+      reproduce its output byte-for-byte.
+    - {b Trace events} — gated by [set_tracing].  When tracing is off,
+      [event] is a flag test and [traced] runs its thunk directly; call
+      sites guard attribute construction with [tracing ()] so the
+      disabled path allocates nothing.
+
+    Every trace event carries a deterministic [(slot, seq)] key: [slot]
+    identifies the emitting stream (the main thread between parallel
+    regions, or one task of a parallel region), [seq] its position within
+    that stream.  The engine pool pre-assigns one slot per task
+    ({!reserve_slots} / {!in_task}), so sorting by [(slot, seq)] recovers
+    the serial execution order no matter how many domains actually ran the
+    tasks — traces are identical at any [--jobs].  See DESIGN.md §8. *)
+
+val now_ns : unit -> int
+(** Wall clock in integer nanoseconds. *)
+
+(** {1 Tracing switch} *)
+
+val set_tracing : bool -> unit
+val tracing : unit -> bool
+
+(** {1 Deterministic streams} — used by [Engine.Pool]; most code never
+    calls these. *)
+
+val reserve_slots : int -> int
+(** Atomically reserve [n] consecutive stream slots; returns the first. *)
+
+val in_task : int -> (unit -> 'a) -> 'a
+(** Run the thunk with a fresh stream on the given slot (and span depth
+    reset to 0), restoring the caller's stream and depth afterwards. *)
+
+val fresh_stream : unit -> unit
+(** Drop the current domain's stream; the next event lazily reserves a
+    new, strictly higher slot.  Called after a parallel region so the
+    caller's subsequent events sort after the region's tasks. *)
+
+(** {1 Trace events} *)
+
+val event : ?attrs:(string * Trace.value) list -> string -> unit
+(** Emit a point event (no-op when tracing is off). *)
+
+val traced : ?attrs:(string * Trace.value) list -> string -> (unit -> 'a) -> 'a
+(** Trace-only span: emits a span event on exit (duration, nesting depth)
+    without touching the metrics registry.  When tracing is off this is
+    exactly [f ()]. *)
+
+(** {1 Metrics registry} *)
+
+type counter
+type span
+type histogram
+
+val counter : string -> counter
+(** Find or create; same name returns the same (physically equal) counter. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val histogram : string -> histogram
+(** Log2-bucketed histogram of non-negative integer samples. *)
+
+val observe : histogram -> int -> unit
+
+val span : string -> span
+(** Find or create.  Also registers a ["span." ^ name] duration histogram
+    fed by every [with_span] call. *)
+
+val with_span : ?attrs:(string * Trace.value) list -> span -> (unit -> 'a) -> 'a
+(** Run the closure, accumulating wall time and one call (also on
+    exceptions).  When tracing is on, additionally emits a span trace
+    event carrying [attrs]. *)
+
+val time : string -> (unit -> 'a) -> 'a
+val span_total_ns : span -> int
+val span_calls : span -> int
+
+val reset_metrics : unit -> unit
+(** Zero every counter, span, and histogram (registrations persist). *)
+
+val metrics_snapshot : unit -> (string * int) list * (string * int * int) list
+(** Non-zero counters [(name, value)] and spans [(name, total_ns, calls)],
+    sorted by name — the format [Engine.Metrics.snapshot] used. *)
+
+val metrics_table : unit -> string
+(** Byte-identical to the old [Engine.Metrics.table]. *)
+
+val metrics_json : unit -> string
+(** Byte-identical to the old [Engine.Metrics.json]. *)
+
+(** {1 Trace collection} *)
+
+val set_ring_capacity : int -> unit
+(** Per-domain event ring capacity (default [2^20]).  When a ring
+    saturates, the oldest events in that ring are overwritten and counted
+    in [dropped_events]. *)
+
+val events : unit -> Trace.event list
+(** Merge all per-domain rings, sorted by [(slot, seq)].  Call only when
+    no parallel region is in flight. *)
+
+val dropped_events : unit -> int
+
+val histogram_records : unit -> Trace.histogram list
+(** Non-empty registry histograms as trace trailer records, sorted by
+    name.  Span-duration histograms are timing-dependent; tools comparing
+    traces for determinism must ignore histogram lines. *)
+
+val clear_trace : unit -> unit
+(** Empty every ring, reset the slot cursor and current stream.  Call
+    only between runs (no parallel region in flight). *)
+
+val write_trace : path:string -> meta:(string * Trace.value) list -> unit
+(** Snapshot events + histograms into a {!Trace.t} and [Trace.save] it.
+    @raise Trace.Unreadable on I/O failure. *)

@@ -1,6 +1,8 @@
 module Graph = Sso_graph.Graph
 module Path = Sso_graph.Path
 module Rng = Sso_prng.Rng
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
 
 type discipline = Fifo | Random_rank of Rng.t | Longest_remaining
 
@@ -60,6 +62,7 @@ let upper_bound_cd g assignment =
   (cong * dil) + dil
 
 let run ?(discipline = Fifo) ?max_steps g assignment =
+  Obs.traced "sim.run" @@ fun () ->
   let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
   let packets = build_packets g rng_opt assignment in
   let cong, dil = congestion_and_dilation g packets in
@@ -107,7 +110,21 @@ let run ?(discipline = Fifo) ?max_steps g assignment =
       queues;
     remaining := List.filter (fun p -> p.at < Array.length p.hops) !remaining
   done;
-  { makespan = !time; delivered = List.length packets; max_queue = !max_queue; total_waits = !total_waits }
+  let stats =
+    { makespan = !time; delivered = List.length packets; max_queue = !max_queue; total_waits = !total_waits }
+  in
+  if Obs.tracing () then
+    Obs.event "sim.result"
+      ~attrs:
+        [
+          ("makespan", Trace.Int stats.makespan);
+          ("delivered", Trace.Int stats.delivered);
+          ("max_queue", Trace.Int stats.max_queue);
+          ("total_waits", Trace.Int stats.total_waits);
+          ("congestion", Trace.Int cong);
+          ("dilation", Trace.Int dil);
+        ];
+  stats
 
 type timed_packet = { pair : int * int; route : Path.t; release : int }
 
@@ -127,6 +144,7 @@ type flight = {
 }
 
 let run_timed ?(discipline = Fifo) ?max_steps g timed =
+  Obs.traced "sim.run_timed" @@ fun () ->
   List.iter
     (fun { release; _ } ->
       if release < 0 then invalid_arg "Simulator.run_timed: negative release time")
@@ -224,11 +242,25 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
         let n = Array.length arr in
         arr.(min (n - 1) (max 0 (int_of_float (Float.ceil (0.99 *. float_of_int n)) - 1)))
   in
-  {
-    finish_time = List.fold_left (fun acc f -> max acc f.farrived) 0 flights;
-    packets = List.length flights;
-    mean_latency = mean latencies;
-    p99_latency = p99 latencies;
-    mean_queueing = mean queueing;
-    peak_queue = !peak_queue;
-  }
+  let stats =
+    {
+      finish_time = List.fold_left (fun acc f -> max acc f.farrived) 0 flights;
+      packets = List.length flights;
+      mean_latency = mean latencies;
+      p99_latency = p99 latencies;
+      mean_queueing = mean queueing;
+      peak_queue = !peak_queue;
+    }
+  in
+  if Obs.tracing () then
+    Obs.event "sim.result"
+      ~attrs:
+        [
+          ("finish_time", Trace.Int stats.finish_time);
+          ("packets", Trace.Int stats.packets);
+          ("mean_latency", Trace.Float stats.mean_latency);
+          ("p99_latency", Trace.Float stats.p99_latency);
+          ("mean_queueing", Trace.Float stats.mean_queueing);
+          ("peak_queue", Trace.Int stats.peak_queue);
+        ];
+  stats

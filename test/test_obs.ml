@@ -1,0 +1,337 @@
+(* Tests for Sso_obs: JSONL codec round-trips, the load error contract,
+   ring-buffer saturation, the Metrics compatibility shim, and — the load-
+   bearing property — identical trace event sequences at any job count. *)
+
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
+module Pool = Sso_engine.Pool
+module Metrics = Sso_engine.Metrics
+module Rng = Sso_prng.Rng
+module Graph = Sso_graph.Graph
+module Gen = Sso_graph.Gen
+module Demand = Sso_demand.Demand
+module Min_congestion = Sso_flow.Min_congestion
+module Racke = Sso_oblivious.Racke
+
+let temp_trace () = Filename.temp_file "sso_obs_test" ".jsonl"
+
+let value_str = function
+  | Trace.Int i -> Printf.sprintf "i:%d" i
+  | Trace.Float f -> Printf.sprintf "f:%h" f
+  | Trace.Bool b -> Printf.sprintf "b:%b" b
+  | Trace.String s -> Printf.sprintf "s:%S" s
+
+let event_str (e : Trace.event) =
+  Printf.sprintf "%d.%d %s %s depth=%d [%s]" e.Trace.slot e.Trace.seq
+    (match e.Trace.kind with Trace.Span -> "span" | Trace.Event -> "event")
+    e.Trace.name e.Trace.depth
+    (String.concat ";"
+       (List.map (fun (k, v) -> k ^ "=" ^ value_str v) e.Trace.attrs))
+
+let attrs_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ka, va) (kb, vb) -> ka = kb && Trace.value_equal va vb)
+       a b
+
+let event_equal (a : Trace.event) (b : Trace.event) =
+  a.Trace.slot = b.Trace.slot && a.Trace.seq = b.Trace.seq
+  && a.Trace.ts_ns = b.Trace.ts_ns && a.Trace.kind = b.Trace.kind
+  && a.Trace.name = b.Trace.name && a.Trace.dur_ns = b.Trace.dur_ns
+  && a.Trace.depth = b.Trace.depth
+  && attrs_equal a.Trace.attrs b.Trace.attrs
+
+let trace_equal (a : Trace.t) (b : Trace.t) =
+  attrs_equal a.Trace.meta b.Trace.meta
+  && a.Trace.dropped = b.Trace.dropped
+  && List.length a.Trace.events = List.length b.Trace.events
+  && List.for_all2 event_equal a.Trace.events b.Trace.events
+  && a.Trace.histograms = b.Trace.histograms
+
+(* ---- codec ---- *)
+
+let sample_trace =
+  let ev slot seq kind name dur depth attrs =
+    { Trace.slot; seq; ts_ns = 1000 + seq; kind; name; dur_ns = dur; depth; attrs }
+  in
+  {
+    Trace.meta =
+      [
+        ("seed", Trace.Int 7);
+        ("jobs", Trace.Int 4);
+        ("git", Trace.String "v1.2-3-gdeadbee-dirty \"quoted\"\n\ttab");
+      ];
+    dropped = 3;
+    events =
+      [
+        ev 0 0 Trace.Event "mwu.solve" 0 0
+          [ ("solver", Trace.String "unrestricted"); ("pairs", Trace.Int 32) ];
+        ev 0 1 Trace.Event "mwu.round" 0 1
+          [
+            ("round", Trace.Int 1);
+            ("round_congestion", Trace.Float 3.125);
+            ("avg_congestion", Trace.Float 0.1);
+            ("weird", Trace.Float nan);
+            ("inf", Trace.Float infinity);
+            ("ninf", Trace.Float neg_infinity);
+            ("neg", Trace.Float (-0.0));
+            ("flag", Trace.Bool true);
+          ];
+        ev 2 0 Trace.Span "stage4.mwu" 123456 2 [];
+      ];
+    histograms =
+      [
+        {
+          Trace.h_name = "span.stage4.mwu";
+          h_count = 3;
+          h_sum = 4096;
+          h_buckets = [ (0, 1); (10, 2) ];
+        };
+      ];
+  }
+
+let test_roundtrip () =
+  let path = temp_trace () in
+  Trace.save path sample_trace;
+  let loaded = Trace.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "round-trips" true (trace_equal sample_trace loaded)
+
+let test_empty_roundtrip () =
+  let path = temp_trace () in
+  let t = { Trace.meta = []; dropped = 0; events = []; histograms = [] } in
+  Trace.save path t;
+  let loaded = Trace.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "empty trace round-trips" true (trace_equal t loaded)
+
+let prop_attrs_roundtrip =
+  let open QCheck in
+  let value_gen =
+    Gen.oneof
+      [
+        Gen.map (fun i -> Trace.Int i) Gen.int;
+        Gen.map (fun f -> Trace.Float f) Gen.float;
+        Gen.map (fun b -> Trace.Bool b) Gen.bool;
+        Gen.map (fun s -> Trace.String s) Gen.string;
+      ]
+  in
+  let attrs_gen =
+    Gen.list_size (Gen.int_range 0 8)
+      (Gen.pair (Gen.string_size ~gen:Gen.printable (Gen.int_range 1 12)) value_gen)
+  in
+  let print attrs =
+    String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ value_str v) attrs)
+  in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:200 ~name:"attr lists survive save/load"
+       (make ~print attrs_gen)
+       (fun attrs ->
+         let t =
+           {
+             Trace.meta = attrs;
+             dropped = 0;
+             events =
+               [
+                 {
+                   Trace.slot = 0;
+                   seq = 0;
+                   ts_ns = 1;
+                   kind = Trace.Event;
+                   name = "e";
+                   dur_ns = 0;
+                   depth = 0;
+                   attrs;
+                 };
+               ];
+             histograms = [];
+           }
+         in
+         let path = temp_trace () in
+         Trace.save path t;
+         let loaded = Trace.load path in
+         Sys.remove path;
+         trace_equal t loaded))
+
+(* ---- load error contract (mirrors sso cache: 10 unreadable, 11 corrupt) ---- *)
+
+let write path text = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text)
+
+let expect_unreadable name f =
+  match f () with
+  | (_ : Trace.t) -> Alcotest.failf "%s: expected Unreadable" name
+  | exception Trace.Unreadable _ -> ()
+
+let expect_corrupt name f =
+  match f () with
+  | (_ : Trace.t) -> Alcotest.failf "%s: expected Corrupt" name
+  | exception Trace.Corrupt _ -> ()
+
+let test_load_contract () =
+  expect_unreadable "missing file" (fun () ->
+      Trace.load "/nonexistent/sso/trace.jsonl");
+  let path = temp_trace () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  write path "this is not json\n";
+  expect_corrupt "garbage" (fun () -> Trace.load path);
+  write path "{\"schema\":\"other\",\"version\":1,\"meta\":{},\"dropped\":0,\"events\":0}\n";
+  expect_corrupt "wrong schema tag" (fun () -> Trace.load path);
+  write path "{\"schema\":\"sso-trace\",\"version\":999,\"meta\":{},\"dropped\":0,\"events\":0}\n";
+  expect_corrupt "unsupported version" (fun () -> Trace.load path);
+  write path
+    "{\"schema\":\"sso-trace\",\"version\":1,\"meta\":{},\"dropped\":0,\"events\":2}\n\
+     {\"slot\":0,\"seq\":0,\"ts_ns\":1,\"kind\":\"event\",\"name\":\"e\",\"dur_ns\":0,\"depth\":0,\"attrs\":{}}\n";
+  expect_corrupt "truncated" (fun () -> Trace.load path);
+  write path "";
+  expect_corrupt "empty file" (fun () -> Trace.load path)
+
+(* ---- metrics shim ---- *)
+
+let test_metrics_shim () =
+  (* Engine.Metrics must be the same registry as Obs, not a copy: call
+     sites migrated one at a time must keep seeing each other's counts. *)
+  let a = Metrics.counter "obs.shim.test" in
+  let b = Obs.counter "obs.shim.test" in
+  Alcotest.(check bool) "same physical counter" true (a == b);
+  Metrics.incr ~by:5 a;
+  Alcotest.(check int) "visible through Obs" 5 (Obs.counter_value b);
+  let s1 = Metrics.span "obs.shim.span" in
+  let s2 = Obs.span "obs.shim.span" in
+  Alcotest.(check bool) "same physical span" true (s1 == s2);
+  Metrics.with_span s1 (fun () -> ());
+  Alcotest.(check int) "calls recorded" 1 (Obs.span_calls s2);
+  Alcotest.(check string) "same table" (Metrics.table ()) (Obs.metrics_table ());
+  Alcotest.(check string) "same json" (Metrics.json ()) (Obs.metrics_json ())
+
+(* ---- ring saturation ---- *)
+
+let test_ring_saturation () =
+  Obs.clear_trace ();
+  Obs.set_ring_capacity 8;
+  Fun.protect ~finally:(fun () ->
+      Obs.set_ring_capacity (1 lsl 20);
+      Obs.set_tracing false;
+      Obs.clear_trace ())
+  @@ fun () ->
+  Obs.set_tracing true;
+  for i = 0 to 19 do
+    Obs.event "tick" ~attrs:[ ("i", Trace.Int i) ]
+  done;
+  Obs.set_tracing false;
+  let events = Obs.events () in
+  Alcotest.(check int) "capacity bounds the ring" 8 (List.length events);
+  Alcotest.(check int) "dropped counted" 12 (Obs.dropped_events ());
+  let seqs = List.map (fun (e : Trace.event) -> e.Trace.seq) events in
+  Alcotest.(check (list int)) "newest events survive"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ] seqs
+
+(* ---- histograms through the trace file ---- *)
+
+let test_histogram_trailer () =
+  Obs.reset_metrics ();
+  Obs.clear_trace ();
+  let h = Obs.histogram "obs.test.payload" in
+  List.iter (Obs.observe h) [ 0; 1; 2; 3; 1024; 1500 ];
+  let path = temp_trace () in
+  Obs.write_trace ~path ~meta:[];
+  let loaded = Trace.load path in
+  Sys.remove path;
+  match
+    List.find_opt
+      (fun r -> r.Trace.h_name = "obs.test.payload")
+      loaded.Trace.histograms
+  with
+  | None -> Alcotest.fail "histogram trailer missing"
+  | Some r ->
+      Alcotest.(check int) "count" 6 r.Trace.h_count;
+      Alcotest.(check int) "sum" 2530 r.Trace.h_sum;
+      (* 0,1 -> bucket 0; 2,3 -> bucket 1; 1024,1500 -> bucket 10 *)
+      Alcotest.(check (list (pair int int)))
+        "log2 buckets" [ (0, 2); (1, 2); (10, 2) ] r.Trace.h_buckets
+
+(* ---- determinism across job counts ---- *)
+
+let normalize (e : Trace.event) = { e with Trace.ts_ns = 0; dur_ns = 0 }
+
+let workload pool =
+  let g = Gen.grid 4 4 in
+  ignore (Racke.routing ~pool (Rng.create 11) ~trees:6 ~batch:3 g);
+  let d = Demand.random_pairs (Rng.create 12) ~n:(Graph.n g) ~pairs:5 in
+  ignore (Min_congestion.mwu_unrestricted ~pool ~iters:8 g d);
+  ignore
+    (Pool.parallel_init ~pool 5 (fun i ->
+         Obs.traced "task.body" (fun () ->
+             Obs.event "task.tick" ~attrs:[ ("i", Trace.Int i) ];
+             i)))
+
+let capture jobs =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Obs.clear_trace ();
+  Obs.set_tracing true;
+  Fun.protect ~finally:(fun () -> Obs.set_tracing false) (fun () ->
+      workload pool);
+  List.map (fun e -> event_str (normalize e)) (Obs.events ())
+
+let test_jobs_determinism () =
+  let serial = capture 1 in
+  let parallel = capture 4 in
+  Alcotest.(check bool) "trace is non-trivial" true (List.length serial > 20);
+  Alcotest.(check (list string)) "jobs:1 equals jobs:4" serial parallel;
+  Obs.clear_trace ()
+
+(* ---- MWU convergence semantics ---- *)
+
+let test_mwu_convergence () =
+  let g = Gen.grid 4 4 in
+  let d = Demand.random_pairs (Rng.create 5) ~n:(Graph.n g) ~pairs:6 in
+  Obs.clear_trace ();
+  Obs.set_tracing true;
+  let _, congestion =
+    Fun.protect ~finally:(fun () -> Obs.set_tracing false) (fun () ->
+        Min_congestion.mwu_unrestricted ~iters:8 g d)
+  in
+  let events = Obs.events () in
+  Obs.clear_trace ();
+  match Trace.mwu_solves events with
+  | [ s ] ->
+      Alcotest.(check string) "solver label" "unrestricted" s.Trace.s_solver;
+      Alcotest.(check int) "pairs" 6 s.Trace.s_pairs;
+      Alcotest.(check int) "iters" 8 s.Trace.s_iters;
+      let rounds = s.Trace.s_rounds in
+      Alcotest.(check (list int)) "rounds in order" [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+        (List.map (fun r -> r.Trace.r_round) rounds);
+      List.iter
+        (fun (r : Trace.round) ->
+          Alcotest.(check bool) "positive congestion" true (r.Trace.r_cong > 0.0);
+          Alcotest.(check bool) "support grows" true (r.Trace.r_paths >= 6))
+        rounds;
+      let final = List.nth rounds (List.length rounds - 1) in
+      Alcotest.(check (float 1e-6))
+        "final averaged congestion matches the returned routing" congestion
+        final.Trace.r_avg
+  | solves -> Alcotest.failf "expected one solve, got %d" (List.length solves)
+
+let () =
+  Alcotest.run "sso_obs"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "empty round-trip" `Quick test_empty_roundtrip;
+          prop_attrs_roundtrip;
+        ] );
+      ( "contract",
+        [ Alcotest.test_case "load errors" `Quick test_load_contract ] );
+      ( "registry",
+        [
+          Alcotest.test_case "metrics shim" `Quick test_metrics_shim;
+          Alcotest.test_case "ring saturation" `Quick test_ring_saturation;
+          Alcotest.test_case "histogram trailer" `Quick test_histogram_trailer;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs 1 vs 4" `Quick test_jobs_determinism;
+          Alcotest.test_case "mwu convergence" `Quick test_mwu_convergence;
+        ] );
+    ]

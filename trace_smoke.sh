@@ -1,0 +1,65 @@
+#!/bin/sh
+# Tracing smoke test: record a --kernels trace at --jobs 1 and --jobs 4,
+# assert the event sequences are identical (the deterministic-merge
+# contract of DESIGN.md §8), validate the versioned header and that the
+# per-round MWU telemetry is present for both the unrestricted and the
+# hop-limited solver, and run the `sso trace` analyzers over the file —
+# including their exit-code contract (10 unreadable, 11 corrupt, like
+# `sso cache`).
+set -eu
+
+BENCH="${BENCH:-_build/default/bench/main.exe}"
+SSO="${SSO:-_build/default/bin/sso.exe}"
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+"$BENCH" --kernels --trace "$dir/j1.jsonl" --jobs 1 > /dev/null
+"$BENCH" --kernels --trace "$dir/j4.jsonl" --jobs 4 > /dev/null
+
+# Header: versioned schema tag.
+head -1 "$dir/j1.jsonl" | grep -q '"schema":"sso-trace","version":1' || {
+  echo "trace_smoke: bad or missing trace header" >&2
+  exit 1
+}
+
+# Convergence telemetry: per-round events from both instrumented solvers.
+for solver in unrestricted hop_limited; do
+  grep '"name":"mwu.round"' "$dir/j1.jsonl" | grep -q "\"solver\":\"$solver\"" || {
+    echo "trace_smoke: no mwu.round events for the $solver solver" >&2
+    exit 1
+  }
+done
+
+# Determinism: strip wall-clock fields (ts_ns, dur_ns), the jobs meta
+# field, and the timing-dependent histogram trailer lines; everything
+# left — every event, in order, with its attributes — must be identical.
+normalize() {
+  grep -v '"kind":"histogram"' "$1" \
+    | sed -e 's/"ts_ns":[0-9-]*/"ts_ns":0/g' \
+          -e 's/"dur_ns":[0-9-]*/"dur_ns":0/g' \
+          -e 's/"jobs":[0-9]*/"jobs":0/g'
+}
+normalize "$dir/j1.jsonl" > "$dir/j1.norm"
+normalize "$dir/j4.jsonl" > "$dir/j4.norm"
+cmp "$dir/j1.norm" "$dir/j4.norm" || {
+  echo "trace_smoke: traces differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+
+# Analyzer: summary must mention the span totals and the convergence table.
+"$SSO" trace summary "$dir/j1.jsonl" > "$dir/summary.txt"
+grep -q 'kernels.mwu_unrestricted_shared' "$dir/summary.txt"
+grep -q 'solver=unrestricted' "$dir/summary.txt"
+"$SSO" trace convergence "$dir/j1.jsonl" > /dev/null
+"$SSO" trace spans "$dir/j1.jsonl" > /dev/null
+"$SSO" trace diff "$dir/j1.jsonl" "$dir/j4.jsonl" > /dev/null
+
+# Exit codes: 10 for an unreadable path, 11 for a corrupt file.
+rc=0; "$SSO" trace summary "$dir/missing.jsonl" 2> /dev/null || rc=$?
+test "$rc" -eq 10 || { echo "trace_smoke: expected exit 10, got $rc" >&2; exit 1; }
+echo 'not a trace' > "$dir/corrupt.jsonl"
+rc=0; "$SSO" trace summary "$dir/corrupt.jsonl" 2> /dev/null || rc=$?
+test "$rc" -eq 11 || { echo "trace_smoke: expected exit 11, got $rc" >&2; exit 1; }
+
+echo "trace_smoke: ok"
