@@ -16,7 +16,8 @@
      dune exec bench/main.exe -- --cache-dir D # cache in D (implies --cache)
      dune exec bench/main.exe -- --no-cache   # force the cache off
      dune exec bench/main.exe -- --json F     # write wall times / scalars to F
-     dune exec bench/main.exe -- --kernels    # shortest-path/MWU kernel micro-benches *)
+     dune exec bench/main.exe -- --kernels    # shortest-path/MWU kernel micro-benches
+     dune exec bench/main.exe -- --faults     # fault-injection sweeps / timeline / worst-k *)
 
 module Rng = Sso_prng.Rng
 module Graph = Sso_graph.Graph
@@ -458,9 +459,12 @@ let e10 () =
           paths)
       assignment;
     let cong = Array.fold_left max 0 loads in
-    let fifo = Simulator.run ~discipline:Simulator.Fifo g assignment in
+    let fifo =
+      Simulator.completed_exn (Simulator.run ~discipline:Simulator.Fifo g assignment)
+    in
     let rnd =
-      Simulator.run ~discipline:(Simulator.Random_rank (seeded 91)) g assignment
+      Simulator.completed_exn
+        (Simulator.run ~discipline:(Simulator.Random_rank (seeded 91)) g assignment)
     in
     Printf.printf "%-26s | %5d %5d %7d | %9d %9d\n" name cong !dil (cong + !dil)
       fifo.Simulator.makespan rnd.Simulator.makespan
@@ -865,7 +869,7 @@ let e19 () =
           List.init emissions (fun i -> { Simulator.pair; route; release = i * period }))
         assignment
     in
-    Simulator.run_timed ~discipline:Simulator.Fifo g packets
+    Simulator.completed_exn (Simulator.run_timed ~discipline:Simulator.Fifo g packets)
   in
   List.iter
     (fun load ->
@@ -1056,6 +1060,97 @@ let obs_guard () =
   else Printf.printf "obs-guard: ok (tracing off is within noise of baseline)\n"
 
 (* ------------------------------------------------------------------ *)
+(* --faults: the fault-injection family (BENCH_faults.json): scenario
+   sweeps with warm-started recovery, an SRLG timeline run with
+   mid-flight failover, and the greedy worst-k search. *)
+
+let faults () =
+  header "faults  (scenario sweeps, timeline failover, worst-k)";
+  let module Scenario = Sso_fault.Scenario in
+  let module Timeline = Sso_fault.Timeline in
+  let module Fault_sweep = Sso_fault.Sweep in
+  let module Simulator = Sso_sim.Simulator in
+  let solver = stage4 in
+  let bench name f =
+    let s = timed_best (fun () -> Obs.traced ("faults." ^ name) f) in
+    scalar (Printf.sprintf "faults.%s.seconds" name) s;
+    Printf.printf "%-36s %12.4f s\n" name s
+  in
+  (* Abilene: every single-link failure, with the warm-restart ladder. *)
+  let g, _ = Gen.abilene () in
+  let rng = seeded 71 in
+  let base = racke_routing (Rng.split rng) g in
+  let system = Sampler.alpha_sample (Rng.split rng) base ~alpha:4 in
+  let demand = Demand.random_pairs (Rng.split rng) ~n:(Graph.n g) ~pairs:8 in
+  let system_key = Printf.sprintf "bench-abilene-a4-seed%d" !master_seed in
+  let reports = ref [] in
+  bench "abilene_singles" (fun () ->
+      reports :=
+        Fault_sweep.run ?store:!store ~system_key ~solver
+          ~recovery:Fault_sweep.default_recovery g system demand
+          (Fault_sweep.singles g));
+  let s = Fault_sweep.summary !reports in
+  scalar "faults.abilene.mean_ratio" s.Fault_sweep.mean_ratio;
+  scalar "faults.abilene.worst_ratio" s.Fault_sweep.worst_ratio;
+  scalar "faults.abilene.unsurvivable" (float_of_int s.Fault_sweep.unsurvivable);
+  scalar "faults.abilene.mean_recovery_rounds" s.Fault_sweep.mean_recovery_rounds;
+  Printf.printf
+    "abilene singles: %d scenarios, %d unsurvivable, mean ratio %.3f, mean \
+     recovery %.1f mwu rounds\n"
+    s.Fault_sweep.scenarios s.Fault_sweep.unsurvivable s.Fault_sweep.mean_ratio
+    s.Fault_sweep.mean_recovery_rounds;
+  (* Torus: correlated row SRLGs, then one of them failed mid-flight. *)
+  let rows = 5 and cols = 5 in
+  let gt = Gen.torus rows cols in
+  let rng_t = seeded 72 in
+  let base_t = racke_routing (Rng.split rng_t) gt in
+  let system_t = Sampler.alpha_sample (Rng.split rng_t) base_t ~alpha:4 in
+  let demand_t =
+    Demand.random_pairs (Rng.split rng_t) ~n:(Graph.n gt) ~pairs:10
+  in
+  let srlgs = Scenario.torus_rows gt ~rows ~cols in
+  let reports_t = ref [] in
+  bench "torus_srlg" (fun () ->
+      reports_t := Fault_sweep.run ~solver gt system_t demand_t srlgs);
+  let st = Fault_sweep.summary !reports_t in
+  scalar "faults.torus.mean_ratio" st.Fault_sweep.mean_ratio;
+  scalar "faults.torus.worst_ratio" st.Fault_sweep.worst_ratio;
+  scalar "faults.torus.unsurvivable" (float_of_int st.Fault_sweep.unsurvivable);
+  Printf.printf "torus row SRLGs: %d scenarios, %d unsurvivable, mean ratio %.3f\n"
+    st.Fault_sweep.scenarios st.Fault_sweep.unsurvivable st.Fault_sweep.mean_ratio;
+  let assignment, _ =
+    Integral.congestion_upper (Rng.split rng_t) gt system_t demand_t
+  in
+  let timeline = [ Timeline.entry ~at:3 (List.nth srlgs 2) ] in
+  let fs = ref None in
+  bench "torus_timeline" (fun () ->
+      fs := Some (Simulator.value (Timeline.simulate gt system_t assignment timeline)));
+  (match !fs with
+  | None -> ()
+  | Some fs ->
+      scalar "faults.timeline.makespan" (float_of_int fs.Simulator.base.Simulator.makespan);
+      scalar "faults.timeline.dropped" (float_of_int fs.Simulator.dropped);
+      scalar "faults.timeline.rerouted" (float_of_int fs.Simulator.rerouted);
+      scalar "faults.timeline.recovery_makespan"
+        (float_of_int fs.Simulator.recovery_makespan);
+      Printf.printf
+        "timeline (row SRLG at step 3): makespan %d, rerouted %d, dropped %d, \
+         recovery makespan %d\n"
+        fs.Simulator.base.Simulator.makespan fs.Simulator.rerouted
+        fs.Simulator.dropped fs.Simulator.recovery_makespan);
+  (* Greedy worst-k on Abilene. *)
+  let worst = ref None in
+  bench "abilene_worst2" (fun () ->
+      worst :=
+        Some (Fault_sweep.worst_k ?store:!store ~system_key ~solver g system demand ~k:2));
+  (match !worst with
+  | None -> ()
+  | Some w ->
+      scalar "faults.worst2.ratio" w.Fault_sweep.ratio;
+      Printf.printf "greedy worst-2: %s ratio %.3f\n"
+        w.Fault_sweep.scenario.Scenario.label w.Fault_sweep.ratio)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suite: one micro-benchmark per experiment family. *)
 
 let timing () =
@@ -1213,6 +1308,7 @@ let () =
   if has "--list" then
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) experiments
   else if has "--kernels" then kernels ()
+  else if has "--faults" then faults ()
   else if has "--obs-guard" then obs_guard ()
   else begin
     (match find_experiment args with
@@ -1287,7 +1383,12 @@ let () =
                  seconds)
              !timings)
           (fields
-             (fun (name, v) -> Printf.sprintf "\"%s\": %.17g" (escape name) v)
+             (fun (name, v) ->
+               (* Non-finite values (unsurvivable ratios, unmeasured
+                  recoveries) are not valid JSON numbers: quote them. *)
+               if Float.is_finite v then
+                 Printf.sprintf "\"%s\": %.17g" (escape name) v
+               else Printf.sprintf "\"%s\": \"%.17g\"" (escape name) v)
              !scalars)
           (Metrics.json ())
       in

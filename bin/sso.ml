@@ -5,6 +5,7 @@
      info    print statistics of a graph
      route   build a sampled path system and route a demand through it
      attack  run the Section-8 adversary on C(n,k)
+     faults  fault injection: scenario sweeps, timelines, worst-k search
      cache   inspect and maintain the artifact store (ls/stat/gc/clear)
 
    Examples:
@@ -351,7 +352,7 @@ let simulate_cmd =
       Sso_core.Integral.congestion_upper (Rng.split rng) g system demand
     in
     let report name discipline =
-      let stats = Simulator.run ~discipline g assignment in
+      let stats = Simulator.completed_exn (Simulator.run ~discipline g assignment) in
       Printf.printf "%-18s makespan %4d  max queue %4d  waits %5d\n" name
         stats.Simulator.makespan stats.Simulator.max_queue stats.Simulator.total_waits
     in
@@ -368,6 +369,388 @@ let simulate_cmd =
     Term.(
       const run $ graph_pos $ alpha_arg $ packets_arg $ seed_arg $ jobs_arg
       $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
+
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let module Simulator = Sso_sim.Simulator in
+  let module Scenario = Sso_fault.Scenario in
+  let module Timeline = Sso_fault.Timeline in
+  let module Fsweep = Sso_fault.Sweep in
+  let module Codec = Sso_artifact.Codec in
+  (* Fault experiments generate their graph from a named family instead of
+     reading a file: the SRLG derivations need the generator's vertex
+     layout (torus rows, fat-tree pods). *)
+  let family_arg =
+    let doc = "Graph family: torus, fat-tree, abilene, b4." in
+    Arg.(value & opt string "torus" & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let size_arg =
+    let doc = "Family size (torus side, fat-tree k; ignored for WANs)." in
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"SIZE" ~doc)
+  in
+  let alpha_arg =
+    let doc = "Paths sampled per pair (the paper's α)." in
+    Arg.(value & opt int 4 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+  in
+  let base_arg =
+    let doc = "Base oblivious routing: racke, valiant, ksp, shortest." in
+    Arg.(value & opt string "racke" & info [ "base" ] ~docv:"BASE" ~doc)
+  in
+  let demand_arg =
+    let doc = "Demand workload: pairs:N, permutation, gravity:TOTAL, all-to-all." in
+    Arg.(value & opt string "pairs:6" & info [ "demand" ] ~docv:"DEMAND" ~doc)
+  in
+  let solver_arg =
+    let doc = "Stage-4 solver: mwu[:ITERS] (default), gk[:EPS], or lp." in
+    Arg.(value & opt string "mwu" & info [ "solver" ] ~docv:"SOLVER" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit deterministic JSON (byte-identical for any $(b,--jobs))." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let build_family family size =
+    match family with
+    | "torus" -> Gen.torus size size
+    | "fat-tree" -> Gen.fat_tree size
+    | "abilene" -> fst (Gen.abilene ())
+    | "b4" -> fst (Gen.b4 ())
+    | other -> failwith (Printf.sprintf "unknown family %S" other)
+  in
+  let srlgs g family size =
+    match family with
+    | "torus" -> Scenario.torus_rows g ~rows:size ~cols:size
+    | "fat-tree" -> Scenario.fat_tree_pods g ~k:size
+    | _ ->
+        (* WAN topologies: model node failures as shared-risk groups. *)
+        List.init (Graph.n g) (Scenario.incident g)
+  in
+  let parse_solver solver_spec =
+    match String.split_on_char ':' solver_spec with
+    | [ "lp" ] -> Semi_oblivious.Lp
+    | [ "mwu" ] -> Semi_oblivious.default_solver
+    | [ "mwu"; iters ] -> Semi_oblivious.Mwu (int_of_string iters)
+    | [ "gk" ] -> Semi_oblivious.Gk 0.1
+    | [ "gk"; eps ] -> Semi_oblivious.Gk (float_of_string eps)
+    | _ -> failwith (Printf.sprintf "unknown solver %S" solver_spec)
+  in
+  let parse_demand rng g demand_spec =
+    match String.split_on_char ':' demand_spec with
+    | [ "permutation" ] -> Demand.random_permutation rng (Graph.n g)
+    | [ "pairs"; count ] ->
+        Demand.random_pairs rng ~n:(Graph.n g) ~pairs:(int_of_string count)
+    | [ "gravity"; total ] ->
+        Demand.gravity rng ~n:(Graph.n g) ~total:(float_of_string total)
+    | [ "all-to-all" ] -> Demand.all_to_all (Graph.n g)
+    | _ -> failwith (Printf.sprintf "unknown demand spec %S" demand_spec)
+  in
+  (* Same draw order as [sso route]/[sso simulate]: base, system, demand,
+     then scenario randomness — so every command sees the same sampled
+     system for the same seed. *)
+  let setup ?store ~family ~size ~base ~alpha ~demand:demand_spec ~seed () =
+    let g = build_family family size in
+    let rng = Rng.create seed in
+    let base_routing =
+      match base with
+      | "racke" -> Memo.racke ?store (Rng.split rng) g
+      | "valiant" -> Valiant.routing g
+      | "ksp" -> Ksp.routing ~k:(max 4 alpha) g
+      | "shortest" -> Deterministic.shortest_path g
+      | other -> failwith (Printf.sprintf "unknown base routing %S" other)
+    in
+    let system = Sampler.alpha_sample (Rng.split rng) base_routing ~alpha in
+    let demand = parse_demand (Rng.split rng) g demand_spec in
+    let scen_rng = Rng.split rng in
+    let system_key =
+      Printf.sprintf "fam=%s;size=%d;base=%s;alpha=%d;seed=%d" family size base
+        alpha seed
+    in
+    (g, system, demand, scen_rng, system_key)
+  in
+  let jstr s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  in
+  let jfloat f =
+    if Float.is_nan f then "\"nan\""
+    else if f = infinity then "\"inf\""
+    else if f = neg_infinity then "\"-inf\""
+    else Printf.sprintf "%.17g" f
+  in
+  let jbool b = if b then "true" else "false" in
+  let cache_json store =
+    match store with
+    | None -> ""
+    | Some _ ->
+        Printf.sprintf ",\n  \"cache\": {\"hit\": %d, \"miss\": %d}"
+          (Obs.counter_value (Obs.counter "artifact.hit"))
+          (Obs.counter_value (Obs.counter "artifact.miss"))
+  in
+  let report_json (r : Fsweep.report) =
+    Printf.sprintf
+      "{\"label\": %s, \"edges\": [%s], \"connected\": %s, \"survivable\": %s, \
+       \"achieved\": %s, \"post_opt\": %s, \"ratio\": %s, \"recovery_rounds\": \
+       %d, \"warm_congestion\": %s}"
+      (jstr r.Fsweep.scenario.Scenario.label)
+      (String.concat ", "
+         (List.map string_of_int (Scenario.edges r.Fsweep.scenario)))
+      (jbool r.Fsweep.connected) (jbool r.Fsweep.survivable)
+      (jfloat r.Fsweep.achieved) (jfloat r.Fsweep.post_opt)
+      (jfloat r.Fsweep.ratio) r.Fsweep.recovery_rounds
+      (jfloat r.Fsweep.warm_congestion)
+  in
+  let summary_json (s : Fsweep.summary) =
+    Printf.sprintf
+      "{\"scenarios\": %d, \"disconnected\": %d, \"unsurvivable\": %d, \
+       \"mean_ratio\": %s, \"worst_ratio\": %s, \"mean_recovery_rounds\": %s}"
+      s.Fsweep.scenarios s.Fsweep.disconnected s.Fsweep.unsurvivable
+      (jfloat s.Fsweep.mean_ratio) (jfloat s.Fsweep.worst_ratio)
+      (jfloat s.Fsweep.mean_recovery_rounds)
+  in
+  let print_report_line (r : Fsweep.report) =
+    Printf.printf "%-20s %9s %9s  achieved %8s  opt %8s  ratio %8s%s\n"
+      r.Fsweep.scenario.Scenario.label
+      (if r.Fsweep.connected then "connected" else "DISCONN")
+      (if r.Fsweep.survivable then "ok" else "UNSURV")
+      (Printf.sprintf "%.3f" r.Fsweep.achieved)
+      (Printf.sprintf "%.3f" r.Fsweep.post_opt)
+      (Printf.sprintf "%.3f" r.Fsweep.ratio)
+      (if r.Fsweep.recovery_rounds >= 0 then
+         Printf.sprintf "  recovered in %d rounds" r.Fsweep.recovery_rounds
+       else "")
+  in
+  let sweep_cmd =
+    let scenarios_arg =
+      let doc =
+        "Scenario set: singles (every edge), srlg (rows/pods/nodes of the \
+         family), random:K:COUNT (COUNT random K-edge sets), or \
+         degrade:FACTOR (every edge at partial capacity)."
+      in
+      Arg.(value & opt string "singles" & info [ "scenarios" ] ~docv:"SPEC" ~doc)
+    in
+    let recovery_arg =
+      let doc = "Also measure warm-started time-to-recover per scenario." in
+      Arg.(value & flag & info [ "recovery" ] ~doc)
+    in
+    let run family size alpha base demand_spec solver_spec scen_spec recovery
+        json seed jobs cache no_cache cache_dir trace =
+      set_jobs jobs;
+      start_trace trace;
+      let store = open_store cache no_cache cache_dir in
+      let g, system, demand, scen_rng, system_key =
+        setup ?store ~family ~size ~base ~alpha ~demand:demand_spec ~seed ()
+      in
+      let scenarios =
+        match String.split_on_char ':' scen_spec with
+        | [ "singles" ] -> Fsweep.singles g
+        | [ "srlg" ] -> srlgs g family size
+        | [ "random"; k; count ] ->
+            let k = int_of_string k and count = int_of_string count in
+            List.init count (fun i ->
+                Scenario.random_k (Rng.split_at scen_rng i) g ~k)
+        | [ "degrade"; factor ] ->
+            let factor = float_of_string factor in
+            List.init (Graph.m g) (fun e -> Scenario.degrade g ~factor [ e ])
+        | _ -> failwith (Printf.sprintf "unknown scenario spec %S" scen_spec)
+      in
+      let solver = parse_solver solver_spec in
+      let recovery = if recovery then Some Fsweep.default_recovery else None in
+      let reports =
+        Fsweep.run ~solver ?store ~system_key ?recovery g system demand
+          scenarios
+      in
+      let s = Fsweep.summary reports in
+      if json then begin
+        Printf.printf
+          "{\n  \"schema\": \"sso-faults-sweep\",\n  \"version\": 1,\n  \
+           \"family\": %s,\n  \"size\": %d,\n  \"base\": %s,\n  \"alpha\": \
+           %d,\n  \"demand\": %s,\n  \"solver\": %s,\n  \"scenarios\": %s,\n  \
+           \"seed\": %d,\n  \"reports\": [\n"
+          (jstr family) size (jstr base) alpha (jstr demand_spec)
+          (jstr solver_spec) (jstr scen_spec) seed;
+        List.iteri
+          (fun i r ->
+            Printf.printf "    %s%s\n" (report_json r)
+              (if i < List.length reports - 1 then "," else ""))
+          reports;
+        Printf.printf "  ],\n  \"summary\": %s%s\n}\n" (summary_json s)
+          (cache_json store)
+      end
+      else begin
+        Printf.printf "family %s  size %d  alpha %d  demand %s  scenarios %d\n\n"
+          family size alpha demand_spec (List.length scenarios);
+        List.iter print_report_line reports;
+        Printf.printf
+          "\nsummary: %d scenarios, %d disconnected, %d unsurvivable, mean \
+           ratio %.3f, worst %.3f\n"
+          s.Fsweep.scenarios s.Fsweep.disconnected s.Fsweep.unsurvivable
+          s.Fsweep.mean_ratio s.Fsweep.worst_ratio;
+        if s.Fsweep.mean_recovery_rounds = s.Fsweep.mean_recovery_rounds then
+          Printf.printf "mean recovery %.1f warm MWU rounds\n"
+            s.Fsweep.mean_recovery_rounds
+      end;
+      finish_trace ~seed trace
+    in
+    let doc = "sweep failure scenarios: congestion and recovery per scenario" in
+    Cmd.v (Cmd.info "sweep" ~doc)
+      Term.(
+        const run $ family_arg $ size_arg $ alpha_arg $ base_arg $ demand_arg
+        $ solver_arg $ scenarios_arg $ recovery_arg $ json_arg $ seed_arg
+        $ jobs_arg $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
+  in
+  let timeline_cmd =
+    let scenario_arg =
+      let doc = "What fails: srlg:I (the I-th group), edge:E, or random:K." in
+      Arg.(value & opt string "srlg:0" & info [ "scenario" ] ~docv:"SPEC" ~doc)
+    in
+    let fail_at_arg =
+      let doc = "Step at which the failure strikes (mid-flight)." in
+      Arg.(value & opt int 2 & info [ "fail-at" ] ~docv:"STEP" ~doc)
+    in
+    let repair_at_arg =
+      let doc = "Optional repair step (> fail step)." in
+      Arg.(value & opt (some int) None & info [ "repair-at" ] ~docv:"STEP" ~doc)
+    in
+    let packets_arg =
+      let doc = "Number of random unit packets to inject." in
+      Arg.(value & opt int 12 & info [ "packets" ] ~docv:"N" ~doc)
+    in
+    let run family size alpha base scen_spec fail_at repair_at packets json seed
+        jobs cache no_cache cache_dir trace =
+      set_jobs jobs;
+      start_trace trace;
+      let store = open_store cache no_cache cache_dir in
+      let g, system, demand, scen_rng, _system_key =
+        setup ?store ~family ~size ~base ~alpha
+          ~demand:(Printf.sprintf "pairs:%d" packets) ~seed ()
+      in
+      let scenario =
+        match String.split_on_char ':' scen_spec with
+        | [ "srlg"; i ] -> (
+            let groups = srlgs g family size in
+            match List.nth_opt groups (int_of_string i) with
+            | Some s -> s
+            | None -> failwith "srlg index out of range")
+        | [ "edge"; e ] -> Scenario.single g (int_of_string e)
+        | [ "random"; k ] ->
+            Scenario.random_k (Rng.split_at scen_rng 0) g ~k:(int_of_string k)
+        | _ -> failwith (Printf.sprintf "unknown scenario spec %S" scen_spec)
+      in
+      let assignment, congestion =
+        Sso_core.Integral.congestion_upper (Rng.split scen_rng) g system demand
+      in
+      let timeline = [ Timeline.entry ?repair_at ~at:fail_at scenario ] in
+      let outcome = Timeline.simulate g system assignment timeline in
+      let fs = Simulator.value outcome in
+      let completed = match outcome with Simulator.Completed _ -> true | _ -> false in
+      (* Does every demanded pair keep a candidate avoiding the dead
+         edges?  When true, the failover policy delivers everything. *)
+      let removed = Scenario.removed scenario in
+      let pairs_covered =
+        List.for_all
+          (fun (s, t) ->
+            List.exists
+              (fun (p : Sso_graph.Path.t) ->
+                not (Array.exists removed p.Sso_graph.Path.edges))
+              (Path_system.paths system s t))
+          (Demand.support demand)
+      in
+      if json then
+        Printf.printf
+          "{\n  \"schema\": \"sso-faults-timeline\",\n  \"version\": 1,\n  \
+           \"family\": %s,\n  \"size\": %d,\n  \"alpha\": %d,\n  \"scenario\": \
+           %s,\n  \"fail_at\": %d,\n  \"repair_at\": %s,\n  \"seed\": %d,\n  \
+           \"congestion\": %s,\n  \"completed\": %s,\n  \
+           \"all_pairs_retain_candidate\": %s,\n  \"makespan\": %d,\n  \
+           \"delivered\": %d,\n  \"dropped\": %d,\n  \"rerouted\": %d,\n  \
+           \"recovery_makespan\": %d,\n  \"max_queue\": %d,\n  \
+           \"total_waits\": %d%s\n}\n"
+          (jstr family) size alpha
+          (jstr scenario.Scenario.label)
+          fail_at
+          (match repair_at with Some r -> string_of_int r | None -> "null")
+          seed (jfloat congestion) (jbool completed) (jbool pairs_covered)
+          fs.Simulator.base.Simulator.makespan
+          fs.Simulator.base.Simulator.delivered fs.Simulator.dropped
+          fs.Simulator.rerouted fs.Simulator.recovery_makespan
+          fs.Simulator.base.Simulator.max_queue
+          fs.Simulator.base.Simulator.total_waits (cache_json store)
+      else begin
+        Printf.printf "scenario %s fails at step %d%s\n" scenario.Scenario.label
+          fail_at
+          (match repair_at with
+          | Some r -> Printf.sprintf ", repaired at %d" r
+          | None -> "");
+        Printf.printf "all pairs retain a candidate: %b\n" pairs_covered;
+        Printf.printf
+          "makespan %d  delivered %d  dropped %d  rerouted %d  recovery \
+           makespan %d\n"
+          fs.Simulator.base.Simulator.makespan
+          fs.Simulator.base.Simulator.delivered fs.Simulator.dropped
+          fs.Simulator.rerouted fs.Simulator.recovery_makespan;
+        if not completed then Printf.printf "WARNING: step budget exhausted\n"
+      end;
+      finish_trace ~seed trace
+    in
+    let doc = "simulate packets while an SRLG dies mid-flight (and recovers)" in
+    Cmd.v (Cmd.info "timeline" ~doc)
+      Term.(
+        const run $ family_arg $ size_arg $ alpha_arg $ base_arg $ scenario_arg
+        $ fail_at_arg $ repair_at_arg $ packets_arg $ json_arg $ seed_arg
+        $ jobs_arg $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
+  in
+  let worst_k_cmd =
+    let k_arg =
+      let doc = "Failure-set size to search for." in
+      Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc)
+    in
+    let candidates_arg =
+      let doc = "Candidate pool: the N most damaging single edges." in
+      Arg.(value & opt int 8 & info [ "candidates" ] ~docv:"N" ~doc)
+    in
+    let run family size alpha base demand_spec solver_spec k candidates json
+        seed jobs cache no_cache cache_dir trace =
+      set_jobs jobs;
+      start_trace trace;
+      let store = open_store cache no_cache cache_dir in
+      let g, system, demand, _scen_rng, system_key =
+        setup ?store ~family ~size ~base ~alpha ~demand:demand_spec ~seed ()
+      in
+      let solver = parse_solver solver_spec in
+      let worst =
+        Fsweep.worst_k ~solver ?store ~system_key ~candidates g system demand ~k
+      in
+      if json then
+        Printf.printf
+          "{\n  \"schema\": \"sso-faults-worst-k\",\n  \"version\": 1,\n  \
+           \"family\": %s,\n  \"size\": %d,\n  \"alpha\": %d,\n  \"k\": %d,\n  \
+           \"seed\": %d,\n  \"worst\": %s%s\n}\n"
+          (jstr family) size alpha k seed (report_json worst) (cache_json store)
+      else begin
+        Printf.printf "greedy worst-%d on %s (pool %d):\n" k family candidates;
+        print_report_line worst
+      end;
+      finish_trace ~seed trace
+    in
+    let doc = "greedy search for an adversarial correlated k-edge failure" in
+    Cmd.v (Cmd.info "worst-k" ~doc)
+      Term.(
+        const run $ family_arg $ size_arg $ alpha_arg $ base_arg $ demand_arg
+        $ solver_arg $ k_arg $ candidates_arg $ json_arg $ seed_arg $ jobs_arg
+        $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
+  in
+  let doc = "fault injection: scenario sweeps, timelines, adversarial sets" in
+  Cmd.group (Cmd.info "faults" ~doc) [ sweep_cmd; timeline_cmd; worst_k_cmd ]
 
 (* ---- cache ---- *)
 
@@ -691,6 +1074,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            gen_cmd; info_cmd; route_cmd; attack_cmd; simulate_cmd; theory_cmd;
-            cache_cmd; trace_cmd;
+            gen_cmd; info_cmd; route_cmd; attack_cmd; simulate_cmd; faults_cmd;
+            theory_cmd; cache_cmd; trace_cmd;
           ]))

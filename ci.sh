@@ -4,9 +4,11 @@
 # domains (its output is deterministic for any job count), the
 # artifact cache by running E5 cold/warm in a temporary store
 # (byte-identical output, at least one recorded hit), the kernel
-# micro-benchmarks by validating their JSON schema, and the tracing
+# micro-benchmarks by validating their JSON schema, the tracing
 # subsystem by recording a kernel trace at two job counts (identical
-# event sequences) and running the `sso trace` analyzers over it.
+# event sequences) and running the `sso trace` analyzers over it, and
+# the fault-injection subsystem via `sso faults` (jobs-invariant sweeps,
+# a dropped-free mid-flight SRLG failover, cached warm sweeps).
 set -eux
 
 dune build
@@ -15,3 +17,4 @@ dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
 ./cache_smoke.sh
 ./kernels_smoke.sh
 ./trace_smoke.sh
+./faults_smoke.sh

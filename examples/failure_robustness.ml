@@ -17,6 +17,8 @@ module Demand = Sso_demand.Demand
 module Racke = Sso_oblivious.Racke
 module Sampler = Sso_core.Sampler
 module Robustness = Sso_core.Robustness
+module Scenario = Sso_fault.Scenario
+module Sweep = Sso_fault.Sweep
 
 let () =
   let rng = Rng.create 5 in
@@ -42,4 +44,28 @@ let () =
   Printf.printf
     "candidate; with alpha ~ 4 the sampled paths are diverse enough that\n";
   Printf.printf
-    "rate re-optimization alone rides out nearly every single failure.\n"
+    "rate re-optimization alone rides out nearly every single failure.\n\n";
+  (* Beyond single links: correlated and adversarial scenarios, plus how
+     fast a warm-started re-optimization recovers (lib/fault). *)
+  let system = Sampler.alpha_sample (Rng.split rng) base ~alpha:4 in
+  let scenarios =
+    List.init (Graph.n g) (Scenario.incident g)
+    @ List.init 4 (fun i -> Scenario.random_k (Rng.split_at (Rng.split rng) i) g ~k:2)
+  in
+  let reports =
+    Sweep.run ~recovery:Sweep.default_recovery g system demand scenarios
+  in
+  let s = Sweep.summary reports in
+  Printf.printf
+    "alpha=4 under %d node-failure SRLGs + 4 random 2-link cuts:\n"
+    (Graph.n g);
+  Printf.printf
+    "  %d scenarios disconnect the WAN itself, %d strand a flow,\n"
+    s.Sweep.disconnected s.Sweep.unsurvivable;
+  Printf.printf
+    "  survivable ones end %.3fx from the damaged optimum after ~%.0f\n"
+    s.Sweep.mean_ratio s.Sweep.mean_recovery_rounds;
+  Printf.printf "  warm-started MWU rounds (cold solves take hundreds).\n\n";
+  let worst = Sweep.worst_k g system demand ~k:2 in
+  Printf.printf "greedy worst-2 cut: %s -> ratio %.3f\n"
+    worst.Sweep.scenario.Scenario.label worst.Sweep.ratio

@@ -1,4 +1,5 @@
 module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
 module Demand = Sso_demand.Demand
 module Min_congestion = Sso_flow.Min_congestion
 module Pool = Sso_engine.Pool
@@ -6,6 +7,7 @@ module Obs = Sso_obs.Obs
 
 let sweep_span = Obs.span "robustness.sweep"
 let failures_counter = Obs.counter "robustness.failures_tested"
+let opt_solves_counter = Obs.counter "robustness.opt_solves"
 
 type report = {
   failed_edge : int;
@@ -21,22 +23,64 @@ let single_failures ?pool ?(solver = Semi_oblivious.default_solver) g ps demand 
     | Semi_oblivious.Mwu i -> i
     | Semi_oblivious.Lp | Semi_oblivious.Gk _ -> 300
   in
+  let support = Demand.support demand in
   (* Materialize the parent system for every demanded pair before fanning
      out: the per-failure tasks derive [without_edge] children from it, and
      generation order (hence any generator RNG draws) must not depend on
      the job count. *)
-  Path_system.materialize ps (Demand.support demand);
+  Path_system.materialize ps support;
   Obs.with_span sweep_span @@ fun () ->
+  let m = Graph.m g in
+  (* Parallel edges: failing either of two same-(u,v,cap) edges damages
+     isomorphic networks, so the expensive post-failure optimum is solved
+     once per class and shared across its members. *)
+  let rep = Array.make m (-1) in
+  let class_tbl = Hashtbl.create m in
+  for e = 0 to m - 1 do
+    let u, v = Graph.endpoints g e in
+    let key = (u, v, Graph.cap g e) in
+    match Hashtbl.find_opt class_tbl key with
+    | Some r -> rep.(e) <- r
+    | None ->
+        Hashtbl.add class_tbl key e;
+        rep.(e) <- e
+  done;
+  let reps =
+    Array.of_list (List.filter (fun e -> rep.(e) = e) (List.init m Fun.id))
+  in
+  (* Edges no candidate path crosses keep the survivor system equal to the
+     whole system, so their Stage-4 solve collapses to one shared
+     baseline. *)
+  let used = Array.make m false in
+  List.iter
+    (fun (s, t) ->
+      List.iter
+        (fun (p : Path.t) -> Array.iter (fun e -> used.(e) <- true) p.Path.edges)
+        (Path_system.paths ps s t))
+    support;
+  let pre_nonempty =
+    List.for_all (fun (s, t) -> Path_system.paths ps s t <> []) support
+  in
+  let baseline =
+    if Array.exists not used && pre_nonempty then
+      Some (Semi_oblivious.congestion ~solver g ps demand)
+    else None
+  in
+  let post_opts =
+    Pool.parallel_map ?pool
+      (fun e ->
+        Obs.incr opt_solves_counter;
+        Min_congestion.mwu_unrestricted_avoiding ~iters
+          ~avoid:(fun e' -> e' = e)
+          g demand)
+      reps
+  in
+  let post_of = Array.make m None in
+  Array.iteri (fun i r -> post_of.(r) <- post_opts.(i)) reps;
   Array.to_list
-  @@ Pool.parallel_init ?pool (Graph.m g) (fun e ->
+  @@ Pool.parallel_init ?pool m (fun e ->
       Obs.incr failures_counter;
-      let survivors = Path_system.without_edge e ps in
-      let candidates_remain =
-        List.for_all
-          (fun (s, t) -> Path_system.paths survivors s t <> [])
-          (Demand.support demand)
-      in
-      match Min_congestion.mwu_unrestricted_avoiding ~iters ~avoid:(fun e' -> e' = e) g demand with
+      match post_of.(rep.(e)) with
       | None ->
           (* The network itself cannot survive this failure: not the path
              system's fault. *)
@@ -46,11 +90,26 @@ let single_failures ?pool ?(solver = Semi_oblivious.default_solver) g ps demand 
             Float.max post_opt
               (Min_congestion.lower_bound_sparse_cut g demand)
           in
-          if not candidates_remain then
+          let unsurvivable =
             { failed_edge = e; survivable = false; achieved = infinity; post_opt; ratio = infinity }
+          in
+          if not used.(e) then
+            match baseline with
+            | Some achieved ->
+                { failed_edge = e; survivable = true; achieved; post_opt; ratio = achieved /. post_opt }
+            | None -> unsurvivable
           else begin
-            let achieved = Semi_oblivious.congestion ~solver g survivors demand in
-            { failed_edge = e; survivable = true; achieved; post_opt; ratio = achieved /. post_opt }
+            let survivors = Path_system.without_edge e ps in
+            let candidates_remain =
+              List.for_all
+                (fun (s, t) -> Path_system.paths survivors s t <> [])
+                support
+            in
+            if not candidates_remain then unsurvivable
+            else begin
+              let achieved = Semi_oblivious.congestion ~solver g survivors demand in
+              { failed_edge = e; survivable = true; achieved; post_opt; ratio = achieved /. post_opt }
+            end
           end)
 
 type summary = {
@@ -73,5 +132,8 @@ let summary reports =
     mean_ratio =
       (if count = 0 then nan
        else List.fold_left ( +. ) 0.0 ratios /. float_of_int count);
-    worst_ratio = List.fold_left Float.max 0.0 ratios;
+    (* No survivable failure means no worst one either: report nan, not a
+       vacuous fold over 0. *)
+    worst_ratio =
+      (if count = 0 then nan else List.fold_left Float.max 0.0 ratios);
   }

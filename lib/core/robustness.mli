@@ -26,15 +26,23 @@ val single_failures :
     demanded pair in the graph itself are reported with
     [survivable = false] and are excluded from {!summary}.  Failures are
     evaluated concurrently on [pool] (default: the process pool); the
-    report list is identical for any job count. *)
+    report list is identical for any job count.
+
+    Identical scenarios are solved once: parallel edges with the same
+    endpoints and capacity damage isomorphic networks, so the damaged
+    optimum is computed per equivalence class (counter
+    [robustness.opt_solves]) and shared, and edges no candidate path
+    crosses share one baseline Stage-4 solve — while the report list
+    still carries one entry per edge id. *)
 
 type summary = {
   edges_tested : int;
   unsurvivable : int;
       (** Failures the candidate set could not absorb even though the
           damaged network still connects every pair. *)
-  mean_ratio : float;  (** Over survivable failures. *)
-  worst_ratio : float;
+  mean_ratio : float;
+      (** Over survivable failures; [nan] when there are none. *)
+  worst_ratio : float;  (** Likewise [nan] when there are none. *)
 }
 
 val summary : report list -> summary

@@ -29,6 +29,23 @@ val congestion :
   Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t -> float
 (** [cong_ℝ(P,d)]. *)
 
+val resolve :
+  ?solver:solver ->
+  ?warm_start:Sso_flow.Routing.t * int ->
+  Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t ->
+  Sso_flow.Routing.t * float
+(** Stage-4 re-optimization after the path system or graph changed —
+    the recovery step of the fault experiments.  With
+    [~warm_start:(r, w)] and an MWU solver, the multiplicative-weights
+    iteration starts from the pre-failure routing [r] (restricted to
+    paths the candidate sets still offer, counted as [w] virtual rounds)
+    instead of from scratch, so few fresh rounds recover a good routing
+    — the operational claim behind "re-optimize rates on survivors".
+    Pairs whose warm distribution died entirely are re-learned from
+    scratch.  Without [warm_start], or with the [Lp]/[Gk] solvers (which
+    have no incremental form), this is {!route}.
+    @raise Invalid_argument if some demanded pair has no candidates. *)
+
 val opt :
   ?solver:solver -> Sso_graph.Graph.t -> Sso_demand.Demand.t -> float
 (** Offline optimum [opt_{G,ℝ}(d)] (Dijkstra-oracle MWU by default; exact

@@ -1,0 +1,134 @@
+module Graph = Sso_graph.Graph
+module Path = Sso_graph.Path
+module Path_system = Sso_core.Path_system
+module Simulator = Sso_sim.Simulator
+module Obs = Sso_obs.Obs
+
+let timeline_span = Obs.span "fault.timeline"
+let dropped_counter = Obs.counter "fault.dropped"
+let rerouted_counter = Obs.counter "fault.rerouted"
+
+type entry = {
+  scenario : Scenario.t;
+  fail_at : int;
+  repair_at : int option;
+}
+
+type t = entry list
+
+let entry ?repair_at ~at scenario =
+  if at < 1 then invalid_arg "Timeline.entry: fail step must be >= 1";
+  (match repair_at with
+  | Some r when r <= at -> invalid_arg "Timeline.entry: repair must come after failure"
+  | _ -> ());
+  { scenario; fail_at = at; repair_at }
+
+let changes timeline =
+  List.concat_map
+    (fun en ->
+      let fails =
+        List.map
+          (fun (f : Scenario.failure) ->
+            {
+              Simulator.edge = f.Scenario.fail_edge;
+              at_step = en.fail_at;
+              factor = f.Scenario.fail_factor;
+            })
+          en.scenario.Scenario.failures
+      in
+      let repairs =
+        match en.repair_at with
+        | None -> []
+        | Some r ->
+            List.map
+              (fun (f : Scenario.failure) ->
+                { Simulator.edge = f.Scenario.fail_edge; at_step = r; factor = 1.0 })
+              en.scenario.Scenario.failures
+      in
+      fails @ repairs)
+    timeline
+
+(* BFS over alive edges from [src] to the nearest vertex satisfying
+   [target].  Edges are visited in CSR order and the queue is FIFO, so the
+   returned path is deterministic. *)
+let bfs_bridge g ~alive ~src ~target =
+  if target src then Some (Path.trivial src)
+  else begin
+    let n = Graph.n g in
+    let parent_edge = Array.make n (-1) in
+    let parent_vert = Array.make n (-1) in
+    let visited = Array.make n false in
+    visited.(src) <- true;
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref (-1) in
+    while !found < 0 && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if target u then found := u
+      else
+        Graph.iter_adj g u (fun e w ->
+            if alive e && not visited.(w) then begin
+              visited.(w) <- true;
+              parent_edge.(w) <- e;
+              parent_vert.(w) <- u;
+              Queue.add w q
+            end)
+    done;
+    if !found < 0 then None
+    else begin
+      let rec collect u acc =
+        if u = src then acc else collect parent_vert.(u) (parent_edge.(u) :: acc)
+      in
+      Some (Path.of_edges g ~src ~dst:!found (Array.of_list (collect !found [])))
+    end
+  end
+
+let suffix_from g (c : Path.t) ~from =
+  let verts = Path.vertices g c in
+  let idx = ref (-1) in
+  Array.iteri (fun i v -> if !idx < 0 && v = from then idx := i) verts;
+  if !idx < 0 then invalid_arg "Timeline.suffix_from: vertex not on path";
+  Path.of_edges g ~src:from ~dst:c.Path.dst
+    (Array.sub c.Path.edges !idx (Array.length c.Path.edges - !idx))
+
+let candidate_failover g ps ~pair:(s, t) ~at_vertex:v ~alive =
+  let survivors =
+    List.filter
+      (fun (p : Path.t) -> Array.for_all alive p.Path.edges)
+      (Path_system.paths ps s t)
+  in
+  match survivors with
+  | [] -> None
+  | first :: _ as cs -> (
+      let through_v =
+        List.find_opt
+          (fun c -> Array.exists (fun u -> u = v) (Path.vertices g c))
+          cs
+      in
+      match through_v with
+      | Some c -> Some (suffix_from g c ~from:v)
+      | None -> (
+          let on_first =
+            let verts = Path.vertices g first in
+            fun u -> Array.exists (fun x -> x = u) verts
+          in
+          match bfs_bridge g ~alive ~src:v ~target:on_first with
+          | None -> None
+          | Some bridge ->
+              let joined = suffix_from g first ~from:bridge.Path.dst in
+              Some (Path.concat g bridge joined)))
+
+let simulate ?discipline ?max_steps g ps assignment timeline =
+  Obs.with_span timeline_span @@ fun () ->
+  (* Materialize the candidate sets the failover policy may consult, in
+     assignment order, before simulating: generation order (hence any
+     generator RNG draws) must not depend on when failures strike. *)
+  Path_system.materialize ps (List.map fst (Array.to_list assignment));
+  let outcome =
+    Simulator.run_faulted ?discipline ?max_steps ~changes:(changes timeline)
+      ~failover:(candidate_failover g ps) g assignment
+  in
+  let fs = Simulator.value outcome in
+  Obs.incr ~by:fs.Simulator.dropped dropped_counter;
+  Obs.incr ~by:fs.Simulator.rerouted rerouted_counter;
+  outcome

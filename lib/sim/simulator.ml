@@ -8,8 +8,17 @@ type discipline = Fifo | Random_rank of Rng.t | Longest_remaining
 
 type stats = { makespan : int; delivered : int; max_queue : int; total_waits : int }
 
+type 'a outcome = Completed of 'a | Out_of_budget of 'a
+
+let value = function Completed s | Out_of_budget s -> s
+
+let completed_exn = function
+  | Completed s -> s
+  | Out_of_budget _ -> failwith "Simulator: step budget exceeded (bug?)"
+
 type packet = {
   id : int;
+  ppair : int * int; (* demand pair this packet serves *)
   path : Path.t;
   hops : int array; (* edge ids in travel order *)
   verts : int array; (* vertices visited, length hops+1 *)
@@ -32,13 +41,14 @@ let build_packets g rng_opt assignment =
   let next_id = ref 0 in
   let packets = ref [] in
   Array.iter
-    (fun ((_ : int * int), paths) ->
+    (fun (pair, paths) ->
       Array.iter
         (fun (p : Path.t) ->
           let rank = match rng_opt with Some rng -> Rng.float rng | None -> 0.0 in
           packets :=
             {
               id = !next_id;
+              ppair = pair;
               path = p;
               hops = p.Path.edges;
               verts = Path.vertices g p;
@@ -61,10 +71,19 @@ let upper_bound_cd g assignment =
   let cong, dil = congestion_and_dilation g packets in
   (cong * dil) + dil
 
+let compare_priority discipline a b =
+  match discipline with
+  | Fifo -> compare a.id b.id
+  | Random_rank _ -> compare (b.rank, b.id) (a.rank, a.id)
+  | Longest_remaining ->
+      let ra = Array.length a.hops - a.at and rb = Array.length b.hops - b.at in
+      compare (rb, a.id) (ra, b.id)
+
 let run ?(discipline = Fifo) ?max_steps g assignment =
   Obs.traced "sim.run" @@ fun () ->
   let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
   let packets = build_packets g rng_opt assignment in
+  let total = List.length packets in
   let cong, dil = congestion_and_dilation g packets in
   let budget =
     match max_steps with
@@ -72,46 +91,46 @@ let run ?(discipline = Fifo) ?max_steps g assignment =
     | None -> 64 * ((cong * dil) + cong + dil + 1)
   in
   let active = List.filter (fun p -> Array.length p.hops > 0) packets in
-  let compare_priority a b =
-    match discipline with
-    | Fifo -> compare a.id b.id
-    | Random_rank _ -> compare (b.rank, b.id) (a.rank, a.id)
-    | Longest_remaining ->
-        let ra = Array.length a.hops - a.at and rb = Array.length b.hops - b.at in
-        compare (rb, a.id) (ra, b.id)
-  in
   let remaining = ref active in
   let time = ref 0 in
   let max_queue = ref 0 in
   let total_waits = ref 0 in
-  while !remaining <> [] do
-    if !time >= budget then failwith "Simulator.run: step budget exceeded (bug?)";
-    incr time;
-    (* Group waiting packets by (next edge, direction). *)
-    let queues = Hashtbl.create 64 in
-    List.iter
-      (fun p ->
-        let e = p.hops.(p.at) in
-        let from_v = p.verts.(p.at) in
-        let key = (e, from_v) in
-        let q = try Hashtbl.find queues key with Not_found -> [] in
-        Hashtbl.replace queues key (p :: q))
-      !remaining;
-    Hashtbl.iter
-      (fun (e, _) queue ->
-        let width = max 1 (int_of_float (Float.floor (Graph.cap g e))) in
-        let sorted = List.sort compare_priority queue in
-        let queue_len = List.length sorted in
-        if queue_len > !max_queue then max_queue := queue_len;
-        List.iteri
-          (fun i p ->
-            if i < width then p.at <- p.at + 1 else incr total_waits)
-          sorted)
-      queues;
-    remaining := List.filter (fun p -> p.at < Array.length p.hops) !remaining
+  let out_of_budget = ref false in
+  while !remaining <> [] && not !out_of_budget do
+    if !time >= budget then out_of_budget := true
+    else begin
+      incr time;
+      (* Group waiting packets by (next edge, direction). *)
+      let queues = Hashtbl.create 64 in
+      List.iter
+        (fun p ->
+          let e = p.hops.(p.at) in
+          let from_v = p.verts.(p.at) in
+          let key = (e, from_v) in
+          let q = try Hashtbl.find queues key with Not_found -> [] in
+          Hashtbl.replace queues key (p :: q))
+        !remaining;
+      Hashtbl.iter
+        (fun (e, _) queue ->
+          let width = max 1 (int_of_float (Float.floor (Graph.cap g e))) in
+          let sorted = List.sort (compare_priority discipline) queue in
+          let queue_len = List.length sorted in
+          if queue_len > !max_queue then max_queue := queue_len;
+          List.iteri
+            (fun i p ->
+              if i < width then p.at <- p.at + 1 else incr total_waits)
+            sorted)
+        queues;
+      remaining := List.filter (fun p -> p.at < Array.length p.hops) !remaining
+    end
   done;
   let stats =
-    { makespan = !time; delivered = List.length packets; max_queue = !max_queue; total_waits = !total_waits }
+    {
+      makespan = !time;
+      delivered = total - List.length !remaining;
+      max_queue = !max_queue;
+      total_waits = !total_waits;
+    }
   in
   if Obs.tracing () then
     Obs.event "sim.result"
@@ -124,13 +143,203 @@ let run ?(discipline = Fifo) ?max_steps g assignment =
           ("congestion", Trace.Int cong);
           ("dilation", Trace.Int dil);
         ];
-  stats
+  if !out_of_budget then Out_of_budget stats else Completed stats
+
+(* ---------- Fault injection ---------- *)
+
+type edge_change = { edge : int; at_step : int; factor : float }
+
+type fault_stats = {
+  base : stats;
+  dropped : int;
+  rerouted : int;
+  recovery_makespan : int;
+}
+
+let run_faulted ?(discipline = Fifo) ?max_steps ~changes ~failover g assignment =
+  Obs.traced "sim.run_faulted" @@ fun () ->
+  let m = Graph.m g in
+  List.iter
+    (fun c ->
+      if c.edge < 0 || c.edge >= m then
+        invalid_arg "Simulator.run_faulted: edge id out of range";
+      if c.at_step < 1 then
+        invalid_arg "Simulator.run_faulted: change step must be >= 1";
+      if not (c.factor >= 0.0) then
+        invalid_arg "Simulator.run_faulted: capacity factor must be >= 0")
+    changes;
+  let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
+  let packets = build_packets g rng_opt assignment in
+  let total = List.length packets in
+  let cong, dil = congestion_and_dilation g packets in
+  let budget =
+    ref
+      (match max_steps with
+      | Some b -> b
+      | None -> 64 * ((cong * dil) + cong + dil + 1))
+  in
+  let factor = Array.make m 1.0 in
+  let alive e = factor.(e) > 0.0 in
+  let pending =
+    ref
+      (List.stable_sort
+         (fun a b -> compare (a.at_step, a.edge) (b.at_step, b.edge))
+         changes)
+  in
+  let rerouted_ids = Hashtbl.create 16 in
+  let dropped = ref 0 in
+  let rerouted = ref 0 in
+  let first_failure = ref max_int in
+  let last_recovery = ref 0 in
+  let remaining = ref (List.filter (fun p -> Array.length p.hops > 0) packets) in
+  let time = ref 0 in
+  let max_queue = ref 0 in
+  let total_waits = ref 0 in
+  let out_of_budget = ref false in
+  while !remaining <> [] && not !out_of_budget do
+    if !time >= !budget then out_of_budget := true
+    else begin
+      incr time;
+      (* Apply due capacity changes (in (step, edge) order), then fail
+         affected packets over. *)
+      let due, rest = List.partition (fun c -> c.at_step <= !time) !pending in
+      pending := rest;
+      if due <> [] then begin
+        let killed = ref false in
+        List.iter
+          (fun c ->
+            if c.factor = 0.0 && alive c.edge then begin
+              killed := true;
+              if !first_failure = max_int then first_failure := !time
+            end;
+            factor.(c.edge) <- c.factor;
+            if Obs.tracing () then
+              Obs.event "fault.sim.change"
+                ~attrs:
+                  [
+                    ("step", Trace.Int !time);
+                    ("edge", Trace.Int c.edge);
+                    ("factor", Trace.Float c.factor);
+                  ])
+          due;
+        if !killed then
+          remaining :=
+            List.filter_map
+              (fun p ->
+                let dead = ref false in
+                for i = p.at to Array.length p.hops - 1 do
+                  if not (alive p.hops.(i)) then dead := true
+                done;
+                if not !dead then Some p
+                else begin
+                  let v = p.verts.(p.at) in
+                  match failover ~pair:p.ppair ~at_vertex:v ~alive with
+                  | None ->
+                      incr dropped;
+                      if Obs.tracing () then
+                        Obs.event "fault.sim.drop"
+                          ~attrs:
+                            [
+                              ("step", Trace.Int !time);
+                              ("packet", Trace.Int p.id);
+                              ("src", Trace.Int (fst p.ppair));
+                              ("dst", Trace.Int (snd p.ppair));
+                            ];
+                      None
+                  | Some q ->
+                      if q.Path.src <> v || q.Path.dst <> snd p.ppair then
+                        invalid_arg
+                          "Simulator.run_faulted: failover path endpoints mismatch";
+                      if Array.exists (fun e -> not (alive e)) q.Path.edges then
+                        invalid_arg
+                          "Simulator.run_faulted: failover path crosses a dead edge";
+                      incr rerouted;
+                      Hashtbl.replace rerouted_ids p.id ();
+                      (* Detours lengthen the optimal schedule; grow the
+                         default budget so a legitimate failover is never
+                         misreported as exhaustion. *)
+                      (match max_steps with
+                      | Some _ -> ()
+                      | None -> budget := !budget + (64 * (Array.length q.Path.edges + 1)));
+                      if Obs.tracing () then
+                        Obs.event "fault.sim.reroute"
+                          ~attrs:
+                            [
+                              ("step", Trace.Int !time);
+                              ("packet", Trace.Int p.id);
+                              ("hops", Trace.Int (Array.length q.Path.edges));
+                            ];
+                      Some { p with path = q; hops = q.Path.edges; verts = Path.vertices g q; at = 0 }
+                end)
+              !remaining
+      end;
+      let queues = Hashtbl.create 64 in
+      List.iter
+        (fun p ->
+          let e = p.hops.(p.at) in
+          let from_v = p.verts.(p.at) in
+          let key = (e, from_v) in
+          let q = try Hashtbl.find queues key with Not_found -> [] in
+          Hashtbl.replace queues key (p :: q))
+        !remaining;
+      Hashtbl.iter
+        (fun (e, _) queue ->
+          let width =
+            if not (alive e) then 0
+            else max 1 (int_of_float (Float.floor (Graph.cap g e *. factor.(e))))
+          in
+          let sorted = List.sort (compare_priority discipline) queue in
+          let queue_len = List.length sorted in
+          if queue_len > !max_queue then max_queue := queue_len;
+          List.iteri
+            (fun i p ->
+              if i < width then p.at <- p.at + 1 else incr total_waits)
+            sorted)
+        queues;
+      remaining :=
+        List.filter
+          (fun p ->
+            if p.at < Array.length p.hops then true
+            else begin
+              if Hashtbl.mem rerouted_ids p.id && !time > !last_recovery then
+                last_recovery := !time;
+              false
+            end)
+          !remaining
+    end
+  done;
+  let undelivered = List.length !remaining in
+  let base =
+    {
+      makespan = !time;
+      delivered = total - !dropped - undelivered;
+      max_queue = !max_queue;
+      total_waits = !total_waits;
+    }
+  in
+  let recovery_makespan =
+    if !rerouted = 0 || !first_failure = max_int then 0
+    else max 0 (!last_recovery - !first_failure)
+  in
+  let fs = { base; dropped = !dropped; rerouted = !rerouted; recovery_makespan } in
+  if Obs.tracing () then
+    Obs.event "fault.sim.result"
+      ~attrs:
+        [
+          ("makespan", Trace.Int base.makespan);
+          ("delivered", Trace.Int base.delivered);
+          ("dropped", Trace.Int fs.dropped);
+          ("rerouted", Trace.Int fs.rerouted);
+          ("recovery_makespan", Trace.Int fs.recovery_makespan);
+        ];
+  if !out_of_budget then Out_of_budget fs else Completed fs
 
 type timed_packet = { pair : int * int; route : Path.t; release : int }
 
 type load_stats = {
   finish_time : int;
   packets : int;
+  delivered : int;
   mean_latency : float;
   p99_latency : float;
   mean_queueing : float;
@@ -152,12 +361,13 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
   let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
   let flights =
     List.mapi
-      (fun id { pair = _; route; release } ->
+      (fun id { pair; route; release } ->
         let rank = match rng_opt with Some rng -> Rng.float rng | None -> 0.0 in
         {
           fp =
             {
               id;
+              ppair = pair;
               path = route;
               hops = route.Path.edges;
               verts = Path.vertices g route;
@@ -190,43 +400,49 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
   let time = ref 0 in
   let peak_queue = ref 0 in
   let remaining = ref (List.filter (fun f -> f.farrived < 0) flights) in
-  while !remaining <> [] do
-    if !time >= budget then failwith "Simulator.run_timed: step budget exceeded (bug?)";
-    incr time;
-    let queues = Hashtbl.create 64 in
-    List.iter
-      (fun f ->
-        if f.freleased < !time then begin
-          let e = f.fp.hops.(f.fp.at) in
-          let from_v = f.fp.verts.(f.fp.at) in
-          let key = (e, from_v) in
-          let q = try Hashtbl.find queues key with Not_found -> [] in
-          Hashtbl.replace queues key (f :: q)
-        end)
-      !remaining;
-    Hashtbl.iter
-      (fun (e, _) queue ->
-        let width = max 1 (int_of_float (Float.floor (Graph.cap g e))) in
-        let sorted = List.sort compare_priority queue in
-        let len = List.length sorted in
-        if len > !peak_queue then peak_queue := len;
-        List.iteri
-          (fun i f ->
-            if i < width then begin
-              f.fp.at <- f.fp.at + 1;
-              if f.fp.at >= Array.length f.fp.hops then f.farrived <- !time
-            end)
-          sorted)
-      queues;
-    remaining := List.filter (fun f -> f.farrived < 0) !remaining
+  let out_of_budget = ref false in
+  while !remaining <> [] && not !out_of_budget do
+    if !time >= budget then out_of_budget := true
+    else begin
+      incr time;
+      let queues = Hashtbl.create 64 in
+      List.iter
+        (fun f ->
+          if f.freleased < !time then begin
+            let e = f.fp.hops.(f.fp.at) in
+            let from_v = f.fp.verts.(f.fp.at) in
+            let key = (e, from_v) in
+            let q = try Hashtbl.find queues key with Not_found -> [] in
+            Hashtbl.replace queues key (f :: q)
+          end)
+        !remaining;
+      Hashtbl.iter
+        (fun (e, _) queue ->
+          let width = max 1 (int_of_float (Float.floor (Graph.cap g e))) in
+          let sorted = List.sort compare_priority queue in
+          let len = List.length sorted in
+          if len > !peak_queue then peak_queue := len;
+          List.iteri
+            (fun i f ->
+              if i < width then begin
+                f.fp.at <- f.fp.at + 1;
+                if f.fp.at >= Array.length f.fp.hops then f.farrived <- !time
+              end)
+            sorted)
+        queues;
+      remaining := List.filter (fun f -> f.farrived < 0) !remaining
+    end
   done;
+  (* Latency statistics are over delivered flights only; on a completed run
+     that is every flight. *)
+  let arrived = List.filter (fun f -> f.farrived >= 0) flights in
   let latencies =
-    List.map (fun f -> float_of_int (f.farrived - f.freleased)) flights
+    List.map (fun f -> float_of_int (f.farrived - f.freleased)) arrived
   in
   let queueing =
     List.map
       (fun f -> float_of_int (f.farrived - f.freleased - Array.length f.fp.hops))
-      flights
+      arrived
   in
   let mean xs =
     match xs with
@@ -244,8 +460,9 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
   in
   let stats =
     {
-      finish_time = List.fold_left (fun acc f -> max acc f.farrived) 0 flights;
+      finish_time = List.fold_left (fun acc f -> max acc f.farrived) 0 arrived;
       packets = List.length flights;
+      delivered = List.length arrived;
       mean_latency = mean latencies;
       p99_latency = p99 latencies;
       mean_queueing = mean queueing;
@@ -258,9 +475,10 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
         [
           ("finish_time", Trace.Int stats.finish_time);
           ("packets", Trace.Int stats.packets);
+          ("delivered", Trace.Int stats.delivered);
           ("mean_latency", Trace.Float stats.mean_latency);
           ("p99_latency", Trace.Float stats.p99_latency);
           ("mean_queueing", Trace.Float stats.mean_queueing);
           ("peak_queue", Trace.Int stats.peak_queue);
         ];
-  stats
+  if !out_of_budget then Out_of_budget stats else Completed stats

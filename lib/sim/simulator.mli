@@ -24,8 +24,13 @@ type discipline =
       (** Most hops still to travel first — a practical heuristic. *)
 
 type stats = {
-  makespan : int;  (** Steps until the last packet arrived. *)
-  delivered : int;  (** Packets delivered (all of them on success). *)
+  makespan : int;  (** Steps simulated (arrival of the last packet when the
+                       run completed). *)
+  delivered : int;
+      (** Packets that reached their destination.  Equals the total packet
+          count on a {!Completed} run with no drops; strictly less when the
+          step budget ran out ({!Out_of_budget}) or packets were dropped by
+          a fault ({!run_faulted}). *)
   max_queue : int;
       (** Largest number of packets simultaneously waiting to cross one
           (edge, direction). *)
@@ -33,15 +38,36 @@ type stats = {
       (** Total packet-steps spent waiting (0 for uncontended traffic). *)
 }
 
+(** {1 Outcomes}
+
+    Runs are bounded by a step budget.  Instead of raising when the budget
+    runs out, every simulation returns a typed outcome carrying the
+    statistics accumulated so far, so callers can distinguish "finished"
+    from "gave up" without losing the partial data. *)
+
+type 'a outcome =
+  | Completed of 'a  (** Every surviving packet was delivered. *)
+  | Out_of_budget of 'a
+      (** The step budget was exhausted with packets still in flight; the
+          payload holds partial statistics ([delivered < total]). *)
+
+val value : 'a outcome -> 'a
+(** The statistics, complete or partial. *)
+
+val completed_exn : 'a outcome -> 'a
+(** The statistics of a completed run.
+    @raise Failure on {!Out_of_budget} — for call sites where exhausting
+    the budget can only mean a bug in the schedule under test. *)
+
 val run :
   ?discipline:discipline ->
   ?max_steps:int ->
-  Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> stats
+  Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> stats outcome
 (** Simulate the assignment to completion.  Packets with empty paths
     ([s = t]) are delivered at time 0.  [max_steps] (default
     [64 · (c·d + c + d + 1)], far above any schedule this model admits)
-    guards against bugs — exceeding it raises [Failure].
-    [discipline] defaults to {!Fifo}. *)
+    bounds the run; exceeding it yields {!Out_of_budget} with the partial
+    statistics.  [discipline] defaults to {!Fifo}. *)
 
 val lower_bound : Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> int
 (** [max(dilation, ⌈max-edge congestion⌉)] — no schedule can beat it. *)
@@ -49,6 +75,59 @@ val lower_bound : Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> int
 val upper_bound_cd : Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> int
 (** The trivial schedule bound [c·d + d]: every packet waits at most [c-1]
     steps per hop. *)
+
+(** {1 Fault injection}
+
+    A faulted run replays an assignment while edge capacities change at
+    scheduled steps: an edge can die (factor 0), degrade (factor in
+    (0,1)), or be repaired (factor restored).  When an edge on a packet's
+    remaining route dies, the packet {e fails over}: the caller's policy
+    proposes a replacement route from the packet's current vertex over the
+    surviving edges (typically a surviving candidate path of the
+    installed path system — see [Sso_fault.Timeline]), or the packet is
+    dropped when no such route exists.  The simulator itself stays
+    policy-agnostic, which keeps this library independent of the path
+    system layer. *)
+
+type edge_change = {
+  edge : int;  (** Edge id whose capacity changes. *)
+  at_step : int;  (** Step (≥ 1) at the start of which the change applies. *)
+  factor : float;
+      (** New capacity factor: 0 removes the edge, values in (0,1) degrade
+          it (transmission width [max 1 ⌊cap·factor⌋] while alive), 1
+          restores it.  Repairs do not move already-rerouted packets back. *)
+}
+
+type fault_stats = {
+  base : stats;  (** [delivered] excludes dropped packets. *)
+  dropped : int;  (** Packets with no surviving route after a failure. *)
+  rerouted : int;  (** Packets that failed over onto a replacement route. *)
+  recovery_makespan : int;
+      (** Steps from the first edge death until the last rerouted packet
+          arrived; 0 when nothing was rerouted. *)
+}
+
+val run_faulted :
+  ?discipline:discipline ->
+  ?max_steps:int ->
+  changes:edge_change list ->
+  failover:
+    (pair:int * int ->
+    at_vertex:int ->
+    alive:(int -> bool) ->
+    Sso_graph.Path.t option) ->
+  Sso_graph.Graph.t -> Sso_flow.Rounding.assignment -> fault_stats outcome
+(** Simulate the assignment under the given capacity changes.  At the
+    start of each step, due changes apply; if any edge died, every packet
+    whose remaining route crosses a dead edge consults [failover] with its
+    demand [pair], its current [at_vertex], and the liveness predicate
+    [alive].  A [Some route] answer must start at [at_vertex], end at the
+    packet's destination, and use only alive edges ([Invalid_argument]
+    otherwise); [None] drops the packet.  The default step budget grows
+    with each reroute, so failovers onto long detours are not misreported
+    as budget exhaustion.  Deterministic for fixed inputs: changes apply
+    in (step, edge) order and the failover policy sees packets in packet-id
+    order. *)
 
 (** {1 Timed injection}
 
@@ -64,9 +143,10 @@ type timed_packet = {
 }
 
 type load_stats = {
-  finish_time : int;  (** Step at which the last packet arrived. *)
-  packets : int;
-  mean_latency : float;  (** Mean (arrival − release). *)
+  finish_time : int;  (** Step at which the last delivered packet arrived. *)
+  packets : int;  (** Packets injected. *)
+  delivered : int;  (** Packets that arrived (all of them on {!Completed}). *)
+  mean_latency : float;  (** Mean (arrival − release) over delivered. *)
   p99_latency : float;
   mean_queueing : float;  (** Mean (latency − hops): pure waiting. *)
   peak_queue : int;
@@ -75,7 +155,8 @@ type load_stats = {
 val run_timed :
   ?discipline:discipline ->
   ?max_steps:int ->
-  Sso_graph.Graph.t -> timed_packet list -> load_stats
+  Sso_graph.Graph.t -> timed_packet list -> load_stats outcome
 (** Simulate to completion.  [max_steps] defaults to a generous bound
-    derived from total load and path lengths; exceeding it raises
-    [Failure]. *)
+    derived from total load and path lengths; exhausting it yields
+    {!Out_of_budget} with latency statistics over the delivered packets
+    only. *)

@@ -22,6 +22,8 @@ module Process = Sso_core.Process
 module Completion = Sso_core.Completion
 module Lower_bound = Sso_core.Lower_bound
 module Special = Sso_core.Special
+module Pool = Sso_engine.Pool
+module Obs = Sso_obs.Obs
 
 let all_pairs n =
   List.concat_map
@@ -873,6 +875,60 @@ let test_robustness_bridge_is_networks_fault () =
   let s = Robustness.summary reports in
   Alcotest.(check int) "not charged to the system" 0 s.Robustness.unsurvivable
 
+let test_robustness_summary_degenerate_is_nan () =
+  (* No reports at all: both aggregates are nan, not a vacuous 0. *)
+  let empty = Robustness.summary [] in
+  Alcotest.(check bool) "empty mean nan" true (Float.is_nan empty.Robustness.mean_ratio);
+  Alcotest.(check bool) "empty worst nan" true (Float.is_nan empty.Robustness.worst_ratio);
+  (* All-unsurvivable: the single-candidate fixture strands the pair on
+     its two path edges; keep only those stranding reports. *)
+  let g = Gen.multi_path [ 2; 2 ] in
+  let a = Path.of_vertices g [ 0; 2; 1 ] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ a ]) ] in
+  let d = Demand.single_pair 0 1 1.0 in
+  let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
+  let stranded = List.filter (fun r -> not r.Robustness.survivable) reports in
+  Alcotest.(check bool) "fixture strands something" true (stranded <> []);
+  let s = Robustness.summary stranded in
+  Alcotest.(check bool) "no survivors: mean nan" true (Float.is_nan s.Robustness.mean_ratio);
+  Alcotest.(check bool) "no survivors: worst nan" true (Float.is_nan s.Robustness.worst_ratio)
+
+(* Two parallel (0,1) edges plus a 2-hop detour; the system routes over
+   one parallel edge and the detour. *)
+let parallel_edge_fixture () =
+  let b = Graph.Builder.create 3 in
+  let e0 = Graph.Builder.add_edge ~cap:1.0 b 0 1 in
+  let _e1 = Graph.Builder.add_edge ~cap:1.0 b 0 1 in
+  let e2 = Graph.Builder.add_edge ~cap:1.0 b 0 2 in
+  let e3 = Graph.Builder.add_edge ~cap:1.0 b 2 1 in
+  let g = Graph.Builder.build b in
+  let direct = Path.of_edges g ~src:0 ~dst:1 [| e0 |] in
+  let detour = Path.of_edges g ~src:0 ~dst:1 [| e2; e3 |] in
+  let ps = Path_system.of_pairs [ ((0, 1), [ direct; detour ]) ] in
+  (g, ps, Demand.single_pair 0 1 1.0)
+
+let test_robustness_parallel_edges_share_solves () =
+  let g, ps, d = parallel_edge_fixture () in
+  let solves = Obs.counter "robustness.opt_solves" in
+  let before = Obs.counter_value solves in
+  let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
+  (* 4 edges but 3 (u, v, cap) classes: the parallel pair shares one
+     damaged-optimum solve. *)
+  Alcotest.(check int) "one report per edge" 4 (List.length reports);
+  Alcotest.(check int) "solves = classes" 3 (Obs.counter_value solves - before);
+  let r0 = List.nth reports 0 and r1 = List.nth reports 1 in
+  Alcotest.(check (float 0.0)) "shared post_opt" r0.Robustness.post_opt
+    r1.Robustness.post_opt;
+  (* Both survivable: losing either parallel edge leaves the other. *)
+  Alcotest.(check bool) "e0 survivable" true r0.Robustness.survivable;
+  Alcotest.(check bool) "e1 survivable" true r1.Robustness.survivable;
+  (* And the report list is identical at any job count. *)
+  let at_jobs jobs =
+    let pool = Pool.create ~jobs () in
+    Robustness.single_failures ~pool ~solver:(Semi_oblivious.Mwu 100) g ps d
+  in
+  Alcotest.(check bool) "jobs-invariant" true (at_jobs 1 = at_jobs 4)
+
 (* Auxiliary graph (Corollary 6.2) *)
 
 module Auxiliary = Sso_core.Auxiliary
@@ -1160,6 +1216,10 @@ let () =
           Alcotest.test_case "bridge excluded" `Quick test_robustness_bridge_is_networks_fault;
           Alcotest.test_case "agrees with bridge analysis" `Quick
             test_robustness_agrees_with_bridges;
+          Alcotest.test_case "degenerate summary is nan" `Quick
+            test_robustness_summary_degenerate_is_nan;
+          Alcotest.test_case "parallel edges share solves" `Quick
+            test_robustness_parallel_edges_share_solves;
         ] );
       ( "auxiliary (Cor 6.2)",
         [

@@ -62,7 +62,7 @@ let pipeline ~name g base demand alpha seed =
       (Printf.sprintf "%s: Cor 6.4 (%.2f <= %.2f)" name integral bound)
       true (integral <= bound +. 1e-6);
     (* Simulate: all packets delivered, makespan within schedule bounds. *)
-    let stats = Simulator.run g assignment in
+    let stats = Simulator.completed_exn (Simulator.run g assignment) in
     let expected =
       Array.fold_left (fun acc (_, paths) -> acc + Array.length paths) 0 assignment
     in
@@ -175,7 +175,7 @@ let test_failure_then_simulate () =
       let assignment, _ =
         Integral.congestion_upper (Rng.split rng) g survivors d
       in
-      let stats = Simulator.run g assignment in
+      let stats = Simulator.completed_exn (Simulator.run g assignment) in
       Alcotest.(check int) "all delivered after failure"
         (int_of_float (Demand.siz d))
         stats.Simulator.delivered;

@@ -17,11 +17,19 @@ module Integral = Sso_core.Integral
 let assignment_of_paths entries : Rounding.assignment =
   Array.of_list (List.map (fun (pair, paths) -> (pair, Array.of_list paths)) entries)
 
+(* Every test below expects its run to fit the default step budget, so
+   unwrap the outcome at the call site; the budget itself is exercised in
+   [test_max_steps_guard]. *)
+let run ?discipline g a = Simulator.completed_exn (Simulator.run ?discipline g a)
+
+let run_timed ?discipline g packets =
+  Simulator.completed_exn (Simulator.run_timed ?discipline g packets)
+
 let test_single_packet () =
   let g = Gen.path_graph 5 in
   let p = Path.of_vertices g [ 0; 1; 2; 3; 4 ] in
   let a = assignment_of_paths [ ((0, 4), [ p ]) ] in
-  let stats = Simulator.run g a in
+  let stats = run g a in
   Alcotest.(check int) "travel time = hops" 4 stats.Simulator.makespan;
   Alcotest.(check int) "delivered" 1 stats.Simulator.delivered;
   Alcotest.(check int) "no waits" 0 stats.Simulator.total_waits
@@ -29,7 +37,7 @@ let test_single_packet () =
 let test_trivial_packet () =
   let g = Gen.path_graph 3 in
   let a = assignment_of_paths [ ((1, 1), [ Path.trivial 1 ]) ] in
-  let stats = Simulator.run g a in
+  let stats = run g a in
   Alcotest.(check int) "instant" 0 stats.Simulator.makespan;
   Alcotest.(check int) "counted" 1 stats.Simulator.delivered
 
@@ -39,7 +47,7 @@ let test_serialization_on_shared_edge () =
   let p = Path.of_vertices g [ 0; 1 ] in
   let k = 5 in
   let a = assignment_of_paths [ ((0, 1), List.init k (fun _ -> p)) ] in
-  let stats = Simulator.run g a in
+  let stats = run g a in
   Alcotest.(check int) "serialized" k stats.Simulator.makespan;
   Alcotest.(check int) "waits total k(k-1)/2" (k * (k - 1) / 2) stats.Simulator.total_waits;
   Alcotest.(check int) "queue saw all" k stats.Simulator.max_queue
@@ -51,7 +59,7 @@ let test_capacity_width () =
   let g = Graph.Builder.build b in
   let p = Path.of_vertices g [ 0; 1 ] in
   let a = assignment_of_paths [ ((0, 1), List.init 5 (fun _ -> p)) ] in
-  let stats = Simulator.run g a in
+  let stats = run g a in
   Alcotest.(check int) "width 2" 3 stats.Simulator.makespan
 
 let test_disjoint_parallelism () =
@@ -60,7 +68,7 @@ let test_disjoint_parallelism () =
   let a = Path.of_vertices g [ 0; 2; 3; 1 ] in
   let b = Path.of_vertices g [ 0; 4; 5; 1 ] in
   let asg = assignment_of_paths [ ((0, 1), [ a; b ]) ] in
-  let stats = Simulator.run g asg in
+  let stats = run g asg in
   Alcotest.(check int) "parallel" 3 stats.Simulator.makespan
 
 let test_opposite_directions_dont_block () =
@@ -70,7 +78,7 @@ let test_opposite_directions_dont_block () =
   let fwd = Path.of_vertices g [ 0; 1; 2 ] in
   let bwd = Path.of_vertices g [ 2; 1; 0 ] in
   let asg = assignment_of_paths [ ((0, 2), [ fwd ]); ((2, 0), [ bwd ]) ] in
-  let stats = Simulator.run g asg in
+  let stats = run g asg in
   Alcotest.(check int) "no head-on blocking" 2 stats.Simulator.makespan;
   Alcotest.(check int) "no waits" 0 stats.Simulator.total_waits
 
@@ -80,7 +88,7 @@ let test_pipeline_throughput () =
   let g = Gen.path_graph (d + 1) in
   let p = Path.of_vertices g (List.init (d + 1) Fun.id) in
   let a = assignment_of_paths [ ((0, d), List.init k (fun _ -> p)) ] in
-  let stats = Simulator.run g a in
+  let stats = run g a in
   Alcotest.(check int) "pipelined" (d + k - 1) stats.Simulator.makespan
 
 let test_bounds_consistency () =
@@ -98,7 +106,7 @@ let run_random_instance seed discipline =
   let system = Sampler.alpha_sample (Rng.split rng) valiant ~alpha:dim in
   let d = Demand.random_permutation (Rng.split rng) (Graph.n g) in
   let assignment, _ = Integral.congestion_upper (Rng.split rng) g system d in
-  let stats = Simulator.run ~discipline g assignment in
+  let stats = run ~discipline g assignment in
   (g, assignment, stats)
 
 let test_random_instances_within_bounds () =
@@ -145,21 +153,29 @@ let test_longest_remaining_priority () =
   let long_path = Path.of_vertices g [ 0; 1; 2; 3; 4 ] in
   let short_path = Path.of_vertices g [ 0; 1 ] in
   let a = assignment_of_paths [ ((0, 4), [ long_path ]); ((0, 1), [ short_path ]) ] in
-  let stats = Simulator.run ~discipline:Simulator.Longest_remaining g a in
+  let stats = run ~discipline:Simulator.Longest_remaining g a in
   (* Long first: long finishes at 4, short waits one step then crosses at
      step 2 → makespan 4. *)
   Alcotest.(check int) "makespan" 4 stats.Simulator.makespan;
   Alcotest.(check int) "exactly one wait" 1 stats.Simulator.total_waits
 
 let test_max_steps_guard () =
+  (* A too-small budget no longer raises: it returns the partial result as
+     [Out_of_budget], with the stats accumulated so far. *)
   let g = Gen.path_graph 2 in
   let p = Path.of_vertices g [ 0; 1 ] in
   let a = assignment_of_paths [ ((0, 1), List.init 5 (fun _ -> p)) ] in
-  Alcotest.(check bool) "raises on tiny budget" true
-    (try
-       ignore (Simulator.run ~max_steps:2 g a);
-       false
-     with Failure _ -> true)
+  match Simulator.run ~max_steps:2 g a with
+  | Simulator.Completed _ -> Alcotest.fail "expected Out_of_budget"
+  | Simulator.Out_of_budget stats as outcome ->
+      Alcotest.(check int) "two steps ran" 2 stats.Simulator.makespan;
+      Alcotest.(check int) "partial delivery" 2 stats.Simulator.delivered;
+      Alcotest.(check int) "value unwraps" 2 (Simulator.value outcome).Simulator.delivered;
+      Alcotest.(check bool) "completed_exn refuses" true
+        (try
+           ignore (Simulator.completed_exn outcome);
+           false
+         with Failure _ -> true)
 
 let test_wide_edge_both_directions () =
   (* A capacity-2 edge carries 2 packets per direction per step,
@@ -170,7 +186,7 @@ let test_wide_edge_both_directions () =
   let fwd = Path.of_vertices g [ 0; 1 ] in
   let bwd = Path.of_vertices g [ 1; 0 ] in
   let a = assignment_of_paths [ ((0, 1), [ fwd; fwd ]); ((1, 0), [ bwd; bwd ]) ] in
-  let stats = Simulator.run g a in
+  let stats = run g a in
   Alcotest.(check int) "one step suffices" 1 stats.Simulator.makespan
 
 let test_fifo_order_respected () =
@@ -179,7 +195,7 @@ let test_fifo_order_respected () =
   let g = Gen.path_graph 3 in
   let p = Path.of_vertices g [ 0; 1; 2 ] in
   let a = assignment_of_paths [ ((0, 2), [ p; p ]) ] in
-  let stats = Simulator.run ~discipline:Simulator.Fifo g a in
+  let stats = run ~discipline:Simulator.Fifo g a in
   (* Pipelined: second packet follows one step behind. *)
   Alcotest.(check int) "makespan" 3 stats.Simulator.makespan
 
@@ -190,7 +206,7 @@ let timed pair route release = { Simulator.pair; route; release }
 let test_timed_single_packet () =
   let g = Gen.path_graph 4 in
   let p = Path.of_vertices g [ 0; 1; 2; 3 ] in
-  let stats = Simulator.run_timed g [ timed (0, 3) p 5 ] in
+  let stats = run_timed g [ timed (0, 3) p 5 ] in
   Alcotest.(check (float 1e-9)) "latency = hops" 3.0 stats.Simulator.mean_latency;
   Alcotest.(check int) "finishes at release + hops" 8 stats.Simulator.finish_time;
   Alcotest.(check (float 1e-9)) "no queueing" 0.0 stats.Simulator.mean_queueing
@@ -198,7 +214,7 @@ let test_timed_single_packet () =
 let test_timed_staggered_no_contention () =
   let g = Gen.path_graph 2 in
   let p = Path.of_vertices g [ 0; 1 ] in
-  let stats = Simulator.run_timed g [ timed (0, 1) p 0; timed (0, 1) p 5 ] in
+  let stats = run_timed g [ timed (0, 1) p 0; timed (0, 1) p 5 ] in
   Alcotest.(check (float 1e-9)) "each latency 1" 1.0 stats.Simulator.mean_latency;
   Alcotest.(check int) "done at 6" 6 stats.Simulator.finish_time
 
@@ -206,7 +222,7 @@ let test_timed_burst_queues () =
   (* 10 packets released together onto a unit edge: latencies 1..10. *)
   let g = Gen.path_graph 2 in
   let p = Path.of_vertices g [ 0; 1 ] in
-  let stats = Simulator.run_timed g (List.init 10 (fun _ -> timed (0, 1) p 0)) in
+  let stats = run_timed g (List.init 10 (fun _ -> timed (0, 1) p 0)) in
   Alcotest.(check (float 1e-9)) "mean latency" 5.5 stats.Simulator.mean_latency;
   Alcotest.(check (float 1e-9)) "mean queueing" 4.5 stats.Simulator.mean_queueing;
   Alcotest.(check (float 1e-9)) "p99" 10.0 stats.Simulator.p99_latency;
@@ -216,12 +232,12 @@ let test_timed_paced_no_queueing () =
   (* Release one packet per step onto the edge: nobody ever waits. *)
   let g = Gen.path_graph 2 in
   let p = Path.of_vertices g [ 0; 1 ] in
-  let stats = Simulator.run_timed g (List.init 10 (fun i -> timed (0, 1) p i)) in
+  let stats = run_timed g (List.init 10 (fun i -> timed (0, 1) p i)) in
   Alcotest.(check (float 1e-9)) "no queueing" 0.0 stats.Simulator.mean_queueing
 
 let test_timed_trivial_packet () =
   let g = Gen.path_graph 2 in
-  let stats = Simulator.run_timed g [ timed (1, 1) (Path.trivial 1) 3 ] in
+  let stats = run_timed g [ timed (1, 1) (Path.trivial 1) 3 ] in
   Alcotest.(check int) "counted" 1 stats.Simulator.packets;
   Alcotest.(check (float 1e-9)) "zero latency" 0.0 stats.Simulator.mean_latency
 
@@ -230,7 +246,7 @@ let test_timed_rejects_negative_release () =
   let p = Path.of_vertices g [ 0; 1 ] in
   Alcotest.check_raises "negative release"
     (Invalid_argument "Simulator.run_timed: negative release time") (fun () ->
-      ignore (Simulator.run_timed g [ timed (0, 1) p (-1) ]))
+      ignore (run_timed g [ timed (0, 1) p (-1) ]))
 
 let prop_makespan_at_least_dilation =
   QCheck.Test.make ~name:"makespan ≥ dilation" ~count:30 QCheck.small_int
@@ -241,7 +257,7 @@ let prop_makespan_at_least_dilation =
       let system = Sampler.alpha_sample (Rng.split rng) base ~alpha:3 in
       let d = Demand.random_pairs (Rng.split rng) ~n:9 ~pairs:4 in
       let assignment, _ = Integral.congestion_upper (Rng.split rng) g system d in
-      let stats = Simulator.run g assignment in
+      let stats = run g assignment in
       let dil =
         Array.fold_left
           (fun acc (_, paths) ->
