@@ -17,7 +17,9 @@
      dune exec bench/main.exe -- --no-cache   # force the cache off
      dune exec bench/main.exe -- --json F     # write wall times / scalars to F
      dune exec bench/main.exe -- --kernels    # shortest-path/MWU kernel micro-benches
-     dune exec bench/main.exe -- --faults     # fault-injection sweeps / timeline / worst-k *)
+     dune exec bench/main.exe -- --faults     # fault-injection sweeps / timeline / worst-k
+     dune exec bench/main.exe -- --scale      # arena storage at fat-tree scale
+     dune exec bench/main.exe -- --scale-k 200 --scale-pairs 512  # smaller instance *)
 
 module Rng = Sso_prng.Rng
 module Graph = Sso_graph.Graph
@@ -1231,6 +1233,109 @@ let timing () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* --scale: arena-backed path storage at fat-tree scale
+   (BENCH_scale.json).  Builds a k-ary fat-tree (k = 284 by default:
+   n = (k/2)^2 + k^2 = 100,820 switches), alpha-samples a Wilson-forest
+   oblivious base for a batch of random pairs through
+   [Path_system.materialize_parallel], and reports sampling throughput
+   (path-nodes appended per second) plus per-pair storage for the packed
+   arena against the boxed list-of-[Path.t] view of the same candidate
+   sets.  The run fails if the arena is not at least 4x smaller.  A
+   digest of the sampled system is printed so scale_smoke.sh can check
+   warm-cache runs byte-identical to cold ones. *)
+
+let scale_k = ref 284
+let scale_pairs = ref 1024
+
+let scale () =
+  let module Trees = Sso_oblivious.Trees in
+  let module Arena = Sso_graph.Arena in
+  let k = !scale_k in
+  header (Printf.sprintf "scale  (fat-tree k = %d, arena-backed sampling)" k);
+  let g = Gen.fat_tree k in
+  let n = Graph.n g in
+  scalar "scale.n" (float_of_int n);
+  scalar "scale.m" (float_of_int (Graph.m g));
+  Printf.printf "fat-tree: n = %d, m = %d\n" n (Graph.m g);
+  let obl = Trees.uniform (seeded 131) ~count:4 g in
+  let npairs = !scale_pairs in
+  let pairs =
+    let pr = seeded 132 in
+    let seen = Hashtbl.create npairs in
+    let rec draw acc c =
+      if c = 0 then List.rev acc
+      else
+        let s = Rng.int pr n in
+        let t = Rng.int pr n in
+        if s = t || Hashtbl.mem seen (s, t) then draw acc c
+        else begin
+          Hashtbl.add seen (s, t) ();
+          draw ((s, t) :: acc) (c - 1)
+        end
+    in
+    draw [] npairs
+  in
+  let alpha = 4 in
+  let ps =
+    match !store with
+    | Some st ->
+        Memo.alpha_sample ~store:st ~base_key:"wilson-4" (seeded 133) obl
+          ~alpha ~pairs
+    | None -> Sampler.alpha_sample (seeded 133) obl ~alpha
+  in
+  let t0 = Unix.gettimeofday () in
+  Path_system.materialize_parallel ps pairs;
+  let dt = Unix.gettimeofday () -. t0 in
+  let arena = Path_system.arena ps in
+  let slices = Arena.length arena in
+  let path_nodes = ref 0 in
+  for i = 0 to slices - 1 do
+    path_nodes := !path_nodes + Arena.hops arena i + 1
+  done;
+  let nodes_per_sec = float_of_int !path_nodes /. dt in
+  let arena_bytes = Arena.memory_bytes arena in
+  (* The boxed baseline reconstructs the same candidate sets as the
+     pre-arena representation: a list of ((s,t), Path.t list) with one
+     fresh edge array per path.  [Obj.reachable_words] measures exactly
+     that structure (paths share nothing with the graph). *)
+  let boxed = List.map (fun (s, t) -> ((s, t), Path_system.paths ps s t)) pairs in
+  let boxed_bytes = Obj.reachable_words (Obj.repr boxed) * (Sys.word_size / 8) in
+  let bpp_arena = float_of_int arena_bytes /. float_of_int npairs in
+  let bpp_boxed = float_of_int boxed_bytes /. float_of_int npairs in
+  let reduction = bpp_boxed /. bpp_arena in
+  scalar "scale.pairs" (float_of_int npairs);
+  scalar "scale.alpha" (float_of_int alpha);
+  scalar "scale.paths" (float_of_int slices);
+  scalar "scale.path_nodes" (float_of_int !path_nodes);
+  scalar "scale.materialize_seconds" dt;
+  scalar "scale.nodes_per_sec" nodes_per_sec;
+  scalar "scale.bytes_per_pair.arena" bpp_arena;
+  scalar "scale.bytes_per_pair.boxed" bpp_boxed;
+  scalar "scale.bytes_per_pair.reduction" reduction;
+  Printf.printf "pairs = %d, alpha = %d, stored paths = %d, path-nodes = %d\n"
+    npairs alpha slices !path_nodes;
+  Printf.printf "materialize: %.4f s (%.3e path-nodes/sec)\n" dt nodes_per_sec;
+  Printf.printf "bytes/pair: arena %.1f vs boxed %.1f (%.2fx smaller)\n"
+    bpp_arena bpp_boxed reduction;
+  (* The candidate sets themselves are deterministic for any job count;
+     the digest covers src/dst/hop content of every slice in canonical
+     pair order, so cold and warm-cache runs must print the same line. *)
+  let ranges =
+    List.map (fun (s, t) -> ((s, t), Path_system.slice_range ps s t)) pairs
+  in
+  let digest =
+    Codec.hex_of_key
+      (Codec.fnv1a64 (Codec.encode_path_system_slices arena ranges))
+  in
+  Printf.printf "system digest: %s\n" digest;
+  if reduction < 4.0 then begin
+    Printf.printf "FAIL scale: arena reduction %.2fx below the 4x floor\n"
+      reduction;
+    exit 1
+  end
+  else Printf.printf "scale: ok (arena %.2fx under the boxed baseline)\n" reduction
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1310,6 +1415,25 @@ let () =
   else if has "--kernels" then kernels ()
   else if has "--faults" then faults ()
   else if has "--obs-guard" then obs_guard ()
+  else if has "--scale" then begin
+    (match find_value "--scale-k" args with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some k when k >= 2 && k mod 2 = 0 -> scale_k := k
+        | _ ->
+            Printf.eprintf "--scale-k expects an even integer >= 2, got %s\n" v;
+            exit 1)
+    | None -> ());
+    (match find_value "--scale-pairs" args with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some p when p >= 1 -> scale_pairs := p
+        | _ ->
+            Printf.eprintf "--scale-pairs expects a positive integer, got %s\n" v;
+            exit 1)
+    | None -> ());
+    scale ()
+  end
   else begin
     (match find_experiment args with
     | Some id -> (

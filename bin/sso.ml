@@ -806,9 +806,27 @@ let cache_cmd =
           Printf.printf "entries    %d\n" (List.length listing.Store.entries);
           Printf.printf "payload    %d bytes\n" bytes;
           Printf.printf "corrupt    %d\n" (List.length listing.Store.corrupt);
+          (* Per-kind breakdown: which artifact families occupy the store
+             (racke forests vs alpha-sample arenas vs fault reports). *)
+          let kinds = Hashtbl.create 8 in
+          List.iter
+            (fun (e : Store.entry) ->
+              let count, sz =
+                Option.value
+                  (Hashtbl.find_opt kinds e.Store.entry_kind)
+                  ~default:(0, 0)
+              in
+              Hashtbl.replace kinds e.Store.entry_kind
+                (count + 1, sz + e.Store.entry_bytes))
+            listing.Store.entries;
+          Hashtbl.fold (fun kind stats acc -> (kind, stats) :: acc) kinds []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          |> List.iter (fun (kind, (count, sz)) ->
+                 Printf.printf "  %-18s %6d entries  %10d bytes\n" kind count
+                   sz);
           report_corrupt listing.Store.corrupt)
     in
-    let doc = "print store location, entry count, and total payload size" in
+    let doc = "print store location, entry count, payload size, and per-kind breakdown" in
     Cmd.v (Cmd.info "stat" ~doc) Term.(const run $ cache_dir_arg)
   in
   let gc_cmd =

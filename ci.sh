@@ -8,7 +8,9 @@
 # subsystem by recording a kernel trace at two job counts (identical
 # event sequences) and running the `sso trace` analyzers over it, and
 # the fault-injection subsystem via `sso faults` (jobs-invariant sweeps,
-# a dropped-free mid-flight SRLG failover, cached warm sweeps).
+# a dropped-free mid-flight SRLG failover, cached warm sweeps), and the
+# arena path storage at scale (--scale on a 50k-switch fat-tree,
+# warm-cache byte-identical to cold, bytes/pair reduction gate).
 set -eux
 
 dune build
@@ -18,3 +20,4 @@ dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
 ./kernels_smoke.sh
 ./trace_smoke.sh
 ./faults_smoke.sh
+./scale_smoke.sh

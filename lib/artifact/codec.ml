@@ -1,5 +1,6 @@
 module Graph = Sso_graph.Graph
 module Path = Sso_graph.Path
+module Arena = Sso_graph.Arena
 module Demand = Sso_demand.Demand
 module Routing = Sso_flow.Routing
 module Frt = Sso_oblivious.Frt
@@ -104,16 +105,29 @@ let tag_path = 0x70 (* 'p' *)
 let tag_path_system = 0x50 (* 'P' *)
 let tag_distributions = 0x52 (* 'R' *)
 let tag_forest = 0x46 (* 'F' *)
+let tag_arena = 0x41 (* 'A' *)
+
+(* Path systems moved to the arena slot encoding in v2; v1 payloads (edge
+   ids per path) remain decodable so existing caches stay warm. *)
+let path_system_version = 2
+let arena_version = 1
 
 let write_header w tag =
   write_u8 w tag;
   write_u8 w format_version
 
-let read_header r tag =
+let write_header_v w tag v =
+  write_u8 w tag;
+  write_u8 w v
+
+let read_header_upto r tag ~max =
   let got = read_u8 r in
   if got <> tag then corrupt "codec: tag mismatch (want %#x, got %#x)" tag got;
   let v = read_u8 r in
-  if v <> format_version then corrupt "codec: unsupported format version %d" v
+  if v < 1 || v > max then corrupt "codec: unsupported format version %d" v;
+  v
+
+let read_header r tag = ignore (read_header_upto r tag ~max:format_version)
 
 (* Wrap Invalid_argument from reconstruction (Builder, Path.of_edges, ...)
    into Corrupt: a payload describing an impossible object is damage, not a
@@ -230,24 +244,100 @@ let read_pairs r read_value =
       let t = read_varint r in
       ((s, t), read_value s t))
 
-let encode_path_system entries =
+(* v2 path bodies: hop count, then the arena's packed CSR-slot bytes
+   verbatim (one LEB128 varint per hop) — the whole candidate collection
+   serializes as one blit from the arena's shared buffer. *)
+
+let read_slot_path_body r g ~src ~dst =
+  let hops = read_varint r in
+  let n = Graph.n g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    corrupt "codec: path endpoint out of range";
+  (* Each packed hop takes at least one byte. *)
+  if hops > String.length r.data - r.pos then corrupt "codec: truncated path";
+  let offs = Graph.csr_offsets g in
+  let eids = Graph.csr_edge_ids g in
+  let tgts = Graph.csr_targets g in
+  let edges = Array.make hops 0 in
+  let v = ref src in
+  for j = 0 to hops - 1 do
+    let slot = read_varint r in
+    let base = offs.(!v) in
+    if slot >= offs.(!v + 1) - base then
+      corrupt "codec: hop slot outside adjacency row";
+    edges.(j) <- eids.(base + slot);
+    v := tgts.(base + slot)
+  done;
+  if !v <> dst then corrupt "codec: path does not end at dst";
+  guarded (fun () -> Path.of_edges g ~src ~dst edges)
+
+let encode_path_system_slices arena ranges =
   let w = writer () in
-  write_header w tag_path_system;
-  write_pairs w entries (fun paths ->
-      write_varint w (List.length paths);
-      List.iter (write_path_body w) paths);
+  write_header_v w tag_path_system path_system_version;
+  write_pairs w ranges (fun (first, count) ->
+      write_varint w count;
+      for k = 0 to count - 1 do
+        write_varint w (Arena.hops arena (first + k));
+        Arena.write_encoding arena (first + k) w
+      done);
   contents w
+
+let encode_path_system g entries =
+  (* Appending into a scratch arena both validates the paths as walks of
+     [g] and produces the slot bytes the v2 format stores. *)
+  let a = Arena.create g in
+  let ranges =
+    List.map
+      (fun ((s, t), paths) ->
+        let first = Arena.length a in
+        List.iter (fun p -> ignore (Arena.append_path a p)) paths;
+        ((s, t), (first, List.length paths)))
+      entries
+  in
+  encode_path_system_slices a ranges
 
 let decode_path_system g s =
   let r = reader s in
-  read_header r tag_path_system;
+  let version = read_header_upto r tag_path_system ~max:path_system_version in
+  let read_body = if version = 1 then read_path_body else read_slot_path_body in
   let entries =
     read_pairs r (fun src dst ->
         let count = read_varint r in
-        read_list count (fun () -> read_path_body r g ~src ~dst))
+        read_list count (fun () -> read_body r g ~src ~dst))
   in
   expect_end r;
   entries
+
+(* ---- standalone arenas ---- *)
+
+let encode_arena a =
+  let w = writer () in
+  write_header_v w tag_arena arena_version;
+  write_varint w (Arena.length a);
+  for i = 0 to Arena.length a - 1 do
+    write_varint w (Arena.src a i);
+    write_varint w (Arena.dst a i);
+    write_varint w (Arena.hops a i);
+    Arena.write_encoding a i w
+  done;
+  contents w
+
+let decode_arena g s =
+  let r = reader s in
+  ignore (read_header_upto r tag_arena ~max:arena_version);
+  let count = read_varint r in
+  let a = Arena.create ~capacity:count g in
+  let data = Bytes.unsafe_of_string r.data in
+  for _ = 1 to count do
+    let src = read_varint r in
+    let dst = read_varint r in
+    let hops = read_varint r in
+    guarded (fun () ->
+        let _, consumed = Arena.append_encoded a ~src ~dst ~hops data ~pos:r.pos in
+        r.pos <- r.pos + consumed)
+  done;
+  expect_end r;
+  a
 
 let encode_distributions entries =
   let w = writer () in

@@ -119,11 +119,18 @@ let alpha_sample ?store ~base_key rng r ~alpha ~pairs =
          query), keeping caller-visible draws identical cold and warm. *)
       let fallback = Sampler.alpha_sample rng r ~alpha in
       let save () =
-        Path_system.materialize fallback pairs;
-        let entries =
-          List.map (fun (s, t) -> ((s, t), Path_system.paths fallback s t)) pairs
+        (* Parallel materialization is layout-deterministic, but workers
+           would interleave trace events; keep the serial path under
+           tracing so trace goldens stay stable. *)
+        if Obs.tracing () then Path_system.materialize fallback pairs
+        else Path_system.materialize_parallel fallback pairs;
+        let ranges =
+          List.map
+            (fun (s, t) -> ((s, t), Path_system.slice_range fallback s t))
+            pairs
         in
-        Store.put st recipe (Codec.encode_path_system entries);
+        Store.put st recipe
+          (Codec.encode_path_system_slices (Path_system.arena fallback) ranges);
         fallback
       in
       (match found with
@@ -133,7 +140,7 @@ let alpha_sample ?store ~base_key rng r ~alpha ~pairs =
           | entries ->
               let table = Hashtbl.create (List.length entries) in
               List.iter (fun (pair, ps) -> Hashtbl.replace table pair ps) entries;
-              Path_system.of_generator (fun s t ->
+              Path_system.of_generator g (fun s t ->
                   match Hashtbl.find_opt table (s, t) with
                   | Some ps -> ps
                   | None -> Path_system.paths fallback s t)

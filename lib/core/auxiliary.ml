@@ -73,7 +73,7 @@ let project_path t (s, u) (p : Path.t) =
   Path.of_edges t.base ~src:s ~dst:u inner
 
 let project_system t ps =
-  Path_system.of_generator (fun s u ->
+  Path_system.of_generator t.base (fun s u ->
       match Hashtbl.find_opt t.pair_terminals (s, u) with
       | None -> []
       | Some (v1, v2) ->

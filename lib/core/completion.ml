@@ -20,7 +20,7 @@ let ladder_system ?stretch ?paths_per_pair rng g ~alpha =
         (* A rung's routing may not reach every pair within its budget;
            treat unreachable pairs as contributing no candidates. *)
         let sample = Sampler.alpha_sample (Rng.split rng) obl ~alpha in
-        Path_system.of_generator (fun s t ->
+        Path_system.of_generator g (fun s t ->
             try Path_system.paths sample s t with Invalid_argument _ -> []))
       rungs
   in
@@ -41,7 +41,7 @@ let route ?solver g ps demand =
             (fun acc p -> List.cons (Path.hops p) acc)
             acc (Path_system.paths ps s t))
         demand []
-      |> List.sort_uniq compare
+      |> List.sort_uniq Int.compare
     in
     (* A threshold is feasible only if every demanded pair retains a
        candidate. *)

@@ -3,13 +3,13 @@ module Demand = Sso_demand.Demand
 module Routing = Sso_flow.Routing
 module Min_congestion = Sso_flow.Min_congestion
 
-let top_paths routing ~alpha =
+let top_paths g routing ~alpha =
   if alpha <= 0 then invalid_arg "Oracle.top_paths: alpha must be positive";
-  Path_system.of_pairs
+  Path_system.of_pairs g
     (List.map
        (fun (s, t) ->
          let dist = Routing.distribution routing s t in
-         let sorted = List.sort (fun (a, _) (b, _) -> compare b a) dist in
+         let sorted = List.sort (fun (a, _) (b, _) -> Float.compare b a) dist in
          let rec take k = function
            | (_, p) :: rest when k > 0 -> p :: take (k - 1) rest
            | _ -> []
@@ -28,4 +28,4 @@ let demand_aware_system ?(solver = Semi_oblivious.default_solver) g demand ~alph
     | Semi_oblivious.Gk epsilon ->
         fst (Sso_flow.Concurrent_flow.unrestricted ~epsilon g demand)
   in
-  top_paths routing ~alpha
+  top_paths g routing ~alpha

@@ -14,5 +14,5 @@ val demand_aware_system :
 (** Top-α paths by optimal-flow weight per demanded pair (pairs outside
     the demand's support get no candidates). *)
 
-val top_paths : Sso_flow.Routing.t -> alpha:int -> Path_system.t
+val top_paths : Sso_graph.Graph.t -> Sso_flow.Routing.t -> alpha:int -> Path_system.t
 (** Keep each pair's α heaviest paths of an arbitrary routing. *)

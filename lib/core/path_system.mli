@@ -9,34 +9,77 @@
     the pairs in some demand's support, so a system may be backed by a lazy
     generator (memoized, so repeated queries see the same sample — this
     is what makes lazy α-sampling equivalent to sampling everything
-    upfront: per-pair samples are independent). *)
+    upfront: per-pair samples are independent).
+
+    Storage is a shared {!Sso_graph.Arena}: each pair maps to a range of
+    consecutive slice handles, so sparsity queries are O(1) per pair, the
+    Stage-4 solvers index candidates without materializing path lists
+    ({!to_slice_candidates}), and failover policies walk candidate slices
+    in place.  {!paths} remains as a compatibility view that reconstructs
+    boxed {!Sso_graph.Path.t} values on demand. *)
 
 type t
 
-val of_pairs : ((int * int) * Sso_graph.Path.t list) list -> t
-(** Eager construction.  Paths must match their pair's endpoints and be
-    deduplicated ([Invalid_argument] otherwise); pairs must be distinct. *)
+val of_pairs : Sso_graph.Graph.t -> ((int * int) * Sso_graph.Path.t list) list -> t
+(** Eager construction over a graph.  Paths must match their pair's
+    endpoints, be deduplicated, and be walks of the graph
+    ([Invalid_argument] otherwise); pairs must be distinct. *)
 
-val of_generator : (int -> int -> Sso_graph.Path.t list) -> t
+val of_generator : Sso_graph.Graph.t -> (int -> int -> Sso_graph.Path.t list) -> t
 (** Lazy construction; the generator is consulted once per pair and must
-    return valid deduplicated paths.  Validation happens at query time. *)
+    return valid deduplicated paths on the given graph.  Validation happens
+    at query time. *)
+
+val graph : t -> Sso_graph.Graph.t
+(** The graph the system's paths live on. *)
+
+val arena : t -> Sso_graph.Arena.t
+(** The shared arena holding every materialized candidate path.  Slice
+    handles obtained from {!slice_range}/{!iter_slices} resolve here.
+    Reads of installed slices are lock-free; the arena grows under the
+    system's internal lock as new pairs are generated. *)
 
 val paths : t -> int -> int -> Sso_graph.Path.t list
 (** [P(s,t)]; [[]] when the system offers no paths for the pair.  Safe to
-    call from pool workers: the memo cache is mutex-guarded and generation
-    is serialized, so every caller sees the same per-pair sets. *)
+    call from pool workers: the memo index is mutex-guarded and generation
+    is serialized, so every caller sees the same per-pair sets.  Each call
+    reconstructs boxed paths from the arena (in generation order); callers
+    on hot paths should prefer {!slice_range} and the arena kernels. *)
+
+val slice_range : t -> int -> int -> int * int
+(** [(first, count)]: the pair's candidates occupy arena slices
+    [first .. first + count - 1], in generation order.  Generates and
+    installs the pair on first query, like {!paths}. *)
+
+val slice_count : t -> int -> int -> int
+(** [|P(s,t)|] without materializing anything — O(1) once installed. *)
+
+val iter_slices : t -> int -> int -> (int -> unit) -> unit
+(** Apply a function to each candidate slice handle of a pair, in
+    generation order. *)
 
 val materialize : t -> (int * int) list -> unit
 (** Force generation for the given pairs (in list order) on the calling
     domain.  Parallel call sites materialize the pairs a sweep will query
     before fanning out, keeping generation order — and thus any
-    generator-internal RNG draws — independent of the job count. *)
+    generator-internal RNG draws — independent of the job count.  O(1) per
+    already-installed pair. *)
+
+val materialize_parallel : ?pool:Sso_engine.Pool.t -> t -> (int * int) list -> unit
+(** Generate missing pairs on the pool: workers fill private arena
+    builders (fixed-size chunks of the pair list), and the builders are
+    merged into the shared arena in chunk order, so the resulting layout —
+    and every subsequent answer — is identical at any job count.  Requires
+    the generator to be safe to call from pool workers and per-pair
+    deterministic (independent of query order); the α-samplers and
+    oblivious supports qualify — their draws are keyed per pair. *)
 
 val known_pairs : t -> (int * int) list
 (** Pairs materialized so far (all pairs for an eager system). *)
 
 val sparsity_on : t -> (int * int) list -> int
-(** [max |P(s,t)|] over the given pairs. *)
+(** [max |P(s,t)|] over the given pairs — O(1) per pair on the arena
+    index. *)
 
 val is_alpha_sparse : t -> alpha:int -> (int * int) list -> bool
 
@@ -56,7 +99,7 @@ val without_edge : int -> t -> t
     the robustness experiments: when a link dies, the installed paths
     through it die with it and Stage 4 re-optimizes over the survivors. *)
 
-val of_routing_support : Sso_flow.Routing.t -> t
+val of_routing_support : Sso_graph.Graph.t -> Sso_flow.Routing.t -> t
 (** [supp(R)] as a path system. *)
 
 val of_oblivious_support : Sso_oblivious.Oblivious.t -> t
@@ -64,5 +107,13 @@ val of_oblivious_support : Sso_oblivious.Oblivious.t -> t
     "dense" system the paper's sparse samples are measured against. *)
 
 val to_candidates : t -> (int * int) list -> Sso_flow.Min_congestion.candidates
-(** Materialize candidate lists for the given pairs (input to the Stage-4
-    solvers). *)
+(** Materialize candidate lists for the given pairs (input to the
+    list-based Stage-4 entry points).  Pairs are deduplicated and sorted
+    with a monomorphic pair comparator. *)
+
+val to_slice_candidates :
+  t -> (int * int) list -> Sso_flow.Min_congestion.slice_candidates
+(** The slice-index equivalent of {!to_candidates}: candidate ranges of
+    the shared arena, no path lists materialized.  Input to
+    {!Sso_flow.Min_congestion.mwu_on_slices} and
+    {!Sso_flow.Concurrent_flow.on_slices}. *)

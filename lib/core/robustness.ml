@@ -52,14 +52,14 @@ let single_failures ?pool ?(solver = Semi_oblivious.default_solver) g ps demand 
      whole system, so their Stage-4 solve collapses to one shared
      baseline. *)
   let used = Array.make m false in
+  let arena = Path_system.arena ps in
   List.iter
     (fun (s, t) ->
-      List.iter
-        (fun (p : Path.t) -> Array.iter (fun e -> used.(e) <- true) p.Path.edges)
-        (Path_system.paths ps s t))
+      Path_system.iter_slices ps s t (fun i ->
+          Sso_graph.Arena.iter arena i (fun e -> used.(e) <- true)))
     support;
   let pre_nonempty =
-    List.for_all (fun (s, t) -> Path_system.paths ps s t <> []) support
+    List.for_all (fun (s, t) -> Path_system.slice_count ps s t > 0) support
   in
   let baseline =
     if Array.exists not used && pre_nonempty then
@@ -102,7 +102,7 @@ let single_failures ?pool ?(solver = Semi_oblivious.default_solver) g ps demand 
             let survivors = Path_system.without_edge e ps in
             let candidates_remain =
               List.for_all
-                (fun (s, t) -> Path_system.paths survivors s t <> [])
+                (fun (s, t) -> Path_system.slice_count survivors s t > 0)
                 support
             in
             if not candidates_remain then unsurvivable

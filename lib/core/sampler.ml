@@ -23,8 +23,9 @@ let pair_rng base n s t = Rng.split_at base ((s * n) + t)
 let alpha_sample rng obl ~alpha =
   if alpha <= 0 then invalid_arg "Sampler.alpha_sample: alpha must be positive";
   let base = Rng.split rng in
-  let n = Graph.n (Oblivious.graph obl) in
-  Path_system.of_generator (fun s t -> draw (pair_rng base n s t) obl alpha s t)
+  let g = Oblivious.graph obl in
+  let n = Graph.n g in
+  Path_system.of_generator g (fun s t -> draw (pair_rng base n s t) obl alpha s t)
 
 let cnt g ~alpha s t = alpha + Maxflow.cut g s t
 
@@ -33,5 +34,5 @@ let alpha_cut_sample rng obl ~alpha =
   let base = Rng.split rng in
   let g = Oblivious.graph obl in
   let n = Graph.n g in
-  Path_system.of_generator (fun s t ->
+  Path_system.of_generator g (fun s t ->
       draw (pair_rng base n s t) obl (cnt g ~alpha s t) s t)

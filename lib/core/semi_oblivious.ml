@@ -9,11 +9,17 @@ type solver = Lp | Mwu of int | Gk of float
 let default_solver = Mwu 300
 
 let route ?(solver = default_solver) g ps demand =
-  let cands = Path_system.to_candidates ps (Demand.support demand) in
   match solver with
-  | Lp -> Min_congestion.lp_on_paths g cands demand
-  | Mwu iters -> Min_congestion.mwu_on_paths ~iters g cands demand
-  | Gk epsilon -> Sso_flow.Concurrent_flow.on_paths ~epsilon g cands demand
+  | Lp ->
+      (* The simplex tableau wants explicit per-pair path lists. *)
+      let cands = Path_system.to_candidates ps (Demand.support demand) in
+      Min_congestion.lp_on_paths g cands demand
+  | Mwu iters ->
+      let sc = Path_system.to_slice_candidates ps (Demand.support demand) in
+      Min_congestion.mwu_on_slices ~iters g sc demand
+  | Gk epsilon ->
+      let sc = Path_system.to_slice_candidates ps (Demand.support demand) in
+      Sso_flow.Concurrent_flow.on_slices ~epsilon g sc demand
 
 let congestion ?solver g ps demand = snd (route ?solver g ps demand)
 

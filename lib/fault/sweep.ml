@@ -106,7 +106,7 @@ let evaluate ~solver ~iters ~recovery ~pre_routing g ps demand scenario =
       ps
   in
   let candidates_remain =
-    List.for_all (fun (s, t) -> Path_system.paths survivors s t <> []) support
+    List.for_all (fun (s, t) -> Path_system.slice_count survivors s t > 0) support
   in
   match Min_congestion.mwu_unrestricted_avoiding ~iters ~avoid:removed g' demand with
   | None ->

@@ -83,39 +83,57 @@ let bfs_bridge g ~alive ~src ~target =
     end
   end
 
-let suffix_from g (c : Path.t) ~from =
-  let verts = Path.vertices g c in
-  let idx = ref (-1) in
-  Array.iteri (fun i v -> if !idx < 0 && v = from then idx := i) verts;
-  if !idx < 0 then invalid_arg "Timeline.suffix_from: vertex not on path";
-  Path.of_edges g ~src:from ~dst:c.Path.dst
-    (Array.sub c.Path.edges !idx (Array.length c.Path.edges - !idx))
-
 let candidate_failover g ps ~pair:(s, t) ~at_vertex:v ~alive =
-  let survivors =
-    List.filter
-      (fun (p : Path.t) -> Array.for_all alive p.Path.edges)
-      (Path_system.paths ps s t)
+  (* Walk the pair's candidate slices in the shared arena directly: the
+     liveness scan, the vertex-membership probe, and the suffix extraction
+     all run on the packed representation; a boxed path is built only for
+     the route actually returned. *)
+  let arena = Path_system.arena ps in
+  let first, count = Path_system.slice_range ps s t in
+  let survivors = ref [] in
+  for k = count - 1 downto 0 do
+    let i = first + k in
+    if Sso_graph.Arena.for_all arena i alive then survivors := i :: !survivors
+  done;
+  (* Hop index at which slice [i] first visits [u]; -1 when it does not. *)
+  let hop_at i u =
+    if Sso_graph.Arena.src arena i = u then 0
+    else begin
+      let found = ref (-1) in
+      let j = ref 0 in
+      Sso_graph.Arena.iter_edges_vertices arena i (fun _ v' ->
+          incr j;
+          if !found < 0 && v' = u then found := !j);
+      !found
+    end
   in
-  match survivors with
+  let suffix i ~from ~from_hop =
+    Path.of_edges g ~src:from
+      ~dst:(Sso_graph.Arena.dst arena i)
+      (Sso_graph.Arena.suffix_edges arena i ~from_hop)
+  in
+  match !survivors with
   | [] -> None
-  | first :: _ as cs -> (
+  | sfirst :: _ as cs -> (
       let through_v =
-        List.find_opt
-          (fun c -> Array.exists (fun u -> u = v) (Path.vertices g c))
+        List.find_map
+          (fun i ->
+            let h = hop_at i v in
+            if h >= 0 then Some (i, h) else None)
           cs
       in
       match through_v with
-      | Some c -> Some (suffix_from g c ~from:v)
+      | Some (i, h) -> Some (suffix i ~from:v ~from_hop:h)
       | None -> (
-          let on_first =
-            let verts = Path.vertices g first in
-            fun u -> Array.exists (fun x -> x = u) verts
-          in
+          let fverts = Sso_graph.Arena.vertices arena sfirst in
+          let on_first u = Array.exists (fun x -> x = u) fverts in
           match bfs_bridge g ~alive ~src:v ~target:on_first with
           | None -> None
           | Some bridge ->
-              let joined = suffix_from g first ~from:bridge.Path.dst in
+              let joined =
+                suffix sfirst ~from:bridge.Path.dst
+                  ~from_hop:(hop_at sfirst bridge.Path.dst)
+              in
               Some (Path.concat g bridge joined)))
 
 let simulate ?discipline ?max_steps g ps assignment timeline =

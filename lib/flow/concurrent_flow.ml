@@ -110,30 +110,100 @@ let solve ?(epsilon = 0.1) g ~oracle demand =
     (routing, Routing.congestion g routing demand)
   end
 
-(* Hashtable-backed candidate index (first binding wins, matching the
-   [List.assoc_opt] it replaces) so the per-chunk lookup inside the phase
-   loop is O(1) instead of O(pairs). *)
-let candidates_oracle cands =
-  let index = Hashtbl.create ((2 * List.length cands) + 1) in
-  List.iter
-    (fun (pair, ps) -> if not (Hashtbl.mem index pair) then Hashtbl.add index pair ps)
-    cands;
-  fun ~weight s t ->
-    match Hashtbl.find_opt index (s, t) with
-    | None | Some [] -> None
-    | Some (first :: rest) ->
-        let score p = Path.weight weight p in
-        let _, best =
-          List.fold_left
-            (fun (bw, bp) p ->
-              let w = score p in
-              if w < bw then (w, p) else (bw, bp))
-            (score first, first) rest
-        in
-        Some best
+(* The same phase structure as [solve], specialized to candidate slices:
+   identical chunking, float updates, record order and trace events, with
+   the cheapest-path oracle and the flow accumulation walking the flat
+   candidate index in place. *)
+let on_slices ?(epsilon = 0.1) g sc demand =
+  if not (epsilon > 0.0 && epsilon < 1.0) then
+    invalid_arg "Concurrent_flow: epsilon must lie in (0,1)";
+  if Demand.support_size demand = 0 then (Routing.make [], 0.0)
+  else Obs.with_span span_gk @@ fun () -> begin
+    let m = Graph.m g in
+    let mf = float_of_int (max 2 m) in
+    let delta = (1.0 +. epsilon) /. Float.pow ((1.0 +. epsilon) *. mf) (1.0 /. epsilon) in
+    let caps = Array.init m (Graph.cap g) in
+    let length = Array.make m 0.0 in
+    Array.iteri (fun e _ -> length.(e) <- delta /. caps.(e)) length;
+    (* [volume] stays a full fold on purpose — see [solve]. *)
+    let volume () =
+      let d = ref 0.0 in
+      for e = 0 to m - 1 do
+        d := !d +. (length.(e) *. caps.(e))
+      done;
+      !d
+    in
+    let commodities = Demand.support demand in
+    let positions =
+      Array.of_list (List.map (Slice_candidates.position sc) commodities)
+    in
+    let counts = Array.make (Slice_candidates.ncands sc) 0.0 in
+    let present = Array.make (Slice_candidates.ncands sc) false in
+    let record c amount =
+      let cc = Slice_candidates.canonical sc c in
+      counts.(cc) <- counts.(cc) +. amount;
+      present.(cc) <- true
+    in
+    let weight e = length.(e) in
+    (* Feasibility probe: every commodity must have at least one path. *)
+    Array.iter
+      (fun i ->
+        if i < 0 || Slice_candidates.is_empty_at sc i then
+          invalid_arg "Concurrent_flow: demanded pair has no route")
+      positions;
+    if Obs.tracing () then
+      Obs.event "gk.solve"
+        ~attrs:
+          [
+            ("pairs", Trace.Int (List.length commodities));
+            ("epsilon", Trace.Float epsilon);
+          ];
+    let max_phases = 100_000 in
+    let phases = ref 0 in
+    while volume () < 1.0 && !phases < max_phases do
+      incr phases;
+      if Obs.tracing () then
+        Obs.event "gk.phase"
+          ~attrs:
+            [ ("phase", Trace.Int !phases); ("volume", Trace.Float (volume ())) ];
+      List.iteri
+        (fun k (s, t) ->
+          let i = positions.(k) in
+          let remaining = ref (Demand.get demand s t) in
+          while !remaining > 1e-12 && volume () < 1.0 do
+            let c = Slice_candidates.cheapest sc ~weight i in
+            if c < 0 then remaining := 0.0
+            else begin
+              let bottleneck =
+                Slice_candidates.fold_edges sc c
+                  (fun acc e -> Float.min acc caps.(e))
+                  infinity
+              in
+              let amount = Float.min !remaining bottleneck in
+              record c amount;
+              Slice_candidates.iter_edges sc c (fun e ->
+                  length.(e) <-
+                    length.(e) *. (1.0 +. (epsilon *. amount /. caps.(e))));
+              remaining := !remaining -. amount
+            end
+          done)
+        commodities
+    done;
+    if !phases >= max_phases then failwith "Concurrent_flow: phase budget exceeded";
+    let routing =
+      Routing.make
+        (List.mapi
+           (fun k pair ->
+             ( pair,
+               Slice_candidates.pair_distribution sc ~counts ~present ~overflow:None
+                 positions.(k) ))
+           commodities)
+    in
+    (routing, Routing.congestion g routing demand)
+  end
 
 let on_paths ?epsilon g cands demand =
-  solve ?epsilon g ~oracle:(candidates_oracle cands) demand
+  on_slices ?epsilon g (Slice_candidates.of_list g cands) demand
 
 let unrestricted ?epsilon g demand =
   solve ?epsilon g ~oracle:(fun ~weight s t -> Shortest.dijkstra_path g ~weight s t) demand

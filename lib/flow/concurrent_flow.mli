@@ -23,6 +23,15 @@ val on_paths :
     defaults to 0.1; smaller = more accurate and slower).
     @raise Invalid_argument if a demanded pair has no candidates. *)
 
+val on_slices :
+  ?epsilon:float ->
+  Sso_graph.Graph.t ->
+  Min_congestion.slice_candidates ->
+  Sso_demand.Demand.t ->
+  Routing.t * float
+(** {!on_paths} on a prebuilt slice index — same phase structure and
+    bit-identical output, walking the flat candidate arrays in place. *)
+
 val unrestricted :
   ?epsilon:float ->
   Sso_graph.Graph.t -> Sso_demand.Demand.t -> Routing.t * float

@@ -1,5 +1,6 @@
 module Graph = Sso_graph.Graph
 module Path = Sso_graph.Path
+module Arena = Sso_graph.Arena
 module Shortest = Sso_graph.Shortest
 module Maxflow = Sso_graph.Maxflow
 module Demand = Sso_demand.Demand
@@ -334,37 +335,200 @@ let mwu_generic ?pool ?(iters = 300) ?warm ?(label = "mwu") g ~oracle demand =
     end
   end
 
-let cheapest_candidate index ~weight s t =
-  match candidates_for index s t with
-  | [] -> None
-  | first :: rest ->
-      let score p = Path.weight weight p in
-      let best =
-        List.fold_left
-          (fun (bw, bp) p ->
-            let w = score p in
-            if w < bw then (w, p) else (bw, bp))
-          (score first, first) rest
+(* ---------- Candidate sets as arena slices ----------
+
+   Stage-4 candidate solving runs on the flat index of {!Slice_candidates}:
+   the candidate set is unpacked once per solve and every round's
+   oracle/accumulation loops walk int arrays in place. *)
+
+type slice_candidates = Slice_candidates.t
+
+let slice_candidates_of_arena = Slice_candidates.of_arena
+let slice_candidates_of_list g (cands : candidates) = Slice_candidates.of_list g cands
+
+(* The MWU game of [mwu_generic], specialized to candidate slices: same
+   dispatch structure, counters, trace events and float operation order,
+   with best responses as candidate indices instead of boxed paths. *)
+let mwu_slices ?pool ?(iters = 300) ?warm ~label g sc demand =
+  if iters <= 0 then invalid_arg "Min_congestion: iters must be positive";
+  if Demand.support_size demand = 0 then Some (Routing.make [], 0.0)
+  else Obs.with_span span_mwu @@ fun () -> begin
+    let m = Graph.m g in
+    let support = Demand.support demand in
+    let support_arr = Array.of_list support in
+    let pairs = Array.length support_arr in
+    if Obs.tracing () then
+      Obs.event "mwu.solve"
+        ~attrs:
+          [
+            ("solver", Trace.String label);
+            ("pairs", Trace.Int pairs);
+            ("iters", Trace.Int iters);
+          ];
+    let amounts = Array.map (fun (s, t) -> Demand.get demand s t) support_arr in
+    let caps = Array.init m (Graph.cap g) in
+    (* Pair positions in the candidate index, [-1] for uncovered pairs. *)
+    let positions = Array.map (Slice_candidates.position sc) support_arr in
+    let answer ~weight i =
+      let p = positions.(i) in
+      if p < 0 then -1 else Slice_candidates.cheapest sc ~weight p
+    in
+    let best_responses ~weight =
+      Obs.incr ~by:pairs mwu_oracle_calls;
+      if pairs < 4 then Array.init pairs (fun i -> answer ~weight i)
+      else Pool.parallel_init ?pool pairs (fun i -> answer ~weight i)
+    in
+    let add_loads loads c amount =
+      Slice_candidates.iter_edges sc c (fun e ->
+          Array.unsafe_set loads e (Array.unsafe_get loads e +. amount))
+    in
+    let probe_weight e = 1.0 /. caps.(e) in
+    let probe = best_responses ~weight:probe_weight in
+    if Array.exists (fun c -> c < 0) probe then None
+    else begin
+      let loads = Array.make m 0.0 in
+      Array.iteri (fun i c -> add_loads loads c amounts.(i)) probe;
+      let u_norm = ref 1e-12 in
+      Array.iteri
+        (fun e load ->
+          let c = load /. caps.(e) in
+          if c > !u_norm then u_norm := c)
+        loads;
+      let u_norm = !u_norm in
+      let eta = Float.sqrt (4.0 *. Float.log (float_of_int (max 2 m)) /. float_of_int iters) in
+      let cum = Array.make m 0.0 in
+      let ncands = Slice_candidates.ncands sc in
+      let counts = Array.make ncands 0.0 in
+      let present = Array.make ncands false in
+      let overflow : (int, (Path.t * float) list) Hashtbl.t = Hashtbl.create 7 in
+      (match warm with
+      | None -> ()
+      | Some (previous, weight) ->
+          if weight <= 0 then invalid_arg "Min_congestion: warm-start weight must be positive";
+          let wf = float_of_int weight in
+          Array.iteri
+            (fun i (s, t) ->
+              match Routing.distribution previous s t with
+              | [] -> ()
+              | dist ->
+                  let over = ref Path_map.empty in
+                  List.iter
+                    (fun (w, p) ->
+                      let c =
+                        if positions.(i) < 0 then -1
+                        else Slice_candidates.find sc positions.(i) p
+                      in
+                      if c >= 0 then begin
+                        let cc = Slice_candidates.canonical sc c in
+                        counts.(cc) <- counts.(cc) +. (w *. wf);
+                        present.(cc) <- true
+                      end
+                      else
+                        over :=
+                          Path_map.update p
+                            (function
+                              | None -> Some (w *. wf) | Some c -> Some (c +. (w *. wf)))
+                            !over)
+                    dist;
+                  if not (Path_map.is_empty !over) then
+                    Hashtbl.replace overflow i
+                      (Path_map.fold (fun p c acc -> (p, c) :: acc) !over []
+                      |> List.rev);
+                  let amount = amounts.(i) in
+                  List.iter
+                    (fun (w, (p : Path.t)) ->
+                      Array.iter
+                        (fun e ->
+                          cum.(e) <-
+                            cum.(e) +. (wf *. w *. amount /. (caps.(e) *. u_norm)))
+                        p.Path.edges)
+                    dist)
+            support_arr);
+      let record c =
+        let cc = Slice_candidates.canonical sc c in
+        counts.(cc) <- counts.(cc) +. 1.0;
+        present.(cc) <- true
       in
-      Some (snd best)
+      let warr = Array.make m 0.0 in
+      let round_weight e = warr.(e) in
+      let round_loads = Array.make m 0.0 in
+      let base_plays = match warm with None -> 0 | Some (_, w) -> w in
+      for round = 1 to iters do
+        Obs.incr mwu_iterations;
+        let max_cum = Array.fold_left Float.max neg_infinity cum in
+        for e = 0 to m - 1 do
+          warr.(e) <- Float.exp (eta *. (cum.(e) -. max_cum)) /. caps.(e)
+        done;
+        let responses = best_responses ~weight:round_weight in
+        Array.fill round_loads 0 m 0.0;
+        Array.iteri
+          (fun i c ->
+            if c < 0 then assert false (* probed feasible above *);
+            record c;
+            add_loads round_loads c amounts.(i))
+          responses;
+        for e = 0 to m - 1 do
+          cum.(e) <- cum.(e) +. (round_loads.(e) /. (caps.(e) *. u_norm))
+        done;
+        if Obs.tracing () then begin
+          let round_peak = ref 0.0 and cum_peak = ref neg_infinity in
+          for e = 0 to m - 1 do
+            let rc = round_loads.(e) /. caps.(e) in
+            if rc > !round_peak then round_peak := rc;
+            if cum.(e) > !cum_peak then cum_peak := cum.(e)
+          done;
+          let plays = float_of_int (base_plays + round) in
+          let support_paths =
+            let n = ref 0 in
+            Array.iter (fun p -> if p then incr n) present;
+            Hashtbl.iter (fun _ over -> n := !n + List.length over) overflow;
+            !n
+          in
+          Obs.event "mwu.round"
+            ~attrs:
+              [
+                ("solver", Trace.String label);
+                ("round", Trace.Int round);
+                ("round_congestion", Trace.Float !round_peak);
+                ("avg_congestion", Trace.Float (!cum_peak *. u_norm /. plays));
+                ("potential", Trace.Float !cum_peak);
+                ("support_paths", Trace.Int support_paths);
+              ]
+        end
+      done;
+      let routing =
+        Routing.make
+          (List.mapi
+             (fun i pair ->
+               ( pair,
+                 Slice_candidates.pair_distribution sc ~counts ~present
+                   ~overflow:(Hashtbl.find_opt overflow i)
+                   positions.(i) ))
+             support)
+      in
+      Some (routing, Routing.congestion g routing demand)
+    end
+  end
 
-let candidates_oracle cands = Per_pair (cheapest_candidate (index_candidates cands))
-
-let mwu_on_paths ?pool ?iters g cands demand =
-  match
-    mwu_generic ?pool ?iters ~label:"on_paths" g
-      ~oracle:(candidates_oracle cands) demand
-  with
+let mwu_on_slices ?pool ?iters g sc demand =
+  match mwu_slices ?pool ?iters ~label:"on_paths" g sc demand with
   | Some result -> result
   | None -> invalid_arg "Min_congestion.mwu_on_paths: demanded pair has no candidates"
 
-let mwu_on_paths_warm ?pool ?iters ~warm ~warm_weight g cands demand =
+let mwu_on_slices_warm ?pool ?iters ~warm ~warm_weight g sc demand =
   match
-    mwu_generic ?pool ?iters ~warm:(warm, warm_weight) ~label:"on_paths_warm" g
-      ~oracle:(candidates_oracle cands) demand
+    mwu_slices ?pool ?iters ~warm:(warm, warm_weight) ~label:"on_paths_warm" g sc demand
   with
   | Some result -> result
   | None -> invalid_arg "Min_congestion.mwu_on_paths_warm: demanded pair has no candidates"
+
+let mwu_on_paths ?pool ?iters g cands demand =
+  mwu_on_slices ?pool ?iters g (slice_candidates_of_list g cands) demand
+
+let mwu_on_paths_warm ?pool ?iters ~warm ~warm_weight g cands demand =
+  mwu_on_slices_warm ?pool ?iters ~warm ~warm_weight g
+    (slice_candidates_of_list g cands)
+    demand
 
 let unrestricted_oracle ?(batched = true) g =
   if batched then

@@ -17,6 +17,35 @@ type candidates = ((int * int) * Sso_graph.Path.t list) list
 (** Candidate path sets per pair — a path system restricted to the pairs of
     interest.  Every listed path must connect its pair. *)
 
+type slice_candidates = Slice_candidates.t
+(** Candidate sets as arena slices — the flat index the solvers walk in
+    place (see {!Slice_candidates}).  The path-list API below converts
+    through this representation, so both entry points run the same
+    engine. *)
+
+val slice_candidates_of_arena :
+  Sso_graph.Arena.t -> ((int * int) * (int * int)) list -> slice_candidates
+(** Index per-pair slice ranges [(first, count)] of a shared arena. *)
+
+val slice_candidates_of_list :
+  Sso_graph.Graph.t -> candidates -> slice_candidates
+(** Index boxed candidate lists (appending them into a private arena). *)
+
+val mwu_on_slices :
+  ?pool:Sso_engine.Pool.t ->
+  ?iters:int ->
+  Sso_graph.Graph.t -> slice_candidates -> Sso_demand.Demand.t -> Routing.t * float
+(** {!mwu_on_paths} on a prebuilt slice index — candidate systems already
+    stored in an arena solve without materializing any path list. *)
+
+val mwu_on_slices_warm :
+  ?pool:Sso_engine.Pool.t ->
+  ?iters:int ->
+  warm:Routing.t ->
+  warm_weight:int ->
+  Sso_graph.Graph.t -> slice_candidates -> Sso_demand.Demand.t -> Routing.t * float
+(** {!mwu_on_paths_warm} on a prebuilt slice index. *)
+
 val lp_on_paths :
   Sso_graph.Graph.t -> candidates -> Sso_demand.Demand.t -> Routing.t * float
 (** Exact minimum congestion of fractionally routing [d] where each pair

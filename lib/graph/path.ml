@@ -102,11 +102,33 @@ let reverse p =
   let n = Array.length p.edges in
   { src = p.dst; dst = p.src; edges = Array.init n (fun i -> p.edges.(n - 1 - i)) }
 
-let equal p q = p.src = q.src && p.dst = q.dst && p.edges = q.edges
+let unsafe_of_edges ~src ~dst edges = { src; dst; edges }
+
+(* Edge sequences are ordered like the polymorphic compare on int arrays
+   this replaces: shorter array first, then lexicographic elementwise. *)
+let compare_edge_arrays a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else
+        match Int.compare (Array.unsafe_get a i) (Array.unsafe_get b i) with
+        | 0 -> go (i + 1)
+        | c -> c
+    in
+    go 0
+  end
+
+let equal p q =
+  p.src = q.src && p.dst = q.dst && compare_edge_arrays p.edges q.edges = 0
 
 let compare p q =
-  match compare p.src q.src with
-  | 0 -> ( match compare p.dst q.dst with 0 -> compare p.edges q.edges | c -> c)
+  match Int.compare p.src q.src with
+  | 0 -> (
+      match Int.compare p.dst q.dst with
+      | 0 -> compare_edge_arrays p.edges q.edges
+      | c -> c)
   | c -> c
 
 let weight w p = Array.fold_left (fun acc e -> acc +. w e) 0.0 p.edges

@@ -21,6 +21,12 @@ val of_edges : Graph.t -> src:int -> dst:int -> int array -> t
     path.  @raise Invalid_argument if consecutive edges do not share the
     expected endpoints. *)
 
+val unsafe_of_edges : src:int -> dst:int -> int array -> t
+(** Build a path from fields already known to form a walk, skipping the
+    validation of {!of_edges}.  For trusted reconstruction only (arena
+    slices, codec payloads that were validated on decode); the array is
+    adopted, not copied. *)
+
 val of_vertices : Graph.t -> int list -> t
 (** Build a path from a vertex sequence, selecting for each hop an arbitrary
     minimum-id edge between the consecutive vertices.

@@ -1,5 +1,6 @@
 module Graph = Sso_graph.Graph
 module Path = Sso_graph.Path
+module Arena = Sso_graph.Arena
 module Rng = Sso_prng.Rng
 module Obs = Sso_obs.Obs
 module Trace = Sso_obs.Trace
@@ -16,42 +17,96 @@ let completed_exn = function
   | Completed s -> s
   | Out_of_budget _ -> failwith "Simulator: step budget exceeded (bug?)"
 
+(* Routes live in a run-local arena; the hop/vertex sequences of every
+   route are unpacked once into two flat int arrays, and packets carry
+   offsets into them (a slice handle plus its unpacked position) instead
+   of per-packet arrays.  Failover routes are appended to the same store
+   mid-run. *)
+type store = {
+  arena : Arena.t;
+  mutable eflat : int array; (* edge ids of all routes, back to back *)
+  mutable vflat : int array; (* vertex sequences, hops+1 per route *)
+  mutable elen : int;
+  mutable vlen : int;
+}
+
+let grow arr len need =
+  if len + need <= Array.length arr then arr
+  else begin
+    let arr' = Array.make (max (len + need) (2 * (Array.length arr + 1))) 0 in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
+
+(* Unpack one arena slice onto the end of the flat store; returns its
+   (edge offset, vertex offset, hops). *)
+let push_slice st i =
+  let h = Arena.hops st.arena i in
+  st.eflat <- grow st.eflat st.elen h;
+  st.vflat <- grow st.vflat st.vlen (h + 1);
+  let eoff = st.elen and voff = st.vlen in
+  st.vflat.(voff) <- Arena.src st.arena i;
+  let j = ref 0 in
+  Arena.iter_edges_vertices st.arena i (fun e v' ->
+      st.eflat.(eoff + !j) <- e;
+      st.vflat.(voff + !j + 1) <- v';
+      incr j);
+  st.elen <- st.elen + h;
+  st.vlen <- st.vlen + h + 1;
+  (eoff, voff, h)
+
 type packet = {
   id : int;
   ppair : int * int; (* demand pair this packet serves *)
-  path : Path.t;
-  hops : int array; (* edge ids in travel order *)
-  verts : int array; (* vertices visited, length hops+1 *)
-  mutable at : int; (* index into verts: current position *)
+  mutable slice : int; (* current route's arena handle *)
+  mutable eoff : int; (* its edges at eflat.(eoff ..) *)
+  mutable voff : int; (* its vertices at vflat.(voff ..) *)
+  mutable nhops : int;
+  mutable at : int; (* hops already crossed: current vertex is voff+at *)
   rank : float; (* priority for Random_rank *)
 }
 
-let congestion_and_dilation g packets =
+let congestion_and_dilation g st packets =
   let loads = Array.make (Graph.m g) 0 in
   let dil = ref 0 in
   List.iter
     (fun p ->
-      dil := max !dil (Array.length p.hops);
-      Array.iter (fun e -> loads.(e) <- loads.(e) + 1) p.hops)
+      dil := max !dil p.nhops;
+      for j = 0 to p.nhops - 1 do
+        let e = st.eflat.(p.eoff + j) in
+        loads.(e) <- loads.(e) + 1
+      done)
     packets;
   let cong = Array.fold_left max 0 loads in
   (cong, !dil)
 
 let build_packets g rng_opt assignment =
+  let arena = Arena.create g in
+  Array.iter
+    (fun (_, paths) ->
+      Array.iter (fun (p : Path.t) -> ignore (Arena.append_path arena p)) paths)
+    assignment;
+  let ids = Array.init (Arena.length arena) Fun.id in
+  let off, eflat, vflat = Arena.unpack_with_vertices arena ids in
+  let st =
+    { arena; eflat; vflat; elen = Array.length eflat; vlen = Array.length vflat }
+  in
   let next_id = ref 0 in
   let packets = ref [] in
   Array.iter
     (fun (pair, paths) ->
       Array.iter
-        (fun (p : Path.t) ->
+        (fun (_ : Path.t) ->
+          let i = !next_id in
           let rank = match rng_opt with Some rng -> Rng.float rng | None -> 0.0 in
           packets :=
             {
-              id = !next_id;
+              id = i;
               ppair = pair;
-              path = p;
-              hops = p.Path.edges;
-              verts = Path.vertices g p;
+              slice = i;
+              eoff = off.(i);
+              voff = off.(i) + i;
+              nhops = off.(i + 1) - off.(i);
               at = 0;
               rank;
             }
@@ -59,16 +114,16 @@ let build_packets g rng_opt assignment =
           incr next_id)
         paths)
     assignment;
-  List.rev !packets
+  (st, List.rev !packets)
 
 let lower_bound g assignment =
-  let packets = build_packets g None assignment in
-  let cong, dil = congestion_and_dilation g packets in
+  let st, packets = build_packets g None assignment in
+  let cong, dil = congestion_and_dilation g st packets in
   max cong dil
 
 let upper_bound_cd g assignment =
-  let packets = build_packets g None assignment in
-  let cong, dil = congestion_and_dilation g packets in
+  let st, packets = build_packets g None assignment in
+  let cong, dil = congestion_and_dilation g st packets in
   (cong * dil) + dil
 
 let compare_priority discipline a b =
@@ -76,21 +131,21 @@ let compare_priority discipline a b =
   | Fifo -> compare a.id b.id
   | Random_rank _ -> compare (b.rank, b.id) (a.rank, a.id)
   | Longest_remaining ->
-      let ra = Array.length a.hops - a.at and rb = Array.length b.hops - b.at in
+      let ra = a.nhops - a.at and rb = b.nhops - b.at in
       compare (rb, a.id) (ra, b.id)
 
 let run ?(discipline = Fifo) ?max_steps g assignment =
   Obs.traced "sim.run" @@ fun () ->
   let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
-  let packets = build_packets g rng_opt assignment in
+  let st, packets = build_packets g rng_opt assignment in
   let total = List.length packets in
-  let cong, dil = congestion_and_dilation g packets in
+  let cong, dil = congestion_and_dilation g st packets in
   let budget =
     match max_steps with
     | Some b -> b
     | None -> 64 * ((cong * dil) + cong + dil + 1)
   in
-  let active = List.filter (fun p -> Array.length p.hops > 0) packets in
+  let active = List.filter (fun p -> p.nhops > 0) packets in
   let remaining = ref active in
   let time = ref 0 in
   let max_queue = ref 0 in
@@ -104,8 +159,8 @@ let run ?(discipline = Fifo) ?max_steps g assignment =
       let queues = Hashtbl.create 64 in
       List.iter
         (fun p ->
-          let e = p.hops.(p.at) in
-          let from_v = p.verts.(p.at) in
+          let e = st.eflat.(p.eoff + p.at) in
+          let from_v = st.vflat.(p.voff + p.at) in
           let key = (e, from_v) in
           let q = try Hashtbl.find queues key with Not_found -> [] in
           Hashtbl.replace queues key (p :: q))
@@ -121,7 +176,7 @@ let run ?(discipline = Fifo) ?max_steps g assignment =
               if i < width then p.at <- p.at + 1 else incr total_waits)
             sorted)
         queues;
-      remaining := List.filter (fun p -> p.at < Array.length p.hops) !remaining
+      remaining := List.filter (fun p -> p.at < p.nhops) !remaining
     end
   done;
   let stats =
@@ -169,9 +224,9 @@ let run_faulted ?(discipline = Fifo) ?max_steps ~changes ~failover g assignment 
         invalid_arg "Simulator.run_faulted: capacity factor must be >= 0")
     changes;
   let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
-  let packets = build_packets g rng_opt assignment in
+  let st, packets = build_packets g rng_opt assignment in
   let total = List.length packets in
-  let cong, dil = congestion_and_dilation g packets in
+  let cong, dil = congestion_and_dilation g st packets in
   let budget =
     ref
       (match max_steps with
@@ -191,7 +246,7 @@ let run_faulted ?(discipline = Fifo) ?max_steps ~changes ~failover g assignment 
   let rerouted = ref 0 in
   let first_failure = ref max_int in
   let last_recovery = ref 0 in
-  let remaining = ref (List.filter (fun p -> Array.length p.hops > 0) packets) in
+  let remaining = ref (List.filter (fun p -> p.nhops > 0) packets) in
   let time = ref 0 in
   let max_queue = ref 0 in
   let total_waits = ref 0 in
@@ -227,12 +282,12 @@ let run_faulted ?(discipline = Fifo) ?max_steps ~changes ~failover g assignment 
             List.filter_map
               (fun p ->
                 let dead = ref false in
-                for i = p.at to Array.length p.hops - 1 do
-                  if not (alive p.hops.(i)) then dead := true
+                for i = p.at to p.nhops - 1 do
+                  if not (alive st.eflat.(p.eoff + i)) then dead := true
                 done;
                 if not !dead then Some p
                 else begin
-                  let v = p.verts.(p.at) in
+                  let v = st.vflat.(p.voff + p.at) in
                   match failover ~pair:p.ppair ~at_vertex:v ~alive with
                   | None ->
                       incr dropped;
@@ -269,15 +324,22 @@ let run_faulted ?(discipline = Fifo) ?max_steps ~changes ~failover g assignment 
                               ("packet", Trace.Int p.id);
                               ("hops", Trace.Int (Array.length q.Path.edges));
                             ];
-                      Some { p with path = q; hops = q.Path.edges; verts = Path.vertices g q; at = 0 }
+                      let i = Arena.append_path st.arena q in
+                      let eoff, voff, nhops = push_slice st i in
+                      p.slice <- i;
+                      p.eoff <- eoff;
+                      p.voff <- voff;
+                      p.nhops <- nhops;
+                      p.at <- 0;
+                      Some p
                 end)
               !remaining
       end;
       let queues = Hashtbl.create 64 in
       List.iter
         (fun p ->
-          let e = p.hops.(p.at) in
-          let from_v = p.verts.(p.at) in
+          let e = st.eflat.(p.eoff + p.at) in
+          let from_v = st.vflat.(p.voff + p.at) in
           let key = (e, from_v) in
           let q = try Hashtbl.find queues key with Not_found -> [] in
           Hashtbl.replace queues key (p :: q))
@@ -299,7 +361,7 @@ let run_faulted ?(discipline = Fifo) ?max_steps ~changes ~failover g assignment 
       remaining :=
         List.filter
           (fun p ->
-            if p.at < Array.length p.hops then true
+            if p.at < p.nhops then true
             else begin
               if Hashtbl.mem rerouted_ids p.id && !time > !last_recovery then
                 last_recovery := !time;
@@ -359,29 +421,36 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
       if release < 0 then invalid_arg "Simulator.run_timed: negative release time")
     timed;
   let rng_opt = match discipline with Random_rank rng -> Some rng | _ -> None in
+  let arena = Arena.create g in
+  List.iter (fun { route; _ } -> ignore (Arena.append_path arena route)) timed;
+  let ids = Array.init (Arena.length arena) Fun.id in
+  let off, eflat, vflat = Arena.unpack_with_vertices arena ids in
+  let st =
+    { arena; eflat; vflat; elen = Array.length eflat; vlen = Array.length vflat }
+  in
   let flights =
     List.mapi
-      (fun id { pair; route; release } ->
+      (fun id { pair; release; _ } ->
         let rank = match rng_opt with Some rng -> Rng.float rng | None -> 0.0 in
+        let nhops = off.(id + 1) - off.(id) in
         {
           fp =
             {
               id;
               ppair = pair;
-              path = route;
-              hops = route.Path.edges;
-              verts = Path.vertices g route;
+              slice = id;
+              eoff = off.(id);
+              voff = off.(id) + id;
+              nhops;
               at = 0;
               rank;
             };
           freleased = release;
-          farrived = (if Array.length route.Path.edges = 0 then release else -1);
+          farrived = (if nhops = 0 then release else -1);
         })
       timed
   in
-  let total_hops =
-    List.fold_left (fun acc f -> acc + Array.length f.fp.hops) 0 flights
-  in
+  let total_hops = List.fold_left (fun acc f -> acc + f.fp.nhops) 0 flights in
   let last_release = List.fold_left (fun acc f -> max acc f.freleased) 0 flights in
   let budget =
     match max_steps with
@@ -393,8 +462,7 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
     | Fifo -> compare (a.freleased, a.fp.id) (b.freleased, b.fp.id)
     | Random_rank _ -> compare (b.fp.rank, b.fp.id) (a.fp.rank, a.fp.id)
     | Longest_remaining ->
-        let ra = Array.length a.fp.hops - a.fp.at
-        and rb = Array.length b.fp.hops - b.fp.at in
+        let ra = a.fp.nhops - a.fp.at and rb = b.fp.nhops - b.fp.at in
         compare (rb, a.fp.id) (ra, b.fp.id)
   in
   let time = ref 0 in
@@ -409,8 +477,8 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
       List.iter
         (fun f ->
           if f.freleased < !time then begin
-            let e = f.fp.hops.(f.fp.at) in
-            let from_v = f.fp.verts.(f.fp.at) in
+            let e = st.eflat.(f.fp.eoff + f.fp.at) in
+            let from_v = st.vflat.(f.fp.voff + f.fp.at) in
             let key = (e, from_v) in
             let q = try Hashtbl.find queues key with Not_found -> [] in
             Hashtbl.replace queues key (f :: q)
@@ -426,7 +494,7 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
             (fun i f ->
               if i < width then begin
                 f.fp.at <- f.fp.at + 1;
-                if f.fp.at >= Array.length f.fp.hops then f.farrived <- !time
+                if f.fp.at >= f.fp.nhops then f.farrived <- !time
               end)
             sorted)
         queues;
@@ -441,7 +509,7 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
   in
   let queueing =
     List.map
-      (fun f -> float_of_int (f.farrived - f.freleased - Array.length f.fp.hops))
+      (fun f -> float_of_int (f.farrived - f.freleased - f.fp.nhops))
       arrived
   in
   let mean xs =
@@ -454,7 +522,7 @@ let run_timed ?(discipline = Fifo) ?max_steps g timed =
     | [] -> 0.0
     | _ ->
         let arr = Array.of_list xs in
-        Array.sort compare arr;
+        Array.sort Float.compare arr;
         let n = Array.length arr in
         arr.(min (n - 1) (max 0 (int_of_float (Float.ceil (0.99 *. float_of_int n)) - 1)))
   in

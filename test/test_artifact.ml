@@ -18,6 +18,7 @@ module Racke = Sso_oblivious.Racke
 module Sampler = Sso_core.Sampler
 module Path_system = Sso_core.Path_system
 module Semi_oblivious = Sso_core.Semi_oblivious
+module Arena = Sso_graph.Arena
 module Codec = Sso_artifact.Codec
 module Store = Sso_artifact.Store
 module Memo = Sso_artifact.Memo
@@ -174,7 +175,7 @@ let prop_path_system_roundtrip =
         List.map (fun (s, t) -> ((s, t), Path_system.paths system s t)) pairs
       in
       let entries' =
-        Codec.decode_path_system g (Codec.encode_path_system entries)
+        Codec.decode_path_system g (Codec.encode_path_system g entries)
       in
       List.for_all2
         (fun (pair, ps) (pair', ps') ->
@@ -259,6 +260,120 @@ let test_codec_rejects_damage () =
   Alcotest.(check bool) "demand tag refused by graph codec" true
     (raises_corrupt (fun () ->
          Codec.decode_graph (Codec.encode_demand (Demand.all_to_all 3))))
+
+(* ---- v2 path systems and standalone arenas ---- *)
+
+let sample_system_entries seed =
+  let g = Gen.grid 4 4 in
+  let base = Ksp.routing ~k:4 g in
+  let system = Sampler.alpha_sample (Rng.create seed) base ~alpha:3 in
+  let pairs = [ (0, 15); (3, 12); (5, 10) ] in
+  Path_system.materialize system pairs;
+  (g, List.map (fun (s, t) -> ((s, t), Path_system.paths system s t)) pairs)
+
+let entries_equal ea eb =
+  List.length ea = List.length eb
+  && List.for_all2
+       (fun (pair, ps) (pair', ps') ->
+         pair = pair'
+         && List.length ps = List.length ps'
+         && List.for_all2 path_equal ps ps')
+       ea eb
+
+let test_path_system_v1_readable () =
+  (* The writer now emits v2 (CSR-slot bodies); payloads laid down by the
+     v1 format — edge-id varints per hop — must keep decoding. *)
+  let g, entries = sample_system_entries 3 in
+  let canonical =
+    List.sort (fun ((a : int * int), _) (b, _) -> compare a b) entries
+  in
+  let w = Codec.writer () in
+  Codec.write_u8 w 0x50 (* tag 'P' *);
+  Codec.write_u8 w 1 (* version 1 *);
+  Codec.write_varint w (List.length canonical);
+  List.iter
+    (fun ((s, t), paths) ->
+      Codec.write_varint w s;
+      Codec.write_varint w t;
+      Codec.write_varint w (List.length paths);
+      List.iter
+        (fun (p : Path.t) ->
+          Codec.write_varint w (Array.length p.Path.edges);
+          Array.iter (Codec.write_varint w) p.Path.edges)
+        paths)
+    canonical;
+  let entries' = Codec.decode_path_system g (Codec.contents w) in
+  Alcotest.(check bool) "v1 payload decodes" true (entries_equal canonical entries')
+
+let test_path_system_corrupt_contract () =
+  (* Damaging any single byte of a v2 payload either still decodes — the
+     flip can land on another representable collection — or raises
+     [Corrupt]; no other exception may escape, and structural damage must
+     be caught. *)
+  let g, entries = sample_system_entries 4 in
+  let encoded = Codec.encode_path_system g entries in
+  let flipped_ok = ref true in
+  for i = 0 to String.length encoded - 1 do
+    let b = Bytes.of_string encoded in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5b));
+    match Codec.decode_path_system g (Bytes.to_string b) with
+    | _ -> ()
+    | exception Codec.Corrupt _ -> ()
+    | exception _ -> flipped_ok := false
+  done;
+  Alcotest.(check bool) "only Corrupt escapes byte flips" true !flipped_ok;
+  Alcotest.(check bool) "truncated" true
+    (raises_corrupt (fun () ->
+         Codec.decode_path_system g
+           (String.sub encoded 0 (String.length encoded - 2))));
+  Alcotest.(check bool) "trailing bytes" true
+    (raises_corrupt (fun () -> Codec.decode_path_system g (encoded ^ "x")));
+  (* Versions above the writer's are from the future: refused. *)
+  let future = Bytes.of_string encoded in
+  Bytes.set future 1 (Char.chr 99);
+  Alcotest.(check bool) "future version" true
+    (raises_corrupt (fun () ->
+         Codec.decode_path_system g (Bytes.to_string future)))
+
+let test_v2_roundtrip_matches_v1_semantics () =
+  let g, entries = sample_system_entries 5 in
+  let canonical =
+    List.sort (fun ((a : int * int), _) (b, _) -> compare a b) entries
+  in
+  let entries' = Codec.decode_path_system g (Codec.encode_path_system g entries) in
+  Alcotest.(check bool) "round-trip" true (entries_equal canonical entries')
+
+let test_arena_codec_roundtrip () =
+  let g, entries = sample_system_entries 6 in
+  let a = Arena.create g in
+  ignore (Arena.append_path a (Path.trivial 7));
+  List.iter
+    (fun (_, ps) -> List.iter (fun p -> ignore (Arena.append_path a p)) ps)
+    entries;
+  let encoded = Codec.encode_arena a in
+  let b = Codec.decode_arena g encoded in
+  Alcotest.(check int) "length" (Arena.length a) (Arena.length b);
+  for i = 0 to Arena.length a - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "slice %d" i)
+      true
+      (path_equal (Arena.to_path a i) (Arena.to_path b i))
+  done;
+  let flipped_ok = ref true in
+  for i = 0 to String.length encoded - 1 do
+    let d = Bytes.of_string encoded in
+    Bytes.set d i (Char.chr (Char.code (Bytes.get d i) lxor 0x2d));
+    match Codec.decode_arena g (Bytes.to_string d) with
+    | _ -> ()
+    | exception Codec.Corrupt _ -> ()
+    | exception _ -> flipped_ok := false
+  done;
+  Alcotest.(check bool) "only Corrupt escapes byte flips" true !flipped_ok;
+  Alcotest.(check bool) "truncated" true
+    (raises_corrupt (fun () ->
+         Codec.decode_arena g (String.sub encoded 0 (String.length encoded - 1))));
+  Alcotest.(check bool) "graph codec tag refused" true
+    (raises_corrupt (fun () -> Codec.decode_arena g (Codec.encode_graph g)))
 
 let test_pairs_digest_canonical () =
   let a = Codec.pairs_digest [ (1, 2); (0, 3); (1, 2) ] in
@@ -536,6 +651,13 @@ let () =
           Alcotest.test_case "routing roundtrip" `Quick test_routing_roundtrip;
           Alcotest.test_case "forest roundtrip" `Quick test_forest_roundtrip;
           Alcotest.test_case "damage detection" `Quick test_codec_rejects_damage;
+          Alcotest.test_case "v1 path systems readable" `Quick
+            test_path_system_v1_readable;
+          Alcotest.test_case "v2 corrupt-byte contract" `Quick
+            test_path_system_corrupt_contract;
+          Alcotest.test_case "v2 round-trip" `Quick
+            test_v2_roundtrip_matches_v1_semantics;
+          Alcotest.test_case "arena round-trip" `Quick test_arena_codec_roundtrip;
           Alcotest.test_case "pairs digest" `Quick test_pairs_digest_canonical;
         ] );
       ( "store",

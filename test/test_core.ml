@@ -36,7 +36,7 @@ let test_path_system_of_pairs () =
   let g = Gen.cycle 4 in
   let p = Path.of_vertices g [ 0; 1; 2 ] in
   let q = Path.of_vertices g [ 0; 3; 2 ] in
-  let ps = Path_system.of_pairs [ ((0, 2), [ p; q ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 2), [ p; q ]) ] in
   Alcotest.(check int) "two candidates" 2 (List.length (Path_system.paths ps 0 2));
   Alcotest.(check int) "no candidates elsewhere" 0 (List.length (Path_system.paths ps 1 3));
   Alcotest.(check int) "sparsity" 2 (Path_system.sparsity_on ps [ (0, 2); (1, 3) ]);
@@ -48,16 +48,16 @@ let test_path_system_validates () =
   let p = Path.of_vertices g [ 0; 1; 2 ] in
   Alcotest.check_raises "endpoint mismatch"
     (Invalid_argument "Path_system: path endpoints do not match pair") (fun () ->
-      ignore (Path_system.of_pairs [ ((1, 2), [ p ]) ]));
+      ignore (Path_system.of_pairs g [ ((1, 2), [ p ]) ]));
   Alcotest.check_raises "duplicate path"
     (Invalid_argument "Path_system: duplicate path in candidate set") (fun () ->
-      ignore (Path_system.of_pairs [ ((0, 2), [ p; p ]) ]))
+      ignore (Path_system.of_pairs g [ ((0, 2), [ p; p ]) ]))
 
 let test_path_system_generator_memoizes () =
   let g = Gen.cycle 4 in
   let calls = ref 0 in
   let ps =
-    Path_system.of_generator (fun s t ->
+    Path_system.of_generator g (fun s t ->
         incr calls;
         match Sso_graph.Shortest.bfs_path g s t with Some p -> [ p ] | None -> [])
   in
@@ -70,8 +70,8 @@ let test_path_system_union () =
   let g = Gen.cycle 4 in
   let p = Path.of_vertices g [ 0; 1; 2 ] in
   let q = Path.of_vertices g [ 0; 3; 2 ] in
-  let a = Path_system.of_pairs [ ((0, 2), [ p ]) ] in
-  let b = Path_system.of_pairs [ ((0, 2), [ q; p ]) ] in
+  let a = Path_system.of_pairs g [ ((0, 2), [ p ]) ] in
+  let b = Path_system.of_pairs g [ ((0, 2), [ q; p ]) ] in
   let u = Path_system.union a b in
   Alcotest.(check int) "union dedupes" 2 (List.length (Path_system.paths u 0 2))
 
@@ -79,9 +79,82 @@ let test_path_system_restrict_hops () =
   let g = Gen.multi_path [ 1; 3 ] in
   let direct = Path.of_vertices g [ 0; 1 ] in
   let detour = Path.of_vertices g [ 0; 2; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ direct; detour ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ direct; detour ]) ] in
   let short = Path_system.restrict_hops ~max_hops:1 ps in
   Alcotest.(check int) "only the direct edge" 1 (List.length (Path_system.paths short 0 1))
+
+let test_slice_view_matches_paths () =
+  (* The arena slice index and the boxed compatibility view describe the
+     same candidate sets: counts, generation order, and edge content. *)
+  let g = Gen.grid 4 4 in
+  let obl = Ksp.routing ~k:4 g in
+  let ps = Sampler.alpha_sample (Rng.create 9) obl ~alpha:3 in
+  let pairs = [ (0, 15); (3, 12); (5, 10) ] in
+  let arena = Path_system.arena ps in
+  List.iter
+    (fun (s, t) ->
+      let boxed = Path_system.paths ps s t in
+      Alcotest.(check int)
+        (Printf.sprintf "count %d-%d" s t)
+        (List.length boxed)
+        (Path_system.slice_count ps s t);
+      let first, count = Path_system.slice_range ps s t in
+      Alcotest.(check int) "range width" (List.length boxed) count;
+      let k = ref 0 in
+      Path_system.iter_slices ps s t (fun i ->
+          Alcotest.(check int) "handles are contiguous" (first + !k) i;
+          let p = List.nth boxed !k in
+          Alcotest.(check (array int))
+            "slice edges" p.Path.edges
+            (Sso_graph.Arena.edges arena i);
+          incr k);
+      Alcotest.(check int) "iter count" count !k)
+    pairs;
+  let expected_sparsity =
+    List.fold_left
+      (fun acc (s, t) -> max acc (List.length (Path_system.paths ps s t)))
+      0 pairs
+  in
+  Alcotest.(check int) "sparsity_on = max count" expected_sparsity
+    (Path_system.sparsity_on ps pairs);
+  (* A trivial s = t candidate stores a zero-hop slice, not nothing. *)
+  let tps = Path_system.of_pairs g [ ((2, 2), [ Path.trivial 2 ]) ] in
+  Alcotest.(check int) "trivial pair count" 1 (Path_system.slice_count tps 2 2);
+  let tarena = Path_system.arena tps in
+  let i22, _ = Path_system.slice_range tps 2 2 in
+  Alcotest.(check int) "trivial hops" 0 (Sso_graph.Arena.hops tarena i22);
+  Alcotest.(check bool) "trivial round-trip" true
+    (Path.equal (Path.trivial 2) (List.hd (Path_system.paths tps 2 2)))
+
+let test_materialize_parallel_jobs_invariant () =
+  (* Chunked parallel materialization must produce the same arena layout
+     and the same candidate sets at any job count, and must agree with the
+     serial path on content. *)
+  let pairs = [ (0, 24); (1, 23); (2, 22); (3, 21); (4, 20); (5, 19);
+                (6, 18); (7, 17); (8, 16); (9, 15); (10, 14); (11, 13) ] in
+  let build jobs =
+    let g = Gen.grid 5 5 in
+    let obl = Ksp.routing ~k:4 g in
+    let ps = Sampler.alpha_sample (Rng.create 7) obl ~alpha:3 in
+    (match jobs with
+    | None -> Path_system.materialize ps pairs
+    | Some jobs ->
+        let pool = Pool.create ~jobs () in
+        Path_system.materialize_parallel ~pool ps pairs);
+    let arena = Path_system.arena ps in
+    ( List.map
+        (fun (s, t) ->
+          ((s, t), Path_system.slice_range ps s t, Path_system.paths ps s t))
+        pairs,
+      Sso_graph.Arena.length arena,
+      Sso_graph.Arena.memory_bytes arena )
+  in
+  let j1 = build (Some 1) in
+  let j4 = build (Some 4) in
+  Alcotest.(check bool) "jobs 1 = jobs 4 (layout and content)" true (j1 = j4);
+  let content (entries, _, _) = List.map (fun (p, _, ps) -> (p, ps)) entries in
+  Alcotest.(check bool) "parallel content = serial content" true
+    (content j1 = content (build None))
 
 let test_of_oblivious_support () =
   let g = Gen.grid 3 3 in
@@ -145,7 +218,7 @@ let test_route_adapts_to_demand () =
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
   let b = Path.of_vertices g [ 0; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a; b ]) ] in
   let d = Demand.single_pair 0 1 2.0 in
   let _, cong = Semi_oblivious.route ~solver:Semi_oblivious.Lp g ps d in
   Alcotest.(check (float 1e-6)) "splits perfectly" 1.0 cong
@@ -154,7 +227,7 @@ let test_gk_solver_variant () =
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
   let b = Path.of_vertices g [ 0; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a; b ]) ] in
   let d = Demand.single_pair 0 1 2.0 in
   let cong = Semi_oblivious.congestion ~solver:(Semi_oblivious.Gk 0.05) g ps d in
   Alcotest.(check bool) (Printf.sprintf "gk near 1 (%.3f)" cong) true (cong <= 1.1);
@@ -196,7 +269,7 @@ let test_competitive_ratio_at_least_one_with_lp () =
 
 let test_empty_demand_ratio () =
   let g = Gen.cycle 4 in
-  let ps = Path_system.of_pairs [] in
+  let ps = Path_system.of_pairs g [] in
   Alcotest.(check (float 1e-9)) "empty demand" 1.0
     (Semi_oblivious.competitive_ratio g ps Demand.empty)
 
@@ -278,7 +351,7 @@ let test_brute_force_known () =
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
   let b = Path.of_vertices g [ 0; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a; b ]) ] in
   (* One packet: congestion 1 regardless. *)
   Alcotest.(check (float 1e-9)) "single packet" 1.0
     (Integral.brute_force g ps (Demand.single_pair 0 1 1.0))
@@ -286,7 +359,7 @@ let test_brute_force_known () =
 let test_brute_force_forced_collision () =
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a ]) ] in
   Alcotest.check_raises "rejects non-01"
     (Invalid_argument "Integral.brute_force: demand must be a {0,1}-demand") (fun () ->
       ignore (Integral.brute_force g ps (Demand.single_pair 0 1 2.0)))
@@ -332,7 +405,7 @@ let test_weak_route_deletes_under_tight_gamma () =
      delete everything. *)
   let g = Gen.path_graph 3 in
   let p = Path.of_vertices g [ 0; 1; 2 ] in
-  let ps = Path_system.of_pairs [ ((0, 2), [ p ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 2), [ p ]) ] in
   let d = Demand.single_pair 0 2 2.0 in
   let outcome = Process.weak_route ~gamma:1.0 g ps d in
   Alcotest.(check (float 1e-9)) "all deleted" 0.0 outcome.Process.survived_fraction;
@@ -341,7 +414,7 @@ let test_weak_route_deletes_under_tight_gamma () =
 let test_weak_route_keeps_everything_when_loose () =
   let g = Gen.path_graph 3 in
   let p = Path.of_vertices g [ 0; 1; 2 ] in
-  let ps = Path_system.of_pairs [ ((0, 2), [ p ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 2), [ p ]) ] in
   let d = Demand.single_pair 0 2 2.0 in
   let outcome = Process.weak_route ~gamma:5.0 g ps d in
   Alcotest.(check (float 1e-9)) "everything survives" 1.0 outcome.Process.survived_fraction;
@@ -374,7 +447,7 @@ let test_completion_route_prefers_balanced_tradeoff () =
         let base = 2 + (i * 7) in
         Path.of_vertices g ((0 :: List.init 7 (fun j -> base + j)) @ [ 1 ]))
   in
-  let ps = Path_system.of_pairs [ ((0, 1), direct :: detours) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), direct :: detours) ] in
   let d = Demand.single_pair 0 1 2.0 in
   let _, cong, dil = Completion.route ~solver:Semi_oblivious.Lp g ps d in
   let value = cong +. float_of_int dil in
@@ -562,7 +635,7 @@ let test_semi_oblivious_opt_lp_exact () =
 
 let test_worst_ratio_empty () =
   let g = Gen.cycle 4 in
-  let ps = Path_system.of_pairs [] in
+  let ps = Path_system.of_pairs g [] in
   Alcotest.(check (float 1e-9)) "no demands" 0.0 (Semi_oblivious.worst_ratio g ps [])
 
 let test_process_deterministic () =
@@ -624,7 +697,7 @@ let test_certified_arbitrary_demand () =
 
 let test_certified_empty () =
   let g = Gen.grid 3 3 in
-  let ps = Path_system.of_pairs [] in
+  let ps = Path_system.of_pairs g [] in
   let _, cong = Certified.route ~gamma:10.0 ~alpha:2 g ps Demand.empty in
   Alcotest.(check (float 1e-9)) "empty" 0.0 cong
 
@@ -739,10 +812,10 @@ let test_oracle_top_paths () =
   let a = Path.of_vertices g [ 0; 2; 1 ] in
   let b = Path.of_vertices g [ 0; 3; 1 ] in
   let r = Routing.make [ ((0, 1), [ (0.9, a); (0.1, b) ]) ] in
-  let top1 = Oracle.top_paths r ~alpha:1 in
+  let top1 = Oracle.top_paths g r ~alpha:1 in
   Alcotest.(check bool) "keeps the heavy path" true
     (Path.equal a (List.hd (Path_system.paths top1 0 1)));
-  let top2 = Oracle.top_paths r ~alpha:2 in
+  let top2 = Oracle.top_paths g r ~alpha:2 in
   Alcotest.(check int) "keeps both" 2 (List.length (Path_system.paths top2 0 1))
 
 let test_oracle_beats_or_matches_sample () =
@@ -816,7 +889,7 @@ let test_without_edge_filters () =
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
   let b = Path.of_vertices g [ 0; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a; b ]) ] in
   let failed = a.Path.edges.(0) in
   let survivors = Path_system.without_edge failed ps in
   Alcotest.(check int) "one survivor" 1 (List.length (Path_system.paths survivors 0 1));
@@ -827,7 +900,7 @@ let test_filter_paths_by_hops () =
   let g = Gen.multi_path [ 1; 3 ] in
   let direct = Path.of_vertices g [ 0; 1 ] in
   let detour = Path.of_vertices g [ 0; 2; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ direct; detour ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ direct; detour ]) ] in
   let long_only = Path_system.filter_paths (fun p -> Path.hops p > 1) ps in
   Alcotest.(check int) "kept the detour" 1 (List.length (Path_system.paths long_only 0 1))
 
@@ -837,7 +910,7 @@ let test_robustness_redundant_candidates_survive () =
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
   let b = Path.of_vertices g [ 0; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a; b ]) ] in
   let d = Demand.single_pair 0 1 1.0 in
   let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
   Alcotest.(check int) "all edges tested" (Graph.m g) (List.length reports);
@@ -854,7 +927,7 @@ let test_robustness_single_candidate_fails () =
      though the network still connects it. *)
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a ]) ] in
   let d = Demand.single_pair 0 1 1.0 in
   let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
   let s = Robustness.summary reports in
@@ -865,7 +938,7 @@ let test_robustness_bridge_is_networks_fault () =
      excluded from the unsurvivable count. *)
   let g = Gen.path_graph 3 in
   let p = Path.of_vertices g [ 0; 1; 2 ] in
-  let ps = Path_system.of_pairs [ ((0, 2), [ p ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 2), [ p ]) ] in
   let d = Demand.single_pair 0 2 1.0 in
   let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
   List.iter
@@ -884,7 +957,7 @@ let test_robustness_summary_degenerate_is_nan () =
      its two path edges; keep only those stranding reports. *)
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a ]) ] in
   let d = Demand.single_pair 0 1 1.0 in
   let reports = Robustness.single_failures ~solver:(Semi_oblivious.Mwu 100) g ps d in
   let stranded = List.filter (fun r -> not r.Robustness.survivable) reports in
@@ -904,7 +977,7 @@ let parallel_edge_fixture () =
   let g = Graph.Builder.build b in
   let direct = Path.of_edges g ~src:0 ~dst:1 [| e0 |] in
   let detour = Path.of_edges g ~src:0 ~dst:1 [| e2; e3 |] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ direct; detour ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ direct; detour ]) ] in
   (g, ps, Demand.single_pair 0 1 1.0)
 
 let test_robustness_parallel_edges_share_solves () =
@@ -1100,6 +1173,10 @@ let () =
           Alcotest.test_case "union" `Quick test_path_system_union;
           Alcotest.test_case "restrict hops" `Quick test_path_system_restrict_hops;
           Alcotest.test_case "oblivious support" `Quick test_of_oblivious_support;
+          Alcotest.test_case "slice view matches paths" `Quick
+            test_slice_view_matches_paths;
+          Alcotest.test_case "materialize_parallel jobs-invariant" `Quick
+            test_materialize_parallel_jobs_invariant;
         ] );
       ( "sampler",
         [

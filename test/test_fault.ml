@@ -144,7 +144,7 @@ let redundant_fixture () =
   let g = Gen.multi_path [ 2; 2 ] in
   let a = Path.of_vertices g [ 0; 2; 1 ] in
   let b = Path.of_vertices g [ 0; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a; b ]) ] in
   (g, ps, Demand.single_pair 0 1 1.0)
 
 let test_sweep_singles_agrees_with_robustness () =
@@ -167,7 +167,7 @@ let test_sweep_multi_failure_strands () =
   let a = Path.of_vertices g [ 0; 2; 3; 1 ] in
   let b = Path.of_vertices g [ 0; 4; 5; 1 ] in
   let c = Path.of_vertices g [ 0; 6; 7; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ a; b ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ a; b ]) ] in
   let d = Demand.single_pair 0 1 1.0 in
   let one = Scenario.of_edges g [ a.Path.edges.(0) ] in
   let two = Scenario.of_edges g [ a.Path.edges.(0); b.Path.edges.(1) ] in
@@ -276,7 +276,7 @@ let dumbbell_fixture () =
   let g = Gen.multi_path [ 1; 3 ] in
   let direct = Path.of_vertices g [ 0; 1 ] in
   let long = Path.of_vertices g [ 0; 2; 3; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ direct; long ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ direct; long ]) ] in
   (g, direct, long, ps)
 
 let test_timeline_entry_validation () =
@@ -320,7 +320,7 @@ let test_midflight_failover_dumbbell () =
 let test_midflight_drop_without_candidates () =
   (* Single-candidate system: when the only route dies, packets drop. *)
   let g, direct, _, _ = dumbbell_fixture () in
-  let ps = Path_system.of_pairs [ ((0, 1), [ direct ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ direct ]) ] in
   let a = assignment_of_paths [ ((0, 1), [ direct; direct ]) ] in
   let s = Scenario.of_edges g [ direct.Path.edges.(0) ] in
   let fs = Simulator.value (Timeline.simulate g ps a [ Timeline.entry ~at:1 s ]) in
@@ -335,7 +335,7 @@ let test_midflight_degradation_and_repair () =
   ignore (Graph.Builder.add_edge ~cap:2.0 b 0 1);
   let g = Graph.Builder.build b in
   let p = Path.of_vertices g [ 0; 1 ] in
-  let ps = Path_system.of_pairs [ ((0, 1), [ p ]) ] in
+  let ps = Path_system.of_pairs g [ ((0, 1), [ p ]) ] in
   let a = assignment_of_paths [ ((0, 1), List.init 6 (fun _ -> p)) ] in
   let baseline = Simulator.value (Timeline.simulate g ps a []) in
   Alcotest.(check int) "full width: 3 steps" 3 baseline.Simulator.base.Simulator.makespan;

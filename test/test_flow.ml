@@ -176,6 +176,36 @@ let random_candidates rng g k demand =
       ((s, t), paths))
     (Demand.support demand)
 
+let test_slice_engine_matches_list_engine () =
+  (* The list API is a thin wrapper over the slice engine; running both
+     on the same candidate sets must produce bit-identical routings and
+     congestion, for MWU and for GK. *)
+  let rng = Rng.create 23 in
+  for trial = 1 to 3 do
+    let g = Gen.erdos_renyi rng 14 0.3 in
+    let d = Demand.random_pairs rng ~n:14 ~pairs:6 in
+    let cands = random_candidates rng g 3 d in
+    let sc = Min_congestion.slice_candidates_of_list g cands in
+    let r_list, c_list = Min_congestion.mwu_on_paths ~iters:150 g cands d in
+    let r_slice, c_slice = Min_congestion.mwu_on_slices ~iters:150 g sc d in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: mwu congestion bit-identical" trial)
+      true
+      (Int64.bits_of_float c_list = Int64.bits_of_float c_slice);
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: mwu routings identical" trial)
+      true (r_list = r_slice);
+    let gr_list, gc_list = Concurrent_flow.on_paths ~epsilon:0.2 g cands d in
+    let gr_slice, gc_slice = Concurrent_flow.on_slices ~epsilon:0.2 g sc d in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: gk congestion bit-identical" trial)
+      true
+      (Int64.bits_of_float gc_list = Int64.bits_of_float gc_slice);
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: gk routings identical" trial)
+      true (gr_list = gr_slice)
+  done
+
 let test_mwu_matches_lp () =
   let rng = Rng.create 21 in
   for trial = 1 to 5 do
@@ -628,6 +658,8 @@ let () =
         ] );
       ( "mwu",
         [
+          Alcotest.test_case "slice engine = list engine" `Quick
+            test_slice_engine_matches_list_engine;
           Alcotest.test_case "matches lp" `Slow test_mwu_matches_lp;
           Alcotest.test_case "square" `Quick test_mwu_on_square;
           Alcotest.test_case "unrestricted square" `Quick test_mwu_unrestricted_square;

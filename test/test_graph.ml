@@ -10,6 +10,7 @@ module Maxflow = Sso_graph.Maxflow
 module Matching = Sso_graph.Matching
 module Gen = Sso_graph.Gen
 module Gio = Sso_graph.Gio
+module Arena = Sso_graph.Arena
 
 let triangle () =
   let b = Graph.Builder.create 3 in
@@ -921,6 +922,175 @@ let prop_yen_sorted =
       let ws = List.map (Path.weight (fun _ -> 1.0)) paths in
       ws = List.sort compare ws && List.for_all (Path.is_simple g) paths)
 
+(* Path arena *)
+
+(* A deterministic random walk of [len] hops from [s]: at each step take a
+   uniformly random incident edge.  Walks (repeated vertices and edges) are
+   exactly what the arena must accept. *)
+let random_walk rng g s len =
+  let cur = ref s in
+  let edges =
+    Array.init len (fun _ ->
+        let row = Graph.adj g !cur in
+        let e, w = row.(Rng.int rng (Array.length row)) in
+        cur := w;
+        e)
+  in
+  Path.of_edges g ~src:s ~dst:!cur edges
+
+let test_arena_empty_and_trivial () =
+  let g = triangle () in
+  let a = Arena.create g in
+  Alcotest.(check int) "empty length" 0 (Arena.length a);
+  Alcotest.(check int) "empty bytes" 0 (Arena.memory_bytes a);
+  let i = Arena.append_path a (Path.trivial 1) in
+  Alcotest.(check int) "trivial handle" 0 i;
+  Alcotest.(check int) "trivial hops" 0 (Arena.hops a i);
+  Alcotest.(check int) "trivial src" 1 (Arena.src a i);
+  Alcotest.(check int) "trivial dst" 1 (Arena.dst a i);
+  Alcotest.(check (array int)) "trivial edges" [||] (Arena.edges a i);
+  Alcotest.(check (array int)) "trivial vertices" [| 1 |] (Arena.vertices a i);
+  let visited = ref 0 in
+  Arena.iter a i (fun _ -> incr visited);
+  Alcotest.(check int) "trivial iter" 0 !visited;
+  Alcotest.(check bool) "trivial round-trip" true
+    (Path.equal (Path.trivial 1) (Arena.to_path a i))
+
+let test_arena_basics () =
+  let g = triangle () in
+  let a = Arena.create g in
+  let p = Path.of_vertices g [ 0; 1; 2 ] in
+  let q = Path.of_vertices g [ 0; 2 ] in
+  let ip = Arena.append_path a p in
+  let iq = Arena.append_path a q in
+  Alcotest.(check int) "length" 2 (Arena.length a);
+  Alcotest.(check int) "hops p" 2 (Arena.hops a ip);
+  Alcotest.(check int) "hops q" 1 (Arena.hops a iq);
+  Alcotest.(check (array int)) "edges p" p.Path.edges (Arena.edges a ip);
+  Alcotest.(check (array int)) "vertices p" [| 0; 1; 2 |] (Arena.vertices a ip);
+  Alcotest.(check bool) "to_path p" true (Path.equal p (Arena.to_path a ip));
+  Alcotest.(check bool) "to_path q" true (Path.equal q (Arena.to_path a iq));
+  Alcotest.(check bool) "memory" true (Arena.memory_bytes a > 0);
+  (* Kernels agree with the boxed path. *)
+  let w e = 1.0 +. float_of_int e in
+  Alcotest.(check (float 1e-9)) "weight" (Path.weight w p) (Arena.weight a w ip);
+  Alcotest.(check int) "fold count" 2 (Arena.fold a ip (fun acc _ -> acc + 1) 0);
+  Alcotest.(check bool) "mem_edge hit" true (Arena.mem_edge a ip p.Path.edges.(0));
+  Alcotest.(check bool) "for_all" true (Arena.for_all a ip (fun e -> e >= 0));
+  Alcotest.(check bool) "exists" false (Arena.exists a ip (fun e -> e > 100));
+  (* Canonical candidate order: shorter path first for equal endpoints. *)
+  let p02 = Arena.append_path a (Path.of_vertices g [ 0; 1; 2 ]) in
+  Alcotest.(check bool) "compare_within_pair" true
+    (Arena.compare_within_pair a iq p02 < 0)
+
+let test_arena_rejects_non_walk () =
+  let g = Gen.grid 3 3 in
+  let a = Arena.create g in
+  Alcotest.check_raises "not incident"
+    (Invalid_argument "Arena.append_walk: edge not incident to walk vertex") (fun () ->
+      ignore (Arena.append_walk a ~src:0 ~dst:8 [| Graph.m g - 1 |]));
+  Alcotest.check_raises "wrong dst"
+    (Invalid_argument "Arena.append_walk: walk does not end at dst") (fun () ->
+      let e0, _ = (Graph.adj g 0).(0) in
+      ignore (Arena.append_walk a ~src:0 ~dst:8 [| e0 |]))
+
+let test_arena_merge () =
+  let g = Gen.grid 3 3 in
+  let rng = Rng.create 5 in
+  let builders =
+    List.init 3 (fun _ ->
+        let b = Arena.create g in
+        for _ = 1 to 4 do
+          ignore (Arena.append_path b (random_walk rng g (Rng.int rng 9) 5))
+        done;
+        b)
+  in
+  let merged = Arena.create g in
+  let firsts = List.map (fun b -> Arena.append_all merged b) builders in
+  Alcotest.(check (list int)) "merge offsets" [ 0; 4; 8 ] firsts;
+  Alcotest.(check int) "merge length" 12 (Arena.length merged);
+  List.iteri
+    (fun k b ->
+      for i = 0 to 3 do
+        Alcotest.(check bool)
+          (Printf.sprintf "merged path %d/%d" k i)
+          true
+          (Path.equal (Arena.to_path b i) (Arena.to_path merged ((k * 4) + i)))
+      done)
+    builders;
+  (* Arenas are bound to their graph: cross-graph blits are rejected. *)
+  let other = Arena.create (Gen.grid 3 3) in
+  Alcotest.check_raises "graph mismatch"
+    (Invalid_argument "Arena.append_slice: arenas are over different graphs")
+    (fun () -> ignore (Arena.append_slice other (List.hd builders) 0))
+
+let test_arena_unpack () =
+  let g = Gen.grid 3 3 in
+  let rng = Rng.create 6 in
+  let a = Arena.create g in
+  let paths = List.init 5 (fun i -> random_walk rng g (i mod 9) i) in
+  let ids = Array.of_list (List.map (Arena.append_path a) paths) in
+  let off, flat = Arena.unpack a ids in
+  let off', fedges, fverts = Arena.unpack_with_vertices a ids in
+  Alcotest.(check (array int)) "offsets agree" off off';
+  Array.iteri
+    (fun i id ->
+      let h = Arena.hops a id in
+      Alcotest.(check int) "unpack width" h (off.(i + 1) - off.(i));
+      Alcotest.(check (array int))
+        "unpack edges" (Arena.edges a id)
+        (Array.sub flat off.(i) h);
+      Alcotest.(check (array int))
+        "unpack edges'" (Arena.edges a id)
+        (Array.sub fedges off.(i) h);
+      Alcotest.(check (array int))
+        "unpack vertices" (Arena.vertices a id)
+        (Array.sub fverts (off.(i) + i) (h + 1));
+      (* suffix_edges = the boxed tail. *)
+      let from_hop = h / 2 in
+      Alcotest.(check (array int))
+        "suffix"
+        (Array.sub (Arena.edges a id) from_hop (h - from_hop))
+        (Arena.suffix_edges a id ~from_hop))
+    ids
+
+let prop_arena_path_roundtrip =
+  QCheck.Test.make ~name:"arena slice round-trips any walk" ~count:200
+    QCheck.(triple small_int (int_range 0 24) (int_range 0 30))
+    (fun (seed, s, len) ->
+      let rng = Rng.create seed in
+      let g = Gen.grid 5 5 in
+      let p = random_walk rng g s len in
+      let a = Arena.create g in
+      let i = Arena.append_path a p in
+      let q = Arena.to_path a i in
+      let w e = 1.0 +. (float_of_int e *. 0.5) in
+      Path.equal p q
+      && Arena.hops a i = Array.length p.Path.edges
+      && Arena.src a i = p.Path.src
+      && Arena.dst a i = p.Path.dst
+      && Arena.weight a w i = Path.weight w p
+      && Arena.edges a i = p.Path.edges)
+
+let prop_arena_byte_regions_contiguous =
+  QCheck.Test.make ~name:"arena byte regions tile the buffer" ~count:100
+    QCheck.(pair small_int (int_range 1 12))
+    (fun (seed, k) ->
+      let rng = Rng.create seed in
+      let g = Gen.grid 4 4 in
+      let a = Arena.create g in
+      for _ = 1 to k do
+        ignore (Arena.append_path a (random_walk rng g (Rng.int rng 16) (Rng.int rng 10)))
+      done;
+      let ok = ref true in
+      let prev_stop = ref 0 in
+      for i = 0 to Arena.length a - 1 do
+        let start, stop = Arena.byte_range a i in
+        if start <> !prev_stop || stop < start then ok := false;
+        prev_stop := stop
+      done;
+      !ok)
+
 let () =
   Alcotest.run "graph"
     [
@@ -1050,10 +1220,20 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_gio_rejects_garbage;
           Alcotest.test_case "comments" `Quick test_gio_comments;
         ] );
+      ( "arena",
+        [
+          Alcotest.test_case "empty and trivial" `Quick test_arena_empty_and_trivial;
+          Alcotest.test_case "basics" `Quick test_arena_basics;
+          Alcotest.test_case "rejects non-walk" `Quick test_arena_rejects_non_walk;
+          Alcotest.test_case "merge" `Quick test_arena_merge;
+          Alcotest.test_case "unpack" `Quick test_arena_unpack;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_matching_valid;
+            prop_arena_path_roundtrip;
+            prop_arena_byte_regions_contiguous;
             prop_gio_roundtrip;
             prop_bfs_triangle_inequality;
             prop_cut_symmetric;
