@@ -19,7 +19,8 @@
      dune exec bench/main.exe -- --kernels    # shortest-path/MWU kernel micro-benches
      dune exec bench/main.exe -- --faults     # fault-injection sweeps / timeline / worst-k
      dune exec bench/main.exe -- --scale      # arena storage at fat-tree scale
-     dune exec bench/main.exe -- --scale-k 200 --scale-pairs 512  # smaller instance *)
+     dune exec bench/main.exe -- --scale-k 200 --scale-pairs 512  # smaller instance
+     dune exec bench/main.exe -- --serve      # routing service: warm vs cold re-solve *)
 
 module Rng = Sso_prng.Rng
 module Graph = Sso_graph.Graph
@@ -1335,6 +1336,120 @@ let scale () =
   end
   else Printf.printf "scale: ok (arena %.2fx under the boxed baseline)\n" reduction
 
+(* --serve: the routing-service family (BENCH_serve.json).  Generates a
+   churn stream on a WAN-scale random-regular topology, replays it twice
+   through [Serve] — once warm (MWU weights carried across ticks, the
+   service's operating mode) and once with a cold re-solve forced every
+   tick — and reports replay throughput (updates/sec) plus the per-tick
+   re-solve latency distribution of both modes.  The run fails unless the
+   warm p99 is at least 3x faster than the cold p99: carrying the weights
+   must beat re-solving from scratch by a wide margin, or the service has
+   no reason to exist.  Quality is tracked alongside (warm vs cold final
+   congestion) so the speedup is never bought with a bad routing. *)
+
+let serve_nodes = ref 64
+let serve_ticks = ref 40
+let serve_churn_pairs = ref 64
+
+let serve () =
+  let module Serve = Sso_serve.Serve in
+  let module Workload = Sso_demand.Workload in
+  let module Trees = Sso_oblivious.Trees in
+  let n = !serve_nodes in
+  header
+    (Printf.sprintf "serve  (churn service, %d-node WAN, %d ticks)" n
+       !serve_ticks);
+  let g = Gen.random_regular (seeded 140) n 4 in
+  scalar "serve.n" (float_of_int (Graph.n g));
+  scalar "serve.m" (float_of_int (Graph.m g));
+  let obl = Trees.uniform (seeded 141) ~count:4 g in
+  let events =
+    Workload.generate ~rate_churn:0.2 (seeded 142) ~n ~ticks:!serve_ticks
+      ~pairs:!serve_churn_pairs ~churn:0.15
+  in
+  let nevents = List.length events in
+  Printf.printf "stream: %d events over %d ticks (%d active pairs)\n" nevents
+    !serve_ticks !serve_churn_pairs;
+  scalar "serve.events" (float_of_int nevents);
+  scalar "serve.ticks" (float_of_int !serve_ticks);
+  scalar "serve.pairs" (float_of_int !serve_churn_pairs);
+  let replay config =
+    (* A fresh sampled system per mode: both runs admit the same pairs
+       from the same rng child, so the candidate sets are identical. *)
+    let system = Sampler.alpha_sample (seeded 143) obl ~alpha:4 in
+    let srv = Serve.create ~config g system in
+    let t0 = Unix.gettimeofday () in
+    let reports = Serve.replay srv events in
+    let dt = Unix.gettimeofday () -. t0 in
+    (reports, dt)
+  in
+  let warm_cfg = Serve.default_config in
+  let cold_cfg = { Serve.default_config with refresh_every = 1 } in
+  (* Cold first, warm second: the warm numbers are the cache-hot ones the
+     gate judges, as they would be in a long-lived process. *)
+  let cold_reports, _cold_dt = replay cold_cfg in
+  let warm_reports, warm_dt = replay warm_cfg in
+  let updates_per_sec = float_of_int nevents /. warm_dt in
+  (* Per-tick re-solve latency, skipping tick 0: both modes solve it cold
+     (the service has no history yet), so it measures nothing. *)
+  let tick_ms reports =
+    List.filter_map
+      (fun (r : Serve.report) ->
+        if r.Serve.tick = 0 then None
+        else Some (float_of_int r.Serve.solve_ns /. 1e6))
+      reports
+  in
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let p99 xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.((99 * (Array.length a - 1) + 50) / 100)
+  in
+  let warm_ms = tick_ms warm_reports and cold_ms = tick_ms cold_reports in
+  let final_congestion reports =
+    match List.rev reports with
+    | (r : Serve.report) :: _ -> r.Serve.congestion
+    | [] -> nan
+  in
+  let warm_final = final_congestion warm_reports in
+  let cold_final = final_congestion cold_reports in
+  let speedup_mean = mean cold_ms /. mean warm_ms in
+  let speedup_p99 = p99 cold_ms /. p99 warm_ms in
+  let max_staleness =
+    List.fold_left
+      (fun acc (r : Serve.report) -> max acc r.Serve.staleness)
+      0 warm_reports
+  in
+  scalar "serve.updates_per_sec" updates_per_sec;
+  scalar "serve.warm_tick_ms.mean" (mean warm_ms);
+  scalar "serve.warm_tick_ms.p99" (p99 warm_ms);
+  scalar "serve.cold_tick_ms.mean" (mean cold_ms);
+  scalar "serve.cold_tick_ms.p99" (p99 cold_ms);
+  scalar "serve.speedup.mean" speedup_mean;
+  scalar "serve.speedup.p99" speedup_p99;
+  scalar "serve.congestion.warm" warm_final;
+  scalar "serve.congestion.cold" cold_final;
+  scalar "serve.quality_ratio" (warm_final /. cold_final);
+  scalar "serve.staleness.max" (float_of_int max_staleness);
+  Printf.printf "throughput: %.0f updates/sec (warm replay, %.1f ms total)\n"
+    updates_per_sec (warm_dt *. 1e3);
+  Printf.printf
+    "re-solve per tick: warm mean %.2f ms p99 %.2f ms | cold mean %.2f ms \
+     p99 %.2f ms\n"
+    (mean warm_ms) (p99 warm_ms) (mean cold_ms) (p99 cold_ms);
+  Printf.printf "speedup: mean %.1fx, p99 %.1fx\n" speedup_mean speedup_p99;
+  Printf.printf
+    "quality: warm congestion %.4f vs cold %.4f (ratio %.3f), max staleness \
+     %d\n"
+    warm_final cold_final (warm_final /. cold_final) max_staleness;
+  if speedup_p99 < 3.0 then begin
+    Printf.printf
+      "FAIL serve: warm p99 speedup %.2fx below the 3x floor\n" speedup_p99;
+    exit 1
+  end
+  else
+    Printf.printf "serve: ok (warm re-solve %.1fx faster at p99)\n" speedup_p99
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -1433,6 +1548,23 @@ let () =
             exit 1)
     | None -> ());
     scale ()
+  end
+  else if has "--serve" then begin
+    let int_knob flag min_v target =
+      match find_value flag args with
+      | Some v -> (
+          match int_of_string_opt v with
+          | Some x when x >= min_v -> target := x
+          | _ ->
+              Printf.eprintf "%s expects an integer >= %d, got %s\n" flag min_v
+                v;
+              exit 1)
+      | None -> ()
+    in
+    int_knob "--serve-nodes" 8 serve_nodes;
+    int_knob "--serve-ticks" 2 serve_ticks;
+    int_knob "--serve-pairs" 1 serve_churn_pairs;
+    serve ()
   end
   else begin
     (match find_experiment args with

@@ -6,6 +6,7 @@
      route   build a sampled path system and route a demand through it
      attack  run the Section-8 adversary on C(n,k)
      faults  fault injection: scenario sweeps, timelines, worst-k search
+     serve   long-lived routing service: generate/replay update streams
      cache   inspect and maintain the artifact store (ls/stat/gc/clear)
 
    Examples:
@@ -752,6 +753,304 @@ let faults_cmd =
   let doc = "fault injection: scenario sweeps, timelines, adversarial sets" in
   Cmd.group (Cmd.info "faults" ~doc) [ sweep_cmd; timeline_cmd; worst_k_cmd ]
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let module Serve = Sso_serve.Serve in
+  let module Simulator = Sso_sim.Simulator in
+  let module Update = Sso_demand.Update in
+  let module Workload = Sso_demand.Workload in
+  let module Codec = Sso_artifact.Codec in
+  let family_arg =
+    let doc = "Graph family: torus, fat-tree, abilene, b4, expander." in
+    Arg.(value & opt string "torus" & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let size_arg =
+    let doc =
+      "Family size (torus side, fat-tree k, expander vertices; ignored for \
+       WANs)."
+    in
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"SIZE" ~doc)
+  in
+  let build_family rng family size =
+    match family with
+    | "torus" -> Gen.torus size size
+    | "fat-tree" -> Gen.fat_tree size
+    | "abilene" -> fst (Gen.abilene ())
+    | "b4" -> fst (Gen.b4 ())
+    | "expander" -> Gen.random_regular rng size 4
+    | other -> failwith (Printf.sprintf "unknown family %S" other)
+  in
+  let stream_pos =
+    let doc = "Update stream recorded with $(b,sso serve generate)." in
+    (* [string], not [file]: a missing path must surface as our exit 10,
+       not cmdliner's 124. *)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STREAM" ~doc)
+  in
+  let jstr s = Printf.sprintf "%S" s in
+  let jfloat f =
+    if Float.is_nan f then "\"nan\""
+    else if f = infinity then "\"inf\""
+    else if f = neg_infinity then "\"-inf\""
+    else Printf.sprintf "%.17g" f
+  in
+  let generate_cmd =
+    let ticks_arg =
+      let doc = "Number of ticks (tick 0 carries the initial arrivals)." in
+      Arg.(value & opt int 50 & info [ "ticks" ] ~docv:"TICKS" ~doc)
+    in
+    let pairs_arg =
+      let doc = "Active commodities maintained by the churn walk." in
+      Arg.(value & opt int 16 & info [ "pairs" ] ~docv:"PAIRS" ~doc)
+    in
+    let churn_arg =
+      let doc = "Per-tick resample probability for each active pair, in [0,1]." in
+      Arg.(value & opt float 0.1 & info [ "churn" ] ~docv:"P" ~doc)
+    in
+    let rate_churn_arg =
+      let doc = "Per-tick rate-drift probability for surviving pairs, in [0,1]." in
+      Arg.(value & opt float 0.0 & info [ "rate-churn" ] ~docv:"P" ~doc)
+    in
+    let output_arg =
+      let doc = "Write the JSONL stream to $(docv)." in
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+    in
+    let run family size ticks pairs churn rate_churn output seed =
+      let rng = Rng.create seed in
+      let g = build_family (Rng.split rng) family size in
+      let events =
+        Workload.generate ~rate_churn (Rng.split rng) ~n:(Graph.n g) ~ticks
+          ~pairs ~churn
+      in
+      (match Update.save output events with
+      | () -> ()
+      | exception Update.Unreadable msg ->
+          Printf.eprintf "sso serve: cannot write stream: %s\n" msg;
+          exit exit_unreadable);
+      Printf.printf "wrote %d events (%d ticks, %d pairs, churn %g) to %s\n"
+        (List.length events) ticks pairs churn output
+    in
+    let doc = "generate a logged update stream from the churn model" in
+    Cmd.v (Cmd.info "generate" ~doc)
+      Term.(
+        const run $ family_arg $ size_arg $ ticks_arg $ pairs_arg $ churn_arg
+        $ rate_churn_arg $ output_arg $ seed_arg)
+  in
+  let replay_cmd =
+    let alpha_arg =
+      let doc = "Paths sampled per pair (the paper's α)." in
+      Arg.(value & opt int 4 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+    in
+    let base_arg =
+      let doc = "Base oblivious routing: racke, valiant, ksp, shortest." in
+      Arg.(value & opt string "racke" & info [ "base" ] ~docv:"BASE" ~doc)
+    in
+    let solver_arg =
+      let doc = "Cold-solve engine: mwu[:ITERS] (default), gk[:EPS], or lp." in
+      Arg.(value & opt string "mwu" & info [ "solver" ] ~docv:"SOLVER" ~doc)
+    in
+    let warm_iters_arg =
+      let doc = "Fresh MWU rounds per warm tick." in
+      Arg.(value & opt int 20 & info [ "warm-iters" ] ~docv:"N" ~doc)
+    in
+    let warm_weight_arg =
+      let doc = "Virtual rounds the carried routing counts as." in
+      Arg.(value & opt int 60 & info [ "warm-weight" ] ~docv:"N" ~doc)
+    in
+    let refresh_arg =
+      let doc = "Cold re-solve every $(docv) solves (0 = never)." in
+      Arg.(value & opt int 0 & info [ "refresh" ] ~docv:"N" ~doc)
+    in
+    let simulate_arg =
+      let doc = "Push the replayed traffic through the packet simulator." in
+      Arg.(value & flag & info [ "simulate" ] ~doc)
+    in
+    let period_arg =
+      let doc = "Simulator steps between ticks (with $(b,--simulate))." in
+      Arg.(value & opt int 4 & info [ "period" ] ~docv:"STEPS" ~doc)
+    in
+    let json_arg =
+      let doc = "Emit deterministic JSON (byte-identical for any $(b,--jobs))." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let parse_solver solver_spec =
+      match String.split_on_char ':' solver_spec with
+      | [ "lp" ] -> Semi_oblivious.Lp
+      | [ "mwu" ] -> Semi_oblivious.default_solver
+      | [ "mwu"; iters ] -> Semi_oblivious.Mwu (int_of_string iters)
+      | [ "gk" ] -> Semi_oblivious.Gk 0.1
+      | [ "gk"; eps ] -> Semi_oblivious.Gk (float_of_string eps)
+      | _ -> failwith (Printf.sprintf "unknown solver %S" solver_spec)
+    in
+    let mode_name = function Serve.Cold -> "cold" | Serve.Warm -> "warm" in
+    let report_json (r : Serve.report) =
+      Printf.sprintf
+        "{\"tick\": %d, \"events\": %d, \"arrivals\": %d, \"departures\": %d, \
+         \"rate_changes\": %d, \"pairs\": %d, \"admitted\": %d, \"retired\": \
+         %d, \"congestion\": %s, \"mode\": %s, \"staleness\": %d}"
+        r.Serve.tick r.Serve.events r.Serve.arrivals r.Serve.departures
+        r.Serve.rate_changes r.Serve.active_pairs r.Serve.admitted
+        r.Serve.retired (jfloat r.Serve.congestion) (jstr (mode_name r.Serve.mode))
+        r.Serve.staleness
+    in
+    let run stream family size alpha base solver_spec warm_iters warm_weight
+        refresh simulate period json seed jobs cache no_cache cache_dir trace =
+      set_jobs jobs;
+      start_trace trace;
+      let store = open_store cache no_cache cache_dir in
+      let events =
+        match Update.load stream with
+        | events -> events
+        | exception Update.Unreadable msg ->
+            Printf.eprintf "sso serve: %s\n" msg;
+            exit exit_unreadable
+        | exception Update.Corrupt msg ->
+            Printf.eprintf "sso serve: %s\n" msg;
+            exit exit_corrupt
+      in
+      (* Same draw order as the other commands: graph, base, system, then
+         consumer randomness — the same seed sees the same sampled system
+         everywhere. *)
+      let rng = Rng.create seed in
+      let g = build_family (Rng.split rng) family size in
+      let base_routing =
+        match base with
+        | "racke" -> Memo.racke ?store (Rng.split rng) g
+        | "valiant" -> Valiant.routing g
+        | "ksp" -> Ksp.routing ~k:(max 4 alpha) g
+        | "shortest" -> Deterministic.shortest_path g
+        | other -> failwith (Printf.sprintf "unknown base routing %S" other)
+      in
+      let system = Sampler.alpha_sample (Rng.split rng) base_routing ~alpha in
+      let sim_rng = Rng.split rng in
+      let config =
+        { Serve.solver = parse_solver solver_spec;
+          warm_iters;
+          warm_weight;
+          refresh_every = refresh }
+      in
+      let srv = Serve.create ~config g system in
+      let t0 = Obs.now_ns () in
+      let outcome, reports =
+        match
+          if simulate then
+            let outcome, reports =
+              Serve.simulate sim_rng ~period srv events
+            in
+            (Some outcome, reports)
+          else (None, Serve.replay srv events)
+        with
+        | result -> result
+        | exception Update.Corrupt msg ->
+            Printf.eprintf "sso serve: %s\n" msg;
+            exit exit_corrupt
+      in
+      let wall_ns = Obs.now_ns () - t0 in
+      let digest =
+        match Serve.routing srv with
+        | Some r -> Codec.hex_of_key (Codec.fnv1a64 (Codec.encode_routing r))
+        | None -> String.make 16 '0'
+      in
+      let final_congestion =
+        match List.rev reports with r :: _ -> r.Serve.congestion | [] -> 0.0
+      in
+      let final_pairs =
+        match List.rev reports with r :: _ -> r.Serve.active_pairs | [] -> 0
+      in
+      let sim_json =
+        match outcome with
+        | None -> ""
+        | Some outcome ->
+            let s = Simulator.value outcome in
+            Printf.sprintf
+              ",\n  \"sim\": {\"completed\": %s, \"packets\": %d, \
+               \"delivered\": %d, \"finish_time\": %d, \"mean_latency\": %s, \
+               \"p99_latency\": %s, \"peak_queue\": %d}"
+              (match outcome with
+              | Simulator.Completed _ -> "true"
+              | Simulator.Out_of_budget _ -> "false")
+              s.Simulator.packets s.Simulator.delivered s.Simulator.finish_time
+              (jfloat s.Simulator.mean_latency) (jfloat s.Simulator.p99_latency)
+              s.Simulator.peak_queue
+      in
+      if json then begin
+        Printf.printf
+          "{\n  \"schema\": \"sso-serve-replay\",\n  \"version\": 1,\n  \
+           \"family\": %s,\n  \"size\": %d,\n  \"alpha\": %d,\n  \"base\": \
+           %s,\n  \"solver\": %s,\n  \"warm_iters\": %d,\n  \"warm_weight\": \
+           %d,\n  \"refresh\": %d,\n  \"seed\": %d,\n  \"events\": %d,\n  \
+           \"ticks\": [\n"
+          (jstr family) size alpha (jstr base) (jstr solver_spec) warm_iters
+          warm_weight refresh seed (List.length events);
+        List.iteri
+          (fun i r ->
+            Printf.printf "    %s%s\n" (report_json r)
+              (if i < List.length reports - 1 then "," else ""))
+          reports;
+        Printf.printf
+          "  ],\n  \"final\": {\"pairs\": %d, \"congestion\": %s, \"digest\": \
+           %s}%s%s\n}\n"
+          final_pairs (jfloat final_congestion) (jstr digest) sim_json
+          (match store with
+          | None -> ""
+          | Some _ ->
+              Printf.sprintf ",\n  \"cache\": {\"hit\": %d, \"miss\": %d}"
+                (Obs.counter_value (Obs.counter "artifact.hit"))
+                (Obs.counter_value (Obs.counter "artifact.miss")))
+      end
+      else begin
+        Printf.printf "family %s  size %d  alpha %d  base %s  solver %s\n"
+          family size alpha base solver_spec;
+        Printf.printf "stream %s  events %d  ticks %d\n\n" stream
+          (List.length events) (List.length reports);
+        List.iter
+          (fun (r : Serve.report) ->
+            Printf.printf
+              "tick %4d  %-4s  events %3d (+%d -%d ~%d)  pairs %4d  admitted \
+               %3d  retired %3d  staleness %2d  cong %.4f\n"
+              r.Serve.tick (mode_name r.Serve.mode) r.Serve.events
+              r.Serve.arrivals r.Serve.departures r.Serve.rate_changes
+              r.Serve.active_pairs r.Serve.admitted r.Serve.retired
+              r.Serve.staleness r.Serve.congestion)
+          reports;
+        Printf.printf "\nfinal: pairs %d  congestion %.6f  digest %s\n"
+          final_pairs final_congestion digest;
+        match outcome with
+        | None -> ()
+        | Some outcome ->
+            let s = Simulator.value outcome in
+            Printf.printf
+              "sim: %s  delivered %d/%d  finish %d  mean latency %.3f  p99 \
+               %.3f  peak queue %d\n"
+              (match outcome with
+              | Simulator.Completed _ -> "completed"
+              | Simulator.Out_of_budget _ -> "OUT-OF-BUDGET")
+              s.Simulator.delivered s.Simulator.packets s.Simulator.finish_time
+              s.Simulator.mean_latency s.Simulator.p99_latency
+              s.Simulator.peak_queue
+      end;
+      (* Wall-clock throughput goes to stderr: stdout must stay
+         byte-identical across runs and job counts. *)
+      Printf.eprintf "replayed %d events in %.1f ms (%.0f updates/sec)\n"
+        (List.length events)
+        (float_of_int wall_ns /. 1e6)
+        (float_of_int (List.length events) /. (float_of_int wall_ns /. 1e9));
+      finish_trace ~seed trace
+    in
+    let doc = "replay a logged update stream through the routing service" in
+    Cmd.v (Cmd.info "replay" ~doc)
+      Term.(
+        const run $ stream_pos $ family_arg $ size_arg $ alpha_arg $ base_arg
+        $ solver_arg $ warm_iters_arg $ warm_weight_arg $ refresh_arg
+        $ simulate_arg $ period_arg $ json_arg $ seed_arg $ jobs_arg
+        $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
+  in
+  let doc = "long-lived routing service: generate and replay update streams" in
+  Cmd.group (Cmd.info "serve" ~doc) [ generate_cmd; replay_cmd ]
+
 (* ---- cache ---- *)
 
 let cache_cmd =
@@ -1093,5 +1392,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; info_cmd; route_cmd; attack_cmd; simulate_cmd; faults_cmd;
-            theory_cmd; cache_cmd; trace_cmd;
+            serve_cmd; theory_cmd; cache_cmd; trace_cmd;
           ]))

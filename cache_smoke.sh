@@ -4,13 +4,7 @@
 # byte-identical with at least one recorded cache hit on the warm runs.
 # Also checks the `sso cache` exit-code contract: 0 on a healthy store,
 # 11 when corrupt entries are present, 10 when the directory is unusable.
-set -eu
-
-BENCH="${BENCH:-_build/default/bench/main.exe}"
-SSO="${SSO:-_build/default/bin/sso.exe}"
-
-dir=$(mktemp -d)
-trap 'rm -rf "$dir"' EXIT INT TERM
+. "$(dirname "$0")/smoke_lib.sh"
 cache="$dir/cache"
 
 run() {

@@ -8,9 +8,11 @@
 # subsystem by recording a kernel trace at two job counts (identical
 # event sequences) and running the `sso trace` analyzers over it, and
 # the fault-injection subsystem via `sso faults` (jobs-invariant sweeps,
-# a dropped-free mid-flight SRLG failover, cached warm sweeps), and the
+# a dropped-free mid-flight SRLG failover, cached warm sweeps), the
 # arena path storage at scale (--scale on a 50k-switch fat-tree,
-# warm-cache byte-identical to cold, bytes/pair reduction gate).
+# warm-cache byte-identical to cold, bytes/pair reduction gate), and the
+# routing service via `sso serve` (a 10k-update churn stream replayed
+# byte-identically at --jobs 1 and 4, stream exit codes 10/11 honored).
 set -eux
 
 dune build
@@ -21,3 +23,4 @@ dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
 ./trace_smoke.sh
 ./faults_smoke.sh
 ./scale_smoke.sh
+./serve_smoke.sh

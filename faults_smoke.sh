@@ -6,12 +6,7 @@
 # record hits and stay byte-identical modulo the hit counters), the
 # fault.* trace events are emitted, and the exit-code contract (10 for an
 # unreadable store) holds.
-set -eu
-
-SSO="${SSO:-_build/default/bin/sso.exe}"
-
-dir=$(mktemp -d)
-trap 'rm -rf "$dir"' EXIT INT TERM
+. "$(dirname "$0")/smoke_lib.sh"
 
 # Jobs-invariance: singles sweep on a torus, SRLG sweep on a fat-tree.
 "$SSO" faults sweep --family torus --size 4 --json --jobs 1 > "$dir/torus.j1"

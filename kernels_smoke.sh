@@ -5,12 +5,7 @@
 # finite value.  Timings themselves are machine noise and not checked;
 # this guards the metric names and the JSON plumbing, so regressions in
 # either fail CI instead of silently producing an unreadable baseline.
-set -eu
-
-BENCH="${BENCH:-_build/default/bench/main.exe}"
-
-dir=$(mktemp -d)
-trap 'rm -rf "$dir"' EXIT INT TERM
+. "$(dirname "$0")/smoke_lib.sh"
 
 "$BENCH" --kernels --json "$dir/kernels.json" > "$dir/kernels.txt"
 

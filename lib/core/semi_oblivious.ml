@@ -59,6 +59,25 @@ let resolve ?(solver = default_solver) ?warm_start g ps demand =
          start. *)
       route ~solver g ps demand
 
+let reoptimize ?(solver = default_solver) ?warm_start g ps demand =
+  match (solver, warm_start) with
+  | Mwu iters, Some (warm, warm_weight) ->
+      (* Demand churn, unlike failure recovery, leaves the candidate sets
+         intact: surviving pairs keep their warm distributions verbatim
+         (no per-path survival filtering needed), departed pairs are
+         dropped, and newly arrived pairs — which the warm routing does
+         not cover — are learned by the fresh rounds alone. *)
+      let support = Demand.support demand in
+      let warm = Routing.restrict warm support in
+      if Routing.pairs warm = [] then route ~solver g ps demand
+      else begin
+        let sc = Path_system.to_slice_candidates ps support in
+        Min_congestion.mwu_on_slices_warm ~iters ~warm ~warm_weight g sc demand
+      end
+  | (Lp | Gk _ | Mwu _), _ ->
+      (* As in [resolve]: LP and GK have no incremental form. *)
+      route ~solver g ps demand
+
 let opt ?(solver = default_solver) g demand =
   match solver with
   | Lp -> Min_congestion.lp_unrestricted g demand

@@ -46,6 +46,25 @@ val resolve :
     have no incremental form), this is {!route}.
     @raise Invalid_argument if some demanded pair has no candidates. *)
 
+val reoptimize :
+  ?solver:solver ->
+  ?warm_start:Sso_flow.Routing.t * int ->
+  Sso_graph.Graph.t -> Path_system.t -> Sso_demand.Demand.t ->
+  Sso_flow.Routing.t * float
+(** Stage-4 re-optimization after the {e demand} changed — {!resolve}'s
+    warm start generalized from fault recovery to demand churn, the inner
+    loop of the routing service.  The candidate sets are intact (nothing
+    failed), so with [~warm_start:(r, w)] and an MWU solver the previous
+    routing is restricted to the pairs the new demand still asks for
+    (departed commodities retire with their distributions) and seeds the
+    iteration as [w] virtual rounds; newly arrived pairs, which [r] does
+    not cover, are learned by the fresh rounds alone.  Runs on the slice
+    index, so admitting a commodity costs one arena append and no path
+    system rebuild.  Without [warm_start], with an empty surviving
+    intersection, or with the [Lp]/[Gk] solvers, this is {!route}.
+    Output is bit-identical at any [--jobs].
+    @raise Invalid_argument if some demanded pair has no candidates. *)
+
 val opt :
   ?solver:solver -> Sso_graph.Graph.t -> Sso_demand.Demand.t -> float
 (** Offline optimum [opt_{G,ℝ}(d)] (Dijkstra-oracle MWU by default; exact

@@ -1,0 +1,238 @@
+module Rng = Sso_prng.Rng
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
+module Graph = Sso_graph.Graph
+module Demand = Sso_demand.Demand
+module Update = Sso_demand.Update
+module Routing = Sso_flow.Routing
+module Path_system = Sso_core.Path_system
+module Semi_oblivious = Sso_core.Semi_oblivious
+module Simulator = Sso_sim.Simulator
+
+type config = {
+  solver : Semi_oblivious.solver;
+  warm_iters : int;
+  warm_weight : int;
+  refresh_every : int;
+}
+
+let default_config =
+  (* warm_iters/warm_weight follow the fault-recovery ladder's sweet spot
+     (Fault.Sweep.default_recovery): 60 virtual rounds of history plus a
+     few fresh rounds recover near-cold quality under small drifts. *)
+  { solver = Semi_oblivious.default_solver;
+    warm_iters = 20;
+    warm_weight = 60;
+    refresh_every = 0 }
+
+type mode = Cold | Warm
+
+type report = {
+  tick : int;
+  events : int;
+  arrivals : int;
+  departures : int;
+  rate_changes : int;
+  active_pairs : int;
+  admitted : int;
+  retired : int;
+  congestion : float;
+  mode : mode;
+  staleness : int;
+  solve_ns : int;
+}
+
+type t = {
+  graph : Graph.t;
+  system : Path_system.t;
+  config : config;
+  seen : ((int * int), unit) Hashtbl.t;  (* pairs materialized so far *)
+  mutable demand : Demand.t;
+  mutable routing : Routing.t option;
+  mutable last_tick : int;  (* -1 before the first step *)
+  mutable since_cold : int;  (* consecutive warm solves *)
+}
+
+let create ?(config = default_config) graph system =
+  if config.warm_iters <= 0 then
+    invalid_arg "Serve.create: warm_iters must be positive";
+  if config.warm_weight <= 0 then
+    invalid_arg "Serve.create: warm_weight must be positive";
+  if config.refresh_every < 0 then
+    invalid_arg "Serve.create: refresh_every must be non-negative";
+  { graph; system; config;
+    seen = Hashtbl.create 256;
+    demand = Demand.empty;
+    routing = None;
+    last_tick = -1;
+    since_cold = 0 }
+
+let graph t = t.graph
+let system t = t.system
+let demand t = t.demand
+let routing t = t.routing
+
+let tick_span = Obs.span "serve.tick"
+let admit_span = Obs.span "serve.admit"
+let solve_span = Obs.span "serve.solve"
+let events_counter = Obs.counter "serve.events"
+let admitted_counter = Obs.counter "serve.admitted"
+let retired_counter = Obs.counter "serve.retired"
+let cold_counter = Obs.counter "serve.cold_solves"
+let warm_counter = Obs.counter "serve.warm_solves"
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Update.Corrupt msg)) fmt
+
+let check_batch t ~tick events =
+  if tick <= t.last_tick then
+    corrupt "tick %d after tick %d (ticks must be strictly increasing)" tick
+      t.last_tick;
+  let n = Graph.n t.graph in
+  List.iter
+    (fun (e : Update.t) ->
+      if e.Update.tick <> tick then
+        corrupt "event for tick %d inside the batch of tick %d" e.Update.tick
+          tick;
+      if e.Update.src >= n || e.Update.dst >= n then
+        corrupt "tick %d: endpoint out of range in %d->%d (graph has %d \
+                 vertices)"
+          tick e.Update.src e.Update.dst n)
+    events
+
+let count_kinds events =
+  List.fold_left
+    (fun (a, d, r) (e : Update.t) ->
+      match e.Update.kind with
+      | Update.Arrive _ -> (a + 1, d, r)
+      | Update.Depart -> (a, d + 1, r)
+      | Update.Set_rate _ -> (a, d, r + 1))
+    (0, 0, 0) events
+
+let step t ~tick events =
+  Obs.with_span tick_span @@ fun () ->
+  check_batch t ~tick events;
+  let arrivals, departures, rate_changes = count_kinds events in
+  let before = t.demand in
+  let demand = Update.apply before events in
+  let support = Demand.support demand in
+  (* Admission: materialize never-seen pairs into the shared arena, in
+     deterministic chunk order on the pool.  Retired pairs keep their
+     slices — a returning commodity is re-admitted for free. *)
+  let fresh =
+    List.filter (fun p -> not (Hashtbl.mem t.seen p)) support
+  in
+  if fresh <> [] then
+    Obs.with_span admit_span (fun () ->
+        Path_system.materialize_parallel t.system fresh;
+        List.iter (fun p -> Hashtbl.replace t.seen p ()) fresh);
+  let retired =
+    List.length
+      (List.filter
+         (fun (s, d) -> Demand.get demand s d <= 0.0)
+         (Demand.support before))
+  in
+  let warm_capable =
+    match t.config.solver with
+    | Semi_oblivious.Mwu _ -> true
+    | Semi_oblivious.Lp | Semi_oblivious.Gk _ -> false
+  in
+  let mode =
+    match t.routing with
+    | None -> Cold
+    | Some _ when not warm_capable -> Cold
+    | Some _
+      when t.config.refresh_every > 0
+           && t.since_cold + 1 >= t.config.refresh_every ->
+        Cold
+    | Some _ -> Warm
+  in
+  let t0 = Obs.now_ns () in
+  let routing, congestion =
+    Obs.with_span solve_span @@ fun () ->
+    if support = [] then (Routing.make [], 0.0)
+    else
+      match (mode, t.routing) with
+      | Warm, Some warm ->
+          Semi_oblivious.reoptimize
+            ~solver:(Semi_oblivious.Mwu t.config.warm_iters)
+            ~warm_start:(warm, t.config.warm_weight)
+            t.graph t.system demand
+      | (Cold | Warm), _ ->
+          Semi_oblivious.route ~solver:t.config.solver t.graph t.system demand
+  in
+  let solve_ns = Obs.now_ns () - t0 in
+  (match mode with
+  | Cold ->
+      t.since_cold <- 0;
+      Obs.incr cold_counter
+  | Warm ->
+      t.since_cold <- t.since_cold + 1;
+      Obs.incr warm_counter);
+  t.demand <- demand;
+  t.routing <- Some routing;
+  t.last_tick <- tick;
+  Obs.incr ~by:(List.length events) events_counter;
+  Obs.incr ~by:(List.length fresh) admitted_counter;
+  Obs.incr ~by:retired retired_counter;
+  let report =
+    { tick;
+      events = List.length events;
+      arrivals;
+      departures;
+      rate_changes;
+      active_pairs = List.length support;
+      admitted = List.length fresh;
+      retired;
+      congestion;
+      mode;
+      staleness = t.since_cold;
+      solve_ns }
+  in
+  if Obs.tracing () then
+    Obs.event "serve.tick"
+      ~attrs:
+        [ ("tick", Trace.Int tick);
+          ("events", Trace.Int report.events);
+          ("pairs", Trace.Int report.active_pairs);
+          ("admitted", Trace.Int report.admitted);
+          ("retired", Trace.Int report.retired);
+          ("congestion", Trace.Float congestion);
+          ("mode", Trace.String (match mode with Cold -> "cold" | Warm -> "warm"));
+          ("staleness", Trace.Int report.staleness) ];
+  report
+
+let replay ?on_tick t events =
+  List.map
+    (fun (tick, batch) ->
+      let report = step t ~tick batch in
+      (match (on_tick, t.routing) with
+      | Some f, Some routing -> f report routing
+      | _ -> ());
+      report)
+    (Update.by_tick events)
+
+let simulate ?discipline ?max_steps rng ~period t events =
+  if period <= 0 then invalid_arg "Serve.simulate: period must be positive";
+  let packets = ref [] in
+  let reports =
+    replay t events ~on_tick:(fun report routing ->
+        (* One rng child per tick, consumed in the demand's lexicographic
+           order: the packet draw is a pure function of (seed, stream). *)
+        let tick_rng = Rng.split_at rng report.tick in
+        Demand.fold
+          (fun s d rate () ->
+            let copies = max 1 (int_of_float (Float.ceil (rate -. 1e-9))) in
+            for _ = 1 to copies do
+              let route = Routing.sample_path tick_rng routing s d in
+              packets :=
+                { Simulator.pair = (s, d);
+                  route;
+                  release = report.tick * period }
+                :: !packets
+            done)
+          t.demand ())
+  in
+  let outcome =
+    Simulator.run_timed ?discipline ?max_steps t.graph (List.rev !packets)
+  in
+  (outcome, reports)

@@ -1,0 +1,104 @@
+(** Long-lived routing service: incremental re-optimization under churn.
+
+    The semi-oblivious scheme is shaped like a daemon: the sparse sampled
+    path system is installed {e once} (Stage 2), and only the rates on it
+    are re-optimized as traffic changes (Stage 4).  This module is that
+    daemon's engine.  It consumes a stream of {!Sso_demand.Update} events
+    batched per tick and, for each batch:
+
+    - folds the batch into the active demand ({!Sso_demand.Update.apply});
+    - {e admits} newly seen commodities by materializing their candidate
+      slices into the shared path arena
+      ({!Sso_core.Path_system.materialize_parallel} — appends, never a
+      rebuild, sharded across the engine pool with a layout independent
+      of the job count);
+    - {e retires} departed commodities (their distributions drop out of
+      the warm routing; their arena slices stay, so a returning pair is
+      re-admitted for free);
+    - re-solves incrementally with {!Sso_core.Semi_oblivious.reoptimize},
+      carrying the previous routing as MWU warm-start weight, falling
+      back to a cold solve on the first tick and every [refresh_every]-th
+      solve thereafter.
+
+    Everything is deterministic: the same stream, seed, and configuration
+    produce bit-identical routings, reports, and digests at any [--jobs].
+    Per-tick telemetry flows through [serve.*] counters/spans and, when
+    tracing is on, a [serve.tick] trace event per batch. *)
+
+type config = {
+  solver : Sso_core.Semi_oblivious.solver;
+      (** Cold-solve engine (default [Mwu 300]).  Warm ticks need an MWU
+          solver; with [Lp]/[Gk] every tick is a cold solve. *)
+  warm_iters : int;  (** Fresh MWU rounds per warm tick (default 20). *)
+  warm_weight : int;
+      (** Virtual rounds the carried routing counts as (default 60). *)
+  refresh_every : int;
+      (** Cold re-solve every this many solves; [0] (the default) never
+          refreshes — the warm chain runs for the service's lifetime. *)
+}
+
+val default_config : config
+
+type mode = Cold | Warm
+
+type report = {
+  tick : int;
+  events : int;  (** Events in this tick's batch. *)
+  arrivals : int;
+  departures : int;
+  rate_changes : int;
+  active_pairs : int;  (** Commodities after folding the batch. *)
+  admitted : int;  (** Pairs newly materialized into the arena. *)
+  retired : int;  (** Pairs that left the active set this tick. *)
+  congestion : float;  (** Congestion of the re-optimized routing. *)
+  mode : mode;
+  staleness : int;
+      (** Warm solves since the last cold solve, this one included;
+          [0] on cold ticks. *)
+  solve_ns : int;
+      (** Wall time of the re-solve — the only nondeterministic field;
+          deterministic outputs (JSON, digests) must not include it. *)
+}
+
+type t
+
+val create : ?config:config -> Sso_graph.Graph.t -> Sso_core.Path_system.t -> t
+(** A fresh service over an installed path system (typically a lazy
+    α-sample, so admission generates paths on demand).  No solve happens
+    until the first {!step}. *)
+
+val graph : t -> Sso_graph.Graph.t
+val system : t -> Sso_core.Path_system.t
+
+val demand : t -> Sso_demand.Demand.t
+(** The active demand (empty before the first step). *)
+
+val routing : t -> Sso_flow.Routing.t option
+(** The current routing ([None] before the first step). *)
+
+val step : t -> tick:int -> Sso_demand.Update.t list -> report
+(** Fold one tick's batch and re-solve.  Ticks must be strictly
+    increasing across calls; every event must carry the given tick and
+    endpoints within the graph.  @raise Sso_demand.Update.Corrupt on
+    stream inconsistencies (wrong tick, out-of-range endpoint, departure
+    of an inactive pair, ...), [Invalid_argument] if a demanded pair has
+    no candidate paths. *)
+
+val replay : ?on_tick:(report -> Sso_flow.Routing.t -> unit) -> t ->
+  Sso_demand.Update.t list -> report list
+(** Drive the service over a whole logged stream, one {!step} per tick
+    present in it ({!Sso_demand.Update.by_tick}); [on_tick] observes each
+    report with the tick's routing (e.g. to feed the simulator or hash
+    the routing). *)
+
+val simulate :
+  ?discipline:Sso_sim.Simulator.discipline ->
+  ?max_steps:int ->
+  Sso_prng.Rng.t -> period:int -> t -> Sso_demand.Update.t list ->
+  Sso_sim.Simulator.load_stats Sso_sim.Simulator.outcome * report list
+(** Replay the stream and push the resulting traffic through the packet
+    simulator: each tick injects, per active commodity, [ceil rate]
+    packets on paths drawn from that tick's routing (a per-tick
+    [Rng.split_at] child, so the draw is independent of [--jobs]),
+    released at [tick * period].  Returns the timed-load statistics
+    beside the per-tick reports.  [period] must be positive. *)

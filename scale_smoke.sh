@@ -8,13 +8,7 @@
 # must clear the 4x bytes/pair reduction gate (the bench exits 1 below
 # it).  Also checks that `sso cache stat` reports the alpha-sample
 # payloads the cold run deposited.
-set -eu
-
-BENCH="${BENCH:-_build/default/bench/main.exe}"
-SSO="${SSO:-_build/default/bin/sso.exe}"
-
-dir=$(mktemp -d)
-trap 'rm -rf "$dir"' EXIT INT TERM
+. "$(dirname "$0")/smoke_lib.sh"
 cache="$dir/cache"
 
 run() {

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Routing-service smoke test: generate a logged churn stream of >= 10,000
+# update events, replay it through `sso serve replay --json` at --jobs 1
+# and --jobs 4 plus a repeat run, and assert all three reports — every
+# per-tick line, the final congestion, and the routing digest — are
+# byte-identical (the determinism contract of DESIGN.md §11).  Also
+# checks the update-stream exit-code contract (10 for an unreadable
+# path, 11 for a corrupt file, like `sso cache` and `sso trace`).
+. "$(dirname "$0")/smoke_lib.sh"
+
+stream="$dir/stream.jsonl"
+"$SSO" serve generate --family torus --size 5 --ticks 220 --pairs 96 \
+  --churn 0.25 --rate-churn 0.2 -o "$stream" > "$dir/gen.txt"
+grep -q '^wrote ' "$dir/gen.txt"
+
+events=$(sed -n '1s/.*"events":\([0-9]*\).*/\1/p' "$stream")
+test "$events" -ge 10000 || {
+  echo "serve_smoke: expected a >= 10k-update stream, got $events events" >&2
+  exit 1
+}
+
+replay() {
+  "$SSO" serve replay "$stream" --family torus --size 5 --base racke \
+    --json --jobs "$1" 2> /dev/null
+}
+replay 1 > "$dir/j1.json"
+replay 4 > "$dir/j4.json"
+replay 4 > "$dir/j4b.json"
+cmp "$dir/j1.json" "$dir/j4.json" || {
+  echo "serve_smoke: replay differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+cmp "$dir/j4.json" "$dir/j4b.json" || {
+  echo "serve_smoke: repeat replay is not byte-identical" >&2
+  exit 1
+}
+grep -q '"digest": "' "$dir/j1.json" || {
+  echo "serve_smoke: no routing digest in the replay report" >&2
+  exit 1
+}
+grep -q '"mode": "warm"' "$dir/j1.json" || {
+  echo "serve_smoke: no warm re-solve in a 220-tick replay" >&2
+  exit 1
+}
+
+# Exit codes: 10 for an unreadable stream, 11 for a corrupt one.
+rc=0; "$SSO" serve replay "$dir/missing.jsonl" 2> /dev/null || rc=$?
+test "$rc" -eq 10 || { echo "serve_smoke: expected exit 10, got $rc" >&2; exit 1; }
+echo 'not an update stream' > "$dir/garbage.jsonl"
+rc=0; "$SSO" serve replay "$dir/garbage.jsonl" 2> /dev/null || rc=$?
+test "$rc" -eq 11 || { echo "serve_smoke: expected exit 11, got $rc" >&2; exit 1; }
+head -5 "$stream" > "$dir/trunc.jsonl"
+rc=0; "$SSO" serve replay "$dir/trunc.jsonl" 2> /dev/null || rc=$?
+test "$rc" -eq 11 || {
+  echo "serve_smoke: expected exit 11 on a truncated stream, got $rc" >&2
+  exit 1
+}
+
+echo "serve_smoke: ok"

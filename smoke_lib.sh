@@ -1,0 +1,15 @@
+# Shared prologue for the *_smoke.sh scripts — source it, don't run it:
+#
+#   . "$(dirname "$0")/smoke_lib.sh"
+#
+# Provides strict mode, the bench/CLI binary locations (overridable via
+# $BENCH / $SSO, which the @ci rules point at the freshly built
+# executables), and a temporary scratch directory in $dir that is
+# removed on any exit.
+set -eu
+
+BENCH="${BENCH:-_build/default/bench/main.exe}"
+SSO="${SSO:-_build/default/bin/sso.exe}"
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM

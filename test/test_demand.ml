@@ -242,6 +242,100 @@ let test_workload_peak () =
   Alcotest.(check bool) "empty workload" true
     (Demand.equal Demand.empty (Workload.peak []))
 
+(* Update streams (the churn model as explicit events) *)
+
+module Update = Sso_demand.Update
+
+let test_generate_rejects () =
+  let reject name msg f =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () -> ignore (f ()))
+  in
+  reject "ticks" "Workload.generate: ticks must be positive, got 0" (fun () ->
+      Workload.generate (Rng.create 1) ~n:10 ~ticks:0 ~pairs:3 ~churn:0.1);
+  reject "churn" "Workload.generate: churn must lie in [0,1], got 1.5"
+    (fun () ->
+      Workload.generate (Rng.create 1) ~n:10 ~ticks:5 ~pairs:3 ~churn:1.5);
+  reject "rate churn"
+    "Workload.generate: rate_churn must lie in [0,1], got -0.25" (fun () ->
+      Workload.generate ~rate_churn:(-0.25) (Rng.create 1) ~n:10 ~ticks:5
+        ~pairs:3 ~churn:0.1);
+  reject "pairs"
+    "Workload.generate: pairs must lie in [1, n(n-1)/2] = [1, 10], got 11"
+    (fun () ->
+      Workload.generate (Rng.create 1) ~n:5 ~ticks:5 ~pairs:11 ~churn:0.1)
+
+let test_generate_zero_churn_is_static () =
+  let events =
+    Workload.generate (Rng.create 3) ~n:10 ~ticks:6 ~pairs:4 ~churn:0.0
+  in
+  Alcotest.(check int) "only the bootstrap arrivals" 4 (List.length events);
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "all at tick 0" 0 e.Update.tick;
+      match e.Update.kind with
+      | Update.Arrive r -> Alcotest.(check (float 1e-9)) "unit rate" 1.0 r
+      | _ -> Alcotest.fail "expected an arrival")
+    events
+
+let prop_generate_deterministic =
+  QCheck.Test.make ~name:"generate is a pure function of the rng" ~count:25
+    QCheck.small_int (fun seed ->
+      let gen () =
+        Workload.generate ~rate_churn:0.5 (Rng.create seed) ~n:10 ~ticks:6
+          ~pairs:5 ~churn:0.4
+      in
+      List.equal Update.equal (gen ()) (gen ()))
+
+let prop_generate_full_churn_resamples_all =
+  QCheck.Test.make
+    ~name:"churn 1 departs the whole previous active set every tick" ~count:25
+    QCheck.small_int (fun seed ->
+      let pairs = 4 and ticks = 5 in
+      let events =
+        Workload.generate (Rng.create seed) ~n:10 ~ticks ~pairs ~churn:1.0
+      in
+      let groups = Update.by_tick events in
+      let rec check d = function
+        | [] -> true
+        | (tick, batch) :: rest ->
+            let departed =
+              List.filter_map
+                (fun e ->
+                  match e.Update.kind with
+                  | Update.Depart -> Some (e.Update.src, e.Update.dst)
+                  | Update.Arrive _ | Update.Set_rate _ -> None)
+                batch
+            in
+            let ok =
+              if tick = 0 then departed = [] && List.length batch = pairs
+              else
+                List.length batch = 2 * pairs
+                && List.sort compare departed = Demand.support d
+            in
+            ok && check (Update.apply d batch) rest
+      in
+      List.length groups = ticks && check Demand.empty groups)
+
+let prop_generate_folds_to_random_walk =
+  QCheck.Test.make
+    ~name:"folding generate's ticks replays random_walk's epochs" ~count:25
+    QCheck.small_int (fun seed ->
+      let n = 10 and ticks = 6 and pairs = 5 and churn = 0.5 in
+      let events =
+        Workload.generate (Rng.create seed) ~n ~ticks ~pairs ~churn
+      in
+      let epochs =
+        Workload.random_walk (Rng.create seed) ~n ~epochs:(ticks - 1) ~pairs
+          ~churn
+      in
+      let demand_after k =
+        Update.apply Demand.empty
+          (List.filter (fun e -> e.Update.tick <= k) events)
+      in
+      List.for_all
+        (fun k -> Demand.equal (demand_after k) (List.nth epochs (k - 1)))
+        (List.init (ticks - 1) (fun i -> i + 1)))
+
 let prop_add_siz =
   QCheck.Test.make ~name:"siz is additive" ~count:200
     QCheck.(pair (list (triple (int_range 0 5) (int_range 6 10) (float_range 0.0 5.0)))
@@ -310,6 +404,12 @@ let () =
           Alcotest.test_case "hotspot sweep" `Quick test_workload_hotspot_sweep;
           Alcotest.test_case "peak" `Quick test_workload_peak;
         ] );
+      ( "update streams",
+        [
+          Alcotest.test_case "generate rejects" `Quick test_generate_rejects;
+          Alcotest.test_case "zero churn static" `Quick
+            test_generate_zero_churn_is_static;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -317,5 +417,8 @@ let () =
             prop_scale_linear;
             prop_random_permutation_always_valid;
             prop_demand_roundtrip;
+            prop_generate_deterministic;
+            prop_generate_full_churn_resamples_all;
+            prop_generate_folds_to_random_walk;
           ] );
     ]

@@ -1,0 +1,358 @@
+(* Tests for the routing service: the update-stream codec, batch
+   application, incremental re-optimization under churn, and the
+   jobs-invariance of replayed streams. *)
+
+module Rng = Sso_prng.Rng
+module Gen = Sso_graph.Gen
+module Demand = Sso_demand.Demand
+module Update = Sso_demand.Update
+module Workload = Sso_demand.Workload
+module Routing = Sso_flow.Routing
+module Ksp = Sso_oblivious.Ksp
+module Sampler = Sso_core.Sampler
+module Serve = Sso_serve.Serve
+module Simulator = Sso_sim.Simulator
+module Pool = Sso_engine.Pool
+module Codec = Sso_artifact.Codec
+
+let ev tick src dst kind = { Update.tick; src; dst; kind }
+
+let with_temp_file f =
+  let path = Filename.temp_file "sso_serve_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ---- update-stream codec ---- *)
+
+let test_update_roundtrip () =
+  let events =
+    [
+      ev 0 0 1 (Update.Arrive 1.0);
+      ev 0 2 3 (Update.Arrive 2.5);
+      ev 1 0 1 (Update.Set_rate 0.75);
+      ev 3 2 3 Update.Depart;
+    ]
+  in
+  with_temp_file (fun path ->
+      Update.save path events;
+      let events' = Update.load path in
+      Alcotest.(check bool) "roundtrip" true
+        (List.equal Update.equal events events'))
+
+let prop_stream_roundtrip =
+  QCheck.Test.make ~name:"generated streams round-trip through the codec"
+    ~count:25 QCheck.small_int (fun seed ->
+      let events =
+        Workload.generate ~rate_churn:0.5 (Rng.create seed) ~n:10 ~ticks:6
+          ~pairs:5 ~churn:0.4
+      in
+      with_temp_file (fun path ->
+          Update.save path events;
+          List.equal Update.equal events (Update.load path)))
+
+let expect_corrupt name content =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Alcotest.(check bool) name true
+        (try
+           ignore (Update.load path);
+           false
+         with Update.Corrupt _ -> true))
+
+let test_load_contract () =
+  Alcotest.(check bool) "missing file is unreadable" true
+    (try
+       ignore (Update.load "/nonexistent/sso-stream.jsonl");
+       false
+     with Update.Unreadable _ -> true);
+  expect_corrupt "garbage" "not an update stream\n";
+  expect_corrupt "empty" "";
+  expect_corrupt "wrong schema"
+    "{\"schema\":\"sso-trace\",\"version\":1,\"events\":0}\n";
+  expect_corrupt "wrong version"
+    "{\"schema\":\"sso-serve-stream\",\"version\":99,\"events\":0}\n";
+  expect_corrupt "truncated"
+    "{\"schema\":\"sso-serve-stream\",\"version\":1,\"events\":2}\n\
+     {\"tick\":0,\"src\":0,\"dst\":1,\"op\":\"arrive\",\"rate\":1}\n";
+  expect_corrupt "tick regression"
+    "{\"schema\":\"sso-serve-stream\",\"version\":1,\"events\":2}\n\
+     {\"tick\":2,\"src\":0,\"dst\":1,\"op\":\"arrive\",\"rate\":1}\n\
+     {\"tick\":1,\"src\":1,\"dst\":2,\"op\":\"arrive\",\"rate\":1}\n";
+  expect_corrupt "unknown op"
+    "{\"schema\":\"sso-serve-stream\",\"version\":1,\"events\":1}\n\
+     {\"tick\":0,\"src\":0,\"dst\":1,\"op\":\"burst\",\"rate\":1}\n";
+  expect_corrupt "non-positive rate"
+    "{\"schema\":\"sso-serve-stream\",\"version\":1,\"events\":1}\n\
+     {\"tick\":0,\"src\":0,\"dst\":1,\"op\":\"arrive\",\"rate\":0}\n"
+
+let test_save_rejects_invalid_streams () =
+  let expect_invalid name events =
+    Alcotest.(check bool) name true
+      (try
+         with_temp_file (fun path -> Update.save path events);
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid "diagonal pair" [ ev 0 3 3 (Update.Arrive 1.0) ];
+  expect_invalid "negative rate" [ ev 0 0 1 (Update.Arrive (-1.0)) ];
+  expect_invalid "tick regression"
+    [ ev 2 0 1 (Update.Arrive 1.0); ev 1 1 2 (Update.Arrive 1.0) ]
+
+(* ---- batch application ---- *)
+
+let test_apply () =
+  let d =
+    Update.apply Demand.empty
+      [
+        ev 0 0 1 (Update.Arrive 1.0);
+        ev 0 0 1 (Update.Arrive 2.0);
+        ev 0 2 3 (Update.Arrive 1.0);
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "arrivals sum" 3.0 (Demand.get d 0 1);
+  let d = Update.apply d [ ev 1 0 1 (Update.Set_rate 0.25) ] in
+  Alcotest.(check (float 1e-9)) "set replaces" 0.25 (Demand.get d 0 1);
+  let d = Update.apply d [ ev 2 0 1 Update.Depart ] in
+  Alcotest.(check (float 1e-9)) "depart removes" 0.0 (Demand.get d 0 1);
+  Alcotest.(check int) "one pair left" 1 (Demand.support_size d);
+  let corrupts name events =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Update.apply d events);
+         false
+       with Update.Corrupt _ -> true)
+  in
+  corrupts "inactive depart" [ ev 3 0 1 Update.Depart ];
+  corrupts "inactive set" [ ev 3 0 1 (Update.Set_rate 1.0) ]
+
+let test_by_tick () =
+  let events =
+    [
+      ev 0 0 1 (Update.Arrive 1.0);
+      ev 0 1 2 (Update.Arrive 1.0);
+      ev 2 0 1 Update.Depart;
+      ev 5 3 4 (Update.Arrive 1.0);
+    ]
+  in
+  let groups = Update.by_tick events in
+  Alcotest.(check (list int)) "tick keys" [ 0; 2; 5 ]
+    (List.map fst groups);
+  Alcotest.(check (list int)) "batch sizes" [ 2; 1; 1 ]
+    (List.map (fun (_, b) -> List.length b) groups)
+
+(* ---- service stepping ---- *)
+
+let make_service ?config () =
+  let g = Gen.grid 4 4 in
+  let obl = Ksp.routing ~k:4 g in
+  let ps = Sampler.alpha_sample (Rng.create 5) obl ~alpha:3 in
+  Serve.create ?config g ps
+
+let test_step_admits_and_retires () =
+  let srv = make_service () in
+  Alcotest.(check bool) "no routing yet" true (Serve.routing srv = None);
+  let r0 =
+    Serve.step srv ~tick:0
+      [ ev 0 0 1 (Update.Arrive 1.0); ev 0 2 3 (Update.Arrive 1.0) ]
+  in
+  Alcotest.(check bool) "first solve is cold" true (r0.Serve.mode = Serve.Cold);
+  Alcotest.(check int) "two admitted" 2 r0.Serve.admitted;
+  Alcotest.(check int) "two active" 2 r0.Serve.active_pairs;
+  Alcotest.(check int) "cold staleness" 0 r0.Serve.staleness;
+  let r1 =
+    Serve.step srv ~tick:1
+      [ ev 1 2 3 Update.Depart; ev 1 4 5 (Update.Arrive 1.0) ]
+  in
+  Alcotest.(check bool) "churn tick is warm" true (r1.Serve.mode = Serve.Warm);
+  Alcotest.(check int) "one admitted" 1 r1.Serve.admitted;
+  Alcotest.(check int) "one retired" 1 r1.Serve.retired;
+  Alcotest.(check int) "warm staleness" 1 r1.Serve.staleness;
+  (* A returning pair was already materialized: admission is free. *)
+  let r2 = Serve.step srv ~tick:2 [ ev 2 2 3 (Update.Arrive 1.0) ] in
+  Alcotest.(check int) "re-admission is free" 0 r2.Serve.admitted;
+  Alcotest.(check int) "three active" 3 r2.Serve.active_pairs;
+  Alcotest.(check bool) "congestion positive" true (r2.Serve.congestion > 0.0)
+
+let test_step_rejects_bad_batches () =
+  let srv = make_service () in
+  ignore (Serve.step srv ~tick:3 [ ev 3 0 1 (Update.Arrive 1.0) ]);
+  let corrupts name tick events =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Serve.step srv ~tick events);
+         false
+       with Update.Corrupt _ -> true)
+  in
+  corrupts "non-increasing tick" 3 [ ev 3 1 2 (Update.Arrive 1.0) ];
+  corrupts "mislabelled event" 5 [ ev 4 1 2 (Update.Arrive 1.0) ];
+  corrupts "endpoint out of range" 6 [ ev 6 1 99 (Update.Arrive 1.0) ]
+
+let test_step_to_empty_demand () =
+  let srv = make_service () in
+  ignore (Serve.step srv ~tick:0 [ ev 0 0 1 (Update.Arrive 1.0) ]);
+  let r = Serve.step srv ~tick:1 [ ev 1 0 1 Update.Depart ] in
+  Alcotest.(check int) "no active pairs" 0 r.Serve.active_pairs;
+  Alcotest.(check (float 1e-9)) "no congestion" 0.0 r.Serve.congestion
+
+let test_refresh_and_staleness () =
+  let events =
+    Workload.generate (Rng.create 41) ~n:16 ~ticks:7 ~pairs:6 ~churn:1.0
+  in
+  let srv =
+    make_service ~config:{ Serve.default_config with refresh_every = 3 } ()
+  in
+  let reports = Serve.replay srv events in
+  Alcotest.(check (list string)) "cold every third solve"
+    [ "cold"; "warm"; "warm"; "cold"; "warm"; "warm"; "cold" ]
+    (List.map
+       (fun r ->
+         match r.Serve.mode with Serve.Cold -> "cold" | Serve.Warm -> "warm")
+       reports);
+  Alcotest.(check (list int)) "staleness resets on refresh"
+    [ 0; 1; 2; 0; 1; 2; 0 ]
+    (List.map (fun r -> r.Serve.staleness) reports);
+  let srv = make_service () in
+  let reports = Serve.replay srv events in
+  Alcotest.(check (list int)) "never refreshes by default"
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+    (List.map (fun r -> r.Serve.staleness) reports)
+
+(* ---- warm-vs-cold equivalence (at 1 and 4 workers) ---- *)
+
+let churn_events = Workload.generate (Rng.create 31) ~n:16 ~ticks:8 ~pairs:10 ~churn:0.3
+
+let check_warm_tracks_cold jobs =
+  let before = Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs before) @@ fun () ->
+  Pool.set_default_jobs jobs;
+  let warm_srv =
+    make_service ~config:{ Serve.default_config with warm_iters = 60; warm_weight = 20 } ()
+  in
+  let warm = Serve.replay warm_srv churn_events in
+  let cold_srv =
+    make_service ~config:{ Serve.default_config with refresh_every = 1 } ()
+  in
+  let cold = Serve.replay cold_srv churn_events in
+  List.iter2
+    (fun (w : Serve.report) (c : Serve.report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "tick %d: warm %.4f within tolerance of cold %.4f (jobs %d)"
+           w.Serve.tick w.Serve.congestion c.Serve.congestion jobs)
+        true
+        (w.Serve.congestion <= 1.10 *. c.Serve.congestion +. 1e-9))
+    warm cold
+
+let test_warm_tracks_cold_j1 () = check_warm_tracks_cold 1
+let test_warm_tracks_cold_j4 () = check_warm_tracks_cold 4
+
+(* ---- jobs-invariance of a replayed stream ---- *)
+
+let replay_fingerprint jobs =
+  let before = Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs before) @@ fun () ->
+  Pool.set_default_jobs jobs;
+  let srv = make_service () in
+  let reports = Serve.replay srv churn_events in
+  let digest =
+    match Serve.routing srv with
+    | Some r -> Codec.hex_of_key (Codec.fnv1a64 (Codec.encode_routing r))
+    | None -> Alcotest.fail "expected a routing after replay"
+  in
+  (reports, digest)
+
+let report_equal (a : Serve.report) (b : Serve.report) =
+  (* Everything but the wall-clock [solve_ns] field. *)
+  a.Serve.tick = b.Serve.tick
+  && a.Serve.events = b.Serve.events
+  && a.Serve.arrivals = b.Serve.arrivals
+  && a.Serve.departures = b.Serve.departures
+  && a.Serve.rate_changes = b.Serve.rate_changes
+  && a.Serve.active_pairs = b.Serve.active_pairs
+  && a.Serve.admitted = b.Serve.admitted
+  && a.Serve.retired = b.Serve.retired
+  && Float.equal a.Serve.congestion b.Serve.congestion
+  && a.Serve.mode = b.Serve.mode
+  && a.Serve.staleness = b.Serve.staleness
+
+let test_replay_jobs_invariant () =
+  let r1, d1 = replay_fingerprint 1 in
+  let r4, d4 = replay_fingerprint 4 in
+  Alcotest.(check string) "routing digest" d1 d4;
+  Alcotest.(check int) "report count" (List.length r1) (List.length r4);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tick %d report" a.Serve.tick)
+        true (report_equal a b))
+    r1 r4
+
+(* ---- simulation ---- *)
+
+let test_simulate () =
+  let srv = make_service () in
+  let outcome, reports =
+    Serve.simulate (Rng.create 3) ~period:4 srv churn_events
+  in
+  Alcotest.(check int) "one report per tick" 8 (List.length reports);
+  (match outcome with
+  | Simulator.Completed _ -> ()
+  | Simulator.Out_of_budget _ -> Alcotest.fail "simulation ran out of budget");
+  let stats = Simulator.value outcome in
+  Alcotest.(check bool) "packets injected" true (stats.Simulator.packets > 0);
+  Alcotest.(check int) "all delivered" stats.Simulator.packets
+    stats.Simulator.delivered
+
+let test_create_rejects_bad_config () =
+  let reject name config =
+    Alcotest.(check bool) name true
+      (try
+         ignore (make_service ~config ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "warm_iters" { Serve.default_config with warm_iters = 0 };
+  reject "warm_weight" { Serve.default_config with warm_weight = 0 };
+  reject "refresh_every" { Serve.default_config with refresh_every = -1 }
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_update_roundtrip;
+          Alcotest.test_case "load contract" `Quick test_load_contract;
+          Alcotest.test_case "save rejects" `Quick
+            test_save_rejects_invalid_streams;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "semantics" `Quick test_apply;
+          Alcotest.test_case "by_tick" `Quick test_by_tick;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "admit and retire" `Quick
+            test_step_admits_and_retires;
+          Alcotest.test_case "bad batches" `Quick test_step_rejects_bad_batches;
+          Alcotest.test_case "empty demand" `Quick test_step_to_empty_demand;
+          Alcotest.test_case "refresh and staleness" `Quick
+            test_refresh_and_staleness;
+          Alcotest.test_case "bad config" `Quick test_create_rejects_bad_config;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "warm tracks cold (jobs 1)" `Quick
+            test_warm_tracks_cold_j1;
+          Alcotest.test_case "warm tracks cold (jobs 4)" `Quick
+            test_warm_tracks_cold_j4;
+          Alcotest.test_case "jobs-invariant replay" `Quick
+            test_replay_jobs_invariant;
+        ] );
+      ( "simulation",
+        [ Alcotest.test_case "timed load" `Quick test_simulate ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_stream_roundtrip ] );
+    ]

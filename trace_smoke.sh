@@ -6,13 +6,7 @@
 # hop-limited solver, and run the `sso trace` analyzers over the file —
 # including their exit-code contract (10 unreadable, 11 corrupt, like
 # `sso cache`).
-set -eu
-
-BENCH="${BENCH:-_build/default/bench/main.exe}"
-SSO="${SSO:-_build/default/bin/sso.exe}"
-
-dir=$(mktemp -d)
-trap 'rm -rf "$dir"' EXIT INT TERM
+. "$(dirname "$0")/smoke_lib.sh"
 
 "$BENCH" --kernels --trace "$dir/j1.jsonl" --jobs 1 > /dev/null
 "$BENCH" --kernels --trace "$dir/j4.jsonl" --jobs 4 > /dev/null
