@@ -962,6 +962,8 @@ let kernel_cases () =
       fun () -> ignore (Concurrent_flow.on_paths ~epsilon:0.1 grid cands d) );
     ( "frt_build_grid",
       fun () -> ignore (Frt.build (seeded 100) grid ~length:(fun _ -> 1.0)) );
+    ( "racke_forest_grid",
+      fun () -> ignore (Racke.forest (seeded 101) ~trees:4 ~batch:2 grid) );
   ]
 
 let timed_best ?(reps = 3) f =
@@ -984,7 +986,9 @@ let kernels () =
   List.iter bench (kernel_cases ());
   Printf.printf
     "families: sssp (Dijkstra kernel), mwu_* (oracle-dominated solves),\n";
-  Printf.printf "gk (sequential cheapest-path packing), frt (all-pairs Dijkstra).\n"
+  Printf.printf
+    "gk (sequential cheapest-path packing), frt/racke (ball-growing FRT,\n";
+  Printf.printf "MWU tree mixture).\n"
 
 (* ------------------------------------------------------------------ *)
 (* --obs-guard: assert that the observability layer is actually free
@@ -1247,6 +1251,7 @@ let timing () =
 
 let scale_k = ref 284
 let scale_pairs = ref 1024
+let scale_racke_trees = ref 2
 
 let scale () =
   let module Trees = Sso_oblivious.Trees in
@@ -1334,7 +1339,65 @@ let scale () =
       reduction;
     exit 1
   end
-  else Printf.printf "scale: ok (arena %.2fx under the boxed baseline)\n" reduction
+  else Printf.printf "scale: ok (arena %.2fx under the boxed baseline)\n" reduction;
+  (* Räcke at scale: the paper's own Stage-1 construction on the same
+     fat-tree, built level-wise by ball growing (no n×n distance matrix —
+     memory stays O(n·levels + m)).  batch = 1 keeps the MWU maximally
+     sequential: every tree sees the penalties of all its predecessors.
+     The forest digest covers every tree's parts, so warm-cache runs must
+     print the same line as cold ones. *)
+  let trees = !scale_racke_trees in
+  let t0 = Unix.gettimeofday () in
+  let forest =
+    match !store with
+    | Some st -> Memo.racke_forest ~store:st (seeded 134) ~trees ~batch:1 g
+    | None -> Racke.forest (seeded 134) ~trees ~batch:1 g
+  in
+  let racke_dt = Unix.gettimeofday () -. t0 in
+  let max_levels = List.fold_left (fun acc t -> max acc (Frt.levels t)) 0 forest in
+  let racke_nodes_per_sec = float_of_int (n * trees) /. racke_dt in
+  let working_set =
+    float_of_int (Obj.reachable_words (Obj.repr forest) * (Sys.word_size / 8))
+  in
+  scalar "racke.trees" (float_of_int trees);
+  scalar "racke.levels" (float_of_int max_levels);
+  scalar "racke.build_seconds" racke_dt;
+  scalar "racke.nodes_per_sec" racke_nodes_per_sec;
+  scalar "racke.working_set_bytes" working_set;
+  Printf.printf "racke: %d trees, max %d levels, batch 1\n" trees max_levels;
+  Printf.printf "racke build: %.2f s (%.0f nodes/sec, working set %.1f MB)\n"
+    racke_dt racke_nodes_per_sec (working_set /. 1048576.0);
+  let forest_digest =
+    Codec.hex_of_key
+      (Codec.fnv1a64 (Codec.encode_forest (List.map Frt.to_parts forest)))
+  in
+  Printf.printf "racke forest digest: %s\n" forest_digest;
+  (* Throughput floor in the --obs-guard pattern: gate against the
+     committed baseline, but only when it describes this instance (the
+     smoke runs a smaller k) and with a 2x allowance for machine noise —
+     the gate exists to catch the construction regressing to super-linear
+     behavior, not jitter. *)
+  let baseline key =
+    match In_channel.with_open_bin "BENCH_scale.json" In_channel.input_all with
+    | text -> (
+        match Trace.Json.member "scalars" (Trace.Json.parse text) with
+        | Some scalars ->
+            Option.bind (Trace.Json.member key scalars) Trace.Json.number
+        | None -> None
+        | exception Trace.Corrupt _ -> None)
+    | exception Sys_error _ -> None
+  in
+  match (baseline "scale.n", baseline "racke.nodes_per_sec") with
+  | Some n0, Some floor_base when int_of_float n0 = n ->
+      if racke_nodes_per_sec < floor_base /. 2.0 then begin
+        Printf.printf
+          "FAIL racke: %.0f nodes/sec below half the %.0f baseline\n"
+          racke_nodes_per_sec floor_base;
+        exit 1
+      end
+      else
+        Printf.printf "racke: ok (throughput within 2x of committed baseline)\n"
+  | _ -> Printf.printf "racke: ok (no matching baseline: floor gate skipped)\n"
 
 (* --serve: the routing-service family (BENCH_serve.json).  Generates a
    churn stream on a WAN-scale random-regular topology, replays it twice
@@ -1545,6 +1608,15 @@ let () =
         | Some p when p >= 1 -> scale_pairs := p
         | _ ->
             Printf.eprintf "--scale-pairs expects a positive integer, got %s\n" v;
+            exit 1)
+    | None -> ());
+    (match find_value "--scale-racke-trees" args with
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some t when t >= 1 -> scale_racke_trees := t
+        | _ ->
+            Printf.eprintf
+              "--scale-racke-trees expects a positive integer, got %s\n" v;
             exit 1)
     | None -> ());
     scale ()

@@ -15,7 +15,8 @@ for key in \
   kernels.mwu_hop_limited_shared.seconds \
   kernels.mwu_candidates.seconds \
   kernels.gk_candidates.seconds \
-  kernels.frt_build_grid.seconds
+  kernels.frt_build_grid.seconds \
+  kernels.racke_forest_grid.seconds
 do
   grep -q "\"$key\": [0-9]" "$dir/kernels.json" || {
     echo "kernels_smoke: missing or non-numeric metric $key" >&2

@@ -28,25 +28,28 @@ let racke_recipe ?trees ?batch ~rng g =
       ("rng", hex (Rng.fingerprint rng));
     ]
 
-let racke ?store ?pool rng ?trees ?batch g =
+let racke_forest ?store ?pool rng ?trees ?batch g =
   match store with
-  | None -> Racke.routing ?pool rng ?trees ?batch g
+  | None -> Racke.forest ?pool rng ?trees ?batch g
   | Some st ->
       let recipe = racke_recipe ?trees ?batch ~rng g in
       let rebuild () =
         let forest = Racke.forest ?pool rng ?trees ?batch g in
         Store.put st recipe
           (Codec.encode_forest (List.map Frt.to_parts forest));
-        Racke.of_forest g forest
+        forest
       in
       (match Store.find st recipe with
       | None -> rebuild ()
       | Some payload -> (
           match List.map (Frt.of_parts g) (Codec.decode_forest payload) with
-          | forest -> Racke.of_forest g forest
+          | forest -> forest
           | exception (Codec.Corrupt _ | Invalid_argument _) ->
               semantic_corrupt ();
               rebuild ()))
+
+let racke ?store ?pool rng ?trees ?batch g =
+  Racke.of_forest g (racke_forest ?store ?pool rng ?trees ?batch g)
 
 (* ---- hop-constrained distributions ---- *)
 

@@ -28,6 +28,21 @@ val racke_recipe :
     {e before} the generator is consumed (fingerprinting does not advance
     it). *)
 
+val racke_forest :
+  ?store:Store.t ->
+  ?pool:Sso_engine.Pool.t ->
+  Sso_prng.Rng.t ->
+  ?trees:int ->
+  ?batch:int ->
+  Sso_graph.Graph.t ->
+  Sso_oblivious.Frt.t list
+(** The MWU tree mixture behind {!racke}, cached under the same
+    ["racke-forest"] recipe: a hit decodes the stored {!Codec.encode_forest}
+    payload through {!Sso_oblivious.Frt.of_parts} instead of re-running the
+    construction.  Exposed for callers that need the trees themselves
+    (digests, per-tree diagnostics, the scale bench) rather than the
+    mixture routing. *)
+
 val racke :
   ?store:Store.t ->
   ?pool:Sso_engine.Pool.t ->

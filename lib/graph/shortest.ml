@@ -185,6 +185,92 @@ let run_dijkstra ws g wbuf src =
     end
   done
 
+(* ---------- Truncated / multi-source Dijkstra (ball growing) ---------- *)
+
+(* Grow the ball of radius [radius] around [sources]: settle exactly the
+   vertices whose multi-source distance is <= radius, calling [visit v d]
+   at settle time (so in non-decreasing distance order).  Work is
+   proportional to the ball and its frontier, never to the graph: pushes
+   whose tentative distance exceeds the radius are pruned, so a unit-radius
+   ball on a million-node graph costs one vertex's neighborhood scan.
+
+   Distances agree bit-for-bit with an untruncated run: a pruned candidate
+   has tentative distance > radius, and every vertex of the ball reaches
+   its final distance through relaxations whose tentative distances are all
+   <= its own (prefix distances along a shortest path are non-decreasing
+   under non-negative weights), none of which are pruned.
+
+   [weights] is a flat per-edge array so repeated calls (one per ball) skip
+   the O(m) per-call validation sweep of [fill_weights]; edges are
+   validated as they are first relaxed instead.
+
+   [prune w nd] (checked at relaxation time, before pushing) discards the
+   candidate as if it lay outside the radius; sources are exempt.  The FRT
+   construction prunes candidates no closer than an earlier-permutation
+   center's recorded distance — discarding them at the push keeps even the
+   one-edge boundary of the surviving region out of the heap, which is
+   what turns a level's ball-growing pass from |balls| Dijkstras into
+   near-linear total work. *)
+let no_prune _ _ = false
+
+let dijkstra_ball_into ws g ~weights ~radius ?(prune = no_prune) ~sources visit
+    =
+  let n = Graph.n g in
+  if Array.length weights < Graph.m g then
+    invalid_arg "Shortest.dijkstra_ball: weights shorter than edge count";
+  let off = Graph.csr_offsets g
+  and eids = Graph.csr_edge_ids g
+  and dsts = Graph.csr_targets g in
+  Workspace.ensure ws n;
+  ws.Workspace.epoch <- ws.Workspace.epoch + 1;
+  ws.Workspace.src <- (if Array.length sources > 0 then sources.(0) else -1);
+  let ep = ws.Workspace.epoch in
+  let dist = ws.Workspace.dist
+  and pred = ws.Workspace.pred
+  and stamp = ws.Workspace.stamp
+  and settled = ws.Workspace.settled
+  and heap = ws.Workspace.heap in
+  Heap.Int.clear heap;
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Shortest.dijkstra_ball: source out of range";
+      if stamp.(s) <> ep then begin
+        dist.(s) <- 0.0;
+        pred.(s) <- -1;
+        stamp.(s) <- ep;
+        Heap.Int.push heap 0.0 s
+      end)
+    sources;
+  (* radius < 0 (or NaN) admits nothing, not even the sources. *)
+  if 0.0 <= radius then
+    while not (Heap.Int.is_empty heap) do
+      let d = Heap.Int.min_key heap and v = Heap.Int.min_value heap in
+      Heap.Int.remove_min heap;
+      if settled.(v) <> ep then begin
+        settled.(v) <- ep;
+        visit v d;
+        for i = off.(v) to off.(v + 1) - 1 do
+          let w = dsts.(i) in
+          if settled.(w) <> ep then begin
+            let we = weights.(eids.(i)) in
+            if we < 0.0 then
+              invalid_arg "Shortest.dijkstra_ball: negative edge weight";
+            let nd = d +. we in
+            if nd <= radius && not (prune w nd) then begin
+              let cur = if stamp.(w) = ep then dist.(w) else infinity in
+              if nd < cur then begin
+                dist.(w) <- nd;
+                pred.(w) <- eids.(i);
+                stamp.(w) <- ep;
+                Heap.Int.push heap nd w
+              end
+            end
+          end
+        done
+      end
+    done
+
 let dijkstra_into ws g ~weight src =
   let wbuf = fill_weights ws g ~weight ~context:"Shortest.dijkstra" in
   run_dijkstra ws g wbuf src

@@ -41,6 +41,37 @@ module Workspace : sig
       @raise Invalid_argument if no run has completed. *)
 end
 
+val dijkstra_ball_into :
+  Workspace.t ->
+  Graph.t ->
+  weights:float array ->
+  radius:float ->
+  ?prune:(int -> float -> bool) ->
+  sources:int array -> (int -> float -> unit) -> unit
+(** [dijkstra_ball_into ws g ~weights ~radius ~sources visit] grows the
+    ball of radius [radius] around [sources] (multi-source: every source
+    starts at distance 0): settles exactly the vertices whose distance is
+    [<= radius], calling [visit v d] at settle time, in non-decreasing
+    distance order.  Work is proportional to the ball and its one-edge
+    frontier, never to the graph — the kernel behind the level-wise
+    ball-growing FRT construction ({!Sso_oblivious.Frt.build}).
+
+    [prune w nd] (default: never), checked at relaxation time, discards
+    the candidate as if it lay outside the radius; sources are exempt.
+    Settled vertices and their distances match the unpruned run only when
+    the predicate is monotone in the sense used by the FRT construction
+    (a vertex that survives pruning has a shortest path whose prefixes
+    all survive); the kernel itself makes no such check.
+
+    Settled distances and predecessor edges are bit-identical to an
+    untruncated run and are left in [ws] ({!Workspace.dist} /
+    {!Workspace.pred_edge}; {!Workspace.path} reconstructs from
+    [sources.(0)] when a single source was given).  [weights] is a flat
+    per-edge array (length [>= m]) so per-ball calls skip the O(m) weight
+    validation sweep; entries must be non-negative and are validated as
+    edges are first relaxed.  A negative (or NaN) [radius] settles
+    nothing; [infinity] recovers the full single/multi-source run. *)
+
 val dijkstra_into : Workspace.t -> Graph.t -> weight:(int -> float) -> int -> unit
 (** [dijkstra_into ws g ~weight src] runs Dijkstra from [src], leaving the
     results in [ws] (read them with {!Workspace.dist} /

@@ -2,53 +2,175 @@ module Graph = Sso_graph.Graph
 module Path = Sso_graph.Path
 module Shortest = Sso_graph.Shortest
 module Rng = Sso_prng.Rng
+module Pool = Sso_engine.Pool
+module Obs = Sso_obs.Obs
+module Trace = Sso_obs.Trace
+
+(* Routing only ever walks tree edges: shortest paths from a cluster
+   center down to the centers of its child clusters (level-0 children are
+   the cluster's own vertices).  Those paths are memoized per
+   (hub, parent level): on first use, one truncated Dijkstra from the hub
+   harvests the paths to {e all} of that hub's children at once — the
+   children are known from the chain table — so the number of Dijkstras a
+   tree ever runs is bounded by its cluster count, not by its query count,
+   and the cache stores O(n) total hops instead of n-word predecessor
+   arrays.  Total cached hops are bounded ([hub_cap]);
+   least-recently-used hubs are evicted past the budget. *)
+type hub_entry = {
+  h_paths : (int, Path.t) Hashtbl.t; (* child center -> path hub -> child *)
+  h_hops : int; (* total stored hops: the entry's weight against hub_cap *)
+  mutable h_last_use : int;
+}
 
 type t = {
   graph : Graph.t;
   levels : int;
   chain : int array array; (* chain.(v).(i) = center of v's level-i cluster *)
   cluster_id : int array array; (* cluster_id.(v).(i): equal iff same cluster *)
-  sp_pred : (int, int array) Hashtbl.t; (* Dijkstra predecessor trees per hub *)
-  sp_lock : Mutex.t; (* guards sp_pred: trees are routed through from pool workers *)
-  length : int -> float;
+  lengths : float array; (* clamped per-edge metric, indexed by edge id *)
+  delta : float; (* min clamped edge length ([infinity] when m = 0) *)
+  children : (int * int, int array) Hashtbl.t;
+      (* (hub, parent level) -> distinct child centers below it *)
+  hub_cache : (int * int, hub_entry) Hashtbl.t; (* key (hub, parent level) *)
+  mutable hub_clock : int; (* LRU clock, bumped per lookup *)
+  mutable hub_bindings : int; (* total hops across cached entries *)
+  hub_cap : int;
+  hub_lock : Mutex.t; (* guards the cache: trees route from pool workers *)
 }
 
 let min_length = 1e-9
 
-let build rng g ~length =
+let build_span = Obs.span "frt.build"
+let metric_span = Obs.span "frt.metric"
+let hub_evict_counter = Obs.counter "frt.hub_evict"
+
+(* Per-tree budget on cached hub-tree bindings.  The default keeps the
+   cache O(n): a handful of coarse (near-full-graph) trees plus thousands
+   of fine ones.  Overridable for tests and tuning; routing results never
+   depend on the budget, only miss counts do. *)
+let default_hub_budget n = max 65536 (8 * n)
+let hub_budget_override = ref None
+
+let set_hub_cache_budget = function
+  | Some b when b < 1 ->
+      invalid_arg "Frt.set_hub_cache_budget: budget must be >= 1"
+  | o -> hub_budget_override := o
+
+let hub_budget n =
+  match !hub_budget_override with Some b -> b | None -> default_hub_budget n
+
+(* Enumerate the tree edges (hub at level i+1 -> child center at level i),
+   grouped by hub.  O(n·levels); the same center can head several clusters
+   of a level (one per parent cluster), hence the triple-keyed dedup. *)
+let children_table ~levels ~chain n =
+  let seen = Hashtbl.create 256 and groups = Hashtbl.create 256 in
+  for i = 0 to levels - 1 do
+    for v = 0 to n - 1 do
+      let hub = chain.(v).(i + 1) and child = chain.(v).(i) in
+      if hub <> child && not (Hashtbl.mem seen (i, hub, child)) then begin
+        Hashtbl.add seen (i, hub, child) ();
+        let gkey = (hub, i + 1) in
+        let cur =
+          match Hashtbl.find_opt groups gkey with Some l -> l | None -> []
+        in
+        Hashtbl.replace groups gkey (child :: cur)
+      end
+    done
+  done;
+  let table = Hashtbl.create (Hashtbl.length groups) in
+  Hashtbl.iter
+    (fun gkey l -> Hashtbl.replace table gkey (Array.of_list l))
+    groups;
+  table
+
+let make_tree g ~levels ~chain ~cluster_id ~lengths ~delta =
+  {
+    graph = g;
+    levels;
+    chain;
+    cluster_id;
+    lengths;
+    delta;
+    children = children_table ~levels ~chain (Graph.n g);
+    hub_cache = Hashtbl.create 64;
+    hub_clock = 0;
+    hub_bindings = 0;
+    hub_cap = hub_budget (Graph.n g);
+    hub_lock = Mutex.create ();
+  }
+
+(* One BFS up front: the ball-growing construction never computes a
+   distance it does not need, so unlike the historical all-pairs pass a
+   disconnected graph would otherwise only surface deep inside the level
+   loop as a cluster that never covers the graph. *)
+let check_connected g =
   let n = Graph.n g in
+  if n > 0 then begin
+    let dist = Shortest.bfs_dist g 0 in
+    for v = 0 to n - 1 do
+      if dist.(v) = max_int then
+        invalid_arg
+          (Printf.sprintf
+             "Frt.build: graph is disconnected (vertex %d is unreachable \
+              from vertex 0)"
+             v)
+    done
+  end
+
+(* How many centers were scanned before every vertex of a level was
+   claimed, batched geometrically: the first batch is a single ball (the
+   top levels are claimed whole by the first permutation center), then
+   batches double up to [max_center_batch] so fine levels — thousands of
+   tiny balls — amortize the fork/join cost.  The schedule is a function
+   of the claim state alone, never of the job count, so the resulting
+   chains are bit-identical at any [--jobs]. *)
+let max_center_batch = 32
+
+let build ?pool rng g ~length =
+  let n = Graph.n g and m = Graph.m g in
+  check_connected g;
   (* Snapshot the clamped metric: callers (the Räcke MWU loop) pass
      closures over mutable penalty state, and the tree must keep routing
      under the lengths it was built with — also what lets a tree
      round-trip through [to_parts]/[of_parts] bit-identically. *)
-  let snapshot =
-    Array.init (Graph.m g) (fun e -> Float.max min_length (length e))
-  in
-  let clamped e = snapshot.(e) in
-  (* All-pairs distances under the clamped metric: n Dijkstra runs sharing
-     one workspace, so only the kept distance rows are allocated. *)
+  let snapshot = Array.init m (fun e -> Float.max min_length (length e)) in
+  (* delta_min: under a positive metric the closest pair of distinct
+     vertices is always joined by a single edge (every path weighs at
+     least its heaviest edge, and any multi-edge path at least two minimum
+     lengths), so the minimum pairwise distance is the minimum clamped
+     edge length — no all-pairs pass needed. *)
+  let delta = Array.fold_left Float.min infinity snapshot in
   let ws = Shortest.Workspace.for_current_domain () in
-  let dist =
-    Array.init n (fun v ->
-        Shortest.dijkstra_into ws g ~weight:clamped v;
-        Array.init n (Shortest.Workspace.dist ws))
-  in
-  let delta_min = ref infinity and delta_max = ref 0.0 in
-  for u = 0 to n - 1 do
+  let ecc src =
+    Shortest.dijkstra_into ws g ~weight:(fun e -> snapshot.(e)) src;
+    let best = ref 0.0 and far = ref src in
     for v = 0 to n - 1 do
-      if u <> v then begin
-        if dist.(u).(v) < !delta_min then delta_min := dist.(u).(v);
-        if dist.(u).(v) > !delta_max then delta_max := dist.(u).(v)
+      let d = Shortest.Workspace.dist ws v in
+      if d > !best then begin
+        best := d;
+        far := v
       end
-    done
-  done;
-  if not (Float.is_finite !delta_max) then invalid_arg "Frt.build: graph is disconnected";
-  let scale = !delta_min in
-  let normalized u v = dist.(u).(v) /. scale in
-  let diameter = !delta_max /. scale in
+    done;
+    (!best, !far)
+  in
+  (* Double-sweep diameter upper bound: diam <= 2·ecc(v) for every v, and
+     sweeping again from the farthest vertex found can only tighten it.
+     Two Dijkstras replace the exact all-pairs maximum; the bound is at
+     most 2x the diameter, so it costs at most one extra (redundant,
+     single-cluster) level at the top of the decomposition. *)
+  let diameter_ub =
+    if n <= 1 then 0.0
+    else
+      Obs.with_span metric_span (fun () ->
+          let ecc0, far = ecc 0 in
+          let ecc1, _ = ecc far in
+          2.0 *. Float.min ecc0 ecc1)
+  in
+  let scale = delta in
+  let diameter = diameter_ub /. scale in
   (* Radii: r_i = beta · 2^{i-1} with beta in [1,2).  r_0 < 1 keeps level-0
      clusters singletons; levels grows until the radius covers the
-     diameter. *)
+     diameter bound. *)
   let beta = 1.0 +. Rng.float rng in
   let levels =
     let rec go i r = if r >= diameter then i else go (i + 1) (r *. 2.0) in
@@ -57,67 +179,116 @@ let build rng g ~length =
   let pi = Rng.permutation rng n in
   let chain = Array.init n (fun v -> Array.make (levels + 1) v) in
   let cluster_id = Array.init n (fun v -> Array.make (levels + 1) v) in
-  (* Top level: everything in one cluster centered at the first center in
-     permutation order. *)
   let next_id = ref n in
   let fresh () =
     let id = !next_id in
     incr next_id;
     id
   in
+  (* Top level: everything in one cluster centered at the first center in
+     permutation order. *)
   let top_id = fresh () in
   for v = 0 to n - 1 do
     chain.(v).(levels) <- pi.(0);
     cluster_id.(v).(levels) <- top_id
   done;
-  (* Refine level by level.  At level i the radius is beta·2^{i-1}; each
-     vertex joins the first permutation center within that radius, and two
-     vertices share a level-i cluster iff they share the level-(i+1)
-     cluster and the same chosen center. *)
-  for i = levels - 1 downto 1 do
-    let radius = beta *. Float.pow 2.0 (float_of_int (i - 1)) in
-    let ids = Hashtbl.create 64 in
-    for v = 0 to n - 1 do
-      let center =
-        let rec first j =
-          if j >= n then v (* unreachable: v itself is within any radius *)
-          else if normalized pi.(j) v <= radius then pi.(j)
-          else first (j + 1)
+  (* claim_stamp.(v) = i iff v has been claimed at level i: levels are
+     processed top-down with distinct indices, so one array serves all of
+     them without clearing.  best.(v) is the settle distance of v from the
+     closest center of an earlier batch (per level): a ball reaching v at
+     distance >= best.(v) stops expanding there, because everything beyond
+     is at least as close to that earlier — hence higher-priority —
+     center.  Each vertex improves its record O(log n) expected times
+     under a random permutation, which is what makes a level near-linear
+     instead of |balls| Dijkstras. *)
+  let claim_stamp = Array.make n (-1) in
+  let best = Array.make n infinity in
+  let attrs =
+    if Obs.tracing () then
+      [
+        ("vertices", Trace.Int n);
+        ("levels", Trace.Int levels);
+        ("beta", Trace.Float beta);
+      ]
+    else []
+  in
+  Obs.with_span ~attrs build_span (fun () ->
+      (* Refine level by level.  At level i the radius is beta·2^{i-1}·δ;
+         each vertex joins the first permutation center within that
+         radius, and two vertices share a level-i cluster iff they share
+         the level-(i+1) cluster and the same chosen center.
+
+         Instead of scanning an all-pairs matrix row per vertex, grow
+         bounded-radius Dijkstra balls from the centers in permutation
+         order: a ball claims every still-unclaimed vertex it covers, so a
+         vertex ends up with the first center within radius — identical
+         cluster semantics, touching only distances that are actually
+         within radius.  Balls of a batch are grown concurrently against
+         the claim/record state frozen at batch start (workers only read
+         it) and merged serially in permutation order, so the outcome is
+         independent of scheduling.  Pruning on the frozen records is
+         sound batched: a path entering a recorded vertex certifies an
+         earlier center at least as close to everything downstream, so the
+         only vertices a batched ball misses (relative to its serial run)
+         are ones an earlier batch already claimed. *)
+      for i = levels - 1 downto 1 do
+        let radius = beta *. Float.pow 2.0 (float_of_int (i - 1)) *. scale in
+        let level_sp = Obs.span (Printf.sprintf "frt.level.%02d" i) in
+        let level_attrs =
+          if Obs.tracing () then
+            [ ("level", Trace.Int i); ("radius", Trace.Float radius) ]
+          else []
         in
-        first 0
-      in
-      chain.(v).(i) <- center;
-      let key = (cluster_id.(v).(i + 1), center) in
-      let id =
-        match Hashtbl.find_opt ids key with
-        | Some id -> id
-        | None ->
-            let id = fresh () in
-            Hashtbl.add ids key id;
-            id
-      in
-      cluster_id.(v).(i) <- id
-    done
-  done;
+        Obs.with_span ~attrs:level_attrs level_sp (fun () ->
+            Array.fill best 0 n infinity;
+            let unclaimed = ref n and j = ref 0 and batch = ref 1 in
+            while !unclaimed > 0 && !j < n do
+              let b = min !batch (n - !j) in
+              let first = !j in
+              let balls =
+                Pool.parallel_init ?pool b (fun k ->
+                    let c = pi.(first + k) in
+                    let ws = Shortest.Workspace.for_current_domain () in
+                    let acc = ref [] in
+                    Shortest.dijkstra_ball_into ws g ~weights:snapshot ~radius
+                      ~prune:(fun v d -> d >= best.(v))
+                      ~sources:[| c |] (fun v d -> acc := (v, d) :: !acc);
+                    List.rev !acc)
+              in
+              Array.iteri
+                (fun k ball ->
+                  let c = pi.(first + k) in
+                  List.iter
+                    (fun (v, d) ->
+                      if claim_stamp.(v) <> i then begin
+                        claim_stamp.(v) <- i;
+                        chain.(v).(i) <- c;
+                        decr unclaimed
+                      end;
+                      if d < best.(v) then best.(v) <- d)
+                    ball)
+                balls;
+              j := !j + b;
+              batch := min max_center_batch (2 * !batch)
+            done;
+            (* Cluster ids in vertex order — the same first-encounter
+               numbering the serial matrix scan produced. *)
+            let ids = Hashtbl.create 64 in
+            for v = 0 to n - 1 do
+              let key = (cluster_id.(v).(i + 1), chain.(v).(i)) in
+              let id =
+                match Hashtbl.find_opt ids key with
+                | Some id -> id
+                | None ->
+                    let id = fresh () in
+                    Hashtbl.add ids key id;
+                    id
+              in
+              cluster_id.(v).(i) <- id
+            done)
+      done);
   (* Level 0 stays singleton: chain.(v).(0) = v, cluster_id.(v).(0) = v. *)
-  let module Obs = Sso_obs.Obs in
-  if Obs.tracing () then
-    Obs.event "frt.build"
-      ~attrs:
-        [
-          ("vertices", Sso_obs.Trace.Int n);
-          ("levels", Sso_obs.Trace.Int levels);
-          ("beta", Sso_obs.Trace.Float beta);
-        ];
-  {
-    graph = g;
-    levels;
-    chain;
-    cluster_id;
-    sp_pred = Hashtbl.create 64;
-    sp_lock = Mutex.create ();
-    length = clamped;
-  }
+  make_tree g ~levels ~chain ~cluster_id ~lengths:snapshot ~delta
 
 type parts = {
   p_levels : int;
@@ -131,7 +302,7 @@ let to_parts t =
     p_levels = t.levels;
     p_chain = Array.map Array.copy t.chain;
     p_cluster_id = Array.map Array.copy t.cluster_id;
-    p_lengths = Array.init (Graph.m t.graph) t.length;
+    p_lengths = Array.copy t.lengths;
   }
 
 let of_parts g p =
@@ -156,15 +327,10 @@ let of_parts g p =
     (fun row -> Array.iter (fun c -> if c < 0 || c >= n then invalid_arg "Frt.of_parts: center out of range") row)
     p.p_chain;
   let lengths = Array.copy p.p_lengths in
-  {
-    graph = g;
-    levels = p.p_levels;
-    chain = Array.map Array.copy p.p_chain;
-    cluster_id = Array.map Array.copy p.p_cluster_id;
-    sp_pred = Hashtbl.create 64;
-    sp_lock = Mutex.create ();
-    length = (fun e -> lengths.(e));
-  }
+  let delta = Array.fold_left Float.min infinity lengths in
+  make_tree g ~levels:p.p_levels ~chain:(Array.map Array.copy p.p_chain)
+    ~cluster_id:(Array.map Array.copy p.p_cluster_id)
+    ~lengths ~delta
 
 let levels t = t.levels
 
@@ -172,43 +338,150 @@ let cluster_center t v level =
   if level < 0 || level > t.levels then invalid_arg "Frt.cluster_center: bad level";
   t.chain.(v).(level)
 
-let pred_tree t hub =
-  Mutex.lock t.sp_lock;
-  let cached = Hashtbl.find_opt t.sp_pred hub in
-  Mutex.unlock t.sp_lock;
-  match cached with
-  | Some pred -> pred
+(* Truncation radius for a hub tree at parent level [l]: the hub claimed
+   every vertex of its cluster within beta·2^{l-1}·δ, a child center sits
+   within half that of some shared vertex, and beta < 2, so 2^{l+1}·δ
+   covers any query with a 33% margin (ample against float rounding of
+   path sums).  Crucially this is a function of [lengths] alone — not of
+   the sampled beta — so a tree rebuilt by [of_parts] truncates, and hence
+   tie-breaks, exactly like the original build and routes identically. *)
+let hub_radius t plevel = Float.ldexp t.delta (plevel + 1)
+
+(* Escalating uncached fallback for the (float-borderline) case where a
+   child falls just outside the truncation radius: deterministic in
+   (hub, radius) alone — never in cache state or scheduling. *)
+let rec path_by_search t hub v ~radius =
+  let ws = Shortest.Workspace.for_current_domain () in
+  Shortest.dijkstra_ball_into ws t.graph ~weights:t.lengths ~radius
+    ~sources:[| hub |] (fun _ _ -> ());
+  match Shortest.Workspace.path ws t.graph v with
+  | Some p -> p
   | None ->
-      (* Dijkstra runs outside the lock; a racing duplicate computes the
-         same tree, so the last write is harmless.  Only the cached pred
-         row is allocated — scratch state lives in the domain workspace. *)
-      let ws = Shortest.Workspace.for_current_domain () in
-      Shortest.dijkstra_into ws t.graph ~weight:t.length hub;
-      let pred =
-        Array.init (Graph.n t.graph) (Shortest.Workspace.pred_edge ws)
-      in
-      Mutex.lock t.sp_lock;
-      Hashtbl.replace t.sp_pred hub pred;
-      Mutex.unlock t.sp_lock;
-      pred
-
-let hub_path t hub v =
-  (* Path hub → v along the memoized shortest-path tree rooted at hub. *)
-  if hub = v then Path.trivial v
-  else begin
-    let pred = pred_tree t hub in
-    let rec collect u acc =
-      if u = hub then acc
+      if radius = infinity then
+        invalid_arg "Frt.route: graph is disconnected"
       else
-        let e = pred.(u) in
-        collect (Graph.other_end t.graph e u) (e :: acc)
-    in
-    Path.of_edges t.graph ~src:hub ~dst:v (Array.of_list (collect v []))
-  end
+        let radius = if radius > 1e300 then infinity else radius *. 4.0 in
+        path_by_search t hub v ~radius
 
-(* Shortest path a → b, memoized through b's shortest-path tree (higher
-   level centers repeat across pairs, so rooting at them shares work). *)
-let center_to_center t a b = Path.reverse (hub_path t b a)
+exception Filled
+
+(* One truncated Dijkstra from [hub], stopped as soon as every child has
+   settled, then a path per child read off the predecessor chains.  Only
+   children the visitor saw settle are read back — a vertex that was
+   relaxed but not yet settled when the early exit fired still carries a
+   tentative predecessor — so the handful that the truncation radius
+   misses by a float hair fall back to the escalating uncached search. *)
+let fill_hub t hub plevel =
+  let kids =
+    match Hashtbl.find_opt t.children (hub, plevel) with
+    | Some k -> k
+    | None -> [||]
+  in
+  let want = Hashtbl.create (2 * Array.length kids) in
+  Array.iter (fun c -> Hashtbl.replace want c ()) kids;
+  let got = Hashtbl.create (2 * Array.length kids) in
+  let remaining = ref (Hashtbl.length want) in
+  let ws = Shortest.Workspace.for_current_domain () in
+  (try
+     Shortest.dijkstra_ball_into ws t.graph ~weights:t.lengths
+       ~radius:(hub_radius t plevel) ~sources:[| hub |] (fun v _ ->
+         if Hashtbl.mem want v && not (Hashtbl.mem got v) then begin
+           Hashtbl.replace got v ();
+           decr remaining;
+           if !remaining = 0 then raise Filled
+         end)
+   with Filled -> ());
+  let paths = Hashtbl.create (2 * Array.length kids) in
+  let missing = ref [] in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem got c then
+        match Shortest.Workspace.path ws t.graph c with
+        | Some p -> Hashtbl.replace paths c p
+        | None -> missing := c :: !missing
+      else missing := c :: !missing)
+    kids;
+  (* Fallback searches reuse the workspace, so they run only after every
+     settled child has been read back. *)
+  List.iter
+    (fun c ->
+      Hashtbl.replace paths c
+        (path_by_search t hub c ~radius:(4.0 *. hub_radius t plevel)))
+    (List.rev !missing);
+  let hops = Hashtbl.fold (fun _ p acc -> acc + Path.hops p) paths 0 in
+  { h_paths = paths; h_hops = max 1 hops; h_last_use = 0 }
+
+let hub_entry t hub plevel =
+  let key = (hub, plevel) in
+  Mutex.lock t.hub_lock;
+  t.hub_clock <- t.hub_clock + 1;
+  let clock = t.hub_clock in
+  let cached =
+    match Hashtbl.find_opt t.hub_cache key with
+    | Some e ->
+        e.h_last_use <- clock;
+        Some e
+    | None -> None
+  in
+  Mutex.unlock t.hub_lock;
+  match cached with
+  | Some e -> e
+  | None ->
+      (* The Dijkstra runs outside the lock; a racing duplicate computes
+         the same paths (the fill is a function of the key), so whichever
+         insert lands is equivalent.  Entries are immutable once
+         published: concurrent readers never see writes. *)
+      let entry = fill_hub t hub plevel in
+      Mutex.lock t.hub_lock;
+      let entry =
+        match Hashtbl.find_opt t.hub_cache key with
+        | Some e ->
+            e.h_last_use <- t.hub_clock;
+            e
+        | None ->
+            entry.h_last_use <- clock;
+            Hashtbl.replace t.hub_cache key entry;
+            t.hub_bindings <- t.hub_bindings + entry.h_hops;
+            (* Evict least-recently-used hubs past the budget; the entry
+               just inserted is never the victim (it is only spared
+               explicitly, since a budget below its own weight would
+               otherwise evict it before its caller ever reads it). *)
+            let keep_evicting = ref (t.hub_bindings > t.hub_cap) in
+            while !keep_evicting && Hashtbl.length t.hub_cache > 1 do
+              let worst = ref None in
+              Hashtbl.iter
+                (fun k (e : hub_entry) ->
+                  if k <> key then
+                    match !worst with
+                    | Some (_, w) when w.h_last_use <= e.h_last_use -> ()
+                    | _ -> worst := Some (k, e))
+                t.hub_cache;
+              (match !worst with
+              | Some (k, e) ->
+                  Hashtbl.remove t.hub_cache k;
+                  t.hub_bindings <- t.hub_bindings - e.h_hops;
+                  Obs.incr hub_evict_counter
+              | None -> ());
+              keep_evicting :=
+                t.hub_bindings > t.hub_cap && !worst <> None
+            done;
+            entry
+      in
+      Mutex.unlock t.hub_lock;
+      entry
+
+(* Path hub → child along the memoized tree edge ([hub] the level-[plevel]
+   center, [child] the center of one of its child clusters). *)
+let hub_path t ~plevel hub child =
+  if hub = child then Path.trivial child
+  else begin
+    let e = hub_entry t hub plevel in
+    match Hashtbl.find_opt e.h_paths child with
+    | Some p -> p
+    | None ->
+        (* Not a tree edge of this hub (never reached via [route]). *)
+        path_by_search t hub child ~radius:(4.0 *. hub_radius t plevel)
+  end
 
 let route t s t_ =
   if s = t_ then Path.trivial s
@@ -219,11 +492,20 @@ let route t s t_ =
       if t.cluster_id.(s).(i) = t.cluster_id.(t_).(i) then i else meet (i + 1)
     in
     let j = meet 0 in
-    let up = List.init j (fun i -> center_to_center t t.chain.(s).(i) t.chain.(s).(i + 1)) in
+    (* Both chains root every segment at its parent (level i+1 >= 1)
+       center — a bounded set of hubs whose trees truncate to the cluster
+       scale.  (Rooting the down-chain at the child, as the historical
+       code did, makes every routed destination a hub: an O(n)-entry cache
+       of full predecessor trees.) *)
+    let up =
+      List.init j (fun i ->
+          Path.reverse
+            (hub_path t ~plevel:(i + 1) t.chain.(s).(i + 1) t.chain.(s).(i)))
+    in
     let down =
       List.init j (fun i ->
           let lvl = j - i in
-          center_to_center t t.chain.(t_).(lvl) t.chain.(t_).(lvl - 1))
+          hub_path t ~plevel:lvl t.chain.(t_).(lvl) t.chain.(t_).(lvl - 1))
     in
     let full =
       List.fold_left (fun acc p -> Path.concat t.graph acc p) (Path.trivial s) (up @ down)

@@ -11,10 +11,26 @@
 type t
 (** One sampled decomposition tree over a graph. *)
 
-val build : Sso_prng.Rng.t -> Sso_graph.Graph.t -> length:(int -> float) -> t
+val build :
+  ?pool:Sso_engine.Pool.t ->
+  Sso_prng.Rng.t -> Sso_graph.Graph.t -> length:(int -> float) -> t
 (** Sample a decomposition w.r.t. the shortest-path metric induced by the
     per-edge [length] function (values are clamped below by a tiny positive
-    constant, so zero lengths are safe).  Runs [n] Dijkstras. *)
+    constant, so zero lengths are safe).  Built level-wise by growing
+    bounded-radius Dijkstra balls from the centers in permutation order —
+    each vertex joins the first center within the level radius — so work is
+    near-linear per level and memory is O(n·levels + m); no all-pairs
+    distance matrix is ever formed.  Center batches within a level run on
+    [pool]; chains and cluster ids are bit-identical at any job count.
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val set_hub_cache_budget : int option -> unit
+(** Override the per-tree budget (total cached predecessor-map bindings)
+    for the hub shortest-path-tree cache of trees built afterwards.
+    [None] restores the default ([max 65536 (8·n)]).  Exceeding the budget
+    evicts least-recently-used hub trees (counted by the [frt.hub_evict]
+    counter); routing results never depend on the budget.
+    @raise Invalid_argument on a non-positive budget. *)
 
 type parts = {
   p_levels : int;
@@ -24,8 +40,9 @@ type parts = {
 }
 (** The serializable state of a decomposition.  Shortest-path trees are
     {e not} part of it: they are a deterministic function of [p_lengths]
-    (Dijkstra), so a tree rebuilt by {!of_parts} routes every pair exactly
-    as the original did. *)
+    (truncated Dijkstra from each hub, radius fixed by level and the
+    minimum length), so a tree rebuilt by {!of_parts} routes every pair
+    exactly as the original did. *)
 
 val to_parts : t -> parts
 (** Extract the serializable state (arrays are copies). *)

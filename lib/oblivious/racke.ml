@@ -8,13 +8,44 @@ module Trace = Sso_obs.Trace
 let build_span = Obs.span "racke.build"
 let trees_counter = Obs.counter "racke.trees"
 
-let tree_loads g tree =
-  let loads = Array.make (Graph.m g) 0.0 in
-  Array.iter
-    (fun (e : Graph.edge) ->
-      let p = Frt.route tree e.u e.v in
-      Array.iter (fun e' -> loads.(e') <- loads.(e') +. e.cap) p.Path.edges)
-    (Graph.edges g);
+(* Edges are routed in fixed chunks (never a function of the job count):
+   each chunk accumulates its loads into a sparse map of the edges its
+   routes actually touch — a dense per-chunk array would be O(m) floats per
+   worker — and the chunks merge serially in chunk order, ascending edge id
+   within a chunk, so the float sums are identical at any [--jobs]. *)
+let tree_load_chunks = 64
+
+let tree_loads ?pool g tree =
+  let m = Graph.m g in
+  let loads = Array.make m 0.0 in
+  if m > 0 then begin
+    let edges = Graph.edges g in
+    let chunks = min tree_load_chunks m in
+    let partials =
+      Pool.parallel_init ?pool chunks (fun k ->
+          let lo = k * m / chunks and hi = (k + 1) * m / chunks in
+          let tbl = Hashtbl.create 256 in
+          for idx = lo to hi - 1 do
+            let e : Graph.edge = edges.(idx) in
+            let p = Frt.route tree e.u e.v in
+            Array.iter
+              (fun e' ->
+                let cur =
+                  match Hashtbl.find_opt tbl e' with Some c -> c | None -> 0.0
+                in
+                Hashtbl.replace tbl e' (cur +. e.cap))
+              p.Path.edges
+          done;
+          let arr =
+            Array.of_list (Hashtbl.fold (fun e' l acc -> (e', l) :: acc) tbl [])
+          in
+          Array.sort (fun ((a : int), _) ((b : int), _) -> compare a b) arr;
+          arr)
+    in
+    Array.iter
+      (Array.iter (fun (e', partial) -> loads.(e') <- loads.(e') +. partial))
+      partials
+  end;
   Array.mapi (fun e load -> load /. Graph.cap g e) loads
 
 let default_trees g =
@@ -32,8 +63,11 @@ let forest ?pool rng ?trees ?(batch = 4) g =
      against diversity across the fixed number of rounds.  Trees are built
      in rounds of [batch]: every tree of a round shares the penalties
      accumulated by earlier rounds and gets its own index-keyed RNG child,
-     so rounds parallelize with results identical for any job count (the
-     round structure depends on [batch], never on [jobs]). *)
+     so the mixture depends on [batch] but never on [jobs].  The trees of a
+     round are built one after another — the parallelism lives {e inside}
+     each build (per-level center batches in {!Frt.build}) and inside each
+     {!tree_loads} pass (edge chunks), where it scales with the graph
+     instead of with the round width. *)
   let eta = 1.0 in
   let base_rng = Rng.split rng in
   let forest_rev = ref [] in
@@ -50,10 +84,10 @@ let forest ?pool rng ?trees ?(batch = 4) g =
         let max_cum = Array.fold_left Float.max 0.0 cum in
         let length e = Float.exp (eta *. (cum.(e) -. max_cum)) /. Graph.cap g e in
         let round =
-          Pool.parallel_init ?pool b (fun i ->
+          Array.init b (fun i ->
               let tree_rng = Rng.split_at base_rng (first + i) in
-              let tree = Frt.build tree_rng g ~length in
-              (tree, tree_loads g tree))
+              let tree = Frt.build ?pool tree_rng g ~length in
+              (tree, tree_loads ?pool g tree))
         in
         Array.iteri
           (fun i (tree, loads) ->

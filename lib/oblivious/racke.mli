@@ -21,10 +21,12 @@ val routing :
     [2·⌈log₂ n⌉ + 4]).  Construction cost: [trees] FRT builds plus one
     capacity-routing pass per tree.  Trees are sampled in rounds of
     [batch] (default 4): trees within a round share the penalty state of
-    the previous rounds and are built concurrently on [pool] (default: the
-    process pool), each from its own index-keyed RNG child — the result is
-    bit-identical for any job count because the round structure depends
-    only on [batch]. *)
+    the previous rounds, each from its own index-keyed RNG child, so the
+    mixture depends on [batch] but never on the job count.  Parallelism
+    runs on [pool] (default: the process pool) {e inside} each tree —
+    per-level center batches in {!Frt.build} and edge chunks in
+    {!tree_loads} — where it scales with the graph instead of with the
+    round width; the result is bit-identical for any job count. *)
 
 val default_trees : Sso_graph.Graph.t -> int
 (** The default tree count, [2·⌈log₂ n⌉ + 4]. *)
@@ -40,7 +42,10 @@ val of_forest : Sso_graph.Graph.t -> Frt.t list -> Oblivious.t
 (** The uniform mixture over an already-built forest.
     [routing rng g = of_forest g (forest rng g)]. *)
 
-val tree_loads : Sso_graph.Graph.t -> Frt.t -> float array
+val tree_loads :
+  ?pool:Sso_engine.Pool.t -> Sso_graph.Graph.t -> Frt.t -> float array
 (** Relative load per edge when each graph edge routes its capacity along
     the tree path between its endpoints — the penalty signal of the MWU
-    loop, exposed for tests and diagnostics. *)
+    loop, exposed for tests and diagnostics.  Edges are routed in fixed
+    chunks on [pool] and merged in chunk order, so the float sums are
+    identical at any job count. *)

@@ -7,7 +7,9 @@
 # across all runs, the warm runs must record cache hits, and every run
 # must clear the 4x bytes/pair reduction gate (the bench exits 1 below
 # it).  Also checks that `sso cache stat` reports the alpha-sample
-# payloads the cold run deposited.
+# payloads the cold run deposited.  A one-tree Räcke forest rides along
+# (--scale-racke-trees 1): its printed digest must agree between the cold
+# run and both warm runs, which read the forest back from the cache.
 . "$(dirname "$0")/smoke_lib.sh"
 cache="$dir/cache"
 
@@ -15,10 +17,12 @@ run() {
   jobs="$1"
   out="$2"
   shift 2
-  "$BENCH" --scale --scale-k 200 --scale-pairs 256 --jobs "$jobs" \
-    --cache-dir "$cache" "$@" > "$dir/$out.raw"
-  # The materialize line is wall-clock; everything else is deterministic.
-  sed 's/^materialize: .*/materialize: X/' "$dir/$out.raw" > "$dir/$out"
+  "$BENCH" --scale --scale-k 200 --scale-pairs 256 --scale-racke-trees 1 \
+    --jobs "$jobs" --cache-dir "$cache" "$@" > "$dir/$out.raw"
+  # The materialize and racke build lines are wall-clock; everything else
+  # is deterministic.
+  sed -e 's/^materialize: .*/materialize: X/' \
+    -e 's/^racke build: .*/racke build: X/' "$dir/$out.raw" > "$dir/$out"
 }
 
 run 1 cold.txt --json "$dir/cold.json"
@@ -29,6 +33,8 @@ cmp "$dir/cold.txt" "$dir/warm4.txt"
 
 grep -q '^system digest: [0-9a-f]\{16\}$' "$dir/cold.txt"
 grep -q '^scale: ok' "$dir/cold.txt"
+grep -q '^racke forest digest: [0-9a-f]\{16\}$' "$dir/cold.txt"
+grep -q '^racke: ok' "$dir/cold.txt"
 
 # The cold run must deposit the alpha-sample payload; both warm runs must
 # read it back.

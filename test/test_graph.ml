@@ -207,6 +207,77 @@ let test_all_pairs_hops () =
   Alcotest.(check int) "opposite" 3 d.(0).(3);
   Alcotest.(check int) "adjacent" 1 d.(2).(3)
 
+(* Truncated / multi-source Dijkstra balls *)
+
+let test_ball_matches_full_dijkstra () =
+  (* At every radius, the ball settles exactly the vertices the full run
+     puts within it, with bit-identical distances. *)
+  let g = Gen.random_regular (Rng.create 31) 40 4 in
+  let wr = Rng.create 32 in
+  let weights = Array.init (Graph.m g) (fun _ -> 0.25 +. Rng.float wr) in
+  let full, _ = Shortest.dijkstra g ~weight:(fun e -> weights.(e)) 5 in
+  let ws = Shortest.Workspace.create () in
+  List.iter
+    (fun radius ->
+      let settled = Hashtbl.create 64 in
+      Shortest.dijkstra_ball_into ws g ~weights ~radius ~sources:[| 5 |]
+        (fun v d -> Hashtbl.replace settled v d);
+      for v = 0 to Graph.n g - 1 do
+        match Hashtbl.find_opt settled v with
+        | Some d ->
+            Alcotest.(check bool) "within radius" true (d <= radius);
+            Alcotest.(check (float 0.0)) "distance bit-identical" full.(v) d
+        | None -> Alcotest.(check bool) "outside radius" true (full.(v) > radius)
+      done)
+    [ 0.0; 0.7; 1.9; infinity ]
+
+let test_ball_multi_source () =
+  (* Multi-source distances are the pointwise minimum over the sources. *)
+  let g = Gen.grid 5 5 in
+  let weights = Array.make (Graph.m g) 1.0 in
+  let d0, _ = Shortest.dijkstra g ~weight:(fun _ -> 1.0) 0 in
+  let d24, _ = Shortest.dijkstra g ~weight:(fun _ -> 1.0) 24 in
+  let ws = Shortest.Workspace.create () in
+  let settled = Array.make 25 infinity in
+  Shortest.dijkstra_ball_into ws g ~weights ~radius:infinity
+    ~sources:[| 0; 24 |] (fun v d -> settled.(v) <- d);
+  for v = 0 to 24 do
+    Alcotest.(check (float 0.0)) "min over sources"
+      (Float.min d0.(v) d24.(v))
+      settled.(v)
+  done
+
+let test_ball_negative_radius_empty () =
+  let g = Gen.grid 3 3 in
+  let weights = Array.make (Graph.m g) 1.0 in
+  let ws = Shortest.Workspace.create () in
+  let count = ref 0 in
+  Shortest.dijkstra_ball_into ws g ~weights ~radius:(-1.0) ~sources:[| 0 |]
+    (fun _ _ -> incr count);
+  Alcotest.(check int) "settles nothing" 0 !count
+
+let test_ball_prune_equals_radius () =
+  (* Pruning candidates past r under an infinite radius is the same run as
+     radius r with no pruning (the prune hook sees tentative distances,
+     which for an admitted vertex equal its settled distance). *)
+  let g = Gen.random_regular (Rng.create 33) 30 4 in
+  let wr = Rng.create 34 in
+  let weights = Array.init (Graph.m g) (fun _ -> 0.5 +. Rng.float wr) in
+  let ws = Shortest.Workspace.create () in
+  let r = 2.0 in
+  let a = Hashtbl.create 32 and b = Hashtbl.create 32 in
+  Shortest.dijkstra_ball_into ws g ~weights ~radius:r ~sources:[| 3 |]
+    (fun v d -> Hashtbl.replace a v d);
+  Shortest.dijkstra_ball_into ws g ~weights ~radius:infinity
+    ~prune:(fun _ nd -> nd > r)
+    ~sources:[| 3 |]
+    (fun v d -> Hashtbl.replace b v d);
+  Alcotest.(check int) "same ball size" (Hashtbl.length a) (Hashtbl.length b);
+  Hashtbl.iter
+    (fun v d ->
+      Alcotest.(check (float 0.0)) "same distance" d (Hashtbl.find b v))
+    a
+
 (* Yen's k shortest paths *)
 
 let test_yen_counts_and_order () =
@@ -1126,6 +1197,12 @@ let () =
           Alcotest.test_case "hop-limited infeasible" `Quick test_hop_limited_infeasible;
           Alcotest.test_case "diameter" `Quick test_diameter;
           Alcotest.test_case "all pairs hops" `Quick test_all_pairs_hops;
+          Alcotest.test_case "ball vs full run" `Quick test_ball_matches_full_dijkstra;
+          Alcotest.test_case "ball multi-source" `Quick test_ball_multi_source;
+          Alcotest.test_case "ball negative radius" `Quick
+            test_ball_negative_radius_empty;
+          Alcotest.test_case "ball prune = radius" `Quick
+            test_ball_prune_equals_radius;
         ] );
       ( "yen",
         [

@@ -17,6 +17,8 @@ module Ksp = Sso_oblivious.Ksp
 module Frt = Sso_oblivious.Frt
 module Racke = Sso_oblivious.Racke
 module Hop_constrained = Sso_oblivious.Hop_constrained
+module Pool = Sso_engine.Pool
+module Obs = Sso_obs.Obs
 
 let check_distribution_valid g obl pairs =
   List.iter
@@ -245,6 +247,44 @@ let test_frt_cluster_centers () =
     Alcotest.(check int) "shared top center" c0 (Frt.cluster_center tree v top)
   done
 
+let test_frt_rejects_disconnected () =
+  let b = Graph.Builder.create 4 in
+  ignore (Graph.Builder.add_edge b 0 1);
+  ignore (Graph.Builder.add_edge b 2 3);
+  let g = Graph.Builder.build b in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument
+       "Frt.build: graph is disconnected (vertex 2 is unreachable from \
+        vertex 0)")
+    (fun () -> ignore (Frt.build (Rng.create 1) g ~length:(fun _ -> 1.0)))
+
+let test_frt_hub_cache_budget () =
+  (* A starvation-level hub cache budget forces evictions but must not
+     change any route. *)
+  let g = Gen.grid 4 4 in
+  let length _ = 1.0 in
+  let corners = [ 0; 3; 5; 10; 12; 15 ] in
+  let pairs =
+    List.concat_map
+      (fun s ->
+        List.filter_map (fun t -> if s = t then None else Some (s, t)) corners)
+      corners
+  in
+  let routes tree = List.map (fun (s, t) -> Frt.route tree s t) pairs in
+  let reference = routes (Frt.build (Rng.create 77) g ~length) in
+  let evict = Obs.counter "frt.hub_evict" in
+  let before = Obs.counter_value evict in
+  Frt.set_hub_cache_budget (Some 1);
+  Fun.protect
+    ~finally:(fun () -> Frt.set_hub_cache_budget None)
+    (fun () ->
+      let tiny = Frt.build (Rng.create 77) g ~length in
+      let got = routes tiny in
+      Alcotest.(check bool) "routes independent of budget" true
+        (List.for_all2 Path.equal reference got));
+  Alcotest.(check bool) "evictions counted" true
+    (Obs.counter_value evict > before)
+
 (* Räcke *)
 
 let test_racke_valid () =
@@ -417,7 +457,123 @@ let test_ecube_is_shortest_on_cube () =
     Alcotest.(check int) "greedy is shortest" (popcount t) (Path.hops p)
   done
 
+let test_frt_forest_jobs_invariant () =
+  (* Bit-identical forests at any job count: the batched ball-growing
+     schedule is a function of the claim state alone, and batches merge
+     serially in permutation order. *)
+  let g = Gen.random_regular (Rng.create 51) 1000 4 in
+  let with_pool jobs f =
+    let p = Pool.create ~jobs () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+  in
+  let build pool = Racke.forest ~pool (Rng.create 52) ~trees:3 ~batch:2 g in
+  let f1 = with_pool 1 build and f4 = with_pool 4 build in
+  Alcotest.(check bool) "forests bit-identical across job counts" true
+    (List.map Frt.to_parts f1 = List.map Frt.to_parts f4)
+
 (* Cross-cutting properties *)
+
+(* Executable spec for Frt.build: the historical all-pairs construction —
+   full distance matrix, per-vertex scan of the permutation for the first
+   center within the level radius.  Replays the exact draw order and
+   arithmetic of the ball-growing build, so chains and cluster ids must
+   match it bitwise. *)
+let reference_frt_parts seed g ~lengths =
+  let n = Graph.n g in
+  let rng = Rng.create seed in
+  let clamped = Array.map (Float.max 1e-9) lengths in
+  let weight e = clamped.(e) in
+  let dist = Array.init n (fun s -> fst (Shortest.dijkstra g ~weight s)) in
+  let delta = Array.fold_left Float.min infinity clamped in
+  (* The build shortcuts delta_min to the minimum clamped edge length;
+     check that against the real minimum pairwise distance. *)
+  let min_pair = ref infinity in
+  for s = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      if s <> t && dist.(s).(t) < !min_pair then min_pair := dist.(s).(t)
+    done
+  done;
+  assert (!min_pair = delta);
+  let ecc src =
+    let best = ref 0.0 and far = ref src in
+    for v = 0 to n - 1 do
+      if dist.(src).(v) > !best then begin
+        best := dist.(src).(v);
+        far := v
+      end
+    done;
+    (!best, !far)
+  in
+  let diameter_ub =
+    if n <= 1 then 0.0
+    else
+      let ecc0, far = ecc 0 in
+      let ecc1, _ = ecc far in
+      2.0 *. Float.min ecc0 ecc1
+  in
+  let diameter = diameter_ub /. delta in
+  let beta = 1.0 +. Rng.float rng in
+  let levels =
+    let rec go i r = if r >= diameter then i else go (i + 1) (r *. 2.0) in
+    go 1 beta
+  in
+  let pi = Rng.permutation rng n in
+  let chain = Array.init n (fun v -> Array.make (levels + 1) v) in
+  let cluster_id = Array.init n (fun v -> Array.make (levels + 1) v) in
+  let next_id = ref n in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let top_id = fresh () in
+  for v = 0 to n - 1 do
+    chain.(v).(levels) <- pi.(0);
+    cluster_id.(v).(levels) <- top_id
+  done;
+  for i = levels - 1 downto 1 do
+    let radius = beta *. Float.pow 2.0 (float_of_int (i - 1)) *. delta in
+    for v = 0 to n - 1 do
+      let rec first k =
+        if dist.(pi.(k)).(v) <= radius then pi.(k) else first (k + 1)
+      in
+      chain.(v).(i) <- first 0
+    done;
+    let ids = Hashtbl.create 64 in
+    for v = 0 to n - 1 do
+      let key = (cluster_id.(v).(i + 1), chain.(v).(i)) in
+      let id =
+        match Hashtbl.find_opt ids key with
+        | Some id -> id
+        | None ->
+            let id = fresh () in
+            Hashtbl.add ids key id;
+            id
+      in
+      cluster_id.(v).(i) <- id
+    done
+  done;
+  (levels, chain, cluster_id)
+
+let prop_frt_ball_growing_matches_all_pairs =
+  QCheck.Test.make
+    ~name:"ball-growing FRT equals the all-pairs construction" ~count:25
+    QCheck.small_int (fun seed ->
+      let g =
+        if seed mod 2 = 0 then Gen.grid 4 4
+        else Gen.erdos_renyi (Rng.create (seed + 900)) 14 0.35
+      in
+      if not (Graph.is_connected g) then true
+      else begin
+        let lr = Rng.create (seed + 1000) in
+        let lengths = Array.init (Graph.m g) (fun _ -> Rng.float lr *. 3.0) in
+        let tree = Frt.build (Rng.create seed) g ~length:(fun e -> lengths.(e)) in
+        let parts = Frt.to_parts tree in
+        let levels, chain, cluster_id = reference_frt_parts seed g ~lengths in
+        parts.Frt.p_levels = levels
+        && parts.Frt.p_chain = chain
+        && parts.Frt.p_cluster_id = cluster_id
+      end)
 
 let prop_sample_matches_support =
   QCheck.Test.make ~name:"samples always come from the declared support" ~count:40
@@ -489,6 +645,8 @@ let () =
           Alcotest.test_case "consistent" `Quick test_frt_consistent_routing;
           Alcotest.test_case "stretch reasonable" `Quick test_frt_stretch_reasonable;
           Alcotest.test_case "cluster centers" `Quick test_frt_cluster_centers;
+          Alcotest.test_case "rejects disconnected" `Quick test_frt_rejects_disconnected;
+          Alcotest.test_case "hub cache budget" `Quick test_frt_hub_cache_budget;
         ] );
       ( "racke",
         [
@@ -497,6 +655,8 @@ let () =
           Alcotest.test_case "competitive small" `Slow test_racke_competitive_small;
           Alcotest.test_case "spreads on two cliques" `Slow test_racke_spreads_on_two_cliques;
           Alcotest.test_case "tree loads" `Quick test_tree_loads_positive;
+          Alcotest.test_case "forest jobs invariant" `Quick
+            test_frt_forest_jobs_invariant;
         ] );
       ( "trees",
         [
@@ -523,5 +683,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_sample_matches_support; prop_to_routing_congestion_matches ] );
+          [
+            prop_frt_ball_growing_matches_all_pairs;
+            prop_sample_matches_support;
+            prop_to_routing_congestion_matches;
+          ] );
     ]
