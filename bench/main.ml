@@ -991,15 +991,26 @@ let kernels () =
   Printf.printf "MWU tree mixture).\n"
 
 (* ------------------------------------------------------------------ *)
-(* --obs-guard: assert that the observability layer is actually free
-   when tracing is off.  Runs the kernel suite twice with tracing
-   disabled (their spread bounds machine noise), then compares against
-   the committed BENCH_kernels.json post_seconds baseline recorded
-   before lib/obs existed.  A third, tracing-enabled pass is reported
-   for context but not gated (event emission is allowed to cost). *)
+(* --obs-guard: assert that the observability layer is cheap enough to
+   leave on.  Three guarded surfaces:
+
+   1. tracing off — the kernel suite runs twice with tracing disabled
+      (their spread bounds machine noise) and is compared against the
+      committed BENCH_kernels.json post_seconds baseline recorded before
+      lib/obs existed;
+   2. live telemetry — a third pass wraps every kernel call exactly like
+      a serve tick (wall-timed, duration into a rolling quantile, a
+      gauge set) and is gated against the tracing-off pass, so the
+      serve-loop instrumentation provably rides for free;
+   3. primitive cost — ns/op microbenches for [set_gauge] and
+      [observe_quantile] plus one [snapshot]+[expose] render, recorded
+      as scalars (not gated: absolute ns, not a ratio).
+
+   A fourth, tracing-enabled pass is reported for context but not gated
+   (event emission is allowed to cost). *)
 
 let obs_guard () =
-  header "obs-guard  (tracing-off overhead vs BENCH_kernels.json)";
+  header "obs-guard  (tracing-off + telemetry overhead vs BENCH_kernels.json)";
   let cases = kernel_cases () in
   let measure () =
     List.map (fun (name, f) -> (name, timed_best ~reps:5 f)) cases
@@ -1007,10 +1018,45 @@ let obs_guard () =
   Obs.set_tracing false;
   let off1 = measure () in
   let off2 = measure () in
+  let tel =
+    List.map
+      (fun (name, f) ->
+        let q = Obs.quantile (Printf.sprintf "obs_guard.%s.ns" name) in
+        let g = Obs.gauge (Printf.sprintf "obs_guard.%s.last_ns" name) in
+        ( name,
+          timed_best ~reps:5 (fun () ->
+              let t0 = Obs.now_ns () in
+              f ();
+              let d = Obs.now_ns () - t0 in
+              Obs.observe_quantile q d;
+              Obs.set_gauge g (float_of_int d)) ))
+      cases
+  in
   Obs.set_tracing true;
   let on_ = measure () in
   Obs.set_tracing false;
   Obs.clear_trace ();
+  let micro_ns ops f =
+    let t0 = Obs.now_ns () in
+    for i = 1 to ops do
+      f i
+    done;
+    float_of_int (Obs.now_ns () - t0) /. float_of_int ops
+  in
+  let mq = Obs.quantile "obs_guard.micro_quantile" in
+  let mg = Obs.gauge "obs_guard.micro_gauge" in
+  let quantile_ns = micro_ns 1_000_000 (fun i -> Obs.observe_quantile mq i) in
+  let gauge_ns = micro_ns 1_000_000 (fun i -> Obs.set_gauge mg (float_of_int i)) in
+  let expose_s =
+    timed_best ~reps:5 (fun () -> ignore (Obs.expose (Obs.snapshot ())))
+  in
+  scalar "obs_guard.quantile_ns_per_op" quantile_ns;
+  scalar "obs_guard.gauge_ns_per_op" gauge_ns;
+  scalar "obs_guard.expose_seconds" expose_s;
+  Printf.printf
+    "primitives: observe_quantile %.0f ns/op  set_gauge %.0f ns/op  \
+     snapshot+expose %.4f s\n"
+    quantile_ns gauge_ns expose_s;
   let baseline =
     match In_channel.with_open_bin "BENCH_kernels.json" In_channel.input_all with
     | text -> (
@@ -1030,23 +1076,33 @@ let obs_guard () =
         Printf.printf "(no BENCH_kernels.json in cwd: baseline gate skipped)\n";
         []
   in
-  Printf.printf "%-26s %10s %10s %7s %10s %7s\n" "kernel" "off(s)" "on(s)"
-    "drift%" "base(s)" "ratio";
+  Printf.printf "%-26s %10s %10s %10s %7s %7s %10s %7s\n" "kernel" "off(s)"
+    "tel(s)" "on(s)" "tel_x" "drift%" "base(s)" "ratio";
   let failed = ref false in
   List.iter
     (fun (name, a) ->
       let b = List.assoc name off2 in
+      let t_tel = List.assoc name tel in
       let t_on = List.assoc name on_ in
       let off = Float.min a b in
       let drift = Float.abs (a -. b) /. Float.max a b *. 100.0 in
+      let tel_ratio = t_tel /. off in
       scalar (Printf.sprintf "obs_guard.%s.off_seconds" name) off;
+      scalar (Printf.sprintf "obs_guard.%s.tel_seconds" name) t_tel;
+      scalar (Printf.sprintf "obs_guard.%s.tel_ratio" name) tel_ratio;
       scalar (Printf.sprintf "obs_guard.%s.on_seconds" name) t_on;
       scalar (Printf.sprintf "obs_guard.%s.drift_pct" name) drift;
       let base = List.assoc_opt name baseline in
       let ratio = Option.map (fun b0 -> off /. b0) base in
-      Printf.printf "%-26s %10.4f %10.4f %6.1f%% %10s %7s\n" name off t_on drift
+      Printf.printf "%-26s %10.4f %10.4f %10.4f %7.2f %6.1f%% %10s %7s\n" name
+        off t_tel t_on tel_ratio drift
         (match base with Some b0 -> Printf.sprintf "%.4f" b0 | None -> "-")
         (match ratio with Some r -> Printf.sprintf "%.2f" r | None -> "-");
+      if tel_ratio > 1.25 then begin
+        failed := true;
+        Printf.printf "FAIL %s: per-call telemetry run is %.2fx tracing-off\n"
+          name tel_ratio
+      end;
       (match ratio with
       | Some r ->
           scalar (Printf.sprintf "obs_guard.%s.ratio" name) r;
@@ -1061,10 +1117,13 @@ let obs_guard () =
           name drift)
     off1;
   if !failed then begin
-    Printf.printf "obs-guard: FAILED (tracing-off overhead above 1.25x baseline)\n";
+    Printf.printf
+      "obs-guard: FAILED (tracing-off or telemetry overhead above 1.25x)\n";
     exit 1
   end
-  else Printf.printf "obs-guard: ok (tracing off is within noise of baseline)\n"
+  else
+    Printf.printf
+      "obs-guard: ok (tracing off and per-call telemetry within noise)\n"
 
 (* ------------------------------------------------------------------ *)
 (* --faults: the fault-injection family (BENCH_faults.json): scenario

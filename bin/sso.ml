@@ -40,9 +40,11 @@ module Trace = Sso_obs.Trace
 open Cmdliner
 
 (* Exit codes for cache problems, distinct from cmdliner's 124/125:
-   10 = the store directory is unreadable, 11 = corrupt entries seen. *)
+   10 = the store directory is unreadable, 11 = corrupt entries seen,
+   12 = a --slo-p99-ms budget burned during serve replay. *)
 let exit_unreadable = 10
 let exit_corrupt = 11
+let exit_slo = 12
 
 (* ---- shared argument parsers ---- *)
 
@@ -876,6 +878,27 @@ let serve_cmd =
       let doc = "Emit deterministic JSON (byte-identical for any $(b,--jobs))." in
       Arg.(value & flag & info [ "json" ] ~doc)
     in
+    let metrics_out_arg =
+      let doc =
+        "Write a Prometheus text-exposition snapshot of the metrics registry \
+         (per-tick latency quantiles, throughput/staleness gauges, GC gauges) \
+         to $(docv) after every tick and at the end.  Writes are atomic \
+         (temp + rename), so a scraper never sees a torn file."
+      in
+      Arg.(
+        value & opt (some string) None
+        & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+    in
+    let slo_arg =
+      let doc =
+        "p99 budget for per-tick solve latency, in milliseconds.  After the \
+         replay, the SLO verdict is reported on stderr; a burned budget \
+         (p99 over $(docv)) exits 12.  Stdout stays byte-identical."
+      in
+      Arg.(
+        value & opt (some float) None
+        & info [ "slo-p99-ms" ] ~docv:"MS" ~doc)
+    in
     let parse_solver solver_spec =
       match String.split_on_char ':' solver_spec with
       | [ "lp" ] -> Semi_oblivious.Lp
@@ -897,8 +920,14 @@ let serve_cmd =
         r.Serve.staleness
     in
     let run stream family size alpha base solver_spec warm_iters warm_weight
-        refresh simulate period json seed jobs cache no_cache cache_dir trace =
+        refresh simulate period json metrics_out slo_p99_ms seed jobs cache
+        no_cache cache_dir trace =
       set_jobs jobs;
+      (match slo_p99_ms with
+      | Some b when not (b > 0.0) ->
+          Printf.eprintf "sso serve: --slo-p99-ms must be positive, got %g\n" b;
+          exit 124
+      | _ -> ());
       start_trace trace;
       let store = open_store cache no_cache cache_dir in
       let events =
@@ -933,21 +962,46 @@ let serve_cmd =
           refresh_every = refresh }
       in
       let srv = Serve.create ~config g system in
+      (* Periodic exposition writer: refresh GC gauges, freeze the whole
+         registry, render, atomic write — wall-clock data flows only to
+         this file, never to stdout or the digest. *)
+      let write_metrics =
+        match metrics_out with
+        | None -> None
+        | Some path ->
+            Some
+              (fun () ->
+                Obs.sample_gc_gauges ();
+                let text = Obs.expose (Obs.snapshot ()) in
+                let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+                try
+                  let oc = open_out_bin tmp in
+                  output_string oc text;
+                  close_out oc;
+                  Sys.rename tmp path
+                with Sys_error msg ->
+                  Printf.eprintf "sso serve: cannot write metrics: %s\n" msg;
+                  exit exit_unreadable)
+      in
+      let on_tick =
+        Option.map (fun write (_ : Serve.report) _ -> write ()) write_metrics
+      in
       let t0 = Obs.now_ns () in
       let outcome, reports =
         match
           if simulate then
             let outcome, reports =
-              Serve.simulate sim_rng ~period srv events
+              Serve.simulate ?on_tick sim_rng ~period srv events
             in
             (Some outcome, reports)
-          else (None, Serve.replay srv events)
+          else (None, Serve.replay ?on_tick srv events)
         with
         | result -> result
         | exception Update.Corrupt msg ->
             Printf.eprintf "sso serve: %s\n" msg;
             exit exit_corrupt
       in
+      Option.iter (fun write -> write ()) write_metrics;
       let wall_ns = Obs.now_ns () - t0 in
       let digest =
         match Serve.routing srv with
@@ -1038,15 +1092,29 @@ let serve_cmd =
         (List.length events)
         (float_of_int wall_ns /. 1e6)
         (float_of_int (List.length events) /. (float_of_int wall_ns /. 1e9));
-      finish_trace ~seed trace
+      finish_trace ~seed trace;
+      (* SLO verdict last, on stderr only (wall clock): the trace and all
+         deterministic output are complete before a burn exits 12. *)
+      match slo_p99_ms with
+      | None -> ()
+      | Some budget_ms ->
+          let slo = Serve.check_slo ~budget_ms reports in
+          Printf.eprintf
+            "slo: p99 solve %.3f ms vs budget %.3f ms — %s (%d/%d ticks over \
+             budget)\n"
+            slo.Serve.p99_ms slo.Serve.p99_budget_ms
+            (if slo.Serve.burned then "BURNED" else "ok")
+            slo.Serve.burns (List.length reports);
+          if slo.Serve.burned then exit exit_slo
     in
     let doc = "replay a logged update stream through the routing service" in
     Cmd.v (Cmd.info "replay" ~doc)
       Term.(
         const run $ stream_pos $ family_arg $ size_arg $ alpha_arg $ base_arg
         $ solver_arg $ warm_iters_arg $ warm_weight_arg $ refresh_arg
-        $ simulate_arg $ period_arg $ json_arg $ seed_arg $ jobs_arg
-        $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
+        $ simulate_arg $ period_arg $ json_arg $ metrics_out_arg $ slo_arg
+        $ seed_arg $ jobs_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
+        $ trace_arg)
   in
   let doc = "long-lived routing service: generate and replay update streams" in
   Cmd.group (Cmd.info "serve" ~doc) [ generate_cmd; replay_cmd ]
@@ -1207,6 +1275,12 @@ let trace_cmd =
         t.Trace.meta;
       Printf.printf "events     %d (%d dropped at capture)\n"
         (List.length t.Trace.events) t.Trace.dropped;
+      if t.Trace.dropped > 0 then
+        Printf.printf
+          "WARNING    ring buffers saturated at capture: %d events were \
+           dropped, so the aggregates below are incomplete (raise \
+           Obs.set_ring_capacity or trace a smaller run)\n"
+          t.Trace.dropped;
       let spans = Trace.span_totals t.Trace.events in
       if spans <> [] then begin
         Printf.printf "\n%-36s %8s %12s\n" "span" "calls" "total ms";
@@ -1342,9 +1416,58 @@ let trace_cmd =
     Cmd.v (Cmd.info "diff" ~doc)
       Term.(const run $ trace_pos 0 $ trace_pos 1)
   in
+  let flame_cmd =
+    let weight_arg =
+      let doc =
+        "Stack weight: $(b,ns) (self time, the flamegraph default) or \
+         $(b,calls) (call counts — jobs-invariant, byte-identical for any \
+         $(b,--jobs) of the traced run)."
+      in
+      Arg.(value & opt string "ns" & info [ "weight" ] ~docv:"WEIGHT" ~doc)
+    in
+    let run path weight =
+      (match weight with
+      | "ns" | "calls" -> ()
+      | other ->
+          Printf.eprintf "sso trace: --weight must be ns or calls, got %S\n"
+            other;
+          exit 124);
+      let t = load path in
+      (* One folded line per distinct span path — feed to flamegraph.pl or
+         speedscope.  Self time only: a parent's line excludes its
+         children, so the weights sum to total traced time. *)
+      List.iter
+        (fun (stack, calls, self_ns) ->
+          Printf.printf "%s %d\n" stack
+            (if weight = "calls" then calls else self_ns))
+        (Trace.folded_stacks t.Trace.events)
+    in
+    let doc = "folded flamegraph stacks (span path, self weight) from a trace" in
+    Cmd.v (Cmd.info "flame" ~doc) Term.(const run $ trace_pos 0 $ weight_arg)
+  in
+  let top_cmd =
+    let run path =
+      let t = load path in
+      let rows = Trace.self_totals t.Trace.events in
+      let traced_self =
+        List.fold_left (fun acc (_, _, _, self) -> acc + self) 0 rows
+      in
+      Printf.printf "%-36s %8s %12s %12s %7s\n" "span" "calls" "self ms"
+        "total ms" "self%";
+      List.iter
+        (fun (name, calls, total_ns, self_ns) ->
+          Printf.printf "%-36s %8d %12.3f %12.3f %6.1f%%\n" name calls
+            (ms self_ns) (ms total_ns)
+            (100.0 *. float_of_int self_ns
+            /. float_of_int (max 1 traced_self)))
+        rows
+    in
+    let doc = "rank spans by self time (duration minus child spans)" in
+    Cmd.v (Cmd.info "top" ~doc) Term.(const run $ trace_pos 0)
+  in
   let doc = "analyze JSONL execution traces recorded with --trace" in
   Cmd.group (Cmd.info "trace" ~doc)
-    [ summary_cmd; spans_cmd; convergence_cmd; diff_cmd ]
+    [ summary_cmd; spans_cmd; convergence_cmd; diff_cmd; flame_cmd; top_cmd ]
 
 (* ---- theory ---- *)
 

@@ -12,7 +12,10 @@
 # arena path storage at scale (--scale on a 50k-switch fat-tree,
 # warm-cache byte-identical to cold, bytes/pair reduction gate), and the
 # routing service via `sso serve` (a 10k-update churn stream replayed
-# byte-identically at --jobs 1 and 4, stream exit codes 10/11 honored).
+# byte-identically at --jobs 1 and 4, stream exit codes 10/11 honored),
+# and the telemetry layer (a --metrics-out Prometheus exposition scrape
+# validated line by line, the --slo-p99-ms burn exit, and jobs-invariant
+# `sso trace flame` folded stacks).
 set -eux
 
 dune build
@@ -24,3 +27,4 @@ dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
 ./faults_smoke.sh
 ./scale_smoke.sh
 ./serve_smoke.sh
+./obs_smoke.sh

@@ -61,7 +61,9 @@ let all_buffers : buffer list ref = ref []
 let ring_capacity = Atomic.make (1 lsl 20)
 
 let set_ring_capacity n =
-  if n < 1 then invalid_arg "Obs.set_ring_capacity: capacity must be >= 1";
+  if n < 1 then
+    invalid_arg
+      (Printf.sprintf "Obs.set_ring_capacity: capacity must be >= 1, got %d" n);
   Atomic.set ring_capacity n
 
 let buffer_key : buffer Domain.DLS.key =
@@ -150,10 +152,31 @@ type span = {
   shist : histogram;
 }
 
+type gauge = { gname : string; gvalue : float Atomic.t }
+
+(* A rolling-window quantile sketch: the log2 bucket of each of the last
+   [window] observations, plus per-bucket occupancy over that window.
+   Quantile estimates are bucket upper boundaries, so for the same
+   observation sequence the estimate is exact-deterministic — there is no
+   sampling and no merge order.  All-time count/sum ride along for the
+   Prometheus summary lines. *)
+type quantile = {
+  qname : string;
+  q_lock : Mutex.t;
+  q_window : int array; (* circular: bucket index per retained sample *)
+  mutable q_len : int;
+  mutable q_pos : int; (* next write position *)
+  q_buckets : int array; (* occupancy per bucket over the window *)
+  mutable q_count : int; (* all-time observations *)
+  mutable q_sum : int; (* all-time sum *)
+}
+
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let spans : (string, span) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+let quantiles : (string, quantile) Hashtbl.t = Hashtbl.create 32
 
 let registered tbl make name =
   Mutex.lock lock;
@@ -201,6 +224,86 @@ let observe h v =
   ignore (Atomic.fetch_and_add h.h_sum v);
   Atomic.incr h.h_buckets.(bucket_of v)
 
+let gauge name =
+  registered gauges (fun gname -> { gname; gvalue = Atomic.make 0.0 }) name
+
+let set_gauge g v = Atomic.set g.gvalue v
+let gauge_value g = Atomic.get g.gvalue
+
+let default_quantile_window = 1024
+
+let quantile ?(window = default_quantile_window) name =
+  if window < 1 then
+    invalid_arg
+      (Printf.sprintf "Obs.quantile: window must be >= 1, got %d" window);
+  registered quantiles
+    (fun qname ->
+      {
+        qname;
+        q_lock = Mutex.create ();
+        q_window = Array.make window 0;
+        q_len = 0;
+        q_pos = 0;
+        q_buckets = Array.make 63 0;
+        q_count = 0;
+        q_sum = 0;
+      })
+    name
+
+let observe_quantile q v =
+  let b = bucket_of v in
+  Mutex.lock q.q_lock;
+  let cap = Array.length q.q_window in
+  if q.q_len = cap then
+    (* Saturated: the slot being overwritten holds the oldest sample. *)
+    q.q_buckets.(q.q_window.(q.q_pos)) <- q.q_buckets.(q.q_window.(q.q_pos)) - 1
+  else q.q_len <- q.q_len + 1;
+  q.q_window.(q.q_pos) <- b;
+  q.q_pos <- (q.q_pos + 1) mod cap;
+  q.q_buckets.(b) <- q.q_buckets.(b) + 1;
+  q.q_count <- q.q_count + 1;
+  q.q_sum <- q.q_sum + v;
+  Mutex.unlock q.q_lock
+
+(* Upper boundary of log2 bucket [b]: bucket 0 holds samples <= 1, bucket
+   b >= 1 holds [2^b, 2^(b+1)-1].  Estimates quote these boundaries, never
+   interpolated sample values, so they are a pure function of the bucket
+   occupancy — identical for the same observations at any [--jobs]. *)
+let bucket_upper b = if b = 0 then 1.0 else Float.of_int ((1 lsl (b + 1)) - 1)
+
+let quantile_estimate_locked q p =
+  if q.q_len = 0 then Float.nan
+  else begin
+    let rank =
+      Int.max 1
+        (Int.min q.q_len
+           (int_of_float (Float.ceil (p *. float_of_int q.q_len))))
+    in
+    let b = ref 0 and cum = ref 0 in
+    while
+      !cum + q.q_buckets.(!b) < rank && !b < Array.length q.q_buckets - 1
+    do
+      cum := !cum + q.q_buckets.(!b);
+      b := !b + 1
+    done;
+    bucket_upper !b
+  end
+
+let quantile_estimate q p =
+  if not (p > 0.0 && p <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Obs.quantile_estimate: p must be in (0, 1], got %g" p);
+  Mutex.lock q.q_lock;
+  let v = quantile_estimate_locked q p in
+  Mutex.unlock q.q_lock;
+  v
+
+let quantile_count q =
+  Mutex.lock q.q_lock;
+  let c = q.q_count in
+  Mutex.unlock q.q_lock;
+  c
+
 let span name =
   (* Register the histogram first: [registered]'s lock is not reentrant,
      so it must not be created inside the make closure. *)
@@ -246,6 +349,17 @@ let reset_metrics () =
       Atomic.set h.h_sum 0;
       Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
     histograms;
+  Hashtbl.iter (fun _ g -> Atomic.set g.gvalue 0.0) gauges;
+  Hashtbl.iter
+    (fun _ q ->
+      Mutex.lock q.q_lock;
+      q.q_len <- 0;
+      q.q_pos <- 0;
+      Array.fill q.q_buckets 0 (Array.length q.q_buckets) 0;
+      q.q_count <- 0;
+      q.q_sum <- 0;
+      Mutex.unlock q.q_lock)
+    quantiles;
   Mutex.unlock lock
 
 let metrics_snapshot () =
@@ -362,6 +476,176 @@ let histogram_records () =
   Mutex.unlock lock;
   List.sort (fun a b -> compare a.Trace.h_name b.Trace.h_name) hs
 
+(* ---- Prometheus exposition ----
+
+   [snapshot] freezes the whole registry under the lock; [expose] renders
+   the frozen frame as Prometheus text exposition format v0.0.4.  Both
+   live outside every deterministic output path: exposition values carry
+   wall-clock latencies and GC state, so they must never feed digests or
+   byte-compared stdout — the same boundary [solve_ns] already draws. *)
+
+type exposition = {
+  x_counters : (string * int) list;
+  x_gauges : (string * float) list;
+  x_spans : (string * int * int) list; (* name, total_ns, calls *)
+  x_histograms : (string * int * int * (int * int) list) list;
+      (* name, count, sum, (bucket, occupancy) ascending *)
+  x_quantiles : (string * int * int * (float * float) list) list;
+      (* name, all-time count, all-time sum, (p, estimate) *)
+}
+
+let exposed_quantile_levels = [ 0.5; 0.9; 0.99 ]
+
+let snapshot () =
+  Mutex.lock lock;
+  let sorted_by_name key xs = List.sort (fun a b -> compare (key a) (key b)) xs in
+  let cs =
+    Hashtbl.fold (fun name c acc -> (name, Atomic.get c.value) :: acc) counters []
+  in
+  let gs =
+    Hashtbl.fold (fun name g acc -> (name, Atomic.get g.gvalue) :: acc) gauges []
+  in
+  let ss =
+    Hashtbl.fold
+      (fun name s acc -> (name, Atomic.get s.total_ns, Atomic.get s.calls) :: acc)
+      spans []
+  in
+  let hs =
+    Hashtbl.fold
+      (fun name h acc ->
+        let buckets = ref [] in
+        for b = Array.length h.h_buckets - 1 downto 0 do
+          let c = Atomic.get h.h_buckets.(b) in
+          if c > 0 then buckets := (b, c) :: !buckets
+        done;
+        (name, Atomic.get h.h_count, Atomic.get h.h_sum, !buckets) :: acc)
+      histograms []
+  in
+  let qs =
+    Hashtbl.fold
+      (fun name q acc ->
+        Mutex.lock q.q_lock;
+        let levels =
+          List.map (fun p -> (p, quantile_estimate_locked q p))
+            exposed_quantile_levels
+        in
+        let entry = (name, q.q_count, q.q_sum, levels) in
+        Mutex.unlock q.q_lock;
+        entry :: acc)
+      quantiles []
+  in
+  Mutex.unlock lock;
+  {
+    x_counters = sorted_by_name (fun (n, _) -> n) cs;
+    x_gauges = sorted_by_name (fun (n, _) -> n) gs;
+    x_spans = sorted_by_name (fun (n, _, _) -> n) ss;
+    x_histograms = sorted_by_name (fun (n, _, _, _) -> n) hs;
+    x_quantiles = sorted_by_name (fun (n, _, _, _) -> n) qs;
+  }
+
+(* GC gauges are sampled only when this is called (the serve metrics
+   writer does, right before each snapshot) — never from inside traced or
+   digest-producing code, where a [Gc.quick_stat] allocation would leak
+   timing state into deterministic output. *)
+let sample_gc_gauges () =
+  let st = Gc.quick_stat () in
+  set_gauge (gauge "gc.heap_words") (float_of_int st.Gc.heap_words);
+  set_gauge (gauge "gc.minor_collections") (float_of_int st.Gc.minor_collections);
+  set_gauge (gauge "gc.major_collections") (float_of_int st.Gc.major_collections);
+  set_gauge (gauge "gc.compactions") (float_of_int st.Gc.compactions)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*, so the registry's dotted names
+   are mapped to an sso_ prefix with every other character squashed to
+   '_'.  ("serve.solve_ns" -> "sso_serve_solve_ns".) *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 4) in
+  Buffer.add_string b "sso_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let expose x =
+  let buf = Buffer.create 4096 in
+  let head name kind help =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name ^ "_total" in
+      head n "counter" (Printf.sprintf "sso counter %s" name);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
+    x.x_counters;
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      head n "gauge" (Printf.sprintf "sso gauge %s" name);
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" n (prom_float v)))
+    x.x_gauges;
+  List.iter
+    (fun (name, total_ns, calls) ->
+      let n = prom_name name ^ "_ns_total" in
+      head n "counter" (Printf.sprintf "sso span %s wall time" name);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n total_ns);
+      let n = prom_name name ^ "_calls_total" in
+      head n "counter" (Printf.sprintf "sso span %s calls" name);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n calls))
+    x.x_spans;
+  List.iter
+    (fun (name, count, sum, buckets) ->
+      let n = prom_name name in
+      head n "histogram" (Printf.sprintf "sso log2 histogram %s" name);
+      let cum = ref 0 and next = ref 0 in
+      List.iter
+        (fun (b, c) ->
+          (* Emit every registered boundary up to [b] so the cumulative
+             series is monotone and gap-free. *)
+          while !next <= b do
+            if !next < b then
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                   (prom_float (bucket_upper !next))
+                   !cum);
+            next := !next + 1
+          done;
+          cum := !cum + c;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+               (prom_float (bucket_upper b))
+               !cum))
+        buckets;
+      Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n count);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n count))
+    x.x_histograms;
+  List.iter
+    (fun (name, count, sum, levels) ->
+      let n = prom_name name in
+      head n "summary" (Printf.sprintf "sso rolling quantile %s" name);
+      List.iter
+        (fun (p, v) ->
+          (* %g, not %.17g: the label is a level tag (0.5/0.9/0.99), not a
+             measurement — it must read back exactly as written. *)
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%g\"} %s\n" n p (prom_float v)))
+        levels;
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n count))
+    x.x_quantiles;
+  Buffer.contents buf
+
 let clear_trace () =
   Mutex.lock buffers_lock;
   List.iter
@@ -376,10 +660,18 @@ let clear_trace () =
   fresh_stream ()
 
 let write_trace ~path ~meta =
+  let dropped = dropped_events () in
+  (* Mirror the drop count into meta (unless the caller already set it):
+     the header [dropped] field is load-bearing for [sso trace summary]'s
+     truncation warning, and meta keeps it visible to generic readers. *)
+  let meta =
+    if List.mem_assoc "dropped_events" meta then meta
+    else meta @ [ ("dropped_events", Trace.Int dropped) ]
+  in
   Trace.save path
     {
       Trace.meta;
-      dropped = dropped_events ();
+      dropped;
       events = events ();
       histograms = histogram_records ();
     }

@@ -82,8 +82,82 @@ val time : string -> (unit -> 'a) -> 'a
 val span_total_ns : span -> int
 val span_calls : span -> int
 
+(** {1 Gauges and rolling quantiles}
+
+    Live telemetry primitives for the serve loop.  Both carry wall-clock
+    (or otherwise nondeterministic) values, so they are {e excluded from
+    every deterministic output path} — digests, replay JSON, trace event
+    payloads.  They surface only through {!snapshot}/{!expose}.  See
+    DESIGN.md §13. *)
+
+type gauge
+type quantile
+
+val gauge : string -> gauge
+(** Find or create; same name returns the same (physically equal) gauge. *)
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val default_quantile_window : int
+(** Window size used by {!quantile} when [?window] is omitted (1024). *)
+
+val quantile : ?window:int -> string -> quantile
+(** Find or create a rolling-window quantile sketch.  Observations land
+    in log2 buckets (the {!histogram} scheme); only the most recent
+    [window] observations count toward estimates.  Deterministic given
+    the same observation sequence.
+    @raise Invalid_argument if [window < 1]. *)
+
+val observe_quantile : quantile -> int -> unit
+(** Record a non-negative integer sample (negatives clamp to bucket 0),
+    evicting the oldest sample once the window is full. *)
+
+val quantile_estimate : quantile -> float -> float
+(** [quantile_estimate q p] estimates the [p]-quantile over the current
+    window as the upper boundary of the log2 bucket containing the rank
+    [ceil (p * len)] sample ([2^(b+1)-1]; bucket 0 quotes [1.0]) — exact
+    bucket arithmetic, so jobs- and platform-invariant for a fixed
+    observation sequence.  Returns [nan] on an empty window.
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val quantile_count : quantile -> int
+(** All-time number of observations (not capped by the window). *)
+
 val reset_metrics : unit -> unit
-(** Zero every counter, span, and histogram (registrations persist). *)
+(** Zero every counter, span, histogram, gauge, and quantile
+    (registrations persist). *)
+
+(** {1 Prometheus exposition} *)
+
+type exposition = {
+  x_counters : (string * int) list;
+  x_gauges : (string * float) list;
+  x_spans : (string * int * int) list;  (** name, total_ns, calls *)
+  x_histograms : (string * int * int * (int * int) list) list;
+      (** name, count, sum, (log2 bucket, occupancy) ascending *)
+  x_quantiles : (string * int * int * (float * float) list) list;
+      (** name, all-time count, all-time sum, (p, estimate) for
+          p in 0.5/0.9/0.99 *)
+}
+
+val snapshot : unit -> exposition
+(** Freeze the full registry (counters, gauges, spans, histograms,
+    quantiles), each section sorted by name. *)
+
+val expose : exposition -> string
+(** Render a frame as Prometheus text exposition format v0.0.4: dotted
+    registry names become [sso_]-prefixed metric names, counters gain
+    [_total], spans surface as [_ns_total]/[_calls_total] counter pairs,
+    histograms as cumulative [le]-bucket series over the log2 boundaries,
+    quantiles as summaries with [quantile] labels.  Every line is
+    [# HELP], [# TYPE], or [name{...} value]. *)
+
+val sample_gc_gauges : unit -> unit
+(** Refresh the [gc.heap_words] / [gc.minor_collections] /
+    [gc.major_collections] / [gc.compactions] gauges from
+    [Gc.quick_stat].  Sampling is explicit — never called from traced or
+    digest-producing code — so deterministic outputs stay GC-invariant. *)
 
 val metrics_snapshot : unit -> (string * int) list * (string * int * int) list
 (** Non-zero counters [(name, value)] and spans [(name, total_ns, calls)],
@@ -100,7 +174,8 @@ val metrics_json : unit -> string
 val set_ring_capacity : int -> unit
 (** Per-domain event ring capacity (default [2^20]).  When a ring
     saturates, the oldest events in that ring are overwritten and counted
-    in [dropped_events]. *)
+    in [dropped_events].
+    @raise Invalid_argument if the capacity is [< 1]. *)
 
 val events : unit -> Trace.event list
 (** Merge all per-domain rings, sorted by [(slot, seq)].  Call only when
@@ -119,4 +194,7 @@ val clear_trace : unit -> unit
 
 val write_trace : path:string -> meta:(string * Trace.value) list -> unit
 (** Snapshot events + histograms into a {!Trace.t} and [Trace.save] it.
+    The current {!dropped_events} count is recorded both in the trace
+    header and — unless the caller already supplied one — as a
+    [dropped_events] meta entry.
     @raise Trace.Unreadable on I/O failure. *)

@@ -476,6 +476,94 @@ let event_counts events =
   Hashtbl.fold (fun name count acc -> (name, count) :: acc) tbl []
   |> List.sort compare
 
+(* ---------- span-tree profiling ---------- *)
+
+type span_node = {
+  n_name : string;
+  n_dur : int;
+  n_children : span_node list; (* in emission order *)
+}
+
+(* Spans are recorded at exit (post-order): within one slot every child's
+   span event precedes its parent's and carries a strictly greater depth
+   ([in_task] resets depth to 0 per slot).  Scanning a slot in seq order
+   with a pending stack therefore rebuilds the call tree: a span at depth
+   [d] claims every pending node of depth > [d] as its children. *)
+let span_forest events =
+  let acc = ref [] in (* completed roots, most recent first *)
+  let pending = ref [] in (* (depth, node), most recent first *)
+  let slot = ref min_int in
+  let flush () =
+    List.iter (fun (_, n) -> acc := n :: !acc) (List.rev !pending);
+    pending := []
+  in
+  List.iter
+    (fun e ->
+      if e.kind = Span then begin
+        if e.slot <> !slot then begin
+          flush ();
+          slot := e.slot
+        end;
+        let rec claim children = function
+          | (d, n) :: rest when d > e.depth -> claim ((d, n) :: children) rest
+          | rest -> (children, rest)
+        in
+        let taken, rest = claim [] !pending in
+        (* [claim] reverses the newest-first stack, so [taken] is already
+           in emission order. *)
+        let node =
+          { n_name = e.name; n_dur = e.dur_ns; n_children = List.map snd taken }
+        in
+        pending := (e.depth, node) :: rest
+      end)
+    events;
+  flush ();
+  List.rev !acc
+
+(* Depth-first walk accumulating [f acc path node self_ns]; [path] is the
+   ;-joined span names from the root, self time is the node's duration
+   minus its direct children's (clamped at 0 — clock jitter can make
+   children sum past the parent). *)
+let fold_span_tree f init forest =
+  let rec go prefix acc n =
+    let path = if prefix = "" then n.n_name else prefix ^ ";" ^ n.n_name in
+    let child_dur = List.fold_left (fun s c -> s + c.n_dur) 0 n.n_children in
+    let self = max 0 (n.n_dur - child_dur) in
+    let acc = f acc path n self in
+    List.fold_left (go path) acc n.n_children
+  in
+  List.fold_left (go "") init forest
+
+let folded_stacks events =
+  let tbl = Hashtbl.create 64 in
+  ignore
+    (fold_span_tree
+       (fun () path _ self ->
+         let calls, self_ns =
+           try Hashtbl.find tbl path with Not_found -> (0, 0)
+         in
+         Hashtbl.replace tbl path (calls + 1, self_ns + self))
+       () (span_forest events));
+  Hashtbl.fold (fun path (calls, self_ns) acc -> (path, calls, self_ns) :: acc)
+    tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let self_totals events =
+  let tbl = Hashtbl.create 64 in
+  ignore
+    (fold_span_tree
+       (fun () _ n self ->
+         let calls, total, self_ns =
+           try Hashtbl.find tbl n.n_name with Not_found -> (0, 0, 0)
+         in
+         Hashtbl.replace tbl n.n_name (calls + 1, total + n.n_dur, self_ns + self))
+       () (span_forest events));
+  Hashtbl.fold
+    (fun name (calls, total, self_ns) acc -> (name, calls, total, self_ns) :: acc)
+    tbl []
+  |> List.sort (fun (a1, _, _, s1) (a2, _, _, s2) ->
+         if s1 <> s2 then compare s2 s1 else compare a1 a2)
+
 let attr e k = List.assoc_opt k e.attrs
 
 type round = {

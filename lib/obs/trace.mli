@@ -71,6 +71,25 @@ val event_counts : event list -> (string * int) list
 
 val attr : event -> string -> value option
 
+(** {1 Span-tree profiling}
+
+    Spans are recorded at exit (post-order) with their nesting depth, so
+    the call tree is reconstructible per slot: scanning a slot in [seq]
+    order, a span at depth [d] is the parent of every not-yet-claimed
+    span of greater depth.  Paths and call counts depend only on the
+    deterministic [(slot, seq)] order — jobs-invariant; the ns weights
+    are wall clock. *)
+
+val folded_stacks : event list -> (string * int * int) list
+(** Folded flamegraph lines: ([;]-joined span path from the root, calls,
+    self ns = duration minus direct children), sorted by path.  Events
+    must be in their sorted [(slot, seq)] order, as [load] returns
+    them. *)
+
+val self_totals : event list -> (string * int * int * int) list
+(** Per span name: (name, calls, total ns, self ns), sorted by self ns
+    descending then name. *)
+
 type round = {
   r_round : int;
   r_cong : float;  (** max edge congestion of this round's best responses *)

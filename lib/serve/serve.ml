@@ -81,6 +81,17 @@ let retired_counter = Obs.counter "serve.retired"
 let cold_counter = Obs.counter "serve.cold_solves"
 let warm_counter = Obs.counter "serve.warm_solves"
 
+(* Live telemetry: rolling per-tick latency quantiles plus throughput and
+   staleness gauges.  All wall-clock — they surface only through
+   [Obs.snapshot]/[Obs.expose] and never enter reports, digests, or trace
+   payloads (the same boundary as [solve_ns]). *)
+let tick_q = Obs.quantile "serve.tick_ns"
+let admit_q = Obs.quantile "serve.admit_ns"
+let solve_q = Obs.quantile "serve.solve_ns"
+let inject_q = Obs.quantile "serve.inject_ns"
+let staleness_gauge = Obs.gauge "serve.staleness"
+let updates_gauge = Obs.gauge "serve.updates_per_sec"
+
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Update.Corrupt msg)) fmt
 
 let check_batch t ~tick events =
@@ -110,6 +121,7 @@ let count_kinds events =
 
 let step t ~tick events =
   Obs.with_span tick_span @@ fun () ->
+  let tick_t0 = Obs.now_ns () in
   check_batch t ~tick events;
   let arrivals, departures, rate_changes = count_kinds events in
   let before = t.demand in
@@ -121,10 +133,17 @@ let step t ~tick events =
   let fresh =
     List.filter (fun p -> not (Hashtbl.mem t.seen p)) support
   in
-  if fresh <> [] then
-    Obs.with_span admit_span (fun () ->
-        Path_system.materialize_parallel t.system fresh;
-        List.iter (fun p -> Hashtbl.replace t.seen p ()) fresh);
+  let admit_ns =
+    if fresh = [] then 0
+    else begin
+      let a0 = Obs.now_ns () in
+      Obs.with_span admit_span (fun () ->
+          Path_system.materialize_parallel t.system fresh;
+          List.iter (fun p -> Hashtbl.replace t.seen p ()) fresh);
+      Obs.now_ns () - a0
+    end
+  in
+  Obs.observe_quantile admit_q admit_ns;
   let retired =
     List.length
       (List.filter
@@ -161,6 +180,7 @@ let step t ~tick events =
           Semi_oblivious.route ~solver:t.config.solver t.graph t.system demand
   in
   let solve_ns = Obs.now_ns () - t0 in
+  Obs.observe_quantile solve_q solve_ns;
   (match mode with
   | Cold ->
       t.since_cold <- 0;
@@ -199,23 +219,33 @@ let step t ~tick events =
           ("congestion", Trace.Float congestion);
           ("mode", Trace.String (match mode with Cold -> "cold" | Warm -> "warm"));
           ("staleness", Trace.Int report.staleness) ];
+  Obs.set_gauge staleness_gauge (float_of_int report.staleness);
+  Obs.observe_quantile tick_q (Obs.now_ns () - tick_t0);
   report
 
 let replay ?on_tick t events =
+  let t0 = Obs.now_ns () in
+  let total_events = ref 0 in
   List.map
     (fun (tick, batch) ->
       let report = step t ~tick batch in
+      total_events := !total_events + report.events;
+      let elapsed_ns = Obs.now_ns () - t0 in
+      if elapsed_ns > 0 then
+        Obs.set_gauge updates_gauge
+          (1e9 *. float_of_int !total_events /. float_of_int elapsed_ns);
       (match (on_tick, t.routing) with
       | Some f, Some routing -> f report routing
       | _ -> ());
       report)
     (Update.by_tick events)
 
-let simulate ?discipline ?max_steps rng ~period t events =
+let simulate ?discipline ?max_steps ?on_tick rng ~period t events =
   if period <= 0 then invalid_arg "Serve.simulate: period must be positive";
   let packets = ref [] in
   let reports =
     replay t events ~on_tick:(fun report routing ->
+        let i0 = Obs.now_ns () in
         (* One rng child per tick, consumed in the demand's lexicographic
            order: the packet draw is a pure function of (seed, stream). *)
         let tick_rng = Rng.split_at rng report.tick in
@@ -230,9 +260,44 @@ let simulate ?discipline ?max_steps rng ~period t events =
                   release = report.tick * period }
                 :: !packets
             done)
-          t.demand ())
+          t.demand ();
+        Obs.observe_quantile inject_q (Obs.now_ns () - i0);
+        match on_tick with Some f -> f report routing | None -> ())
   in
   let outcome =
     Simulator.run_timed ?discipline ?max_steps t.graph (List.rev !packets)
   in
   (outcome, reports)
+
+(* ---------- SLO ---------- *)
+
+type slo = {
+  p99_budget_ms : float;
+  p99_ms : float;
+  burns : int;
+  burned : bool;
+}
+
+let check_slo ~budget_ms reports =
+  if not (budget_ms > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Serve.check_slo: budget must be positive, got %g"
+         budget_ms);
+  match reports with
+  | [] -> { p99_budget_ms = budget_ms; p99_ms = 0.0; burns = 0; burned = false }
+  | _ ->
+      let a = Array.of_list (List.map (fun r -> r.solve_ns) reports) in
+      Array.sort compare a;
+      (* Same nearest-rank index the bench suite reports. *)
+      let p99_ns = a.((99 * (Array.length a - 1) + 50) / 100) in
+      let budget_ns = budget_ms *. 1e6 in
+      let burns =
+        List.length
+          (List.filter (fun r -> float_of_int r.solve_ns > budget_ns) reports)
+      in
+      {
+        p99_budget_ms = budget_ms;
+        p99_ms = float_of_int p99_ns /. 1e6;
+        burns;
+        burned = float_of_int p99_ns > budget_ns;
+      }

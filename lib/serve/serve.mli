@@ -94,6 +94,7 @@ val replay : ?on_tick:(report -> Sso_flow.Routing.t -> unit) -> t ->
 val simulate :
   ?discipline:Sso_sim.Simulator.discipline ->
   ?max_steps:int ->
+  ?on_tick:(report -> Sso_flow.Routing.t -> unit) ->
   Sso_prng.Rng.t -> period:int -> t -> Sso_demand.Update.t list ->
   Sso_sim.Simulator.load_stats Sso_sim.Simulator.outcome * report list
 (** Replay the stream and push the resulting traffic through the packet
@@ -101,4 +102,30 @@ val simulate :
     packets on paths drawn from that tick's routing (a per-tick
     [Rng.split_at] child, so the draw is independent of [--jobs]),
     released at [tick * period].  Returns the timed-load statistics
-    beside the per-tick reports.  [period] must be positive. *)
+    beside the per-tick reports.  [on_tick] observes each report after
+    the tick's packets are injected (e.g. the metrics snapshot writer).
+    [period] must be positive. *)
+
+(** {1 Telemetry and SLO}
+
+    Every {!step} feeds rolling quantiles [serve.tick_ns] /
+    [serve.admit_ns] / [serve.solve_ns] (and {!simulate} [serve.inject_ns])
+    plus [serve.staleness] and [serve.updates_per_sec] gauges in the
+    {!Sso_obs.Obs} registry.  All wall-clock: they surface only through
+    [Obs.snapshot]/[Obs.expose], never in reports, digests, or trace
+    payloads. *)
+
+type slo = {
+  p99_budget_ms : float;  (** The budget checked against. *)
+  p99_ms : float;  (** Nearest-rank p99 of per-tick [solve_ns], in ms. *)
+  burns : int;  (** Ticks whose solve exceeded the budget. *)
+  burned : bool;  (** [p99_ms] exceeds the budget. *)
+}
+
+val check_slo : budget_ms:float -> report list -> slo
+(** Evaluate a replay's per-tick solve latencies against a p99 budget
+    (the nearest-rank index the bench suite reports).  An empty report
+    list yields [p99_ms = 0.] and no burn.  Wall-clock based — callers
+    must keep the verdict out of deterministic output ([sso serve replay
+    --slo-p99-ms] reports on stderr and signals burn via exit code 12).
+    @raise Invalid_argument if [budget_ms <= 0]. *)

@@ -1,0 +1,110 @@
+#!/bin/sh
+# Telemetry smoke test: replay a short churn stream with --metrics-out and
+# validate the Prometheus text exposition (every line is # HELP / # TYPE /
+# name{...} value, and the serve latency quantiles, throughput/staleness
+# gauges, and GC gauges are all present), check that enabling metrics
+# leaves the deterministic JSON byte-identical at --jobs 1 and 4, exercise
+# the --slo-p99-ms gate (generous budget passes, impossible budget exits
+# 12 with the verdict on stderr only), and check the span-tree profilers:
+# `sso trace flame --weight calls` must be byte-identical at --jobs 1 and
+# 4, and `sso trace top` must rank the serve spans.
+. "$(dirname "$0")/smoke_lib.sh"
+
+"$SSO" serve generate --ticks 12 --pairs 12 --churn 0.2 -o "$dir/stream.jsonl" > /dev/null
+
+# --- Prometheus exposition ---------------------------------------------
+"$SSO" serve replay "$dir/stream.jsonl" --json --metrics-out "$dir/metrics.prom" \
+  > "$dir/replay.metrics.json" 2> /dev/null
+
+test -s "$dir/metrics.prom" || {
+  echo "obs_smoke: --metrics-out wrote no file" >&2
+  exit 1
+}
+
+# Every line is a comment (# HELP / # TYPE) or a sample (name{labels} value).
+awk '
+  /^# HELP sso_[a-zA-Z0-9_]+ / { next }
+  /^# TYPE sso_[a-zA-Z0-9_]+ (counter|gauge|histogram|summary)$/ { next }
+  /^sso_[a-zA-Z0-9_]+(\{[^}]*\})? -?([0-9]|NaN|[+-]Inf)/ { next }
+  { print "obs_smoke: malformed exposition line: " $0; bad = 1 }
+  END { exit bad }
+' "$dir/metrics.prom" >&2
+
+# Required series: per-tick latency quantiles, throughput and staleness
+# gauges, GC gauges sampled at snapshot time.
+for series in \
+  'sso_serve_solve_ns{quantile="0.5"}' \
+  'sso_serve_solve_ns{quantile="0.99"}' \
+  'sso_serve_tick_ns{quantile="0.9"}' \
+  'sso_serve_updates_per_sec ' \
+  'sso_serve_staleness ' \
+  'sso_gc_heap_words '; do
+  grep -qF "$series" "$dir/metrics.prom" || {
+    echo "obs_smoke: missing series $series" >&2
+    exit 1
+  }
+done
+
+# --- metrics must not perturb deterministic output ---------------------
+"$SSO" serve replay "$dir/stream.jsonl" --json --jobs 1 \
+  --metrics-out "$dir/m1.prom" > "$dir/replay.j1.json" 2> /dev/null
+"$SSO" serve replay "$dir/stream.jsonl" --json --jobs 4 \
+  --metrics-out "$dir/m4.prom" > "$dir/replay.j4.json" 2> /dev/null
+cmp "$dir/replay.j1.json" "$dir/replay.j4.json" || {
+  echo "obs_smoke: metrics-enabled replay differs between --jobs 1 and 4" >&2
+  exit 1
+}
+cmp "$dir/replay.metrics.json" "$dir/replay.j1.json" || {
+  echo "obs_smoke: replay JSON unstable across runs" >&2
+  exit 1
+}
+
+# --- SLO gate ----------------------------------------------------------
+"$SSO" serve replay "$dir/stream.jsonl" --json --slo-p99-ms 60000 \
+  > /dev/null 2> "$dir/slo.ok.err"
+grep -q 'slo: .* ok ' "$dir/slo.ok.err" || {
+  echo "obs_smoke: no SLO verdict on stderr" >&2
+  exit 1
+}
+rc=0
+"$SSO" serve replay "$dir/stream.jsonl" --json --slo-p99-ms 0.000001 \
+  > "$dir/slo.burn.json" 2> "$dir/slo.burn.err" || rc=$?
+test "$rc" -eq 12 || {
+  echo "obs_smoke: expected exit 12 on SLO burn, got $rc" >&2
+  exit 1
+}
+grep -q 'BURNED' "$dir/slo.burn.err" || {
+  echo "obs_smoke: no burn verdict on stderr" >&2
+  exit 1
+}
+# The burn must not leak into stdout: deterministic JSON is unchanged.
+cmp "$dir/slo.burn.json" "$dir/replay.j1.json" || {
+  echo "obs_smoke: SLO check perturbed the deterministic JSON" >&2
+  exit 1
+}
+
+# --- span-tree profiling -----------------------------------------------
+"$SSO" serve replay "$dir/stream.jsonl" --json --jobs 1 --trace "$dir/t1.jsonl" \
+  > /dev/null 2> /dev/null
+"$SSO" serve replay "$dir/stream.jsonl" --json --jobs 4 --trace "$dir/t4.jsonl" \
+  > /dev/null 2> /dev/null
+# Call-weighted folded stacks are a pure function of the deterministic
+# (slot, seq) event order — byte-identical at any job count.
+"$SSO" trace flame "$dir/t1.jsonl" --weight calls > "$dir/flame.j1"
+"$SSO" trace flame "$dir/t4.jsonl" --weight calls > "$dir/flame.j4"
+cmp "$dir/flame.j1" "$dir/flame.j4" || {
+  echo "obs_smoke: folded stacks differ between --jobs 1 and 4" >&2
+  exit 1
+}
+grep -q '^serve.tick;serve.solve ' "$dir/flame.j1" || {
+  echo "obs_smoke: flame output is missing the serve span hierarchy" >&2
+  exit 1
+}
+"$SSO" trace flame "$dir/t1.jsonl" > /dev/null           # default ns weights
+"$SSO" trace top "$dir/t1.jsonl" > "$dir/top.txt"
+grep -q 'serve.solve' "$dir/top.txt" || {
+  echo "obs_smoke: trace top is missing the serve spans" >&2
+  exit 1
+}
+
+echo "obs_smoke: ok"

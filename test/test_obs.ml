@@ -225,6 +225,203 @@ let test_ring_saturation () =
   Alcotest.(check (list int)) "newest events survive"
     [ 12; 13; 14; 15; 16; 17; 18; 19 ] seqs
 
+let test_capacity_validation () =
+  let expect_invalid name msg f =
+    match f () with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument got ->
+        Alcotest.(check string) name msg got
+  in
+  expect_invalid "zero capacity"
+    "Obs.set_ring_capacity: capacity must be >= 1, got 0" (fun () ->
+      Obs.set_ring_capacity 0);
+  expect_invalid "negative capacity"
+    "Obs.set_ring_capacity: capacity must be >= 1, got -3" (fun () ->
+      Obs.set_ring_capacity (-3));
+  expect_invalid "zero quantile window"
+    "Obs.quantile: window must be >= 1, got 0" (fun () ->
+      ignore (Obs.quantile ~window:0 "obs.test.badwindow"))
+
+(* Saturate several per-domain rings at once: with 4 worker domains and a
+   tiny capacity, every domain's ring overwrites.  Which events survive
+   depends on task scheduling, but the accounting must not: drops are
+   emitted minus survived, and the merged view stays strictly
+   (slot, seq)-ordered. *)
+let test_multidomain_saturation () =
+  let tasks = 16 and per_task = 10 in
+  Obs.clear_trace ();
+  Obs.set_ring_capacity 8;
+  Fun.protect ~finally:(fun () ->
+      Obs.set_ring_capacity (1 lsl 20);
+      Obs.set_tracing false;
+      Obs.clear_trace ())
+  @@ fun () ->
+  Obs.set_tracing true;
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  ignore
+    (Pool.parallel_init ~pool tasks (fun i ->
+         for j = 0 to per_task - 1 do
+           Obs.event "sat.tick"
+             ~attrs:[ ("task", Trace.Int i); ("j", Trace.Int j) ]
+         done;
+         i));
+  Obs.set_tracing false;
+  let events = Obs.events () in
+  let survived = List.length events in
+  Alcotest.(check bool) "some events dropped" true
+    (Obs.dropped_events () > 0);
+  Alcotest.(check int) "drops account for every emitted event"
+    ((tasks * per_task) - survived)
+    (Obs.dropped_events ());
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+        (a.Trace.slot < b.Trace.slot
+        || (a.Trace.slot = b.Trace.slot && a.Trace.seq < b.Trace.seq))
+        && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "survivors strictly (slot, seq)-ordered" true
+    (ordered events)
+
+(* ---- gauges and rolling quantiles ---- *)
+
+let test_gauge () =
+  let g = Obs.gauge "obs.test.gauge" in
+  Alcotest.(check bool) "find-or-create" true (g == Obs.gauge "obs.test.gauge");
+  Obs.set_gauge g 2.5;
+  Alcotest.(check (float 0.0)) "set/get" 2.5 (Obs.gauge_value g);
+  Obs.reset_metrics ();
+  Alcotest.(check (float 0.0)) "reset zeroes" 0.0 (Obs.gauge_value g)
+
+let test_quantile () =
+  let q = Obs.quantile ~window:4 "obs.test.quantile" in
+  Alcotest.(check bool) "empty estimate is nan" true
+    (Float.is_nan (Obs.quantile_estimate q 0.5));
+  List.iter (Obs.observe_quantile q) [ 1; 2; 3; 100 ];
+  (* 1 -> bucket 0 (upper 1), 2,3 -> bucket 1 (upper 3),
+     100 -> bucket 6 (upper 127). *)
+  Alcotest.(check (float 0.0)) "p50 quotes bucket 1's boundary" 3.0
+    (Obs.quantile_estimate q 0.5);
+  Alcotest.(check (float 0.0)) "p100 quotes the max bucket" 127.0
+    (Obs.quantile_estimate q 1.0);
+  (* A fifth sample evicts the oldest (1): window is [2;3;100;1000]. *)
+  Obs.observe_quantile q 1000;
+  Alcotest.(check (float 0.0)) "eviction shifts the window" 3.0
+    (Obs.quantile_estimate q 0.25);
+  Alcotest.(check (float 0.0)) "new max visible" 1023.0
+    (Obs.quantile_estimate q 1.0);
+  Alcotest.(check int) "all-time count survives eviction" 5
+    (Obs.quantile_count q);
+  (match Obs.quantile_estimate q 0.0 with
+  | (_ : float) -> Alcotest.fail "p = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  Obs.reset_metrics ();
+  Alcotest.(check bool) "reset empties the window" true
+    (Float.is_nan (Obs.quantile_estimate q 0.5));
+  Alcotest.(check int) "reset zeroes the count" 0 (Obs.quantile_count q)
+
+(* ---- Prometheus exposition ---- *)
+
+let test_exposition () =
+  Obs.reset_metrics ();
+  Obs.incr ~by:3 (Obs.counter "xp.count");
+  Obs.set_gauge (Obs.gauge "xp.g") 2.5;
+  Obs.observe_quantile (Obs.quantile "xp.q") 5;
+  let h = Obs.histogram "xp.h" in
+  Obs.observe h 1;
+  Obs.observe h 5;
+  let text = Obs.expose (Obs.snapshot ()) in
+  let has line =
+    Alcotest.(check bool) (Printf.sprintf "exposes %S" line) true
+      (List.mem line (String.split_on_char '\n' text))
+  in
+  has "# TYPE sso_xp_count_total counter";
+  has "sso_xp_count_total 3";
+  has "# TYPE sso_xp_g gauge";
+  has "sso_xp_g 2.5";
+  has "# TYPE sso_xp_q summary";
+  has "sso_xp_q{quantile=\"0.5\"} 7";
+  has "sso_xp_q{quantile=\"0.99\"} 7";
+  has "sso_xp_q_sum 5";
+  has "sso_xp_q_count 1";
+  has "# TYPE sso_xp_h histogram";
+  has "sso_xp_h_bucket{le=\"1\"} 1";
+  (* Bucket 1 (le 3) is empty but must still appear: cumulative series
+     are gap-free. *)
+  has "sso_xp_h_bucket{le=\"3\"} 1";
+  has "sso_xp_h_bucket{le=\"7\"} 2";
+  has "sso_xp_h_bucket{le=\"+Inf\"} 2";
+  has "sso_xp_h_sum 6";
+  has "sso_xp_h_count 2";
+  (* Every line of the rendering is HELP, TYPE, or a sample. *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        Alcotest.(check bool)
+          (Printf.sprintf "line %S well-formed" line)
+          true
+          (String.length line > 0
+          && (String.starts_with ~prefix:"# HELP sso_" line
+             || String.starts_with ~prefix:"# TYPE sso_" line
+             || (String.starts_with ~prefix:"sso_" line
+                && String.contains line ' '))))
+    (String.split_on_char '\n' text);
+  Obs.reset_metrics ()
+
+(* ---- span-tree profiling ---- *)
+
+let test_folded_stacks () =
+  let sp slot seq name dur depth =
+    {
+      Trace.slot;
+      seq;
+      ts_ns = 0;
+      kind = Trace.Span;
+      name;
+      dur_ns = dur;
+      depth;
+      attrs = [];
+    }
+  in
+  (* Post-order within each slot: children precede their parent at a
+     greater depth.  Slot 1 is an independent stream. *)
+  let events =
+    [
+      sp 0 0 "child" 10 1;
+      sp 0 1 "child" 20 1;
+      sp 0 2 "root" 100 0;
+      sp 1 0 "other" 5 0;
+    ]
+  in
+  Alcotest.(check (list (triple string int int)))
+    "folded stacks"
+    [ ("other", 1, 5); ("root", 1, 70); ("root;child", 2, 30) ]
+    (Trace.folded_stacks events);
+  Alcotest.(check (list (triple string int int)))
+    "self totals (name, calls, self) by self desc"
+    [ ("root", 1, 70); ("child", 2, 30); ("other", 1, 5) ]
+    (List.map
+       (fun (name, calls, _total, self) -> (name, calls, self))
+       (Trace.self_totals events))
+
+(* ---- dropped_events recorded in trace meta ---- *)
+
+let test_write_trace_records_dropped () =
+  Obs.clear_trace ();
+  Obs.set_tracing true;
+  Obs.event "meta.test";
+  Obs.set_tracing false;
+  let path = temp_trace () in
+  Obs.write_trace ~path ~meta:[ ("seed", Trace.Int 1) ];
+  let loaded = Trace.load path in
+  Sys.remove path;
+  Obs.clear_trace ();
+  match List.assoc_opt "dropped_events" loaded.Trace.meta with
+  | Some (Trace.Int 0) -> ()
+  | Some v -> Alcotest.failf "unexpected dropped_events: %s" (value_str v)
+  | None -> Alcotest.fail "dropped_events missing from meta"
+
 (* ---- histograms through the trace file ---- *)
 
 let test_histogram_trailer () =
@@ -280,6 +477,26 @@ let test_jobs_determinism () =
   Alcotest.(check (list string)) "jobs:1 equals jobs:4" serial parallel;
   Obs.clear_trace ()
 
+let capture_events jobs =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Obs.clear_trace ();
+  Obs.set_tracing true;
+  Fun.protect ~finally:(fun () -> Obs.set_tracing false) (fun () ->
+      workload pool);
+  let events = List.map normalize (Obs.events ()) in
+  Obs.clear_trace ();
+  events
+
+let test_flame_jobs_invariant () =
+  (* Same workload, different job counts: stack paths and call counts
+     must match exactly (self ns are zeroed by [normalize] here; in real
+     traces they are wall clock, which is why the CLI's byte-identity
+     check uses --weight calls). *)
+  let folded jobs = Trace.folded_stacks (capture_events jobs) in
+  Alcotest.(check (list (triple string int int)))
+    "folded stacks jobs:1 = jobs:4" (folded 1) (folded 4)
+
 (* ---- MWU convergence semantics ---- *)
 
 let test_mwu_convergence () =
@@ -327,11 +544,23 @@ let () =
         [
           Alcotest.test_case "metrics shim" `Quick test_metrics_shim;
           Alcotest.test_case "ring saturation" `Quick test_ring_saturation;
+          Alcotest.test_case "capacity validation" `Quick
+            test_capacity_validation;
+          Alcotest.test_case "multi-domain saturation" `Quick
+            test_multidomain_saturation;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "exposition" `Quick test_exposition;
           Alcotest.test_case "histogram trailer" `Quick test_histogram_trailer;
+          Alcotest.test_case "dropped in meta" `Quick
+            test_write_trace_records_dropped;
         ] );
       ( "determinism",
         [
           Alcotest.test_case "jobs 1 vs 4" `Quick test_jobs_determinism;
+          Alcotest.test_case "folded stacks" `Quick test_folded_stacks;
+          Alcotest.test_case "flame jobs invariant" `Quick
+            test_flame_jobs_invariant;
           Alcotest.test_case "mwu convergence" `Quick test_mwu_convergence;
         ] );
     ]

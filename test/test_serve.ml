@@ -305,6 +305,31 @@ let test_simulate () =
   Alcotest.(check int) "all delivered" stats.Simulator.packets
     stats.Simulator.delivered
 
+(* ---- SLO ---- *)
+
+let test_check_slo () =
+  let report solve_ns =
+    { Serve.tick = 0; events = 0; arrivals = 0; departures = 0;
+      rate_changes = 0; active_pairs = 0; admitted = 0; retired = 0;
+      congestion = 0.0; mode = Serve.Cold; staleness = 0; solve_ns }
+  in
+  (* 1..10 ms of solve time; nearest-rank p99 of 10 samples is the max. *)
+  let reports = List.init 10 (fun i -> report ((i + 1) * 1_000_000)) in
+  let burned = Serve.check_slo ~budget_ms:5.0 reports in
+  Alcotest.(check (float 1e-9)) "p99 is the max sample" 10.0
+    burned.Serve.p99_ms;
+  Alcotest.(check bool) "burned" true burned.Serve.burned;
+  Alcotest.(check int) "ticks over budget" 5 burned.Serve.burns;
+  let ok = Serve.check_slo ~budget_ms:15.0 reports in
+  Alcotest.(check bool) "within budget" false ok.Serve.burned;
+  Alcotest.(check int) "no burns" 0 ok.Serve.burns;
+  let empty = Serve.check_slo ~budget_ms:1.0 [] in
+  Alcotest.(check bool) "empty replay never burns" false empty.Serve.burned;
+  Alcotest.(check (float 0.0)) "empty replay p99" 0.0 empty.Serve.p99_ms;
+  match Serve.check_slo ~budget_ms:0.0 reports with
+  | (_ : Serve.slo) -> Alcotest.fail "zero budget accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_create_rejects_bad_config () =
   let reject name config =
     Alcotest.(check bool) name true
@@ -341,6 +366,7 @@ let () =
           Alcotest.test_case "refresh and staleness" `Quick
             test_refresh_and_staleness;
           Alcotest.test_case "bad config" `Quick test_create_rejects_bad_config;
+          Alcotest.test_case "check_slo" `Quick test_check_slo;
         ] );
       ( "equivalence",
         [
