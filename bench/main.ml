@@ -1572,6 +1572,164 @@ let serve () =
   else
     Printf.printf "serve: ok (warm re-solve %.1fx faster at p99)\n" speedup_p99
 
+(* --serve-faults: the fault-in-the-loop family (also BENCH_serve.json).
+   Same WAN and churn stream as --serve, but a worst-k outage (picked by
+   the Sweep adversary against the demand the service is carrying at the
+   failure instant) strikes a third of the way in and repairs at two
+   thirds.  Three replays: warm (the operating mode), per-tick cold (the
+   quality oracle under the same faults), and warm with a small event
+   budget (to measure how much of the outage window is served stale).
+   The gate is the recovery makespan — the number of ticks after the
+   failure the warm service needs before its congestion is back within
+   10% of the faulted cold oracle.  A long makespan means carrying the
+   weights across a topology change does not work and the service would
+   have to fall back to cold re-solves exactly when it can least afford
+   them. *)
+
+let serve_fault_k = ref 3
+let serve_fault_budget = ref 24
+
+let serve_faults () =
+  let module Serve = Sso_serve.Serve in
+  let module Workload = Sso_demand.Workload in
+  let module Update = Sso_demand.Update in
+  let module Trees = Sso_oblivious.Trees in
+  let module Scenario = Sso_fault.Scenario in
+  let module Timeline = Sso_fault.Timeline in
+  let module Fault_sweep = Sso_fault.Sweep in
+  let n = !serve_nodes in
+  let k = !serve_fault_k in
+  header
+    (Printf.sprintf "serve-faults  (worst-%d outage, %d-node WAN, %d ticks)" k
+       n !serve_ticks);
+  let g = Gen.random_regular (seeded 140) n 4 in
+  let obl = Trees.uniform (seeded 141) ~count:4 g in
+  let events =
+    Workload.generate ~rate_churn:0.2 (seeded 142) ~n ~ticks:!serve_ticks
+      ~pairs:!serve_churn_pairs ~churn:0.15
+  in
+  let fail_at = max 1 (!serve_ticks / 3) in
+  let repair_at = max (fail_at + 1) (2 * !serve_ticks / 3) in
+  (* The adversary picks the k edges that hurt the demand the service is
+     actually carrying when the outage strikes. *)
+  let demand0 =
+    Update.apply Demand.empty
+      (List.filter (fun (e : Update.t) -> e.Update.tick < fail_at) events)
+  in
+  let sweep_system = Sampler.alpha_sample (seeded 143) obl ~alpha:4 in
+  let worst = Fault_sweep.worst_k ?store:!store g sweep_system demand0 ~k in
+  let scenario = worst.Fault_sweep.scenario in
+  Printf.printf "scenario: %s — fails tick %d, repairs tick %d\n"
+    scenario.Scenario.label fail_at repair_at;
+  let faults =
+    Serve.faults_of_timeline [ Timeline.entry ~at:fail_at ~repair_at scenario ]
+  in
+  let replay ?(faults = faults) config =
+    let system = Sampler.alpha_sample (seeded 143) obl ~alpha:4 in
+    let srv = Serve.create ~config g system in
+    let reports = Serve.replay ~faults srv events in
+    reports
+  in
+  let cold_reports =
+    replay { Serve.default_config with refresh_every = 1 }
+  in
+  let warm_reports = replay Serve.default_config in
+  let baseline_reports = replay ~faults:[] Serve.default_config in
+  let congestion_at reports t =
+    List.find_map
+      (fun (r : Serve.report) ->
+        if r.Serve.tick = t then Some r.Serve.congestion else None)
+      reports
+  in
+  (* Recovery makespan: once the outage is repaired the topology is back
+     to normal, so the faulted warm replay must converge to its own
+     unfaulted trajectory — the last tick >= repair_at still more than
+     10% above it, counted from the repair (0 = instant re-absorption).
+     The outage window itself is excluded: there, congestion is
+     legitimately higher because the edges are gone (reported separately
+     against the faulted cold oracle). *)
+  let recovery_makespan =
+    List.fold_left
+      (fun acc (r : Serve.report) ->
+        match congestion_at baseline_reports r.Serve.tick with
+        | Some base
+          when r.Serve.tick >= repair_at
+               && r.Serve.congestion > (1.10 *. base) +. 1e-9 ->
+            max acc (r.Serve.tick - repair_at + 1)
+        | _ -> acc)
+      0 warm_reports
+  in
+  let sum_field f reports =
+    List.fold_left (fun acc r -> acc + f r) 0 reports
+  in
+  let rerouted = sum_field (fun r -> r.Serve.rerouted) warm_reports in
+  let max_unroutable =
+    List.fold_left (fun acc r -> max acc r.Serve.unroutable) 0 warm_reports
+  in
+  (* Degraded-tick fraction: replay the same outage with a small event
+     budget and count the ticks served stale. *)
+  let degraded_reports =
+    replay { Serve.default_config with event_budget = !serve_fault_budget }
+  in
+  let degraded_ticks =
+    sum_field
+      (fun r -> if r.Serve.mode = Serve.Degraded then 1 else 0)
+      degraded_reports
+  in
+  let deferred_total = sum_field (fun r -> r.Serve.deferred) degraded_reports in
+  let degraded_fraction =
+    float_of_int degraded_ticks /. float_of_int (List.length degraded_reports)
+  in
+  scalar "serve_faults.k" (float_of_int k);
+  scalar "serve_faults.fail_tick" (float_of_int fail_at);
+  scalar "serve_faults.repair_tick" (float_of_int repair_at);
+  scalar "serve_faults.post_opt_ratio" worst.Fault_sweep.ratio;
+  scalar "serve_faults.rerouted" (float_of_int rerouted);
+  scalar "serve_faults.unroutable.max" (float_of_int max_unroutable);
+  scalar "serve_faults.recovery_makespan" (float_of_int recovery_makespan);
+  scalar "serve_faults.event_budget" (float_of_int !serve_fault_budget);
+  scalar "serve_faults.degraded_ticks" (float_of_int degraded_ticks);
+  scalar "serve_faults.degraded_fraction" degraded_fraction;
+  scalar "serve_faults.deferred_total" (float_of_int deferred_total);
+  let show name reports =
+    let during =
+      match congestion_at reports (repair_at - 1) with
+      | Some c -> c
+      | None -> nan
+    in
+    let final =
+      match List.rev reports with
+      | (r : Serve.report) :: _ -> r.Serve.congestion
+      | [] -> nan
+    in
+    scalar (Printf.sprintf "serve_faults.congestion.%s.outage" name) during;
+    scalar (Printf.sprintf "serve_faults.congestion.%s.final" name) final;
+    Printf.printf "%-8s congestion: %.4f during outage, %.4f final\n" name
+      during final
+  in
+  show "warm" warm_reports;
+  show "cold" cold_reports;
+  Printf.printf
+    "outage: %d commodities displaced, %d unroutable at worst, recovery \
+     makespan %d ticks\n"
+    rerouted max_unroutable recovery_makespan;
+  Printf.printf
+    "degraded replay (budget %d): %d/%d ticks served stale (%.0f%%), %d \
+     deferrals\n"
+    !serve_fault_budget degraded_ticks
+    (List.length degraded_reports)
+    (100.0 *. degraded_fraction)
+    deferred_total;
+  if recovery_makespan > 6 then begin
+    Printf.printf
+      "FAIL serve-faults: recovery makespan %d ticks above the 6-tick floor\n"
+      recovery_makespan;
+    exit 1
+  end
+  else
+    Printf.printf "serve-faults: ok (recovered within %d ticks of the outage)\n"
+      recovery_makespan
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -1680,7 +1838,7 @@ let () =
     | None -> ());
     scale ()
   end
-  else if has "--serve" then begin
+  else if has "--serve" || has "--serve-faults" then begin
     let int_knob flag min_v target =
       match find_value flag args with
       | Some v -> (
@@ -1695,7 +1853,10 @@ let () =
     int_knob "--serve-nodes" 8 serve_nodes;
     int_knob "--serve-ticks" 2 serve_ticks;
     int_knob "--serve-pairs" 1 serve_churn_pairs;
-    serve ()
+    int_knob "--serve-fault-k" 1 serve_fault_k;
+    int_knob "--serve-fault-budget" 1 serve_fault_budget;
+    if has "--serve" then serve ();
+    if has "--serve-faults" then serve_faults ()
   end
   else begin
     (match find_experiment args with

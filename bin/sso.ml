@@ -759,6 +759,7 @@ let faults_cmd =
 
 let serve_cmd =
   let module Serve = Sso_serve.Serve in
+  let module Checkpoint = Sso_serve.Checkpoint in
   let module Simulator = Sso_sim.Simulator in
   let module Update = Sso_demand.Update in
   let module Workload = Sso_demand.Workload in
@@ -899,6 +900,74 @@ let serve_cmd =
         value & opt (some float) None
         & info [ "slo-p99-ms" ] ~docv:"MS" ~doc)
     in
+    let overload_arg =
+      let doc =
+        "Wall-clock overload budget for a whole tick (admission + solve), in \
+         milliseconds.  Verdict on stderr after the replay; any tick over \
+         budget exits 12.  Stdout stays byte-identical."
+      in
+      Arg.(
+        value & opt (some float) None
+        & info [ "overload-ms" ] ~docv:"MS" ~doc)
+    in
+    let faults_arg =
+      let doc =
+        "Live fault schedule: comma-separated items of the form \
+         $(b,edges:E1+E2\\@T[-R]) (fail the listed edge ids at tick T, repair \
+         at R), $(b,random:K\\@T[-R]) (K seed-derived random edges), or \
+         $(b,worst:K\\@T[-R]) (the greedy worst-K adversarial set computed \
+         against the stream's initial demand).  Failed edges take their \
+         candidate paths down with them; the solve runs on the survivors.  \
+         Ticks are >= 1."
+      in
+      Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+    in
+    let checkpoint_every_arg =
+      let doc =
+        "Write a checkpoint to $(b,--checkpoint-dir) every $(docv) processed \
+         ticks (0 = never; a bare $(b,--checkpoint-dir) implies 1)."
+      in
+      Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+    in
+    let checkpoint_dir_arg =
+      let doc = "Directory for checkpoint files (created if missing)." in
+      Arg.(
+        value & opt (some string) None
+        & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+    in
+    let resume_arg =
+      let doc =
+        "Resume from the latest checkpoint in $(b,--checkpoint-dir): restore \
+         the service state, skip ticks at or before it, and continue — the \
+         final routing digest is byte-identical to an uninterrupted replay.  \
+         A checkpoint from a different stream, configuration, or sampler \
+         seed exits 11; with no checkpoint present the replay starts fresh."
+      in
+      Arg.(value & flag & info [ "resume" ] ~doc)
+    in
+    let crash_after_arg =
+      let doc =
+        "Kill the process (exit 137, no cleanup) right after processing tick \
+         $(docv) — the chaos harness's crash injection."
+      in
+      Arg.(
+        value & opt (some int) None
+        & info [ "crash-after" ] ~docv:"TICK" ~doc)
+    in
+    let event_budget_arg =
+      let doc =
+        "Per-tick admission budget: apply at most $(docv) events per tick \
+         and defer the rest to the next tick (0 = unlimited)."
+      in
+      Arg.(value & opt int 0 & info [ "event-budget" ] ~docv:"N" ~doc)
+    in
+    let max_staleness_arg =
+      let doc =
+        "Consecutive over-budget ticks allowed to serve the stale routing \
+         (degraded mode) before a re-solve is forced."
+      in
+      Arg.(value & opt int 4 & info [ "max-staleness" ] ~docv:"N" ~doc)
+    in
     let parse_solver solver_spec =
       match String.split_on_char ':' solver_spec with
       | [ "lp" ] -> Semi_oblivious.Lp
@@ -908,26 +977,112 @@ let serve_cmd =
       | [ "gk"; eps ] -> Semi_oblivious.Gk (float_of_string eps)
       | _ -> failwith (Printf.sprintf "unknown solver %S" solver_spec)
     in
-    let mode_name = function Serve.Cold -> "cold" | Serve.Warm -> "warm" in
+    let mode_name = function
+      | Serve.Cold -> "cold"
+      | Serve.Warm -> "warm"
+      | Serve.Degraded -> "degraded"
+    in
     let report_json (r : Serve.report) =
       Printf.sprintf
         "{\"tick\": %d, \"events\": %d, \"arrivals\": %d, \"departures\": %d, \
          \"rate_changes\": %d, \"pairs\": %d, \"admitted\": %d, \"retired\": \
-         %d, \"congestion\": %s, \"mode\": %s, \"staleness\": %d}"
+         %d, \"deferred\": %d, \"failed_edges\": %d, \"rerouted\": %d, \
+         \"unroutable\": %d, \"congestion\": %s, \"mode\": %s, \
+         \"staleness\": %d}"
         r.Serve.tick r.Serve.events r.Serve.arrivals r.Serve.departures
         r.Serve.rate_changes r.Serve.active_pairs r.Serve.admitted
-        r.Serve.retired (jfloat r.Serve.congestion) (jstr (mode_name r.Serve.mode))
-        r.Serve.staleness
+        r.Serve.retired r.Serve.deferred r.Serve.failed_edges r.Serve.rerouted
+        r.Serve.unroutable (jfloat r.Serve.congestion)
+        (jstr (mode_name r.Serve.mode)) r.Serve.staleness
+    in
+    (* --faults SPEC parses to a fault timeline, then bridges into the
+       per-tick Fail/Repair schedule the service consumes. *)
+    let parse_faults g system events rng spec =
+      let module Scenario = Sso_fault.Scenario in
+      let module Timeline = Sso_fault.Timeline in
+      let module Sweep = Sso_fault.Sweep in
+      let parse_window s =
+        match String.split_on_char '-' s with
+        | [ a ] -> (int_of_string a, None)
+        | [ a; b ] -> (int_of_string a, Some (int_of_string b))
+        | _ -> failwith (Printf.sprintf "bad fault window %S" s)
+      in
+      let entries =
+        List.map
+          (fun item ->
+            match String.split_on_char '@' item with
+            | [ kind; window ] ->
+                let at, repair_at = parse_window window in
+                let scenario =
+                  match String.split_on_char ':' kind with
+                  | [ "edges"; ids ] ->
+                      Scenario.of_edges g
+                        (List.map int_of_string (String.split_on_char '+' ids))
+                  | [ "random"; k ] ->
+                      Scenario.random_k rng g ~k:(int_of_string k)
+                  | [ "worst"; k ] ->
+                      let demand0 =
+                        match Update.by_tick events with
+                        | (_, batch) :: _ ->
+                            Update.apply Sso_demand.Demand.empty batch
+                        | [] -> Sso_demand.Demand.empty
+                      in
+                      if Sso_demand.Demand.support demand0 = [] then
+                        failwith
+                          "worst:K fault needs a stream with initial demand";
+                      let report =
+                        Sweep.worst_k g system demand0 ~k:(int_of_string k)
+                      in
+                      report.Sweep.scenario
+                  | _ ->
+                      failwith
+                        (Printf.sprintf "unknown fault kind in %S" item)
+                in
+                Timeline.entry ?repair_at ~at scenario
+            | _ ->
+                failwith
+                  (Printf.sprintf
+                     "bad fault item %S (expected KIND@TICK[-REPAIR])" item))
+          (String.split_on_char ',' spec)
+      in
+      Serve.faults_of_timeline entries
     in
     let run stream family size alpha base solver_spec warm_iters warm_weight
-        refresh simulate period json metrics_out slo_p99_ms seed jobs cache
-        no_cache cache_dir trace =
+        refresh simulate period json metrics_out slo_p99_ms overload_ms
+        faults_spec checkpoint_every checkpoint_dir resume crash_after
+        event_budget max_staleness seed jobs cache no_cache cache_dir trace =
       set_jobs jobs;
       (match slo_p99_ms with
       | Some b when not (b > 0.0) ->
           Printf.eprintf "sso serve: --slo-p99-ms must be positive, got %g\n" b;
           exit 124
       | _ -> ());
+      (match overload_ms with
+      | Some b when not (b > 0.0) ->
+          Printf.eprintf "sso serve: --overload-ms must be positive, got %g\n" b;
+          exit 124
+      | _ -> ());
+      if event_budget < 0 then begin
+        Printf.eprintf "sso serve: --event-budget must be non-negative\n";
+        exit 124
+      end;
+      if max_staleness < 0 then begin
+        Printf.eprintf "sso serve: --max-staleness must be non-negative\n";
+        exit 124
+      end;
+      if checkpoint_every < 0 then begin
+        Printf.eprintf "sso serve: --checkpoint-every must be non-negative\n";
+        exit 124
+      end;
+      if (checkpoint_every > 0 || resume) && checkpoint_dir = None then begin
+        Printf.eprintf
+          "sso serve: --checkpoint-every/--resume need --checkpoint-dir\n";
+        exit 124
+      end;
+      let checkpoint_every =
+        if checkpoint_dir <> None && checkpoint_every = 0 then 1
+        else checkpoint_every
+      in
       start_trace trace;
       let store = open_store cache no_cache cache_dir in
       let events =
@@ -955,13 +1110,78 @@ let serve_cmd =
       in
       let system = Sampler.alpha_sample (Rng.split rng) base_routing ~alpha in
       let sim_rng = Rng.split rng in
+      let fault_rng = Rng.split rng in
       let config =
         { Serve.solver = parse_solver solver_spec;
           warm_iters;
           warm_weight;
-          refresh_every = refresh }
+          refresh_every = refresh;
+          event_budget;
+          max_staleness }
       in
-      let srv = Serve.create ~config g system in
+      let faults =
+        match faults_spec with
+        | None -> []
+        | Some spec -> (
+            match parse_faults g system events fault_rng spec with
+            | faults -> faults
+            | exception Failure msg ->
+                Printf.eprintf "sso serve: --faults %s\n" msg;
+                exit 124)
+      in
+      if simulate && faults <> [] then begin
+        Printf.eprintf
+          "sso serve: --faults models routing-level failures; combine with \
+           the packet-level `sso faults timeline` instead of --simulate\n";
+        exit 124
+      end;
+      (* The stream digest pins every checkpoint to the exact stream (and
+         the config repr to the exact policy) it was taken under; a
+         resume against anything else is corruption, not divergence. *)
+      let stream_digest = Checkpoint.events_digest events in
+      let config_repr = Checkpoint.config_repr config in
+      let srv, resume_tick =
+        if not resume then (Serve.create ~config g system, -1)
+        else
+          let dir = Option.get checkpoint_dir in
+          match Checkpoint.latest ~dir with
+          | None -> (Serve.create ~config g system, -1)
+          | Some (_, path) -> (
+              match Checkpoint.load ~graph:g path with
+              | exception Checkpoint.Unreadable msg ->
+                  Printf.eprintf "sso serve: %s\n" msg;
+                  exit exit_unreadable
+              | exception Codec.Corrupt msg ->
+                  Printf.eprintf "sso serve: checkpoint %s: %s\n" path msg;
+                  exit exit_corrupt
+              | ckpt_digest, ckpt_config, state -> (
+                  if not (Int64.equal ckpt_digest stream_digest) then begin
+                    Printf.eprintf
+                      "sso serve: checkpoint %s was taken against a \
+                       different update stream\n"
+                      path;
+                    exit exit_corrupt
+                  end;
+                  if ckpt_config <> config_repr then begin
+                    Printf.eprintf
+                      "sso serve: checkpoint %s was taken under a different \
+                       configuration (%s)\n"
+                      path ckpt_config;
+                    exit exit_corrupt
+                  end;
+                  match Serve.restore ~config g system state with
+                  | srv ->
+                      Printf.eprintf "resuming from %s (tick %d)\n" path
+                        state.Serve.s_tick;
+                      (srv, state.Serve.s_tick)
+                  | exception Codec.Corrupt msg ->
+                      Printf.eprintf "sso serve: checkpoint %s: %s\n" path msg;
+                      exit exit_corrupt))
+      in
+      let events =
+        List.filter (fun (e : Update.t) -> e.Update.tick > resume_tick) events
+      in
+      let faults = List.filter (fun (tick, _) -> tick > resume_tick) faults in
       (* Periodic exposition writer: refresh GC gauges, freeze the whole
          registry, render, atomic write — wall-clock data flows only to
          this file, never to stdout or the digest. *)
@@ -971,21 +1191,37 @@ let serve_cmd =
         | Some path ->
             Some
               (fun () ->
-                Obs.sample_gc_gauges ();
-                let text = Obs.expose (Obs.snapshot ()) in
-                let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-                try
-                  let oc = open_out_bin tmp in
-                  output_string oc text;
-                  close_out oc;
-                  Sys.rename tmp path
+                try Serve.write_metrics ~path
                 with Sys_error msg ->
                   Printf.eprintf "sso serve: cannot write metrics: %s\n" msg;
                   exit exit_unreadable)
       in
-      let on_tick =
-        Option.map (fun write (_ : Serve.report) _ -> write ()) write_metrics
+      let processed = ref 0 in
+      let on_tick (r : Serve.report) (_ : Sso_flow.Routing.t) =
+        (match write_metrics with Some write -> write () | None -> ());
+        (match checkpoint_dir with
+        | Some dir when checkpoint_every > 0 ->
+            incr processed;
+            if !processed mod checkpoint_every = 0 then begin
+              match
+                Checkpoint.write ~dir ~stream_digest ~graph:g ~config
+                  (Serve.snapshot srv)
+              with
+              | (_ : string) -> ()
+              | exception Checkpoint.Unreadable msg ->
+                  Printf.eprintf "sso serve: %s\n" msg;
+                  exit exit_unreadable
+            end
+        | _ -> ());
+        match crash_after with
+        | Some t when r.Serve.tick >= t ->
+            (* A hard kill, not an exit: no flush, no atexit, no trace
+               finalization — exactly what the chaos harness resumes
+               from. *)
+            Unix._exit 137
+        | _ -> ()
       in
+      let on_tick = Some on_tick in
       let t0 = Obs.now_ns () in
       let outcome, reports =
         match
@@ -994,7 +1230,7 @@ let serve_cmd =
               Serve.simulate ?on_tick sim_rng ~period srv events
             in
             (Some outcome, reports)
-          else (None, Serve.replay ?on_tick srv events)
+          else (None, Serve.replay ?on_tick ~faults srv events)
         with
         | result -> result
         | exception Update.Corrupt msg ->
@@ -1032,13 +1268,16 @@ let serve_cmd =
       in
       if json then begin
         Printf.printf
-          "{\n  \"schema\": \"sso-serve-replay\",\n  \"version\": 1,\n  \
+          "{\n  \"schema\": \"sso-serve-replay\",\n  \"version\": 2,\n  \
            \"family\": %s,\n  \"size\": %d,\n  \"alpha\": %d,\n  \"base\": \
            %s,\n  \"solver\": %s,\n  \"warm_iters\": %d,\n  \"warm_weight\": \
-           %d,\n  \"refresh\": %d,\n  \"seed\": %d,\n  \"events\": %d,\n  \
-           \"ticks\": [\n"
+           %d,\n  \"refresh\": %d,\n  \"event_budget\": %d,\n  \
+           \"max_staleness\": %d,\n  \"faults\": %s,\n  \"seed\": %d,\n  \
+           \"events\": %d,\n  \"ticks\": [\n"
           (jstr family) size alpha (jstr base) (jstr solver_spec) warm_iters
-          warm_weight refresh seed (List.length events);
+          warm_weight refresh event_budget max_staleness
+          (match faults_spec with None -> "null" | Some s -> jstr s)
+          seed (List.length events);
         List.iteri
           (fun i r ->
             Printf.printf "    %s%s\n" (report_json r)
@@ -1063,12 +1302,14 @@ let serve_cmd =
         List.iter
           (fun (r : Serve.report) ->
             Printf.printf
-              "tick %4d  %-4s  events %3d (+%d -%d ~%d)  pairs %4d  admitted \
-               %3d  retired %3d  staleness %2d  cong %.4f\n"
+              "tick %4d  %-8s  events %3d (+%d -%d ~%d)  pairs %4d  admitted \
+               %3d  retired %3d  deferred %3d  failed %2d  rerouted %3d  \
+               unroutable %2d  staleness %2d  cong %.4f\n"
               r.Serve.tick (mode_name r.Serve.mode) r.Serve.events
               r.Serve.arrivals r.Serve.departures r.Serve.rate_changes
               r.Serve.active_pairs r.Serve.admitted r.Serve.retired
-              r.Serve.staleness r.Serve.congestion)
+              r.Serve.deferred r.Serve.failed_edges r.Serve.rerouted
+              r.Serve.unroutable r.Serve.staleness r.Serve.congestion)
           reports;
         Printf.printf "\nfinal: pairs %d  congestion %.6f  digest %s\n"
           final_pairs final_congestion digest;
@@ -1093,9 +1334,10 @@ let serve_cmd =
         (float_of_int wall_ns /. 1e6)
         (float_of_int (List.length events) /. (float_of_int wall_ns /. 1e9));
       finish_trace ~seed trace;
-      (* SLO verdict last, on stderr only (wall clock): the trace and all
-         deterministic output are complete before a burn exits 12. *)
-      match slo_p99_ms with
+      (* SLO/overload verdicts last, on stderr only (wall clock): the
+         trace and all deterministic output are complete before a burn
+         exits 12. *)
+      (match slo_p99_ms with
       | None -> ()
       | Some budget_ms ->
           let slo = Serve.check_slo ~budget_ms reports in
@@ -1105,7 +1347,18 @@ let serve_cmd =
             slo.Serve.p99_ms slo.Serve.p99_budget_ms
             (if slo.Serve.burned then "BURNED" else "ok")
             slo.Serve.burns (List.length reports);
-          if slo.Serve.burned then exit exit_slo
+          if slo.Serve.burned then exit exit_slo);
+      match overload_ms with
+      | None -> ()
+      | Some budget_ms ->
+          let o = Serve.check_overload ~budget_ms reports in
+          Printf.eprintf
+            "overload: max tick %.3f ms vs budget %.3f ms — %s (%d/%d ticks \
+             over budget)\n"
+            o.Serve.max_tick_ms o.Serve.budget_tick_ms
+            (if o.Serve.overloaded then "OVERLOADED" else "ok")
+            o.Serve.slow_ticks (List.length reports);
+          if o.Serve.overloaded then exit exit_slo
     in
     let doc = "replay a logged update stream through the routing service" in
     Cmd.v (Cmd.info "replay" ~doc)
@@ -1113,8 +1366,10 @@ let serve_cmd =
         const run $ stream_pos $ family_arg $ size_arg $ alpha_arg $ base_arg
         $ solver_arg $ warm_iters_arg $ warm_weight_arg $ refresh_arg
         $ simulate_arg $ period_arg $ json_arg $ metrics_out_arg $ slo_arg
-        $ seed_arg $ jobs_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
-        $ trace_arg)
+        $ overload_arg $ faults_arg $ checkpoint_every_arg
+        $ checkpoint_dir_arg $ resume_arg $ crash_after_arg
+        $ event_budget_arg $ max_staleness_arg $ seed_arg $ jobs_arg
+        $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
   in
   let doc = "long-lived routing service: generate and replay update streams" in
   Cmd.group (Cmd.info "serve" ~doc) [ generate_cmd; replay_cmd ]

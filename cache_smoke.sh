@@ -28,15 +28,11 @@ test "$hits" -gt 0
 
 # Corrupt store: a planted undecodable entry must flip the exit code to 11.
 printf 'garbage' > "$cache/deadbeefdeadbeef.art"
-rc=0
-"$SSO" cache ls --cache-dir "$cache" > /dev/null 2>&1 || rc=$?
-test "$rc" -eq 11
+expect_exit 11 "planted corrupt entry" "$SSO" cache ls --cache-dir "$cache"
 "$SSO" cache gc --cache-dir "$cache" > /dev/null
 "$SSO" cache stat --cache-dir "$cache" > /dev/null
 
 # Unusable store directory (a regular file): exit code 10.
-rc=0
-"$SSO" cache stat --cache-dir "$dir/cold.txt" > /dev/null 2>&1 || rc=$?
-test "$rc" -eq 10
+expect_exit 10 "store path is a file" "$SSO" cache stat --cache-dir "$dir/cold.txt"
 
 echo "cache smoke: OK (warm hits=$hits)"

@@ -10,21 +10,37 @@
 # the fault-injection subsystem via `sso faults` (jobs-invariant sweeps,
 # a dropped-free mid-flight SRLG failover, cached warm sweeps), the
 # arena path storage at scale (--scale on a 50k-switch fat-tree,
-# warm-cache byte-identical to cold, bytes/pair reduction gate), and the
+# warm-cache byte-identical to cold, bytes/pair reduction gate), the
 # routing service via `sso serve` (a 10k-update churn stream replayed
 # byte-identically at --jobs 1 and 4, stream exit codes 10/11 honored),
-# and the telemetry layer (a --metrics-out Prometheus exposition scrape
+# the telemetry layer (a --metrics-out Prometheus exposition scrape
 # validated line by line, the --slo-p99-ms burn exit, and jobs-invariant
-# `sso trace flame` folded stacks).
-set -eux
+# `sso trace flame` folded stacks), and the crash-safety layer via the
+# chaos harness (kill-and-resume digest-identical, bit-flipped
+# checkpoints and streams always exit 11, faulted replays
+# jobs-invariant).
+#
+# Fails fast: the first failing step stops the run, and the last stderr
+# line names the step that broke.
+set -eu
 
-dune build
-dune runtest
-dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
-./cache_smoke.sh
-./kernels_smoke.sh
-./trace_smoke.sh
-./faults_smoke.sh
-./scale_smoke.sh
-./serve_smoke.sh
-./obs_smoke.sh
+run_step() {
+  echo "+ $*" >&2
+  "$@" || {
+    rc=$?
+    echo "ci.sh: FAILED in $* (exit $rc)" >&2
+    exit "$rc"
+  }
+}
+
+run_step dune build
+run_step dune runtest
+run_step dune exec bench/main.exe -- --experiment E3 --no-timing --jobs 2
+run_step ./cache_smoke.sh
+run_step ./kernels_smoke.sh
+run_step ./trace_smoke.sh
+run_step ./faults_smoke.sh
+run_step ./scale_smoke.sh
+run_step ./serve_smoke.sh
+run_step ./obs_smoke.sh
+run_step ./chaos_smoke.sh

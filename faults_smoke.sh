@@ -81,12 +81,7 @@ grep -q 'fault.sweep' "$dir/sweep.jsonl" || {
 }
 
 # Exit code 10 for an unreadable store path.
-rc=0
-"$SSO" faults sweep --family torus --size 4 --cache-dir /dev/null/nope \
-  > /dev/null 2>&1 || rc=$?
-test "$rc" -eq 10 || {
-  echo "faults_smoke: expected exit 10 for an unreadable store, got $rc" >&2
-  exit 1
-}
+expect_exit 10 "unreadable store" \
+  "$SSO" faults sweep --family torus --size 4 --cache-dir /dev/null/nope
 
 echo "faults_smoke: ok"

@@ -1,0 +1,73 @@
+(** On-disk checkpoints of the routing service (DESIGN.md §14).
+
+    A checkpoint is a single self-validating binary blob wrapping a
+    {!Serve.state}: a one-byte kind tag and version, the digest of the
+    update stream it was taken against, the graph digest, a canonical
+    rendering of the service configuration, the state fields (demand,
+    routing, deferred events, failed edges, and the v2 slice payload of
+    every materialized pair), and a trailing FNV-1a-64 checksum of
+    everything before it.  Decoding verifies the checksum {e first}, so
+    any bit flip anywhere in the file surfaces as
+    {!Sso_artifact.Codec.Corrupt} before a single field is parsed —
+    a damaged checkpoint can never half-restore.
+
+    Files are written atomically (tmp + rename) as [ckpt-<tick>.bin]
+    inside the checkpoint directory; {!latest} picks the highest tick.
+    Resuming is exact: restoring the latest checkpoint and replaying the
+    remaining ticks yields output byte-identical to an uninterrupted
+    replay, at any [--jobs] (see the determinism argument in
+    DESIGN.md §14). *)
+
+exception Unreadable of string
+(** IO-level failure (missing directory, permission, short write) —
+    distinct from {!Sso_artifact.Codec.Corrupt}, which means the bytes
+    were read fine but are damaged.  Mirrors the exit-code contract:
+    10 unreadable, 11 corrupt. *)
+
+val events_digest : Sso_demand.Update.t list -> int64
+(** Canonical digest of an update stream (binary event encoding, FNV-1a)
+    — stored in each checkpoint so resuming against a different stream
+    is refused as corrupt instead of silently diverging. *)
+
+val config_repr : Serve.config -> string
+(** Canonical one-line rendering of a service configuration — stored in
+    each checkpoint; a resume under a different configuration is
+    refused. *)
+
+val encode :
+  stream_digest:int64 ->
+  graph:Sso_graph.Graph.t ->
+  config:Serve.config ->
+  Serve.state -> string
+(** The checkpoint blob. *)
+
+val decode :
+  graph:Sso_graph.Graph.t -> string -> int64 * string * Serve.state
+(** [(stream_digest, config_repr, state)].  The caller compares the
+    digest and configuration against its own before {!Serve.restore}.
+    @raise Sso_artifact.Codec.Corrupt on checksum mismatch, bad tag or
+    version, or any malformed field. *)
+
+val filename : tick:int -> string
+(** [ckpt-<tick>.bin] (zero-padded so lexicographic = numeric order).
+    @raise Invalid_argument if [tick < 0]. *)
+
+val write :
+  dir:string ->
+  stream_digest:int64 ->
+  graph:Sso_graph.Graph.t ->
+  config:Serve.config ->
+  Serve.state -> string
+(** Encode and atomically publish the checkpoint under [dir] (created if
+    missing), returning its path.  The temporary sibling is removed on
+    any failure.  @raise Unreadable when the filesystem says no,
+    [Invalid_argument] if the state predates the first tick. *)
+
+val latest : dir:string -> (int * string) option
+(** The highest-tick checkpoint in [dir] as [(tick, path)]; [None] when
+    the directory is missing or holds no [ckpt-*.bin]. *)
+
+val load :
+  graph:Sso_graph.Graph.t -> string -> int64 * string * Serve.state
+(** Read and {!decode} a checkpoint file.  @raise Unreadable on IO
+    failure, {!Sso_artifact.Codec.Corrupt} on damage. *)

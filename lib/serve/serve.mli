@@ -20,10 +20,33 @@
       back to a cold solve on the first tick and every [refresh_every]-th
       solve thereafter.
 
-    Everything is deterministic: the same stream, seed, and configuration
-    produce bit-identical routings, reports, and digests at any [--jobs].
-    Per-tick telemetry flows through [serve.*] counters/spans and, when
-    tracing is on, a [serve.tick] trace event per batch. *)
+    Three robustness layers wrap that loop (DESIGN.md §14):
+
+    - {e Faults in the loop}: {!step} takes per-tick {!fault} events that
+      fail or repair edges.  While edges are down the solve runs on the
+      surviving candidates ({!Sso_core.Path_system.filter_paths}), warm
+      ticks re-optimize with {!Sso_core.Semi_oblivious.resolve} exactly
+      like the fault-recovery ladder, and pairs left with no surviving
+      candidate are excluded from the solve (counted [unroutable]) until
+      a repair brings them back.
+    - {e Overload shedding}: with a positive [event_budget], a tick
+      admits at most that many events; the excess is deferred — requeued
+      in order ahead of the next tick's batch and counted in the report.
+      An overloaded tick may serve the previous routing unchanged
+      ({!mode} [Degraded], restricted to surviving paths) instead of
+      re-solving, for at most [max_staleness] consecutive ticks.
+    - {e Checkpoint/restore}: {!snapshot} captures the full service state
+      as a plain {!state} value and {!restore} rebuilds a service from
+      it, re-deriving the arena from the system's own generator and
+      refusing ({!Sso_artifact.Codec.Corrupt}) if the regenerated
+      candidates disagree with the checkpointed ones.  See
+      {!Checkpoint} for the on-disk format.
+
+    Everything is deterministic: the same stream, seed, configuration,
+    and fault schedule produce bit-identical routings, reports, and
+    digests at any [--jobs].  Per-tick telemetry flows through [serve.*]
+    counters/spans and, when tracing is on, a [serve.tick] trace event
+    per batch. *)
 
 type config = {
   solver : Sso_core.Semi_oblivious.solver;
@@ -35,29 +58,63 @@ type config = {
   refresh_every : int;
       (** Cold re-solve every this many solves; [0] (the default) never
           refreshes — the warm chain runs for the service's lifetime. *)
+  event_budget : int;
+      (** Per-tick admission budget: a tick applies at most this many
+          events (deferred leftovers first, then the incoming batch in
+          order); the rest carries over to the next tick.  [0] (the
+          default) admits everything. *)
+  max_staleness : int;
+      (** Consecutive ticks allowed to serve the stale routing
+          ([Degraded]) when over budget before a real re-solve is
+          forced (default 4; [0] never degrades — overloaded ticks
+          still shed events but always re-solve). *)
 }
 
 val default_config : config
 
-type mode = Cold | Warm
+type mode =
+  | Cold  (** Full solve from scratch. *)
+  | Warm  (** Incremental MWU re-optimization from the previous routing. *)
+  | Degraded
+      (** Overloaded: the previous routing served as-is (restricted to
+          surviving paths), no solve.  Bounded by [max_staleness]. *)
+
+type fault =
+  | Fail of int  (** The edge id goes down before the tick's solve. *)
+  | Repair of int  (** The edge id comes back. *)
 
 type report = {
   tick : int;
-  events : int;  (** Events in this tick's batch. *)
+  events : int;
+      (** Events {e applied} this tick (deferred leftovers included);
+          shed events surface in [deferred] instead. *)
   arrivals : int;
   departures : int;
   rate_changes : int;
   active_pairs : int;  (** Commodities after folding the batch. *)
   admitted : int;  (** Pairs newly materialized into the arena. *)
   retired : int;  (** Pairs that left the active set this tick. *)
+  deferred : int;
+      (** Events shed to the next tick by the [event_budget] policy. *)
+  failed_edges : int;  (** Edges down after this tick's fault events. *)
+  rerouted : int;
+      (** Pairs whose previous routing put weight on an edge that failed
+          this tick — the commodities the fault actually displaced. *)
+  unroutable : int;
+      (** Active pairs with no surviving candidate path; excluded from
+          the solve until a repair restores a candidate. *)
   congestion : float;  (** Congestion of the re-optimized routing. *)
   mode : mode;
   staleness : int;
-      (** Warm solves since the last cold solve, this one included;
-          [0] on cold ticks. *)
+      (** Warm or degraded solves since the last cold solve, this one
+          included; [0] on cold ticks. *)
   solve_ns : int;
-      (** Wall time of the re-solve — the only nondeterministic field;
-          deterministic outputs (JSON, digests) must not include it. *)
+      (** Wall time of the re-solve — nondeterministic; deterministic
+          outputs (JSON, digests) must not include it. *)
+  tick_ns : int;
+      (** Wall time of the whole tick (admission + solve + bookkeeping) —
+          nondeterministic, same contract as [solve_ns]; input to
+          {!check_overload}. *)
 }
 
 type t
@@ -76,20 +133,46 @@ val demand : t -> Sso_demand.Demand.t
 val routing : t -> Sso_flow.Routing.t option
 (** The current routing ([None] before the first step). *)
 
-val step : t -> tick:int -> Sso_demand.Update.t list -> report
+val pending : t -> Sso_demand.Update.t list
+(** Events shed by the budget policy, waiting (in order) for the next
+    tick. *)
+
+val failed_edges : t -> int list
+(** Edges currently down, ascending. *)
+
+val step : t -> tick:int -> ?faults:fault list -> Sso_demand.Update.t list ->
+  report
 (** Fold one tick's batch and re-solve.  Ticks must be strictly
     increasing across calls; every event must carry the given tick and
-    endpoints within the graph.  @raise Sso_demand.Update.Corrupt on
-    stream inconsistencies (wrong tick, out-of-range endpoint, departure
-    of an inactive pair, ...), [Invalid_argument] if a demanded pair has
-    no candidate paths. *)
+    endpoints within the graph.  [faults] are applied {e before} the
+    batch: each [Fail] must name a live in-range edge and each [Repair]
+    a currently failed one.  @raise Sso_demand.Update.Corrupt on stream
+    inconsistencies (wrong tick, out-of-range endpoint, departure of an
+    inactive pair, double failure, repair of a healthy edge, ...),
+    [Invalid_argument] if a demanded pair has no candidate paths while
+    nothing is failed (with failures such pairs are shed as
+    [unroutable] instead). *)
 
-val replay : ?on_tick:(report -> Sso_flow.Routing.t -> unit) -> t ->
-  Sso_demand.Update.t list -> report list
+val replay :
+  ?on_tick:(report -> Sso_flow.Routing.t -> unit) ->
+  ?faults:(int * fault list) list ->
+  t -> Sso_demand.Update.t list -> report list
 (** Drive the service over a whole logged stream, one {!step} per tick
-    present in it ({!Sso_demand.Update.by_tick}); [on_tick] observes each
-    report with the tick's routing (e.g. to feed the simulator or hash
-    the routing). *)
+    present in the stream or the fault schedule (fault-only ticks step
+    with an empty batch); [faults] maps ticks to fault events and may
+    extend past the stream.  After the last tick, deferred events are
+    drained on synthetic trailing ticks until the queue is empty, so a
+    budgeted replay ends on the same demand as an unbudgeted one.
+    [on_tick] observes each report with the tick's routing (e.g. to feed
+    the simulator or hash the routing). *)
+
+val faults_of_timeline : Sso_fault.Timeline.t -> (int * fault list) list
+(** Bridge a fault timeline into the service: each entry's scenario
+    edges fail at [fail_at] and repair at [repair_at] (when present),
+    with steps read as ticks.  Within a tick, repairs precede failures,
+    so a repair-then-refail schedule is expressible.  Sorted by tick,
+    ready for {!replay}.  @raise Invalid_argument if an entry's scenario
+    is a degradation (the service models full removals only). *)
 
 val simulate :
   ?discipline:Sso_sim.Simulator.discipline ->
@@ -98,22 +181,67 @@ val simulate :
   Sso_prng.Rng.t -> period:int -> t -> Sso_demand.Update.t list ->
   Sso_sim.Simulator.load_stats Sso_sim.Simulator.outcome * report list
 (** Replay the stream and push the resulting traffic through the packet
-    simulator: each tick injects, per active commodity, [ceil rate]
-    packets on paths drawn from that tick's routing (a per-tick
-    [Rng.split_at] child, so the draw is independent of [--jobs]),
-    released at [tick * period].  Returns the timed-load statistics
-    beside the per-tick reports.  [on_tick] observes each report after
-    the tick's packets are injected (e.g. the metrics snapshot writer).
-    [period] must be positive. *)
+    simulator: each tick injects, per active commodity the tick's
+    routing covers, [ceil rate] packets on paths drawn from that routing
+    (a per-tick [Rng.split_at] child, so the draw is independent of
+    [--jobs]), released at [tick * period].  Commodities the routing
+    does not cover (e.g. unroutable under failures) inject nothing.
+    Returns the timed-load statistics beside the per-tick reports.
+    [on_tick] observes each report after the tick's packets are injected
+    (e.g. the metrics snapshot writer).  [period] must be positive. *)
+
+(** {1 Checkpointable state}
+
+    {!state} is the full value of a service between ticks — everything
+    {!step} reads besides the graph and the path-system generator.  The
+    arena is captured as the v2 slice payload of every materialized
+    pair ({!Sso_artifact.Codec.encode_path_system_slices}), and
+    {!restore} re-derives it from the (per-pair deterministic) generator
+    of a freshly sampled system, comparing against the payload so a
+    checkpoint from a different seed, α, or base routing is rejected as
+    {!Sso_artifact.Codec.Corrupt} rather than silently resumed. *)
+
+type state = {
+  s_tick : int;  (** [last_tick]; [-1] before the first step. *)
+  s_since_cold : int;
+  s_degraded_streak : int;
+  s_demand : Sso_demand.Demand.t;
+  s_routing : Sso_flow.Routing.t option;
+  s_pending : Sso_demand.Update.t list;
+  s_failed : int list;  (** Failed edge ids, strictly ascending. *)
+  s_system : string;
+      (** v2 slice payload of the materialized pairs (sorted). *)
+}
+
+val snapshot : t -> state
+(** Capture the service between ticks.  Pure read — the service keeps
+    running. *)
+
+val restore :
+  ?config:config -> Sso_graph.Graph.t -> Sso_core.Path_system.t -> state -> t
+(** Rebuild a service from a snapshot over a freshly created system
+    (same graph, same sampler seed).  Every checkpointed pair is
+    materialized through the system's generator in canonical (sorted)
+    order and compared path-by-path against the payload.
+    @raise Sso_artifact.Codec.Corrupt if the payload is damaged, the
+    regenerated candidates differ (wrong seed/α/base), or any endpoint,
+    edge id, or failed-edge list is out of contract. *)
 
 (** {1 Telemetry and SLO}
 
     Every {!step} feeds rolling quantiles [serve.tick_ns] /
     [serve.admit_ns] / [serve.solve_ns] (and {!simulate} [serve.inject_ns])
-    plus [serve.staleness] and [serve.updates_per_sec] gauges in the
-    {!Sso_obs.Obs} registry.  All wall-clock: they surface only through
-    [Obs.snapshot]/[Obs.expose], never in reports, digests, or trace
-    payloads. *)
+    plus [serve.staleness], [serve.failed_edges] and
+    [serve.updates_per_sec] gauges in the {!Sso_obs.Obs} registry.  All
+    wall-clock: they surface only through [Obs.snapshot]/[Obs.expose],
+    never in reports, digests, or trace payloads. *)
+
+val write_metrics : path:string -> unit
+(** Snapshot the registry (GC gauges sampled) as Prometheus text
+    exposition to [path], atomically: the text is written to a [.tmp]
+    sibling and renamed over the target.  The temporary is removed on
+    {e any} failure — an interrupted write never leaves a stale [.tmp]
+    beside the target.  @raise Sys_error when the write fails. *)
 
 type slo = {
   p99_budget_ms : float;  (** The budget checked against. *)
@@ -128,4 +256,18 @@ val check_slo : budget_ms:float -> report list -> slo
     list yields [p99_ms = 0.] and no burn.  Wall-clock based — callers
     must keep the verdict out of deterministic output ([sso serve replay
     --slo-p99-ms] reports on stderr and signals burn via exit code 12).
+    @raise Invalid_argument if [budget_ms <= 0]. *)
+
+type overload = {
+  budget_tick_ms : float;  (** The per-tick wall budget checked. *)
+  max_tick_ms : float;  (** Slowest tick observed, in ms. *)
+  slow_ticks : int;  (** Ticks over budget. *)
+  overloaded : bool;  (** [slow_ticks > 0]. *)
+}
+
+val check_overload : budget_ms:float -> report list -> overload
+(** The wall-clock face of the overload policy: flag every tick whose
+    total wall time ([tick_ns]) exceeded the budget.  Same contract as
+    {!check_slo} — stderr/exit-code only, never in deterministic output
+    ([sso serve replay --overload-ms], exit 12 when overloaded).
     @raise Invalid_argument if [budget_ms <= 0]. *)

@@ -44,16 +44,10 @@ grep -q '"mode": "warm"' "$dir/j1.json" || {
 }
 
 # Exit codes: 10 for an unreadable stream, 11 for a corrupt one.
-rc=0; "$SSO" serve replay "$dir/missing.jsonl" 2> /dev/null || rc=$?
-test "$rc" -eq 10 || { echo "serve_smoke: expected exit 10, got $rc" >&2; exit 1; }
+expect_exit 10 "missing stream" "$SSO" serve replay "$dir/missing.jsonl"
 echo 'not an update stream' > "$dir/garbage.jsonl"
-rc=0; "$SSO" serve replay "$dir/garbage.jsonl" 2> /dev/null || rc=$?
-test "$rc" -eq 11 || { echo "serve_smoke: expected exit 11, got $rc" >&2; exit 1; }
+expect_exit 11 "garbage stream" "$SSO" serve replay "$dir/garbage.jsonl"
 head -5 "$stream" > "$dir/trunc.jsonl"
-rc=0; "$SSO" serve replay "$dir/trunc.jsonl" 2> /dev/null || rc=$?
-test "$rc" -eq 11 || {
-  echo "serve_smoke: expected exit 11 on a truncated stream, got $rc" >&2
-  exit 1
-}
+expect_exit 11 "truncated stream" "$SSO" serve replay "$dir/trunc.jsonl"
 
 echo "serve_smoke: ok"

@@ -13,3 +13,21 @@ SSO="${SSO:-_build/default/bin/sso.exe}"
 
 dir=$(mktemp -d)
 trap 'rm -rf "$dir"' EXIT INT TERM
+
+# expect_exit CODE DESC CMD ARGS...
+#
+# Run CMD and assert its exit status is exactly CODE (both output
+# streams discarded).  The one place the exit-code contract of README
+# "Exit codes" is asserted: 0 success, 10 unreadable, 11 corrupt,
+# 12 SLO/overload burn, 124 usage, 137 injected crash.
+expect_exit() {
+  _want=$1
+  _desc=$2
+  shift 2
+  _rc=0
+  "$@" > /dev/null 2>&1 || _rc=$?
+  test "$_rc" -eq "$_want" || {
+    echo "${0##*/}: $_desc: expected exit $_want, got $_rc" >&2
+    exit 1
+  }
+}

@@ -300,6 +300,34 @@ let test_candidate_failover_prefers_suffix () =
   | None -> Alcotest.fail "expected a failover route"
   | Some p -> Alcotest.(check bool) "takes the detour" true (Path.equal p long)
 
+let test_candidate_failover_bridges () =
+  (* The packet sits at vertex 2 on the detour when its next hop dies.
+     No surviving candidate passes through 2, so the policy must BFS a
+     bridge back to the direct route and follow it home: 2 -> 0 -> 1. *)
+  let g, _, long, ps = dumbbell_fixture () in
+  let dead = long.Path.edges.(1) in
+  let alive e = e <> dead in
+  match Timeline.candidate_failover g ps ~pair:(0, 1) ~at_vertex:2 ~alive with
+  | None -> Alcotest.fail "expected a bridged failover route"
+  | Some p ->
+      Alcotest.(check bool) "bridges back through the source" true
+        (Path.equal p (Path.of_vertices g [ 2; 0; 1 ]))
+
+let test_candidate_failover_none () =
+  let g, direct, long, ps = dumbbell_fixture () in
+  (* Stranded: the next hop AND the way back both die, so no bridge to
+     the surviving direct route exists from vertex 2. *)
+  let alive e = e <> long.Path.edges.(1) && e <> long.Path.edges.(0) in
+  (match Timeline.candidate_failover g ps ~pair:(0, 1) ~at_vertex:2 ~alive with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no bridge exists, expected None");
+  (* No candidate survives at all: nothing to fail over to, even from
+     the source itself. *)
+  let alive e = e <> direct.Path.edges.(0) && e <> long.Path.edges.(1) in
+  match Timeline.candidate_failover g ps ~pair:(0, 1) ~at_vertex:0 ~alive with
+  | None -> ()
+  | Some _ -> Alcotest.fail "all candidates dead, expected None"
+
 let test_midflight_failover_dumbbell () =
   (* Two packets routed on the direct edge; it dies before they cross.
      Both fail over to the detour: nothing is dropped, traffic shifts to
@@ -390,6 +418,10 @@ let () =
           Alcotest.test_case "entry validation" `Quick test_timeline_entry_validation;
           Alcotest.test_case "failover prefers suffix" `Quick
             test_candidate_failover_prefers_suffix;
+          Alcotest.test_case "failover bridges" `Quick
+            test_candidate_failover_bridges;
+          Alcotest.test_case "failover gives up" `Quick
+            test_candidate_failover_none;
           Alcotest.test_case "mid-flight failover" `Quick test_midflight_failover_dumbbell;
           Alcotest.test_case "drops without candidates" `Quick
             test_midflight_drop_without_candidates;

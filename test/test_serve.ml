@@ -4,13 +4,18 @@
 
 module Rng = Sso_prng.Rng
 module Gen = Sso_graph.Gen
+module Path = Sso_graph.Path
 module Demand = Sso_demand.Demand
 module Update = Sso_demand.Update
 module Workload = Sso_demand.Workload
 module Routing = Sso_flow.Routing
 module Ksp = Sso_oblivious.Ksp
 module Sampler = Sso_core.Sampler
+module Path_system = Sso_core.Path_system
 module Serve = Sso_serve.Serve
+module Checkpoint = Sso_serve.Checkpoint
+module Scenario = Sso_fault.Scenario
+module Timeline = Sso_fault.Timeline
 module Simulator = Sso_sim.Simulator
 module Pool = Sso_engine.Pool
 module Codec = Sso_artifact.Codec
@@ -208,7 +213,10 @@ let test_refresh_and_staleness () =
     [ "cold"; "warm"; "warm"; "cold"; "warm"; "warm"; "cold" ]
     (List.map
        (fun r ->
-         match r.Serve.mode with Serve.Cold -> "cold" | Serve.Warm -> "warm")
+         match r.Serve.mode with
+         | Serve.Cold -> "cold"
+         | Serve.Warm -> "warm"
+         | Serve.Degraded -> "degraded")
        reports);
   Alcotest.(check (list int)) "staleness resets on refresh"
     [ 0; 1; 2; 0; 1; 2; 0 ]
@@ -264,7 +272,7 @@ let replay_fingerprint jobs =
   (reports, digest)
 
 let report_equal (a : Serve.report) (b : Serve.report) =
-  (* Everything but the wall-clock [solve_ns] field. *)
+  (* Everything but the wall-clock [solve_ns]/[tick_ns] fields. *)
   a.Serve.tick = b.Serve.tick
   && a.Serve.events = b.Serve.events
   && a.Serve.arrivals = b.Serve.arrivals
@@ -273,6 +281,10 @@ let report_equal (a : Serve.report) (b : Serve.report) =
   && a.Serve.active_pairs = b.Serve.active_pairs
   && a.Serve.admitted = b.Serve.admitted
   && a.Serve.retired = b.Serve.retired
+  && a.Serve.deferred = b.Serve.deferred
+  && a.Serve.failed_edges = b.Serve.failed_edges
+  && a.Serve.rerouted = b.Serve.rerouted
+  && a.Serve.unroutable = b.Serve.unroutable
   && Float.equal a.Serve.congestion b.Serve.congestion
   && a.Serve.mode = b.Serve.mode
   && a.Serve.staleness = b.Serve.staleness
@@ -307,12 +319,14 @@ let test_simulate () =
 
 (* ---- SLO ---- *)
 
+let blank_report ~solve_ns ~tick_ns =
+  { Serve.tick = 0; events = 0; arrivals = 0; departures = 0;
+    rate_changes = 0; active_pairs = 0; admitted = 0; retired = 0;
+    deferred = 0; failed_edges = 0; rerouted = 0; unroutable = 0;
+    congestion = 0.0; mode = Serve.Cold; staleness = 0; solve_ns; tick_ns }
+
 let test_check_slo () =
-  let report solve_ns =
-    { Serve.tick = 0; events = 0; arrivals = 0; departures = 0;
-      rate_changes = 0; active_pairs = 0; admitted = 0; retired = 0;
-      congestion = 0.0; mode = Serve.Cold; staleness = 0; solve_ns }
-  in
+  let report solve_ns = blank_report ~solve_ns ~tick_ns:solve_ns in
   (* 1..10 ms of solve time; nearest-rank p99 of 10 samples is the max. *)
   let reports = List.init 10 (fun i -> report ((i + 1) * 1_000_000)) in
   let burned = Serve.check_slo ~budget_ms:5.0 reports in
@@ -330,6 +344,461 @@ let test_check_slo () =
   | (_ : Serve.slo) -> Alcotest.fail "zero budget accepted"
   | exception Invalid_argument _ -> ()
 
+let test_check_overload () =
+  let report tick_ns = blank_report ~solve_ns:0 ~tick_ns in
+  let reports = List.init 10 (fun i -> report ((i + 1) * 1_000_000)) in
+  let o = Serve.check_overload ~budget_ms:5.0 reports in
+  Alcotest.(check bool) "overloaded" true o.Serve.overloaded;
+  Alcotest.(check int) "slow ticks" 5 o.Serve.slow_ticks;
+  Alcotest.(check (float 1e-9)) "max tick" 10.0 o.Serve.max_tick_ms;
+  let ok = Serve.check_overload ~budget_ms:15.0 reports in
+  Alcotest.(check bool) "within budget" false ok.Serve.overloaded;
+  let empty = Serve.check_overload ~budget_ms:1.0 [] in
+  Alcotest.(check bool) "empty replay" false empty.Serve.overloaded;
+  match Serve.check_overload ~budget_ms:0.0 reports with
+  | (_ : Serve.overload) -> Alcotest.fail "zero budget accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- faults in the loop ---- *)
+
+let test_step_faults () =
+  let srv = make_service () in
+  let r0 =
+    Serve.step srv ~tick:0
+      [ ev 0 0 1 (Update.Arrive 1.0); ev 0 5 10 (Update.Arrive 1.0) ]
+  in
+  Alcotest.(check int) "nothing failed yet" 0 r0.Serve.failed_edges;
+  (* Kill an edge the current routing actually uses: the report must
+     count the displaced commodity. *)
+  let used_edge =
+    match Serve.routing srv with
+    | Some r -> (
+        match Routing.distribution r 0 1 with
+        | (_, p) :: _ -> p.Path.edges.(0)
+        | [] -> Alcotest.fail "expected a distribution for 0->1")
+    | None -> Alcotest.fail "expected a routing"
+  in
+  let r1 = Serve.step srv ~tick:1 ~faults:[ Serve.Fail used_edge ] [] in
+  Alcotest.(check int) "one edge down" 1 r1.Serve.failed_edges;
+  Alcotest.(check bool) "displaced pairs counted" true (r1.Serve.rerouted >= 1);
+  Alcotest.(check (list int)) "failed_edges accessor" [ used_edge ]
+    (Serve.failed_edges srv);
+  Alcotest.(check bool) "still serves both pairs" true
+    (r1.Serve.active_pairs = 2 && r1.Serve.unroutable = 0);
+  (* The degraded-graph routing must not touch the dead edge. *)
+  (match Serve.routing srv with
+  | Some r ->
+      List.iter
+        (fun (s, d) ->
+          List.iter
+            (fun (_, p) ->
+              Alcotest.(check bool) "no weight on the dead edge" false
+                (Array.exists (fun e -> e = used_edge) p.Path.edges))
+            (Routing.distribution r s d))
+        (Routing.pairs r)
+  | None -> Alcotest.fail "expected a routing");
+  let r2 = Serve.step srv ~tick:2 ~faults:[ Serve.Repair used_edge ] [] in
+  Alcotest.(check int) "repaired" 0 r2.Serve.failed_edges;
+  (* Contradictory fault events are stream corruption. *)
+  let corrupts name faults =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Serve.step srv ~tick:9 ~faults []);
+         false
+       with Update.Corrupt _ -> true)
+  in
+  corrupts "repair of healthy edge" [ Serve.Repair used_edge ];
+  corrupts "edge out of range" [ Serve.Fail 100000 ];
+  ignore (Serve.step srv ~tick:20 ~faults:[ Serve.Fail used_edge ] []);
+  corrupts "double failure" [ Serve.Fail used_edge ]
+
+let test_unroutable_pair_sheds_and_recovers () =
+  let srv = make_service () in
+  ignore
+    (Serve.step srv ~tick:0
+       [ ev 0 0 1 (Update.Arrive 1.0); ev 0 12 15 (Update.Arrive 1.0) ]);
+  (* Fail every candidate of 0->1: the pair must be shed as unroutable,
+     not crash the solve — and come back with the repair. *)
+  let doomed =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun p -> Array.to_list p.Path.edges)
+         (Path_system.paths (Serve.system srv) 0 1))
+  in
+  let r1 =
+    Serve.step srv ~tick:1 ~faults:(List.map (fun e -> Serve.Fail e) doomed) []
+  in
+  Alcotest.(check int) "one pair unroutable" 1 r1.Serve.unroutable;
+  Alcotest.(check int) "both still active" 2 r1.Serve.active_pairs;
+  (match Serve.routing srv with
+  | Some r -> Alcotest.(check bool) "dropped from the routing" true
+      (Routing.distribution r 0 1 = [])
+  | None -> Alcotest.fail "expected a routing");
+  let r2 =
+    Serve.step srv ~tick:2
+      ~faults:(List.map (fun e -> Serve.Repair e) doomed)
+      []
+  in
+  Alcotest.(check int) "routable again" 0 r2.Serve.unroutable;
+  match Serve.routing srv with
+  | Some r ->
+      Alcotest.(check bool) "back in the routing" true
+        (Routing.distribution r 0 1 <> [])
+  | None -> Alcotest.fail "expected a routing"
+
+let test_faults_of_timeline () =
+  let g = Gen.grid 4 4 in
+  let s12 = Scenario.of_edges g [ 1; 2 ] in
+  let s3 = Scenario.of_edges g [ 3 ] in
+  let faults =
+    Serve.faults_of_timeline
+      [ Timeline.entry ~at:2 ~repair_at:5 s12; Timeline.entry ~at:2 s3 ]
+  in
+  Alcotest.(check bool) "fail and repair ticks" true
+    (faults
+    = [ (2, [ Serve.Fail 1; Serve.Fail 2; Serve.Fail 3 ]);
+        (5, [ Serve.Repair 1; Serve.Repair 2 ]) ]);
+  (* Same-tick repair-then-refail is expressible: repairs come first. *)
+  let refail =
+    Serve.faults_of_timeline
+      [ Timeline.entry ~at:1 ~repair_at:3 s3; Timeline.entry ~at:3 s3 ]
+  in
+  Alcotest.(check bool) "repairs precede failures" true
+    (refail = [ (1, [ Serve.Fail 3 ]); (3, [ Serve.Repair 3; Serve.Fail 3 ]) ]);
+  let degradation = Scenario.degrade g ~factor:0.5 [ 1 ] in
+  match Serve.faults_of_timeline [ Timeline.entry ~at:1 degradation ] with
+  | (_ : (int * Serve.fault list) list) ->
+      Alcotest.fail "degradation accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_fault_replay_jobs_invariant () =
+  let faults = [ (2, [ Serve.Fail 4; Serve.Fail 9 ]); (6, [ Serve.Repair 4 ]) ] in
+  let fingerprint jobs =
+    let before = Pool.default_jobs () in
+    Fun.protect ~finally:(fun () -> Pool.set_default_jobs before) @@ fun () ->
+    Pool.set_default_jobs jobs;
+    let srv = make_service () in
+    let reports = Serve.replay ~faults srv churn_events in
+    match Serve.routing srv with
+    | Some r ->
+        (reports, Codec.hex_of_key (Codec.fnv1a64 (Codec.encode_routing r)))
+    | None -> Alcotest.fail "expected a routing"
+  in
+  let r1, d1 = fingerprint 1 in
+  let r4, d4 = fingerprint 4 in
+  Alcotest.(check string) "faulted digest" d1 d4;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tick %d faulted report" a.Serve.tick)
+        true (report_equal a b))
+    r1 r4
+
+(* ---- overload shedding and degraded mode ---- *)
+
+let test_overload_sheds_and_degrades () =
+  let config =
+    { Serve.default_config with event_budget = 2; max_staleness = 1 }
+  in
+  let srv = make_service ~config () in
+  let arrive tick s d = ev tick s d (Update.Arrive 1.0) in
+  (* 4 arrivals against a budget of 2: half applied, half deferred.  No
+     routing exists yet, so the tick cannot degrade — it solves cold on
+     what it admitted. *)
+  let r0 =
+    Serve.step srv ~tick:0
+      [ arrive 0 0 1; arrive 0 1 2; arrive 0 2 3; arrive 0 3 4 ]
+  in
+  Alcotest.(check int) "applied up to budget" 2 r0.Serve.events;
+  Alcotest.(check int) "rest deferred" 2 r0.Serve.deferred;
+  Alcotest.(check bool) "cold, not degraded" true (r0.Serve.mode = Serve.Cold);
+  Alcotest.(check int) "two pairs live" 2 r0.Serve.active_pairs;
+  (* Still over budget and a routing exists: serve it stale. *)
+  let r1 = Serve.step srv ~tick:1 [ arrive 1 4 5; arrive 1 5 6; arrive 1 6 7 ] in
+  Alcotest.(check bool) "degraded" true (r1.Serve.mode = Serve.Degraded);
+  Alcotest.(check int) "backlog applied first" 2 r1.Serve.events;
+  Alcotest.(check int) "still shedding" 3 r1.Serve.deferred;
+  Alcotest.(check int) "staleness counts degraded ticks" 1 r1.Serve.staleness;
+  (* The degraded routing still covers everything that is active. *)
+  (match Serve.routing srv with
+  | Some r -> Alcotest.(check bool) "covers the active demand" true
+      (Routing.covers r (Serve.demand srv))
+  | None -> Alcotest.fail "expected a routing");
+  (* max_staleness = 1: the next over-budget tick must re-solve. *)
+  let r2 = Serve.step srv ~tick:2 [] in
+  Alcotest.(check bool) "forced re-solve" true (r2.Serve.mode = Serve.Warm);
+  Alcotest.(check int) "one left over" 1 r2.Serve.deferred;
+  let r3 = Serve.step srv ~tick:3 [] in
+  Alcotest.(check int) "drained" 0 r3.Serve.deferred;
+  Alcotest.(check int) "all pairs eventually admitted" 7
+    r3.Serve.active_pairs;
+  Alcotest.(check bool) "queue empty" true (Serve.pending srv = [])
+
+let test_budgeted_replay_converges () =
+  (* A budgeted replay drains its backlog on trailing ticks, so it ends
+     on exactly the demand an unbudgeted replay reaches. *)
+  let budgeted =
+    make_service ~config:{ Serve.default_config with event_budget = 3 } ()
+  in
+  let reports = Serve.replay budgeted churn_events in
+  let plain = make_service () in
+  let plain_reports = Serve.replay plain churn_events in
+  Alcotest.(check bool) "same final demand" true
+    (Demand.equal (Serve.demand budgeted) (Serve.demand plain));
+  Alcotest.(check bool) "backlog drained" true (Serve.pending budgeted = []);
+  Alcotest.(check bool) "drain ticks appended" true
+    (List.length reports >= List.length plain_reports);
+  let applied rs = List.fold_left (fun a r -> a + r.Serve.events) 0 rs in
+  Alcotest.(check int) "every event applied exactly once" (applied plain_reports)
+    (applied reports)
+
+(* ---- checkpoint / restore ---- *)
+
+let make_parts () =
+  let g = Gen.grid 4 4 in
+  let obl = Ksp.routing ~k:4 g in
+  (g, Sampler.alpha_sample (Rng.create 5) obl ~alpha:3)
+
+let split_events cut events =
+  ( List.filter (fun (e : Update.t) -> e.Update.tick <= cut) events,
+    List.filter (fun (e : Update.t) -> e.Update.tick > cut) events )
+
+let digest_of srv =
+  match Serve.routing srv with
+  | Some r -> Codec.hex_of_key (Codec.fnv1a64 (Codec.encode_routing r))
+  | None -> Alcotest.fail "expected a routing"
+
+let check_kill_and_resume ~faults ~cut jobs =
+  let before = Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs before) @@ fun () ->
+  Pool.set_default_jobs jobs;
+  let full = make_service () in
+  ignore (Serve.replay ~faults full churn_events);
+  let reference = digest_of full in
+  (* Run the prefix, checkpoint through the binary codec, restore into a
+     freshly sampled system, finish the suffix. *)
+  let prefix, suffix = split_events cut churn_events in
+  let pre_faults = List.filter (fun (t, _) -> t <= cut) faults in
+  let post_faults = List.filter (fun (t, _) -> t > cut) faults in
+  let interrupted = make_service () in
+  ignore (Serve.replay ~faults:pre_faults interrupted prefix);
+  let stream_digest = Checkpoint.events_digest churn_events in
+  let g, system = make_parts () in
+  let blob =
+    Checkpoint.encode ~stream_digest ~graph:g ~config:Serve.default_config
+      (Serve.snapshot interrupted)
+  in
+  let digest', repr, state = Checkpoint.decode ~graph:g blob in
+  Alcotest.(check bool) "stream digest round-trips" true
+    (Int64.equal digest' stream_digest);
+  Alcotest.(check string) "config round-trips"
+    (Checkpoint.config_repr Serve.default_config)
+    repr;
+  let resumed = Serve.restore g system state in
+  ignore (Serve.replay ~faults:post_faults resumed suffix);
+  Alcotest.(check string)
+    (Printf.sprintf "resume at tick %d == uninterrupted (jobs %d)" cut jobs)
+    reference (digest_of resumed)
+
+let test_kill_and_resume_j1 () =
+  List.iter (fun cut -> check_kill_and_resume ~faults:[] ~cut 1) [ 2; 5 ]
+
+let test_kill_and_resume_j4 () =
+  List.iter (fun cut -> check_kill_and_resume ~faults:[] ~cut 4) [ 2; 5 ]
+
+let test_kill_and_resume_with_faults () =
+  (* The fault window straddles the cut: the failed set must survive the
+     checkpoint for the repair to be legal after restore. *)
+  let faults =
+    [ (1, [ Serve.Fail 4; Serve.Fail 9 ]); (6, [ Serve.Repair 4 ]) ]
+  in
+  List.iter (fun jobs -> check_kill_and_resume ~faults ~cut:3 jobs) [ 1; 4 ]
+
+let test_checkpoint_contract () =
+  let srv = make_service () in
+  ignore
+    (Serve.step srv ~tick:0
+       [ ev 0 0 1 (Update.Arrive 1.0); ev 0 2 3 (Update.Arrive 1.5) ]);
+  let g, _ = make_parts () in
+  let blob =
+    Checkpoint.encode ~stream_digest:7L ~graph:g ~config:Serve.default_config
+      (Serve.snapshot srv)
+  in
+  let corrupt name blob =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Checkpoint.decode ~graph:g blob);
+         false
+       with Codec.Corrupt _ -> true)
+  in
+  (* Any single flipped bit anywhere must be caught by the checksum. *)
+  List.iter
+    (fun i ->
+      let b = Bytes.of_string blob in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+      corrupt (Printf.sprintf "bit flip at byte %d" i) (Bytes.to_string b))
+    [ 0; 1; 2; String.length blob / 2; String.length blob - 1 ];
+  corrupt "truncated" (String.sub blob 0 (String.length blob - 3));
+  corrupt "empty" "";
+  (* A checkpoint against a differently seeded sampler must be refused
+     by restore, not silently resumed. *)
+  let _, _, state = Checkpoint.decode ~graph:g blob in
+  let other =
+    Sampler.alpha_sample (Rng.create 6) (Ksp.routing ~k:4 g) ~alpha:3
+  in
+  match Serve.restore g other state with
+  | (_ : Serve.t) -> Alcotest.fail "mismatched sampler accepted"
+  | exception Codec.Corrupt _ -> ()
+
+let test_checkpoint_files () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sso_ckpt_test.%d" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+  @@ fun () ->
+  Alcotest.(check bool) "no dir, no latest" true (Checkpoint.latest ~dir = None);
+  let srv = make_service () in
+  let g, _ = make_parts () in
+  ignore (Serve.step srv ~tick:0 [ ev 0 0 1 (Update.Arrive 1.0) ]);
+  let p0 =
+    Checkpoint.write ~dir ~stream_digest:1L ~graph:g
+      ~config:Serve.default_config (Serve.snapshot srv)
+  in
+  ignore (Serve.step srv ~tick:7 [ ev 7 2 3 (Update.Arrive 1.0) ]);
+  let p7 =
+    Checkpoint.write ~dir ~stream_digest:1L ~graph:g
+      ~config:Serve.default_config (Serve.snapshot srv)
+  in
+  Alcotest.(check bool) "both files exist" true
+    (Sys.file_exists p0 && Sys.file_exists p7);
+  (match Checkpoint.latest ~dir with
+  | Some (tick, path) ->
+      Alcotest.(check int) "latest tick" 7 tick;
+      Alcotest.(check string) "latest path" p7 path
+  | None -> Alcotest.fail "expected a latest checkpoint");
+  let _, _, state = Checkpoint.load ~graph:g p7 in
+  Alcotest.(check int) "tick restored" 7 state.Serve.s_tick;
+  Alcotest.(check bool) "no stale temporaries" true
+    (Array.for_all
+       (fun f -> not (String.length f >= 4 && String.sub f 0 4 = "ckpt")
+                 || Filename.check_suffix f ".bin")
+       (Sys.readdir dir));
+  match Checkpoint.load ~graph:g (Filename.concat dir "missing.bin") with
+  | (_ : int64 * string * Serve.state) -> Alcotest.fail "missing file loaded"
+  | exception Checkpoint.Unreadable _ -> ()
+
+(* ---- metrics snapshot hygiene ---- *)
+
+let test_write_metrics_cleanup () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sso_metrics_test.%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () ->
+      Array.iter
+        (fun f ->
+          let p = Filename.concat dir f in
+          if Sys.is_directory p then Unix.rmdir p else Sys.remove p)
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let target = Filename.concat dir "metrics.prom" in
+  Serve.write_metrics ~path:target;
+  Alcotest.(check bool) "snapshot written" true (Sys.file_exists target);
+  Alcotest.(check int) "no temporaries on success" 1
+    (Array.length (Sys.readdir dir));
+  (* Make the rename fail (target is a directory): the temporary must
+     not be left behind. *)
+  Sys.remove target;
+  Unix.mkdir target 0o700;
+  (match Serve.write_metrics ~path:target with
+  | () -> Alcotest.fail "rename onto a directory succeeded"
+  | exception Sys_error _ -> ());
+  Alcotest.(check int) "no stale .tmp after failure" 1
+    (Array.length (Sys.readdir dir))
+
+(* ---- parser fuzzing: byte mutations never escape the contract ---- *)
+
+let mutate content kind pos extra =
+  let len = String.length content in
+  if len = 0 then content
+  else
+    match kind mod 3 with
+    | 0 -> String.sub content 0 (pos mod (len + 1))
+    | 1 ->
+        let b = Bytes.of_string content in
+        let i = pos mod len in
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (extra mod 8))));
+        Bytes.to_string b
+    | _ ->
+        let i = pos mod len in
+        let j = extra mod len in
+        let chunk = String.sub content i (min 8 (len - i)) in
+        String.sub content 0 j ^ chunk
+        ^ String.sub content j (len - j)
+
+let fuzz_stream_content =
+  lazy
+    (let events =
+       Workload.generate ~rate_churn:0.3 (Rng.create 97) ~n:12 ~ticks:5
+         ~pairs:6 ~churn:0.4
+     in
+     with_temp_file (fun path ->
+         Update.save path events;
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () -> really_input_string ic (in_channel_length ic))))
+
+let prop_stream_mutations_never_escape =
+  QCheck.Test.make
+    ~name:"mutated streams parse, or fail as Unreadable/Corrupt"
+    ~count:600
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (kind, pos, extra) ->
+      let mutated = mutate (Lazy.force fuzz_stream_content) kind pos extra in
+      with_temp_file (fun path ->
+          let oc = open_out_bin path in
+          output_string oc mutated;
+          close_out oc;
+          match Update.load path with
+          | (_ : Update.t list) -> true
+          | exception Update.Unreadable _ -> true
+          | exception Update.Corrupt _ -> true
+          | exception _ -> false))
+
+let fuzz_checkpoint_blob =
+  lazy
+    (let srv = make_service () in
+     ignore
+       (Serve.replay srv
+          (Workload.generate (Rng.create 53) ~n:16 ~ticks:3 ~pairs:5
+             ~churn:0.3));
+     let g, _ = make_parts () in
+     ( g,
+       Checkpoint.encode ~stream_digest:42L ~graph:g
+         ~config:Serve.default_config (Serve.snapshot srv) ))
+
+let prop_checkpoint_mutations_never_escape =
+  QCheck.Test.make
+    ~name:"mutated checkpoints decode, or fail as Corrupt"
+    ~count:500
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (kind, pos, extra) ->
+      let g, blob = Lazy.force fuzz_checkpoint_blob in
+      match Checkpoint.decode ~graph:g (mutate blob kind pos extra) with
+      | (_ : int64 * string * Serve.state) -> true
+      | exception Codec.Corrupt _ -> true
+      | exception _ -> false)
+
 let test_create_rejects_bad_config () =
   let reject name config =
     Alcotest.(check bool) name true
@@ -340,7 +809,9 @@ let test_create_rejects_bad_config () =
   in
   reject "warm_iters" { Serve.default_config with warm_iters = 0 };
   reject "warm_weight" { Serve.default_config with warm_weight = 0 };
-  reject "refresh_every" { Serve.default_config with refresh_every = -1 }
+  reject "refresh_every" { Serve.default_config with refresh_every = -1 };
+  reject "event_budget" { Serve.default_config with event_budget = -1 };
+  reject "max_staleness" { Serve.default_config with max_staleness = -1 }
 
 let () =
   Alcotest.run "serve"
@@ -367,6 +838,40 @@ let () =
             test_refresh_and_staleness;
           Alcotest.test_case "bad config" `Quick test_create_rejects_bad_config;
           Alcotest.test_case "check_slo" `Quick test_check_slo;
+          Alcotest.test_case "check_overload" `Quick test_check_overload;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fail and repair" `Quick test_step_faults;
+          Alcotest.test_case "unroutable pair" `Quick
+            test_unroutable_pair_sheds_and_recovers;
+          Alcotest.test_case "timeline bridge" `Quick test_faults_of_timeline;
+          Alcotest.test_case "jobs-invariant faulted replay" `Quick
+            test_fault_replay_jobs_invariant;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "budget sheds, staleness caps" `Quick
+            test_overload_sheds_and_degrades;
+          Alcotest.test_case "budgeted replay converges" `Quick
+            test_budgeted_replay_converges;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "kill and resume (jobs 1)" `Quick
+            test_kill_and_resume_j1;
+          Alcotest.test_case "kill and resume (jobs 4)" `Quick
+            test_kill_and_resume_j4;
+          Alcotest.test_case "kill and resume across faults" `Quick
+            test_kill_and_resume_with_faults;
+          Alcotest.test_case "corruption contract" `Quick
+            test_checkpoint_contract;
+          Alcotest.test_case "files and latest" `Quick test_checkpoint_files;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "atomic snapshot hygiene" `Quick
+            test_write_metrics_cleanup;
         ] );
       ( "equivalence",
         [
@@ -380,5 +885,10 @@ let () =
       ( "simulation",
         [ Alcotest.test_case "timed load" `Quick test_simulate ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_stream_roundtrip ] );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_stream_roundtrip;
+            prop_stream_mutations_never_escape;
+            prop_checkpoint_mutations_never_escape;
+          ] );
     ]

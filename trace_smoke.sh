@@ -50,10 +50,8 @@ grep -q 'solver=unrestricted' "$dir/summary.txt"
 "$SSO" trace diff "$dir/j1.jsonl" "$dir/j4.jsonl" > /dev/null
 
 # Exit codes: 10 for an unreadable path, 11 for a corrupt file.
-rc=0; "$SSO" trace summary "$dir/missing.jsonl" 2> /dev/null || rc=$?
-test "$rc" -eq 10 || { echo "trace_smoke: expected exit 10, got $rc" >&2; exit 1; }
+expect_exit 10 "missing trace" "$SSO" trace summary "$dir/missing.jsonl"
 echo 'not a trace' > "$dir/corrupt.jsonl"
-rc=0; "$SSO" trace summary "$dir/corrupt.jsonl" 2> /dev/null || rc=$?
-test "$rc" -eq 11 || { echo "trace_smoke: expected exit 11, got $rc" >&2; exit 1; }
+expect_exit 11 "corrupt trace" "$SSO" trace summary "$dir/corrupt.jsonl"
 
 echo "trace_smoke: ok"
